@@ -1,0 +1,47 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet race cover bench fuzz experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzzing pass over the three fuzz targets.
+fuzz:
+	$(GO) test -run XXX -fuzz FuzzParse -fuzztime 30s ./internal/xpath/
+	$(GO) test -run XXX -fuzz FuzzParse -fuzztime 30s ./internal/xmltree/
+	$(GO) test -run XXX -fuzz FuzzDecode -fuzztime 30s ./internal/summaryio/
+
+# Regenerate every table and figure of the paper (minutes at the
+# default scale; pass SCALE=1.0 for paper-sized documents).
+SCALE ?= 0.125
+experiments:
+	$(GO) run ./cmd/xpest experiments -run all -scale $(SCALE)
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/bookstore
+	$(GO) run ./examples/bibliography
+	$(GO) run ./examples/synopsis-tuning
+	$(GO) run ./examples/optimizer
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture redirects os.Stdout around fn and returns what was printed.
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(r)
+		done <- buf.String()
+	}()
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if errRun != nil {
+		t.Fatalf("command failed: %v", errRun)
+	}
+	return out
+}
+
+// TestPipelineEndToEnd drives gen → stats → build → estimate →
+// estimate-from-summary → workload through the real command functions.
+func TestPipelineEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	xmlPath := filepath.Join(dir, "plays.xml")
+	sumPath := filepath.Join(dir, "plays.xps")
+	csvPath := filepath.Join(dir, "workload.csv")
+
+	if err := cmdGen([]string{"-dataset", "SSPlays", "-scale", "0.01", "-seed", "3", "-o", xmlPath}); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(xmlPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("gen produced nothing: %v", err)
+	}
+
+	out := capture(t, func() error {
+		return cmdStats([]string{"-in", xmlPath})
+	})
+	for _, needle := range []string{"document:", "labeling:", "p-histogram", "o-histogram"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("stats output missing %q:\n%s", needle, out)
+		}
+	}
+
+	out = capture(t, func() error {
+		return cmdBuild([]string{"-stream", "-in", xmlPath, "-o", sumPath})
+	})
+	if !strings.Contains(out, "wrote") {
+		t.Errorf("build output: %q", out)
+	}
+
+	direct := capture(t, func() error {
+		return cmdEstimate([]string{"-in", xmlPath, "//PLAY/ACT/SCENE"})
+	})
+	if !strings.Contains(direct, "exact") {
+		t.Errorf("estimate output: %q", direct)
+	}
+
+	fromSummary := capture(t, func() error {
+		return cmdEstimate([]string{"-summary", sumPath, "//PLAY/ACT/SCENE"})
+	})
+	if !strings.Contains(fromSummary, "estimate") {
+		t.Errorf("summary estimate output: %q", fromSummary)
+	}
+	// The two paths must print the same estimate value.
+	if f1, f2 := fieldAfter(direct, "estimate"), fieldAfter(fromSummary, "estimate"); f1 != f2 {
+		t.Errorf("estimates differ: direct %q vs summary %q", f1, f2)
+	}
+
+	explained := capture(t, func() error {
+		return cmdEstimate([]string{"-in", xmlPath, "-explain", "//ACT![/TITLE/folls::SCENE]"})
+	})
+	if !strings.Contains(explained, "Equation (5)") {
+		t.Errorf("explain output missing derivation:\n%s", explained)
+	}
+
+	if err := cmdWorkload([]string{"-in", xmlPath, "-seed", "5", "-simple", "80", "-branch", "80", "-o", csvPath}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 2 || lines[0] != "query,exact,kind,target" {
+		t.Fatalf("workload CSV malformed:\n%s", string(data))
+	}
+}
+
+func fieldAfter(s, marker string) string {
+	i := strings.Index(s, marker)
+	if i < 0 {
+		return ""
+	}
+	fields := strings.Fields(s[i+len(marker):])
+	if len(fields) == 0 {
+		return ""
+	}
+	return fields[0]
+}
+
+func TestCommandErrors(t *testing.T) {
+	if err := cmdGen([]string{"-dataset", "nope", "-o", filepath.Join(t.TempDir(), "x.xml")}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if err := cmdEstimate([]string{"-in", "/does/not/exist.xml", "//a"}); err == nil {
+		t.Error("missing input accepted")
+	}
+	if err := cmdEstimate([]string{"-dataset", "SSPlays"}); err == nil {
+		t.Error("no queries accepted")
+	}
+	if err := cmdBuild([]string{"-stream"}); err == nil {
+		t.Error("stream without -in accepted")
+	}
+	if err := cmdEstimate([]string{"-summary", "/does/not/exist.xps", "//a"}); err == nil {
+		t.Error("missing summary accepted")
+	}
+}
+
+func TestExperimentsCommandSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run in -short mode")
+	}
+	out := capture(t, func() error {
+		return cmdExperiments([]string{"-run", "table1", "-scale", "0.01", "-simple", "50", "-branch", "50"})
+	})
+	if !strings.Contains(out, "Table 1") {
+		t.Errorf("experiments output:\n%s", out)
+	}
+}

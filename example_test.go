@@ -1,0 +1,103 @@
+package xpathest_test
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"xpathest"
+)
+
+const exampleXML = `<PLAY>
+  <ACT>
+    <TITLE>ACT I</TITLE>
+    <SCENE><SPEECH><SPEAKER>Master</SPEAKER><LINE>Boatswain!</LINE></SPEECH></SCENE>
+    <SCENE><SPEECH><SPEAKER>Miranda</SPEAKER><LINE>If by your art</LINE><LINE>...</LINE></SPEECH>
+      <STAGEDIR>Enter PROSPERO</STAGEDIR></SCENE>
+  </ACT>
+  <ACT>
+    <TITLE>ACT II</TITLE>
+    <SCENE><SPEECH><SPEAKER>Adrian</SPEAKER><LINE>Tunis was never graced</LINE></SPEECH></SCENE>
+  </ACT>
+</PLAY>`
+
+// Estimate a simple query and compare with the exact count.
+func ExampleDocument_BuildSummary() {
+	doc, err := xpathest.ParseDocumentString(exampleXML)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum := doc.BuildSummary(xpathest.SummaryOptions{})
+	est, _ := sum.Estimate("//SPEECH/LINE")
+	exact, _ := doc.ExactCount("//SPEECH/LINE")
+	fmt.Printf("estimate %.0f, exact %d\n", est, exact)
+	// Output: estimate 4, exact 4
+}
+
+// Order-based axes: scenes whose speech precedes a stage direction.
+func ExampleSummary_Estimate_orderAxis() {
+	doc, err := xpathest.ParseDocumentString(exampleXML)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum := doc.BuildSummary(xpathest.SummaryOptions{})
+	est, _ := sum.Estimate("//SCENE[/SPEECH/folls::STAGEDIR]")
+	exact, _ := doc.ExactCount("//SCENE[/SPEECH/folls::STAGEDIR]")
+	fmt.Printf("estimate %.0f, exact %d\n", est, exact)
+	// Output: estimate 1, exact 1
+}
+
+// The "!" marker selects which step's selectivity is estimated.
+func ExampleSummary_Estimate_targetMarker() {
+	doc, err := xpathest.ParseDocumentString(exampleXML)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum := doc.BuildSummary(xpathest.SummaryOptions{})
+	scenes, _ := sum.Estimate("//ACT[/TITLE]/SCENE") // default: last step
+	acts, _ := sum.Estimate("//ACT![/TITLE]/SCENE")  // the ACTs instead
+	fmt.Printf("scenes %.0f, acts %.0f\n", scenes, acts)
+	// Output: scenes 3, acts 2
+}
+
+// Summaries serialize without the document and load estimation-ready.
+func ExampleReadSummary() {
+	doc, err := xpathest.ParseDocumentString(exampleXML)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var wire bytes.Buffer
+	if err := doc.BuildSummary(xpathest.SummaryOptions{}).Save(&wire); err != nil {
+		log.Fatal(err)
+	}
+	sum, err := xpathest.ReadSummary(&wire)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, _ := sum.Estimate("//ACT/SCENE/SPEECH")
+	fmt.Printf("estimate %.0f\n", est)
+	// Output: estimate 3
+}
+
+// Positional filters are exact: the first LINE of each speech.
+func ExampleSummary_Estimate_positional() {
+	doc, err := xpathest.ParseDocumentString(exampleXML)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum := doc.BuildSummary(xpathest.SummaryOptions{})
+	first, _ := sum.Estimate("//SPEECH/LINE[1]")
+	all, _ := sum.Estimate("//SPEECH/LINE")
+	fmt.Printf("first %.0f of %.0f\n", first, all)
+	// Output: first 3 of 4
+}
+
+// ParseQuery validates and canonicalizes the supported fragment.
+func ExampleParseQuery() {
+	canon, err := xpathest.ParseQuery("/descendant::Play/child::Act")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(canon)
+	// Output: //Play/Act
+}

@@ -1,0 +1,78 @@
+// Bibliography: run the estimator over the DBLP-analogue dataset and
+// score it on a generated workload — the paper's Section 7 protocol in
+// miniature, through the public API. DBLP is the paper's stress case
+// for order statistics: a shallow, extremely wide document whose order
+// information outweighs its path information.
+//
+//	go run ./examples/bibliography
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"xpathest"
+)
+
+func main() {
+	doc, err := xpathest.GenerateDataset(xpathest.DBLP, 11, 0.02)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DBLP analogue: %d elements, %d tags, %d distinct paths, %d distinct pids\n\n",
+		doc.NumElements(), doc.NumDistinctTags(), doc.NumDistinctPaths(), doc.NumDistinctPathIDs())
+
+	// A few hand-written bibliographic queries.
+	sum := doc.BuildSummary(xpathest.SummaryOptions{})
+	for _, q := range []string{
+		"//article/author",
+		"//inproceedings[/crossref]/title",
+		"//article[/author/folls::title]",    // author listed before the title (conventional order)
+		"//article[/volume/folls::number]",   // volume before number
+		"//phdthesis[/school/pres::author!]", // authors of theses, school following
+	} {
+		est, err := sum.Estimate(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exact, err := doc.ExactCount(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-44s estimate %10.1f   exact %8d\n", q, est, exact)
+	}
+
+	// Score a full generated workload at three summary resolutions.
+	queries := doc.GenerateWorkload(xpathest.WorkloadOptions{Seed: 5, NumSimple: 800, NumBranch: 800})
+	fmt.Printf("\nworkload: %d positive queries\n", len(queries))
+	fmt.Printf("%8s %8s | %12s %12s %12s\n", "p-var", "o-var", "summary(KB)", "err(no-ord)", "err(order)")
+	for _, v := range []struct{ p, o float64 }{{0, 0}, {1, 2}, {5, 8}} {
+		sum := doc.BuildSummary(xpathest.SummaryOptions{PVariance: v.p, OVariance: v.o})
+		var sumNo, sumOrd float64
+		var nNo, nOrd int
+		for _, q := range queries {
+			est, err := sum.Estimate(q.Query)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rel := math.Abs(est-float64(q.Exact)) / float64(q.Exact)
+			if q.HasOrderAxis {
+				sumOrd += rel
+				nOrd++
+			} else {
+				sumNo += rel
+				nNo++
+			}
+		}
+		avg := func(s float64, n int) float64 {
+			if n == 0 {
+				return 0
+			}
+			return s / float64(n)
+		}
+		fmt.Printf("%8.0f %8.0f | %12.1f %11.2f%% %11.2f%%\n",
+			v.p, v.o, float64(sum.Sizes().Total())/1024,
+			100*avg(sumNo, nNo), 100*avg(sumOrd, nOrd))
+	}
+}

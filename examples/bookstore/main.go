@@ -1,0 +1,108 @@
+// Bookstore: the paper's Section 1 motivation — documents with
+// intrinsic order, where queries ask about chapter positions and what
+// follows what. This example builds an ordered catalogue, then uses
+// the estimator the way a query optimizer would: to rank candidate
+// query plans by estimated cardinality before touching the data.
+//
+//	go run ./examples/bookstore
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"xpathest"
+)
+
+// buildCatalogue creates an ordered bookstore document: books whose
+// front matter, chapters, appendices and index appear in reading
+// order, so order-axis queries are meaningful.
+func buildCatalogue(rng *rand.Rand, books int) string {
+	var sb strings.Builder
+	sb.WriteString("<catalogue>")
+	for i := 0; i < books; i++ {
+		sb.WriteString("<book>")
+		sb.WriteString("<title>Collected Storms</title>")
+		if rng.Intn(3) > 0 {
+			sb.WriteString("<preface><para/><para/></preface>")
+		}
+		chapters := 3 + rng.Intn(8)
+		for c := 0; c < chapters; c++ {
+			sb.WriteString("<chapter><heading>h</heading>")
+			for p := 0; p < 2+rng.Intn(5); p++ {
+				sb.WriteString("<para/>")
+			}
+			if rng.Intn(4) == 0 {
+				sb.WriteString("<figure/>")
+			}
+			sb.WriteString("</chapter>")
+		}
+		if rng.Intn(2) == 0 {
+			sb.WriteString("<appendix><para/></appendix>")
+		}
+		if rng.Intn(3) == 0 {
+			sb.WriteString("<index/>")
+		}
+		sb.WriteString("</book>")
+	}
+	sb.WriteString("</catalogue>")
+	return sb.String()
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(2026))
+	doc, err := xpathest.ParseDocumentString(buildCatalogue(rng, 400))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum := doc.BuildSummary(xpathest.SummaryOptions{PVariance: 1, OVariance: 2})
+
+	fmt.Printf("catalogue: %d elements in %d books\n", doc.NumElements(), 400)
+	fmt.Printf("summary:   %d bytes\n\n", sum.Sizes().Total())
+
+	// An optimizer choosing between plans wants the cheapest (most
+	// selective) access path first. Rank order-sensitive candidate
+	// queries by their estimated cardinality.
+	candidates := []string{
+		"//book/chapter",                    // every chapter
+		"//book[/preface/folls::chapter]",   // books whose preface precedes a chapter (reading order)
+		"//book[/chapter/folls::appendix]",  // books with an appendix after a chapter
+		"//book[/chapter!/folls::appendix]", // ...counting those chapters instead
+		"//book[/appendix/folls::index]",    // appendix followed by an index
+		"//book[/chapter/folls::index]",     // chapter followed (as sibling) by an index
+		"//book[/index/pres::appendix]",     // index with a preceding appendix (mirror)
+		"//chapter[/heading/folls::figure]", // chapters where a figure follows the heading
+	}
+
+	fmt.Printf("%-42s %10s %8s %8s\n", "query", "estimate", "exact", "err%")
+	for _, q := range candidates {
+		est, err := sum.Estimate(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exact, err := doc.ExactCount(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		errPct := 0.0
+		if exact > 0 {
+			errPct = 100 * abs(est-float64(exact)) / float64(exact)
+		}
+		fmt.Printf("%-42s %10.1f %8d %7.1f%%\n", q, est, exact, errPct)
+	}
+
+	// The two sides of Equation (5): order constraints only ever
+	// shrink a result, so the no-order estimate is an upper bound.
+	withOrder, _ := sum.Estimate("//book[/chapter/folls::appendix]")
+	noOrder, _ := sum.Estimate("//book[/chapter]/appendix")
+	fmt.Printf("\nupper-bound check: ordered %.1f ≤ unordered %.1f\n", withOrder, noOrder)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,104 @@
+// Optimizer: how a query engine would actually deploy the estimation
+// system. The summary is built once, serialized, and shipped to the
+// optimizer process, which loads it without the document and uses
+// estimated cardinalities to pick an access order for a branch query;
+// the three estimator families of the paper (p-histogram, XSketch,
+// position histogram) are compared on the same decisions.
+//
+//	go run ./examples/optimizer
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"sort"
+
+	"xpathest"
+)
+
+func main() {
+	// --- build side: the storage engine owns the document ---
+	doc, err := xpathest.GenerateDataset(xpathest.XMark, 21, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	built := doc.BuildSummary(xpathest.SummaryOptions{PVariance: 1, OVariance: 2})
+
+	var wire bytes.Buffer
+	if err := built.Save(&wire); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shipped summary: %d bytes on the wire (document: %d elements, %.1f KB)\n\n",
+		wire.Len(), doc.NumElements(), float64(doc.SizeBytes())/1024)
+
+	// --- optimizer side: no document, only the summary ---
+	sum, err := xpathest.ReadSummary(&wire)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A query with several candidate "driving" predicates: the
+	// optimizer wants to evaluate the most selective one first. Each
+	// candidate is the same query with a different target marked — its
+	// estimated cardinality is the size of that intermediate result.
+	candidates := []string{
+		"//open_auction[/bidder!]/annotation",                // drive by bidders
+		"//open_auction[/bidder]/annotation!",                // drive by annotations
+		"//open_auction![/bidder]/annotation",                // drive by auctions
+		"//open_auction[/reserve!]/annotation",               // drive by reserve prices
+		"//open_auction[/bidder/folls::itemref]/annotation!", // order-constrained variant
+	}
+	type plan struct {
+		query string
+		est   float64
+	}
+	var plans []plan
+	for _, q := range candidates {
+		est, err := sum.Estimate(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plans = append(plans, plan{q, est})
+	}
+	sort.Slice(plans, func(i, j int) bool { return plans[i].est < plans[j].est })
+
+	fmt.Println("candidate driving predicates, cheapest first (loaded summary):")
+	for i, p := range plans {
+		exact, err := doc.ExactCount(p.query) // verification only
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %d. %-55s est %9.1f   (exact %6d)\n", i+1, p.query, p.est, exact)
+	}
+
+	// --- the three estimator families on one set of queries ---
+	sketch := doc.BuildXSketch(sum.Sizes().Total())
+	pos := doc.BuildPositionHistogram(32)
+
+	queries := []string{
+		"//open_auction/bidder",         // child step
+		"//open_auction//increase",      // descendant step
+		"//person[/profile]/creditcard", // branch + child
+		"//item//keyword",               // recursion territory
+	}
+	fmt.Printf("\n%-34s %8s | %10s %10s %10s\n", "query", "exact", "p-histo", "xsketch", "poshist")
+	for _, q := range queries {
+		exact, err := doc.ExactCount(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a, _ := sum.Estimate(q)
+		b, errB := sketch.Estimate(q)
+		if errB != nil {
+			log.Fatal(errB)
+		}
+		c, errC := pos.Estimate(q)
+		if errC != nil {
+			log.Fatal(errC)
+		}
+		fmt.Printf("%-34s %8d | %10.1f %10.1f %10.1f\n", q, exact, a, b, c)
+	}
+	fmt.Printf("\nsummary memory: ours %d B, xsketch %d B, poshist %d B\n",
+		sum.Sizes().Total(), sketch.SizeBytes(), pos.SizeBytes())
+}

@@ -1,0 +1,67 @@
+// Quickstart: parse a small document, build a summary, and compare
+// estimated against exact selectivities — including an order-axis
+// query, the paper's headline capability.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xpathest"
+)
+
+const play = `<PLAY>
+  <TITLE>The Tempest</TITLE>
+  <ACT>
+    <TITLE>ACT I</TITLE>
+    <SCENE>
+      <TITLE>SCENE I. On a ship at sea</TITLE>
+      <STAGEDIR>A tempestuous noise of thunder and lightning heard</STAGEDIR>
+      <SPEECH><SPEAKER>Master</SPEAKER><LINE>Boatswain!</LINE></SPEECH>
+      <SPEECH><SPEAKER>Boatswain</SPEAKER><LINE>Here, master: what cheer?</LINE></SPEECH>
+    </SCENE>
+    <SCENE>
+      <TITLE>SCENE II. The island.</TITLE>
+      <SPEECH><SPEAKER>Miranda</SPEAKER><LINE>If by your art...</LINE><LINE>...</LINE></SPEECH>
+      <STAGEDIR>Enter PROSPERO</STAGEDIR>
+      <SPEECH><SPEAKER>Prospero</SPEAKER><LINE>Be collected</LINE></SPEECH>
+    </SCENE>
+  </ACT>
+</PLAY>`
+
+func main() {
+	doc, err := xpathest.ParseDocumentString(play)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("document: %d elements, %d distinct tags, %d distinct paths\n\n",
+		doc.NumElements(), doc.NumDistinctTags(), doc.NumDistinctPaths())
+
+	// Build the summary. Variance 0 stores exact statistics; raise the
+	// thresholds to trade accuracy for memory (see examples/synopsis-tuning).
+	sum := doc.BuildSummary(xpathest.SummaryOptions{})
+	sz := sum.Sizes()
+	fmt.Printf("summary: %d bytes (encoding table %d, pid tree %d, p-histogram %d, o-histogram %d)\n\n",
+		sz.Total(), sz.EncodingTableBytes, sz.PidBinaryTreeBytes, sz.PHistogramBytes, sz.OHistogramBytes)
+
+	queries := []string{
+		"//SPEECH/LINE",                     // simple
+		"//SCENE[/STAGEDIR]/SPEECH",         // branch
+		"//SCENE[/SPEECH/folls::STAGEDIR]",  // order: a speech before a stage direction
+		"//SCENE[/SPEECH!/folls::STAGEDIR]", // same, but count the speeches (! marks the target)
+		"//ACT[/TITLE/foll::LINE!]",         // following axis, rewritten internally per Example 5.3
+	}
+	for _, q := range queries {
+		est, err := sum.Estimate(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exact, err := doc.ExactCount(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-40s estimate %6.2f   exact %3d\n", q, est, exact)
+	}
+}

@@ -1,0 +1,86 @@
+// Synopsis tuning: explore the memory/accuracy trade-off of the
+// variance thresholds — the knob Figures 9–13 of the paper sweep — and
+// compare against the XSketch baseline at matched memory (Figure 11),
+// on the XMark-analogue dataset.
+//
+//	go run ./examples/synopsis-tuning
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"xpathest"
+)
+
+func main() {
+	doc, err := xpathest.GenerateDataset(xpathest.XMark, 3, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("XMark analogue: %d elements, %d tags, %d distinct paths\n\n",
+		doc.NumElements(), doc.NumDistinctTags(), doc.NumDistinctPaths())
+
+	queries := doc.GenerateWorkload(xpathest.WorkloadOptions{Seed: 9, NumSimple: 700, NumBranch: 700})
+	var noOrder, order []xpathest.WorkloadQuery
+	for _, q := range queries {
+		if q.HasOrderAxis {
+			order = append(order, q)
+		} else {
+			noOrder = append(noOrder, q)
+		}
+	}
+	fmt.Printf("workload: %d no-order + %d order queries\n\n", len(noOrder), len(order))
+
+	avgErr := func(sum *xpathest.Summary, qs []xpathest.WorkloadQuery) float64 {
+		if len(qs) == 0 {
+			return 0
+		}
+		total := 0.0
+		for _, q := range qs {
+			est, err := sum.Estimate(q.Query)
+			if err != nil {
+				log.Fatal(err)
+			}
+			total += math.Abs(est-float64(q.Exact)) / float64(q.Exact)
+		}
+		return total / float64(len(qs))
+	}
+
+	// Sweep the variance thresholds (Figure 9/10/12 in one table).
+	fmt.Printf("%6s %6s | %9s %9s %9s | %11s %11s\n",
+		"p-var", "o-var", "p-KB", "o-KB", "total-KB", "err no-ord", "err order")
+	for _, v := range []float64{0, 1, 2, 4, 8, 14} {
+		sum := doc.BuildSummary(xpathest.SummaryOptions{PVariance: v, OVariance: v})
+		sz := sum.Sizes()
+		fmt.Printf("%6.0f %6.0f | %9.2f %9.2f %9.2f | %10.2f%% %10.2f%%\n",
+			v, v,
+			float64(sz.PHistogramBytes)/1024, float64(sz.OHistogramBytes)/1024,
+			float64(sz.Total())/1024,
+			100*avgErr(sum, noOrder), 100*avgErr(sum, order))
+	}
+
+	// Figure 11: the XSketch comparison at matched total memory
+	// (XSketch cannot estimate order queries, so only the no-order
+	// workload is scored).
+	fmt.Printf("\nXSketch comparison (no-order queries only):\n")
+	fmt.Printf("%6s | %12s %12s | %12s\n", "p-var", "ours err", "xsketch err", "budget KB")
+	for _, v := range []float64{14, 4, 0} {
+		sum := doc.BuildSummary(xpathest.SummaryOptions{PVariance: v, OVariance: 14})
+		sz := sum.Sizes()
+		budget := sz.EncodingTableBytes + sz.PidBinaryTreeBytes + sz.PHistogramBytes
+		sk := doc.BuildXSketch(budget)
+		skErr := 0.0
+		for _, q := range noOrder {
+			est, err := sk.Estimate(q.Query)
+			if err != nil {
+				log.Fatal(err)
+			}
+			skErr += math.Abs(est-float64(q.Exact)) / float64(q.Exact)
+		}
+		skErr /= float64(len(noOrder))
+		fmt.Printf("%6.0f | %11.2f%% %11.2f%% | %12.2f\n",
+			v, 100*avgErr(sum, noOrder), 100*skErr, float64(budget)/1024)
+	}
+}

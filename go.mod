@@ -1,0 +1,3 @@
+module xpathest
+
+go 1.22

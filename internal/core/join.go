@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+
+	"xpathest/internal/pathenc"
+	"xpathest/internal/stats"
+	"xpathest/internal/xpath"
+)
+
+// includeSet selects the query-tree nodes participating in a (sub-)
+// query. The estimation formulas of Sections 4–5 repeatedly join
+// reduced queries (the chain query Q′ of Equation (2), the simplified
+// query Q⃗′ of Equation (3)); each is just the original tree joined
+// over a subset of its nodes.
+type includeSet map[*xpath.TreeNode]bool
+
+// fullInclude selects every node.
+func fullInclude(tree *xpath.Tree) includeSet {
+	inc := make(includeSet, len(tree.Nodes))
+	for _, n := range tree.Nodes {
+		inc[n] = true
+	}
+	return inc
+}
+
+// withoutSubtree copies inc minus the strict descendants of n.
+func withoutSubtree(inc includeSet, n *xpath.TreeNode) includeSet {
+	out := make(includeSet, len(inc))
+	for k, v := range inc {
+		if v && !strictDescendantOf(k, n) {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// chainPlusSubtree selects the root chain of n plus n's whole query
+// subtree (intersected with inc) — the Q′ = q1/q2 of Equation (2).
+func chainPlusSubtree(inc includeSet, n *xpath.TreeNode) includeSet {
+	out := make(includeSet)
+	for cur := n; cur != nil && !cur.IsVRoot(); cur = cur.Parent {
+		out[cur] = true
+	}
+	var rec func(m *xpath.TreeNode)
+	rec = func(m *xpath.TreeNode) {
+		for _, c := range m.Children {
+			if inc[c] {
+				out[c] = true
+				rec(c)
+			}
+		}
+	}
+	rec(n)
+	return out
+}
+
+func strictDescendantOf(n, anc *xpath.TreeNode) bool {
+	for cur := n.Parent; cur != nil; cur = cur.Parent {
+		if cur == anc {
+			return true
+		}
+	}
+	return false
+}
+
+// pathJoin runs the path id join of Section 4 over the included nodes:
+// every node starts with its tag's full (pid, frequency) list, and
+// adjacent (parent, child) pairs repeatedly prune entries that cannot
+// satisfy the containment relationship, until a fixpoint is reached
+// (Example 4.1's cascading removals require iteration).
+func pathJoin(lab *pathenc.Labeling, src Source, tree *xpath.Tree, inc includeSet) (map[*xpath.TreeNode][]stats.PidFreq, error) {
+	lists := make(map[*xpath.TreeNode][]stats.PidFreq, len(inc))
+	for n := range inc {
+		if n.Tag == "*" {
+			return nil, fmt.Errorf("core: wildcard node tests are not estimable")
+		}
+		entries := src.Entries(n.Tag)
+		cp := make([]stats.PidFreq, 0, len(entries))
+		for _, e := range entries {
+			// Positional filters are exact corrections from the
+			// path-order statistics: an element is first (last) among
+			// its same-tag siblings iff it has no preceding (following)
+			// same-tag sibling, which is precisely what the element+
+			// (+element) region counts.
+			if n.Step != nil {
+				switch n.Step.Pos {
+				case xpath.PosFirst:
+					e.Freq -= src.OrderCount(n.Tag, stats.After, e.Pid, n.Tag)
+				case xpath.PosLast:
+					e.Freq -= src.OrderCount(n.Tag, stats.Before, e.Pid, n.Tag)
+				}
+			}
+			if e.Freq > 0 {
+				cp = append(cp, e)
+			}
+		}
+		lists[n] = cp
+	}
+
+	// Collect the (parent, child) pairs among included nodes.
+	type edge struct{ p, c *xpath.TreeNode }
+	var edges []edge
+	for n := range inc {
+		if p := n.Parent; p != nil && !p.IsVRoot() && inc[p] {
+			edges = append(edges, edge{p, n})
+		}
+	}
+
+	compatible := func(p, c *xpath.TreeNode, pp, cc stats.PidFreq) bool {
+		return lab.EdgeCompatible(p.Tag, pp.Pid, c.Tag, cc.Pid, treeAxis(c))
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, e := range edges {
+			pl, cl := lists[e.p], lists[e.c]
+			np := pl[:0:0]
+			for _, pp := range pl {
+				ok := false
+				for _, cc := range cl {
+					if compatible(e.p, e.c, pp, cc) {
+						ok = true
+						break
+					}
+				}
+				if ok {
+					np = append(np, pp)
+				}
+			}
+			if len(np) != len(pl) {
+				lists[e.p] = np
+				changed = true
+				pl = np
+			}
+			nc := cl[:0:0]
+			for _, cc := range cl {
+				ok := false
+				for _, pp := range pl {
+					if compatible(e.p, e.c, pp, cc) {
+						ok = true
+						break
+					}
+				}
+				if ok {
+					nc = append(nc, cc)
+				}
+			}
+			if len(nc) != len(cl) {
+				lists[e.c] = nc
+				changed = true
+			}
+		}
+	}
+	return lists, nil
+}
+
+// treeAxis maps a query-tree node's axis to the pathenc axis.
+func treeAxis(n *xpath.TreeNode) pathenc.Axis {
+	if n.Axis == xpath.Descendant {
+		return pathenc.Descendant
+	}
+	return pathenc.Child
+}
+
+// sumFreq is the f_Q(n) of the paper: the summed frequency of the
+// surviving path ids.
+func sumFreq(entries []stats.PidFreq) float64 {
+	s := 0.0
+	for _, e := range entries {
+		s += e.Freq
+	}
+	return s
+}

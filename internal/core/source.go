@@ -1,0 +1,69 @@
+// Package core implements the paper's selectivity estimator: the path
+// join of Section 4 over the PathId-Frequency statistics, the
+// branch-query correction of Equation (2), and the order-axis
+// estimation of Section 5 (Equations (3)–(5) plus the
+// preceding/following rewriting of Example 5.3).
+//
+// The estimator never touches the document: it reads statistics
+// through the Source interface, which is implemented both by the
+// exact tables of package stats (equivalent to histograms at variance
+// threshold 0) and by the p-/o-histograms of package histogram.
+package core
+
+import (
+	"xpathest/internal/bitset"
+	"xpathest/internal/histogram"
+	"xpathest/internal/stats"
+)
+
+// Source supplies (possibly approximate) statistics to the estimator.
+type Source interface {
+	// Entries returns the (path id, frequency) list of a tag; nil or
+	// empty when the tag does not occur.
+	Entries(tag string) []stats.PidFreq
+
+	// OrderCount returns g(pid, sibTag) from the tag's path-order
+	// summary in the given region: the number of tag elements labeled
+	// pid with at least one sibling sibTag after them (Before region)
+	// or before them (After region).
+	OrderCount(tag string, region stats.Region, pid *bitset.Bitset, sibTag string) float64
+}
+
+// TableSource adapts the exact statistics tables. Estimates through it
+// equal estimates through histograms built at variance threshold 0.
+type TableSource struct {
+	Tables *stats.Tables
+}
+
+// Entries implements Source.
+func (s TableSource) Entries(tag string) []stats.PidFreq {
+	return s.Tables.Freq.Entries(tag)
+}
+
+// OrderCount implements Source.
+func (s TableSource) OrderCount(tag string, region stats.Region, pid *bitset.Bitset, sibTag string) float64 {
+	t := s.Tables.Order.Table(tag)
+	if t == nil {
+		return 0
+	}
+	return t.Get(region, pid, sibTag)
+}
+
+// HistogramSource adapts the p-histogram and o-histogram synopses.
+type HistogramSource struct {
+	P *histogram.PSet
+	O *histogram.OSet
+}
+
+// Entries implements Source.
+func (s HistogramSource) Entries(tag string) []stats.PidFreq {
+	return s.P.Entries(tag)
+}
+
+// OrderCount implements Source.
+func (s HistogramSource) OrderCount(tag string, region stats.Region, pid *bitset.Bitset, sibTag string) float64 {
+	if s.O == nil {
+		return 0
+	}
+	return s.O.Get(tag, region, pid, sibTag)
+}

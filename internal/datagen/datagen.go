@@ -1,0 +1,565 @@
+// Package datagen generates the three synthetic datasets the
+// experiments run on. The paper evaluates on Shakespeare's plays
+// (7.5 MB, 21 distinct tags, 179,690 elements), DBLP (65.2 MB, 31
+// tags, 1,711,542 elements) and XMark (20.4 MB, 74 tags, 319,815
+// elements, 344 distinct root-to-leaf paths); none of those files is
+// available offline, so this package builds deterministic analogues
+// that reproduce the structural properties the estimator is sensitive
+// to — tag vocabulary, distinct-path counts, depth/width profile and
+// sibling-order richness (see the substitution table in DESIGN.md).
+//
+// All generators are seeded and pure: the same Config always yields
+// the same document.
+package datagen
+
+import (
+	"math/rand"
+
+	"xpathest/internal/xmltree"
+)
+
+// Config controls a generator run.
+type Config struct {
+	// Seed drives all randomness. The same seed reproduces the same
+	// document.
+	Seed int64
+
+	// Scale multiplies the document size; 1.0 approximates the paper's
+	// element counts, the experiment default of 0.125 keeps the full
+	// suite fast.
+	Scale float64
+}
+
+func (c Config) scale() float64 {
+	if c.Scale <= 0 {
+		return 1
+	}
+	return c.Scale
+}
+
+// scaled returns max(1, round(n·scale)).
+func (c Config) scaled(n int) int {
+	v := int(float64(n)*c.scale() + 0.5)
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// Dataset names a generator, mirroring Table 1.
+type Dataset struct {
+	Name string
+	Gen  func(Config) *xmltree.Document
+}
+
+// Datasets returns the paper's three datasets in Table 1 order.
+func Datasets() []Dataset {
+	return []Dataset{
+		{Name: "SSPlays", Gen: SSPlays},
+		{Name: "DBLP", Gen: DBLP},
+		{Name: "XMark", Gen: XMark},
+	}
+}
+
+// words provides deterministic filler text so that byte sizes resemble
+// the real datasets.
+var words = []string{
+	"lord", "enter", "exit", "night", "crown", "storm", "sword", "love",
+	"blood", "king", "ghost", "witch", "battle", "letter", "ring",
+	"castle", "forest", "queen", "fool", "grave", "masque", "throne",
+}
+
+func text(rng *rand.Rand, n int) string {
+	out := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += words[rng.Intn(len(words))]
+	}
+	return out
+}
+
+// SSPlays builds a Shakespeare-plays analogue: a deep, regular theatre
+// structure with exactly the 21 tags of the real collection. At scale
+// 1 it holds ~37 plays and ~180k elements over ~40 distinct paths.
+func SSPlays(cfg Config) *xmltree.Document {
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x55504c415953))
+	b := xmltree.NewBuilder()
+	b.Open("PLAYS")
+	plays := cfg.scaled(37)
+	for p := 0; p < plays; p++ {
+		b.Open("PLAY")
+		b.Leaf("TITLE", text(rng, 4))
+		b.Open("FM")
+		for i := 0; i < 3; i++ {
+			b.Leaf("P", text(rng, 8))
+		}
+		b.Close()
+		b.Open("PERSONAE")
+		b.Leaf("TITLE", "Dramatis Personae")
+		for i, n := 0, 8+rng.Intn(10); i < n; i++ {
+			b.Leaf("PERSONA", text(rng, 3))
+		}
+		for i, n := 0, 1+rng.Intn(3); i < n; i++ {
+			b.Open("PGROUP")
+			for j, m := 0, 2+rng.Intn(3); j < m; j++ {
+				b.Leaf("PERSONA", text(rng, 3))
+			}
+			b.Leaf("GRPDESCR", text(rng, 4))
+			b.Close()
+		}
+		b.Close()
+		b.Leaf("SCNDESCR", text(rng, 6))
+		b.Leaf("PLAYSUBT", text(rng, 3))
+		if rng.Intn(4) == 0 {
+			// Inductions mix bare lines, stage directions and full
+			// speech blocks (as in The Taming of the Shrew) — extra
+			// distinct paths the real collection has.
+			b.Open("INDUCT")
+			b.Leaf("TITLE", text(rng, 3))
+			for i, n := 0, 4+rng.Intn(8); i < n; i++ {
+				b.Leaf("LINE", text(rng, 7))
+			}
+			if rng.Intn(2) == 0 {
+				b.Leaf("STAGEDIR", text(rng, 4))
+				speechBlock(b, rng)
+			}
+			b.Close()
+		}
+		if rng.Intn(3) == 0 {
+			b.Open("PROLOGUE")
+			b.Leaf("TITLE", "Prologue")
+			for i, n := 0, 6+rng.Intn(10); i < n; i++ {
+				b.Leaf("LINE", text(rng, 7))
+			}
+			if rng.Intn(3) == 0 {
+				b.Leaf("STAGEDIR", text(rng, 3))
+			}
+			if rng.Intn(4) == 0 {
+				speechBlock(b, rng)
+			}
+			b.Close()
+		}
+		for act := 0; act < 5; act++ {
+			b.Open("ACT")
+			b.Leaf("TITLE", text(rng, 2))
+			if rng.Intn(5) == 0 {
+				b.Leaf("SUBTITLE", text(rng, 2))
+			}
+			if rng.Intn(6) == 0 {
+				b.Leaf("STAGEDIR", text(rng, 3))
+			}
+			scenes := 3 + rng.Intn(5)
+			for sc := 0; sc < scenes; sc++ {
+				b.Open("SCENE")
+				b.Leaf("TITLE", text(rng, 3))
+				if rng.Intn(2) == 0 {
+					b.Leaf("STAGEDIR", text(rng, 4))
+				}
+				if rng.Intn(6) == 0 {
+					b.Leaf("SUBTITLE", text(rng, 2))
+				}
+				speeches := 15 + rng.Intn(25)
+				for sp := 0; sp < speeches; sp++ {
+					speechBlock(b, rng)
+				}
+				b.Close()
+			}
+			b.Close()
+		}
+		if rng.Intn(4) == 0 {
+			b.Open("EPILOGUE")
+			b.Leaf("TITLE", "Epilogue")
+			for i, n := 0, 4+rng.Intn(8); i < n; i++ {
+				b.Leaf("LINE", text(rng, 7))
+			}
+			if rng.Intn(3) == 0 {
+				b.Leaf("STAGEDIR", text(rng, 3))
+			}
+			if rng.Intn(4) == 0 {
+				speechBlock(b, rng)
+			}
+			b.Close()
+		}
+		b.Close()
+	}
+	b.Close()
+	return b.Document()
+}
+
+// speechBlock emits one SPEECH with speaker, lines and an optional
+// stage direction — shared by scenes, inductions, prologues and
+// epilogues.
+func speechBlock(b *xmltree.Builder, rng *rand.Rand) {
+	b.Open("SPEECH")
+	b.Leaf("SPEAKER", text(rng, 1))
+	for ln, n := 0, 1+rng.Intn(7); ln < n; ln++ {
+		b.Leaf("LINE", text(rng, 7))
+	}
+	if rng.Intn(5) == 0 {
+		b.Leaf("STAGEDIR", text(rng, 3))
+	}
+	b.Close()
+}
+
+// pubFields lists DBLP field tags in conventional document order; the
+// presence probability of each field depends on the publication type,
+// which yields the wide-but-shallow structure and the rich sibling
+// order information the paper highlights for DBLP.
+var pubFields = []struct {
+	tag  string
+	prob map[string]float64 // per publication type; default 0
+}{
+	{"author", map[string]float64{"article": 1, "inproceedings": 1, "incollection": 1, "book": 0.8, "phdthesis": 1, "mastersthesis": 1, "www": 0.7}},
+	{"editor", map[string]float64{"proceedings": 0.9, "book": 0.3}},
+	{"title", map[string]float64{"article": 1, "inproceedings": 1, "proceedings": 1, "book": 1, "incollection": 1, "phdthesis": 1, "mastersthesis": 1, "www": 1}},
+	{"booktitle", map[string]float64{"inproceedings": 1, "incollection": 0.9, "proceedings": 0.6}},
+	{"pages", map[string]float64{"article": 0.9, "inproceedings": 0.95, "incollection": 0.8}},
+	{"year", map[string]float64{"article": 1, "inproceedings": 1, "proceedings": 1, "book": 1, "incollection": 1, "phdthesis": 1, "mastersthesis": 1}},
+	{"address", map[string]float64{"proceedings": 0.3, "phdthesis": 0.2}},
+	{"journal", map[string]float64{"article": 1}},
+	{"volume", map[string]float64{"article": 0.9, "proceedings": 0.3, "book": 0.2}},
+	{"number", map[string]float64{"article": 0.7}},
+	{"month", map[string]float64{"article": 0.2, "phdthesis": 0.3}},
+	{"url", map[string]float64{"article": 0.8, "inproceedings": 0.8, "proceedings": 0.7, "book": 0.5, "incollection": 0.6, "www": 1}},
+	{"ee", map[string]float64{"article": 0.6, "inproceedings": 0.5}},
+	{"cdrom", map[string]float64{"article": 0.05, "inproceedings": 0.08}},
+	{"cite", map[string]float64{"article": 0.15, "inproceedings": 0.1, "book": 0.1}},
+	{"publisher", map[string]float64{"proceedings": 0.8, "book": 1, "incollection": 0.7}},
+	{"note", map[string]float64{"article": 0.05, "www": 0.3}},
+	{"crossref", map[string]float64{"inproceedings": 0.9, "incollection": 0.8}},
+	{"isbn", map[string]float64{"proceedings": 0.7, "book": 0.9}},
+	{"series", map[string]float64{"proceedings": 0.5, "book": 0.4}},
+	{"school", map[string]float64{"phdthesis": 1, "mastersthesis": 1}},
+	{"chapter", map[string]float64{"incollection": 0.3}},
+}
+
+var pubTypes = []struct {
+	tag    string
+	weight int
+}{
+	{"article", 35},
+	{"inproceedings", 40},
+	{"proceedings", 4},
+	{"book", 3},
+	{"incollection", 6},
+	{"phdthesis", 2},
+	{"mastersthesis", 1},
+	{"www", 9},
+}
+
+// DBLP builds a bibliography analogue: one shallow root with a huge
+// ordered sibling sequence of publications, 31 distinct tags. At scale
+// 1 it holds ~200k publications and ~1.7M elements.
+func DBLP(cfg Config) *xmltree.Document {
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x44424c50))
+	b := xmltree.NewBuilder()
+	b.Open("dblp")
+	totalWeight := 0
+	for _, pt := range pubTypes {
+		totalWeight += pt.weight
+	}
+	pubs := cfg.scaled(200000)
+	for i := 0; i < pubs; i++ {
+		w := rng.Intn(totalWeight)
+		typ := pubTypes[0].tag
+		for _, pt := range pubTypes {
+			if w < pt.weight {
+				typ = pt.tag
+				break
+			}
+			w -= pt.weight
+		}
+		b.Open(typ)
+		for _, f := range pubFields {
+			p := f.prob[typ]
+			if p == 0 || rng.Float64() >= p {
+				continue
+			}
+			n := 1
+			if f.tag == "author" {
+				n = 1 + rng.Intn(4)
+			} else if f.tag == "cite" {
+				n = 1 + rng.Intn(3)
+			}
+			for k := 0; k < n; k++ {
+				b.Leaf(f.tag, text(rng, 2))
+			}
+		}
+		b.Close()
+	}
+	b.Close()
+	return b.Document()
+}
+
+// XMark builds an auction-site analogue after the XMark benchmark
+// schema: 74 distinct tags and hundreds of distinct root-to-leaf paths
+// produced by the recursive description markup
+// (parlist/listitem/text/keyword/bold/emph). At scale 1 it holds
+// ~320k elements.
+func XMark(cfg Config) *xmltree.Document {
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x584d41524b))
+	g := &xmarkGen{rng: rng, b: xmltree.NewBuilder()}
+	b := g.b
+	b.Open("site")
+
+	b.Open("regions")
+	regions := []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+	regionWeights := []int{3, 20, 5, 30, 30, 12}
+	items := cfg.scaled(4350)
+	for ri, region := range regions {
+		b.Open(region)
+		n := items * regionWeights[ri] / 100
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			g.item()
+		}
+		b.Close()
+	}
+	b.Close()
+
+	b.Open("categories")
+	cats := cfg.scaled(200)
+	for i := 0; i < cats; i++ {
+		b.Open("category")
+		b.Leaf("name", text(rng, 2))
+		g.description()
+		b.Close()
+	}
+	b.Close()
+
+	b.Open("catgraph")
+	for i := 0; i < cats; i++ {
+		b.Open("edge")
+		b.Leaf("from", "category0")
+		b.Leaf("to", "category1")
+		b.Close()
+	}
+	b.Close()
+
+	b.Open("people")
+	people := cfg.scaled(5100)
+	for i := 0; i < people; i++ {
+		g.person()
+	}
+	b.Close()
+
+	b.Open("open_auctions")
+	opens := cfg.scaled(2400)
+	for i := 0; i < opens; i++ {
+		g.openAuction()
+	}
+	b.Close()
+
+	b.Open("closed_auctions")
+	closed := cfg.scaled(1950)
+	for i := 0; i < closed; i++ {
+		g.closedAuction()
+	}
+	b.Close()
+
+	b.Close() // site
+	return b.Document()
+}
+
+type xmarkGen struct {
+	rng *rand.Rand
+	b   *xmltree.Builder
+}
+
+func (g *xmarkGen) item() {
+	b, rng := g.b, g.rng
+	b.Open("item")
+	b.Open("location")
+	b.Text(text(rng, 1))
+	b.Close()
+	b.Leaf("quantity", "1")
+	b.Leaf("name", text(rng, 2))
+	b.Open("payment")
+	b.Text("Creditcard")
+	b.Close()
+	g.description()
+	b.Open("shipping")
+	b.Text(text(rng, 2))
+	b.Close()
+	for i, n := 0, 1+rng.Intn(3); i < n; i++ {
+		b.Leaf("incategory", "")
+	}
+	if rng.Intn(2) == 0 {
+		b.Open("mailbox")
+		for i, n := 0, 1+rng.Intn(3); i < n; i++ {
+			b.Open("mail")
+			b.Leaf("from", text(rng, 2))
+			b.Leaf("to", text(rng, 2))
+			b.Leaf("date", "07/04/2026")
+			g.textContent(0)
+			b.Close()
+		}
+		b.Close()
+	}
+	b.Close()
+}
+
+// description emits the recursive description markup: either a flat
+// text or a parlist of listitems, each again text or parlist.
+func (g *xmarkGen) description() {
+	g.b.Open("description")
+	g.descBody(0)
+	g.b.Close()
+}
+
+func (g *xmarkGen) descBody(depth int) {
+	if depth >= 3 || g.rng.Intn(100) < 70 {
+		g.textContent(depth)
+		return
+	}
+	g.b.Open("parlist")
+	for i, n := 0, 1+g.rng.Intn(3); i < n; i++ {
+		g.b.Open("listitem")
+		g.descBody(depth + 1)
+		g.b.Close()
+	}
+	g.b.Close()
+}
+
+// textContent emits a text element with optional nested inline markup
+// (keyword/bold/emph, themselves nestable one level), the source of
+// XMark's path diversity.
+func (g *xmarkGen) textContent(depth int) {
+	b, rng := g.b, g.rng
+	b.Open("text")
+	b.Text(text(rng, 5))
+	if depth < 2 {
+		for i, n := 0, rng.Intn(3); i < n; i++ {
+			inline := []string{"keyword", "bold", "emph"}[rng.Intn(3)]
+			b.Open(inline)
+			b.Text(text(rng, 2))
+			if depth == 0 && rng.Intn(4) == 0 {
+				inner := []string{"keyword", "bold", "emph"}[rng.Intn(3)]
+				b.Leaf(inner, text(rng, 1))
+			}
+			b.Close()
+		}
+	}
+	b.Close()
+}
+
+func (g *xmarkGen) person() {
+	b, rng := g.b, g.rng
+	b.Open("person")
+	b.Leaf("name", text(rng, 2))
+	b.Leaf("emailaddress", "mailto:x@example.org")
+	if rng.Intn(2) == 0 {
+		b.Leaf("phone", "+1 555 0100")
+	}
+	if rng.Intn(3) == 0 {
+		b.Open("address")
+		b.Leaf("street", text(rng, 2))
+		b.Leaf("city", text(rng, 1))
+		b.Leaf("country", text(rng, 1))
+		b.Leaf("province", text(rng, 1))
+		b.Leaf("zipcode", "12345")
+		b.Close()
+	}
+	if rng.Intn(2) == 0 {
+		b.Leaf("homepage", "http://example.org")
+	}
+	if rng.Intn(3) == 0 {
+		b.Leaf("creditcard", "1234 5678")
+	}
+	if rng.Intn(2) == 0 {
+		b.Open("profile")
+		for i, n := 0, rng.Intn(4); i < n; i++ {
+			b.Leaf("interest", "")
+		}
+		if rng.Intn(2) == 0 {
+			b.Leaf("education", text(rng, 1))
+		}
+		b.Leaf("gender", "x")
+		if rng.Intn(2) == 0 {
+			b.Leaf("business", "Yes")
+		}
+		b.Leaf("age", "42")
+		b.Close()
+	}
+	if rng.Intn(3) == 0 {
+		b.Open("watches")
+		for i, n := 0, 1+rng.Intn(3); i < n; i++ {
+			b.Leaf("watch", "")
+		}
+		b.Close()
+	}
+	b.Close()
+}
+
+func (g *xmarkGen) openAuction() {
+	b, rng := g.b, g.rng
+	b.Open("open_auction")
+	b.Leaf("initial", "15.00")
+	if rng.Intn(2) == 0 {
+		b.Leaf("reserve", "30.00")
+	}
+	for i, n := 0, rng.Intn(5); i < n; i++ {
+		b.Open("bidder")
+		b.Leaf("date", "07/04/2026")
+		b.Leaf("time", "12:00:00")
+		b.Leaf("personref", "")
+		b.Leaf("increase", "3.00")
+		b.Close()
+	}
+	b.Leaf("current", "27.00")
+	if rng.Intn(3) == 0 {
+		b.Leaf("privacy", "Yes")
+	}
+	b.Leaf("itemref", "")
+	b.Open("seller")
+	b.Text("person0")
+	b.Close()
+	g.annotation()
+	b.Leaf("quantity", "1")
+	b.Open("type")
+	b.Text("Regular")
+	b.Close()
+	b.Open("interval")
+	b.Leaf("start", "07/01/2026")
+	b.Leaf("end", "08/01/2026")
+	b.Close()
+	b.Close()
+}
+
+func (g *xmarkGen) closedAuction() {
+	b, rng := g.b, g.rng
+	b.Open("closed_auction")
+	b.Open("seller")
+	b.Text("person0")
+	b.Close()
+	b.Open("buyer")
+	b.Text("person1")
+	b.Close()
+	b.Leaf("itemref", "")
+	b.Leaf("price", "42.00")
+	b.Leaf("date", "07/04/2026")
+	b.Leaf("quantity", "1")
+	b.Open("type")
+	b.Text("Regular")
+	b.Close()
+	g.annotation()
+	_ = rng
+	b.Close()
+}
+
+func (g *xmarkGen) annotation() {
+	b, rng := g.b, g.rng
+	b.Open("annotation")
+	if rng.Intn(2) == 0 {
+		b.Open("author")
+		b.Text("person2")
+		b.Close()
+	}
+	g.description()
+	b.Leaf("happiness", "7")
+	b.Close()
+}

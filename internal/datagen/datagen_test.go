@@ -1,0 +1,136 @@
+package datagen
+
+import (
+	"testing"
+
+	"xpathest/internal/pathenc"
+	"xpathest/internal/xmltree"
+)
+
+// tagCount returns the number of distinct tags, distinct paths and
+// elements of a document.
+func profile(doc *xmltree.Document) (tags, paths, elements int) {
+	l := pathenc.Build(doc)
+	return doc.NumDistinctTags(), l.Table.NumPaths(), doc.NumElements()
+}
+
+// TestSSPlaysProfile checks the Table 1 shape for the Shakespeare
+// analogue: exactly 21 distinct tags, ~40 distinct paths, ~180k
+// elements at scale 1 (tested at scale 0.1 for speed and extrapolated
+// linearly within tolerance).
+func TestSSPlaysProfile(t *testing.T) {
+	doc := SSPlays(Config{Seed: 1, Scale: 0.1})
+	tags, paths, elements := profile(doc)
+	if tags != 21 {
+		t.Errorf("SSPlays distinct tags = %d, want 21 (the real dataset's count)", tags)
+	}
+	if paths < 25 || paths > 60 {
+		t.Errorf("SSPlays distinct paths = %d, want ≈40", paths)
+	}
+	// Scale 0.1 ≈ 4 plays ≈ 18k elements; allow a broad band.
+	if elements < 8000 || elements > 40000 {
+		t.Errorf("SSPlays elements at scale 0.1 = %d, want ≈18k", elements)
+	}
+}
+
+func TestDBLPProfile(t *testing.T) {
+	doc := DBLP(Config{Seed: 1, Scale: 0.02})
+	tags, paths, elements := profile(doc)
+	if tags < 28 || tags > 31 {
+		t.Errorf("DBLP distinct tags = %d, want ≈31", tags)
+	}
+	if paths < 60 || paths > 110 {
+		t.Errorf("DBLP distinct paths = %d, want ≈87", paths)
+	}
+	// Scale 0.02 ≈ 4000 pubs ≈ 34k elements.
+	if elements < 15000 || elements > 60000 {
+		t.Errorf("DBLP elements at scale 0.02 = %d", elements)
+	}
+	// Shallow and wide: the root has thousands of children.
+	if len(doc.Root.Children) < 3000 {
+		t.Errorf("DBLP root fanout = %d, want wide", len(doc.Root.Children))
+	}
+}
+
+func TestXMarkProfile(t *testing.T) {
+	doc := XMark(Config{Seed: 1, Scale: 0.1})
+	tags, paths, elements := profile(doc)
+	if tags < 65 || tags > 78 {
+		t.Errorf("XMark distinct tags = %d, want ≈74", tags)
+	}
+	if paths < 150 {
+		t.Errorf("XMark distinct paths = %d, want hundreds (paper: 344)", paths)
+	}
+	if elements < 10000 || elements > 80000 {
+		t.Errorf("XMark elements at scale 0.1 = %d, want ≈32k", elements)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, ds := range Datasets() {
+		a := ds.Gen(Config{Seed: 7, Scale: 0.02})
+		b := ds.Gen(Config{Seed: 7, Scale: 0.02})
+		if a.NumElements() != b.NumElements() {
+			t.Errorf("%s: same seed produced %d vs %d elements", ds.Name, a.NumElements(), b.NumElements())
+		}
+		if !sameShape(a.Root, b.Root) {
+			t.Errorf("%s: same seed produced different trees", ds.Name)
+		}
+		c := ds.Gen(Config{Seed: 8, Scale: 0.02})
+		if sameShape(a.Root, c.Root) {
+			t.Errorf("%s: different seeds produced identical trees", ds.Name)
+		}
+	}
+}
+
+func sameShape(a, b *xmltree.Node) bool {
+	if a.Tag != b.Tag || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Children {
+		if !sameShape(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestScaleMonotonicity(t *testing.T) {
+	for _, ds := range Datasets() {
+		small := ds.Gen(Config{Seed: 3, Scale: 0.01})
+		large := ds.Gen(Config{Seed: 3, Scale: 0.05})
+		if large.NumElements() <= small.NumElements() {
+			t.Errorf("%s: scale 0.05 (%d) not larger than 0.01 (%d)",
+				ds.Name, large.NumElements(), small.NumElements())
+		}
+	}
+}
+
+func TestZeroScaleDefaults(t *testing.T) {
+	// Scale 0 means 1.0; just check scaled() rather than generating a
+	// full-size document.
+	c := Config{}
+	if c.scaled(100) != 100 {
+		t.Fatalf("scaled(100) at zero scale = %d", c.scaled(100))
+	}
+	c = Config{Scale: 0.5}
+	if c.scaled(100) != 50 {
+		t.Fatalf("scaled(100) at 0.5 = %d", c.scaled(100))
+	}
+	if c.scaled(1) != 1 {
+		t.Fatalf("scaled(1) = %d, want at least 1", c.scaled(1))
+	}
+}
+
+func TestDatasetsOrder(t *testing.T) {
+	ds := Datasets()
+	if len(ds) != 3 || ds[0].Name != "SSPlays" || ds[1].Name != "DBLP" || ds[2].Name != "XMark" {
+		t.Fatalf("Datasets() = %v", ds)
+	}
+}
+
+func BenchmarkSSPlaysScale10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		SSPlays(Config{Seed: 1, Scale: 0.1})
+	}
+}

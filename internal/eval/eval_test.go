@@ -1,0 +1,412 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xpathest/internal/paperfig"
+	"xpathest/internal/xmltree"
+	"xpathest/internal/xpath"
+)
+
+func sel(t testing.TB, doc *xmltree.Document, q string) int {
+	t.Helper()
+	got, err := New(doc).Selectivity(xpath.MustParse(q))
+	if err != nil {
+		t.Fatalf("Selectivity(%s): %v", q, err)
+	}
+	return got
+}
+
+// TestPaperSelectivities pins every worked selectivity of the paper's
+// running example against the Figure 1 document.
+func TestPaperSelectivities(t *testing.T) {
+	doc := paperfig.Doc()
+	cases := []struct {
+		q    string
+		want int
+	}{
+		// Example 4.2: //A//C — both A and C have selectivity 2.
+		{"//A//C", 2},
+		{"//A!//C", 2},
+		// Q1 of Example 4.1 = //A[/C/F]/B/D.
+		{"//A![/C/F]/B/D", 1},
+		{"//A[/C/F!]/B/D", 1},
+		{"//A[/C!/F]/B/D", 1},
+		{"//A[/C/F]/B!/D", 2},
+		{"//A[/C/F]/B/D", 2},
+		// Q2 of Example 4.3 = //C[/E]/F with target E: exactly one E.
+		{"//C[/E!]/F", 1},
+		{"//C![/E]/F", 1},
+		{"//C[/E]/F", 1},
+		// Q′2 = //C/E (Example 4.5).
+		{"//C/E", 2},
+		{"//C!/E", 2},
+		// Q⃗1 of Example 5.1 = A[/C[/F]/folls::B/D] with target B.
+		{"A[/C[/F]/folls::B!/D]", 1},
+		// Example 5.2: same query, target D.
+		{"A[/C[/F]/folls::B/D!]", 1},
+		// Target in trunk.
+		{"A![/C[/F]/folls::B/D]", 1},
+		// Q⃗′1 = A[/C/folls::B/D] (Figure 5(b)) — the B matches are
+		// those after a C: B_c under A2 and B_d under A3.
+		{"A[/C/folls::B!/D]", 2},
+		{"A![/C/folls::B/D]", 2},
+		// Example 5.3: //A[/C/foll::D] with target D.
+		{"//A[/C/foll::D!]", 2},
+		{"//A![/C/foll::D]", 2},
+		// Its rewritten form //A[/C/folls::B/D].
+		{"//A[/C/folls::B/D!]", 2},
+		// Preceding-sibling mirror: B with a preceding sibling C.
+		{"A[/C/pres::B!]", 1},
+		// B before C: only B_b of A2.
+		{"A[/B/folls::C!]", 1},
+		{"A[/B!/folls::C]", 1},
+		// Simple paths.
+		{"/Root", 1},
+		{"/Root/A/B/D", 4},
+		{"//B/D", 4},
+		{"//B/E", 1},
+		{"//D", 4},
+		{"/A", 0}, // document root is Root, not A
+		// Negative queries.
+		{"//A/F", 0},
+		{"//C[/D]/E", 0},
+		{"A[/B/folls::F!]", 0},
+		// Same-tag sibling order: first B of A2 precedes the second.
+		{"A[/B/folls::B!]", 1},
+		{"A[/B!/folls::B]", 1},
+		// Wildcard.
+		{"//A/*", 6},
+		{"//*", 18},
+	}
+	for _, c := range cases {
+		if got := sel(t, doc, c.q); got != c.want {
+			t.Errorf("Selectivity(%s) = %d, want %d", c.q, got, c.want)
+		}
+	}
+}
+
+func TestMatchesReturnsNodes(t *testing.T) {
+	doc := paperfig.Doc()
+	m, err := New(doc).Matches(xpath.MustParse("//C/E"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 {
+		t.Fatalf("got %d matches", len(m))
+	}
+	for i, n := range m {
+		if n.Tag != "E" {
+			t.Fatalf("match %d has tag %s", i, n.Tag)
+		}
+		if n.Parent.Tag != "C" {
+			t.Fatalf("match %d parent %s", i, n.Parent.Tag)
+		}
+	}
+	if m[0].Ord >= m[1].Ord {
+		t.Fatal("matches not in document order")
+	}
+}
+
+func TestUnanchorableQueryErrors(t *testing.T) {
+	doc := paperfig.Doc()
+	_, err := New(doc).Selectivity(xpath.MustParse("//A[//C/folls::B]"))
+	if err == nil {
+		t.Fatal("expected anchor error")
+	}
+}
+
+func TestFollowingExcludesOwnSubtree(t *testing.T) {
+	// r/a: c(x), c(d(x)) — foll::x from the first c must not see the x
+	// inside the first c itself; it sees the x under the second c.
+	b := xmltree.NewBuilder()
+	b.Open("r").Open("a")
+	b.Open("c").Leaf("x", "").Close()
+	b.Open("c").Open("d").Leaf("x", "").Close().Close()
+	b.Close().Close()
+	doc := b.Document()
+
+	// x following the first c: only the nested one (1 match).
+	if got := sel(t, doc, "//a[/c/foll::x!]"); got != 1 {
+		t.Fatalf("foll::x = %d, want 1", got)
+	}
+	// pre::x from the second c sees the x inside the first c's
+	// subtree (descendant-or-self of a preceding sibling).
+	if got := sel(t, doc, "//a[/c/pre::x!]"); got != 1 {
+		t.Fatalf("pre::x = %d, want 1", got)
+	}
+	// Pinning the context to the first c (the one with a direct x
+	// child) leaves nothing before it.
+	if got := sel(t, doc, "//a[/c[/x]/pre::x!]"); got != 0 {
+		t.Fatalf("pre::x from first c = %d, want 0", got)
+	}
+}
+
+func TestTrunkContinuesAfterBranch(t *testing.T) {
+	doc := paperfig.Doc()
+	// q1[/q2]/q3 with target in q3.
+	if got := sel(t, doc, "//A[/C]/B/D"); got != 3 {
+		// A2 and A3 have C; their B/D chains: B_b/D, B_c/D, B_d/D.
+		t.Fatalf("//A[/C]/B/D = %d, want 3", got)
+	}
+	if got := sel(t, doc, "//A[/C]/B!/D"); got != 3 {
+		t.Fatalf("//A[/C]/B! = %d, want 3", got)
+	}
+}
+
+// --- brute-force cross-validation ---
+
+// bruteMatches enumerates all embeddings of the query tree directly.
+func bruteMatches(doc *xmltree.Document, p *xpath.Path) (map[*xmltree.Node]bool, error) {
+	return bruteMatchesOpt(doc, p, true)
+}
+
+// bruteMatchesNoOrder enumerates embeddings ignoring order edges.
+func bruteMatchesNoOrder(doc *xmltree.Document, p *xpath.Path) (map[*xmltree.Node]bool, error) {
+	return bruteMatchesOpt(doc, p, false)
+}
+
+func bruteMatchesOpt(doc *xmltree.Document, p *xpath.Path, checkOrder bool) (map[*xmltree.Node]bool, error) {
+	tree, err := xpath.BuildTree(p)
+	if err != nil {
+		return nil, err
+	}
+	var all []*xmltree.Node
+	doc.Walk(func(n *xmltree.Node) bool { all = append(all, n); return true })
+
+	isDesc := func(anc, n *xmltree.Node) bool {
+		for cur := n.Parent; cur != nil; cur = cur.Parent {
+			if cur == anc {
+				return true
+			}
+		}
+		return false
+	}
+	anchorPos := func(parent, n *xmltree.Node) int {
+		cur := n
+		for cur.Parent != parent {
+			cur = cur.Parent
+		}
+		return cur.Pos
+	}
+
+	targets := map[*xmltree.Node]bool{}
+	assign := map[*xpath.TreeNode]*xmltree.Node{}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(tree.Nodes) {
+			// Check order edges on the complete assignment.
+			if checkOrder {
+				for _, e := range tree.Edges {
+					pd := assign[e.Parent]
+					if anchorPos(pd, assign[e.Before]) >= anchorPos(pd, assign[e.After]) {
+						return
+					}
+				}
+			}
+			targets[assign[tree.Target]] = true
+			return
+		}
+		q := tree.Nodes[i]
+		var cands []*xmltree.Node
+		if q.Parent.IsVRoot() {
+			if q.Axis == xpath.Child {
+				cands = []*xmltree.Node{doc.Root}
+			} else {
+				cands = all
+			}
+		} else {
+			pd := assign[q.Parent]
+			if q.Axis == xpath.Child {
+				cands = pd.Children
+			} else {
+				for _, n := range all {
+					if isDesc(pd, n) {
+						cands = append(cands, n)
+					}
+				}
+			}
+		}
+		for _, c := range cands {
+			if q.Tag != "*" && c.Tag != q.Tag {
+				continue
+			}
+			if q.Step != nil && !brutePosOK(c, q.Step.Pos) {
+				continue
+			}
+			assign[q] = c
+			rec(i + 1)
+		}
+		delete(assign, q)
+	}
+	rec(0)
+	return targets, nil
+}
+
+// brutePosOK checks positional filters by direct sibling scan.
+func brutePosOK(n *xmltree.Node, pos xpath.PosFilter) bool {
+	if pos == xpath.PosNone || n.Parent == nil {
+		return true
+	}
+	if pos == xpath.PosFirst {
+		for i := 0; i < n.Pos; i++ {
+			if n.Parent.Children[i].Tag == n.Tag {
+				return false
+			}
+		}
+		return true
+	}
+	for i := n.Pos + 1; i < len(n.Parent.Children); i++ {
+		if n.Parent.Children[i].Tag == n.Tag {
+			return false
+		}
+	}
+	return true
+}
+
+func randomDoc(rng *rand.Rand, maxNodes int) *xmltree.Document {
+	tags := []string{"a", "b", "c"}
+	b := xmltree.NewBuilder()
+	n := 1
+	b.Open("r")
+	var grow func(depth int)
+	grow = func(depth int) {
+		kids := rng.Intn(4)
+		for i := 0; i < kids && n < maxNodes; i++ {
+			n++
+			b.Open(tags[rng.Intn(len(tags))])
+			if depth < 4 {
+				grow(depth + 1)
+			}
+			b.Close()
+		}
+	}
+	grow(0)
+	b.Close()
+	return b.Document()
+}
+
+func randomQuery(rng *rand.Rand) *xpath.Path {
+	tags := []string{"a", "b", "c", "r"}
+	pick := func() string { return tags[rng.Intn(len(tags))] }
+	var build func(depth, steps int, allowOrder bool) *xpath.Path
+	build = func(depth, steps int, allowOrder bool) *xpath.Path {
+		p := &xpath.Path{}
+		n := 1 + rng.Intn(steps)
+		for i := 0; i < n; i++ {
+			axis := xpath.Child
+			if rng.Intn(3) == 0 {
+				axis = xpath.Descendant
+			}
+			if allowOrder && i > 0 && p.Steps[i-1].Axis == xpath.Child && rng.Intn(3) == 0 {
+				axis = []xpath.Axis{xpath.FollowingSibling, xpath.PrecedingSibling,
+					xpath.Following, xpath.Preceding}[rng.Intn(4)]
+			}
+			s := &xpath.Step{Axis: axis, Tag: pick()}
+			if axis == xpath.Child && rng.Intn(6) == 0 {
+				s.Pos = []xpath.PosFilter{xpath.PosFirst, xpath.PosLast}[rng.Intn(2)]
+			}
+			if depth < 1 && rng.Intn(3) == 0 {
+				s.Preds = append(s.Preds, build(depth+1, 2, true))
+			}
+			p.Steps = append(p.Steps, s)
+		}
+		return p
+	}
+	p := build(0, 3, false)
+	// Mark a random step as target half the time.
+	if rng.Intn(2) == 0 {
+		var steps []*xpath.Step
+		var collect func(q *xpath.Path)
+		collect = func(q *xpath.Path) {
+			for _, s := range q.Steps {
+				steps = append(steps, s)
+				for _, pr := range s.Preds {
+					collect(pr)
+				}
+			}
+		}
+		collect(p)
+		steps[rng.Intn(len(steps))].Target = true
+	}
+	return p
+}
+
+// Property: the three-phase evaluator agrees with brute-force
+// embedding enumeration on random documents and queries.
+func TestQuickAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		doc := randomDoc(rng, 2+rng.Intn(35))
+		ev := New(doc)
+		for k := 0; k < 4; k++ {
+			q := randomQuery(rng)
+			want, err := bruteMatches(doc, q)
+			if err != nil {
+				continue // unanchorable: evaluator must also error
+			}
+			got, err := ev.Selectivity(q)
+			if err != nil {
+				t.Logf("seed %d query %s: evaluator error %v", seed, q, err)
+				return false
+			}
+			if got != len(want) {
+				t.Logf("seed %d query %s: got %d, want %d", seed, q, got, len(want))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: an order query never selects more target nodes than the
+// same query with its order constraints dropped (the upper-bound fact
+// behind Equation 5). The relaxation is computed by brute force with
+// the edge check disabled — structurally identical embeddings, no
+// ordering.
+func TestQuickOrderUpperBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		doc := randomDoc(rng, 2+rng.Intn(35))
+		ev := New(doc)
+		for k := 0; k < 4; k++ {
+			q := randomQuery(rng)
+			if !q.HasOrderAxis() {
+				continue
+			}
+			got, err := ev.Selectivity(q)
+			if err != nil {
+				continue
+			}
+			relaxed, err := bruteMatchesNoOrder(doc, q)
+			if err != nil {
+				return false
+			}
+			if got > len(relaxed) {
+				t.Logf("seed %d query %s: ordered %d > relaxed %d", seed, q, got, len(relaxed))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSelectivityPaperDoc(b *testing.B) {
+	doc := paperfig.Doc()
+	ev := New(doc)
+	q := xpath.MustParse("A[/C[/F]/folls::B!/D]")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.Selectivity(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section 7): dataset characteristics (Table 1),
+// workload sizes (Table 2), summary-space accounting (Table 3),
+// construction costs against XSketch (Tables 4 and 5), histogram
+// memory sweeps (Figure 9), and estimation-accuracy sweeps without and
+// with order axes (Figures 10–13).
+//
+// Absolute numbers differ from the paper — the datasets are synthetic
+// analogues and the machine is different — but every qualitative
+// relationship the paper reports is asserted by the package's tests
+// and recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"xpathest/internal/core"
+	"xpathest/internal/datagen"
+	"xpathest/internal/histogram"
+	"xpathest/internal/pathenc"
+	"xpathest/internal/pidtree"
+	"xpathest/internal/stats"
+	"xpathest/internal/workload"
+	"xpathest/internal/xmltree"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Seed drives dataset generation and workloads.
+	Seed int64
+
+	// Scale multiplies dataset sizes; 0.125 (the default) keeps the
+	// full suite at laptop scale, 1.0 approximates the paper's sizes.
+	Scale float64
+
+	// NumSimple and NumBranch are workload generation attempts
+	// (paper: 4000 each). Zero means 4000.
+	NumSimple, NumBranch int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale == 0 {
+		o.Scale = 0.125
+	}
+	if o.NumSimple == 0 {
+		o.NumSimple = 4000
+	}
+	if o.NumBranch == 0 {
+		o.NumBranch = 4000
+	}
+	return o
+}
+
+// Env is one dataset prepared for experiments: the document, its
+// labeling and exact statistics, the compressed path-id tree, the
+// query workload, and the collection timings that feed Tables 4–5.
+type Env struct {
+	Name     string
+	Doc      *xmltree.Document
+	Lab      *pathenc.Labeling
+	Tables   *stats.Tables
+	Tree     *pidtree.Tree
+	Workload *workload.Workload
+
+	CollectPathTime  time.Duration
+	CollectOrderTime time.Duration
+}
+
+// Setup generates and prepares all three datasets.
+func Setup(opts Options) []*Env {
+	opts = opts.withDefaults()
+	var envs []*Env
+	for _, ds := range datagen.Datasets() {
+		envs = append(envs, SetupOne(ds, opts))
+	}
+	return envs
+}
+
+// SetupOne prepares a single dataset.
+func SetupOne(ds datagen.Dataset, opts Options) *Env {
+	opts = opts.withDefaults()
+	doc := ds.Gen(datagen.Config{Seed: opts.Seed, Scale: opts.Scale})
+
+	t0 := time.Now()
+	lab := pathenc.Build(doc)
+	freq := stats.CollectFreq(doc, lab)
+	pathTime := time.Since(t0)
+
+	t1 := time.Now()
+	order := stats.CollectOrder(doc, lab)
+	orderTime := time.Since(t1)
+
+	tree := pidtree.Build(lab.Distinct())
+	w := workload.Generate(doc, lab, workload.Config{
+		Seed:      opts.Seed + 1,
+		NumSimple: opts.NumSimple,
+		NumBranch: opts.NumBranch,
+	})
+	return &Env{
+		Name:             ds.Name,
+		Doc:              doc,
+		Lab:              lab,
+		Tables:           &stats.Tables{Labeling: lab, Freq: freq, Order: order},
+		Tree:             tree,
+		Workload:         w,
+		CollectPathTime:  pathTime,
+		CollectOrderTime: orderTime,
+	}
+}
+
+// Histograms builds the two synopses at the given variance thresholds.
+func (e *Env) Histograms(pVar, oVar float64) (*histogram.PSet, *histogram.OSet) {
+	n := e.Lab.NumDistinct()
+	ps := histogram.BuildPSet(e.Tables.Freq, n, pVar)
+	os := histogram.BuildOSet(e.Tables.Order, ps, n, oVar)
+	return ps, os
+}
+
+// Estimator builds an estimator over histogram synopses at the given
+// variances.
+func (e *Env) Estimator(pVar, oVar float64) *core.Estimator {
+	ps, os := e.Histograms(pVar, oVar)
+	return core.New(e.Lab, core.HistogramSource{P: ps, O: os})
+}
+
+// FixedSizeBytes is the incompressible floor of the proposed method:
+// encoding table plus path-id binary tree (the paper's Figure 11
+// x-axis adds these to the p-histogram size).
+func (e *Env) FixedSizeBytes() int {
+	return e.Lab.Table.SizeBytes() + e.Tree.SizeBytes()
+}
+
+// estimateFn abstracts the estimators (core, xsketch, poshist) for
+// error measurement. Implementations must be safe for concurrent use —
+// all three estimators are immutable after construction.
+type estimateFn func(q workload.Query) (float64, error)
+
+// relErr computes the mean relative error of fn over qs, fanning the
+// queries out over the CPUs; skipped queries (fn errors) are counted
+// separately.
+func relErr(fn estimateFn, qs []workload.Query) (mean float64, skipped int) {
+	if len(qs) == 0 {
+		return 0, 0
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	type partial struct {
+		sum     float64
+		n, skip int
+	}
+	parts := make([]partial, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := &parts[w]
+			for i := w; i < len(qs); i += workers {
+				got, err := fn(qs[i])
+				if err != nil {
+					p.skip++
+					continue
+				}
+				e := got - float64(qs[i].Exact)
+				if e < 0 {
+					e = -e
+				}
+				p.sum += e / float64(qs[i].Exact)
+				p.n++
+			}
+		}(w)
+	}
+	wg.Wait()
+	sum, n := 0.0, 0
+	for _, p := range parts {
+		sum += p.sum
+		n += p.n
+		skipped += p.skip
+	}
+	if n == 0 {
+		return 0, skipped
+	}
+	return sum / float64(n), skipped
+}
+
+// kb renders bytes as KB with two decimals.
+func kb(n int) string { return fmt.Sprintf("%.2f", float64(n)/1024) }
+
+// fprintf writes and ignores errors (experiment output is best-effort
+// terminal text).
+func fprintf(w io.Writer, format string, args ...interface{}) {
+	fmt.Fprintf(w, format, args...)
+}

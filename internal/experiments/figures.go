@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"io"
+
+	"xpathest/internal/core"
+	"xpathest/internal/workload"
+	"xpathest/internal/xsketch"
+)
+
+// VarianceSweep is the intra-bucket variance grid of Figure 9.
+var VarianceSweep = []float64{0, 1, 2, 4, 6, 8, 10, 12, 14}
+
+// PVarianceGrid is the p-histogram variance grid of Figures 12–13.
+var PVarianceGrid = []float64{0, 1, 5, 10}
+
+// Fig9Point is one point of Figure 9: histogram memory at a variance.
+type Fig9Point struct {
+	Variance    float64
+	PHistoBytes int
+	OHistoBytes int
+}
+
+// Fig9Series is one dataset's memory curves.
+type Fig9Series struct {
+	Dataset string
+	Points  []Fig9Point
+}
+
+// Figure9 sweeps the intra-bucket variance and records p- and
+// o-histogram memory usage.
+func Figure9(envs []*Env) []Fig9Series {
+	var out []Fig9Series
+	for _, e := range envs {
+		s := Fig9Series{Dataset: e.Name}
+		for _, v := range VarianceSweep {
+			ps, os := e.Histograms(v, v)
+			s.Points = append(s.Points, Fig9Point{
+				Variance:    v,
+				PHistoBytes: ps.SizeBytes(),
+				OHistoBytes: os.SizeBytes(),
+			})
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// WriteFigure9 renders the Figure 9 series.
+func WriteFigure9(w io.Writer, series []Fig9Series) {
+	fprintf(w, "Figure 9. P-Histogram and O-Histogram Memory Usage\n")
+	for _, s := range series {
+		fprintf(w, "[%s]\n%10s %14s %14s\n", s.Dataset, "Variance", "P-Histo(KB)", "O-Histo(KB)")
+		for _, p := range s.Points {
+			fprintf(w, "%10.0f %14s %14s\n", p.Variance, kb(p.PHistoBytes), kb(p.OHistoBytes))
+		}
+	}
+}
+
+// Fig10Point is one point of Figure 10: no-order estimation error at a
+// p-histogram memory level.
+type Fig10Point struct {
+	PVariance   float64
+	PHistoBytes int
+	ErrSimple   float64
+	ErrBranch   float64
+	ErrAll      float64
+}
+
+// Fig10Series is one dataset's accuracy curve.
+type Fig10Series struct {
+	Dataset string
+	Points  []Fig10Point
+}
+
+// Figure10 sweeps the p-histogram variance and measures the relative
+// error of simple, branch and all no-order queries.
+func Figure10(envs []*Env) []Fig10Series {
+	var out []Fig10Series
+	for _, e := range envs {
+		s := Fig10Series{Dataset: e.Name}
+		for _, v := range VarianceSweep {
+			ps, _ := e.Histograms(v, 0)
+			est := core.New(e.Lab, core.HistogramSource{P: ps})
+			fn := func(q workload.Query) (float64, error) { return est.Estimate(q.Path) }
+			es, _ := relErr(fn, e.Workload.Simple)
+			eb, _ := relErr(fn, e.Workload.Branch)
+			all := append(append([]workload.Query{}, e.Workload.Simple...), e.Workload.Branch...)
+			ea, _ := relErr(fn, all)
+			s.Points = append(s.Points, Fig10Point{
+				PVariance:   v,
+				PHistoBytes: ps.SizeBytes(),
+				ErrSimple:   es,
+				ErrBranch:   eb,
+				ErrAll:      ea,
+			})
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// WriteFigure10 renders the Figure 10 series.
+func WriteFigure10(w io.Writer, series []Fig10Series) {
+	fprintf(w, "Figure 10. Estimation Error of Queries without Order Axes\n")
+	for _, s := range series {
+		fprintf(w, "[%s]\n%6s %12s %10s %10s %10s\n",
+			s.Dataset, "p-var", "P-Mem(KB)", "simple", "branch", "all")
+		for _, p := range s.Points {
+			fprintf(w, "%6.0f %12s %10.4f %10.4f %10.4f\n",
+				p.PVariance, kb(p.PHistoBytes), p.ErrSimple, p.ErrBranch, p.ErrAll)
+		}
+	}
+}
+
+// Fig11Point compares the proposed method with XSketch at matched
+// total memory.
+type Fig11Point struct {
+	PVariance    float64
+	TotalBytes   int // encoding table + pid binary tree + p-histogram
+	ErrPHisto    float64
+	ErrXSketch   float64
+	XSketchBytes int
+}
+
+// Fig11Series is one dataset's comparison curve.
+type Fig11Series struct {
+	Dataset string
+	Points  []Fig11Point
+}
+
+// Figure11 compares against XSketch on the no-order workload: for each
+// p-variance level, an XSketch synopsis is built with a budget equal
+// to our total memory at that level, and both estimate the same
+// queries.
+func Figure11(envs []*Env) []Fig11Series {
+	var out []Fig11Series
+	for _, e := range envs {
+		s := Fig11Series{Dataset: e.Name}
+		all := append(append([]workload.Query{}, e.Workload.Simple...), e.Workload.Branch...)
+		for _, v := range []float64{14, 8, 4, 1, 0} { // increasing memory
+			ps, _ := e.Histograms(v, 0)
+			total := e.FixedSizeBytes() + ps.SizeBytes()
+			est := core.New(e.Lab, core.HistogramSource{P: ps})
+			ours, _ := relErr(func(q workload.Query) (float64, error) {
+				return est.Estimate(q.Path)
+			}, all)
+
+			sk := xsketch.Build(e.Doc, total)
+			theirs, _ := relErr(func(q workload.Query) (float64, error) {
+				return sk.Estimate(q.Path)
+			}, all)
+
+			s.Points = append(s.Points, Fig11Point{
+				PVariance:    v,
+				TotalBytes:   total,
+				ErrPHisto:    ours,
+				ErrXSketch:   theirs,
+				XSketchBytes: sk.SizeBytes(),
+			})
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// WriteFigure11 renders the Figure 11 series.
+func WriteFigure11(w io.Writer, series []Fig11Series) {
+	fprintf(w, "Figure 11. P-Histogram Vs XSketch\n")
+	for _, s := range series {
+		fprintf(w, "[%s]\n%6s %14s %10s %10s %14s\n",
+			s.Dataset, "p-var", "TotalMem(KB)", "p-histo", "xsketch", "XSk Size(KB)")
+		for _, p := range s.Points {
+			fprintf(w, "%6.0f %14s %10.4f %10.4f %14s\n",
+				p.PVariance, kb(p.TotalBytes), p.ErrPHisto, p.ErrXSketch, kb(p.XSketchBytes))
+		}
+	}
+}
+
+// OrderErrPoint is one point of Figures 12–13.
+type OrderErrPoint struct {
+	PVariance   float64
+	OVariance   float64
+	OHistoBytes int
+	Err         float64
+	Skipped     int
+}
+
+// OrderErrSeries is one dataset's order-query accuracy grid.
+type OrderErrSeries struct {
+	Dataset string
+	Points  []OrderErrPoint
+}
+
+// OVarianceSweep is the o-histogram variance grid of Figures 12–13.
+var OVarianceSweep = []float64{14, 8, 4, 2, 1, 0} // increasing memory
+
+// figureOrder sweeps (p-variance, o-variance) and measures order-query
+// error on the given population.
+func figureOrder(envs []*Env, pick func(*Env) []workload.Query) []OrderErrSeries {
+	var out []OrderErrSeries
+	for _, e := range envs {
+		s := OrderErrSeries{Dataset: e.Name}
+		qs := pick(e)
+		for _, pv := range PVarianceGrid {
+			for _, ov := range OVarianceSweep {
+				ps, os := e.Histograms(pv, ov)
+				est := core.New(e.Lab, core.HistogramSource{P: ps, O: os})
+				err, skipped := relErr(func(q workload.Query) (float64, error) {
+					return est.Estimate(q.Path)
+				}, qs)
+				s.Points = append(s.Points, OrderErrPoint{
+					PVariance:   pv,
+					OVariance:   ov,
+					OHistoBytes: os.SizeBytes(),
+					Err:         err,
+					Skipped:     skipped,
+				})
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Figure12 measures order-query error with targets in branch parts.
+func Figure12(envs []*Env) []OrderErrSeries {
+	return figureOrder(envs, func(e *Env) []workload.Query { return e.Workload.OrderBranch })
+}
+
+// Figure13 measures order-query error with targets in trunk parts.
+func Figure13(envs []*Env) []OrderErrSeries {
+	return figureOrder(envs, func(e *Env) []workload.Query { return e.Workload.OrderTrunk })
+}
+
+// WriteFigureOrder renders a Figure 12/13 series.
+func WriteFigureOrder(w io.Writer, title string, series []OrderErrSeries) {
+	fprintf(w, "%s\n", title)
+	for _, s := range series {
+		fprintf(w, "[%s]\n%6s %6s %14s %10s\n", s.Dataset, "p-var", "o-var", "O-Mem(KB)", "error")
+		for _, p := range s.Points {
+			fprintf(w, "%6.0f %6.0f %14s %10.4f\n",
+				p.PVariance, p.OVariance, kb(p.OHistoBytes), p.Err)
+		}
+	}
+}

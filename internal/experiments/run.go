@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// runner executes one named experiment against prepared environments.
+type runner struct {
+	name string
+	desc string
+	run  func(envs []*Env, w io.Writer)
+}
+
+var runners = []runner{
+	{"table1", "dataset characteristics", func(envs []*Env, w io.Writer) {
+		WriteTable1(w, Table1(envs))
+	}},
+	{"table2", "query workload sizes", func(envs []*Env, w io.Writer) {
+		WriteTable2(w, Table2(envs))
+	}},
+	{"table3", "encoding table / pid binary tree space", func(envs []*Env, w io.Writer) {
+		WriteTable3(w, Table3(envs))
+	}},
+	{"table4", "construction cost vs XSketch (path data)", func(envs []*Env, w io.Writer) {
+		WriteTable4(w, Table4(envs))
+	}},
+	{"table5", "construction cost (order data)", func(envs []*Env, w io.Writer) {
+		WriteTable5(w, Table5(envs))
+	}},
+	{"fig9", "histogram memory vs variance", func(envs []*Env, w io.Writer) {
+		WriteFigure9(w, Figure9(envs))
+	}},
+	{"fig10", "no-order estimation error", func(envs []*Env, w io.Writer) {
+		WriteFigure10(w, Figure10(envs))
+	}},
+	{"fig11", "p-histogram vs XSketch accuracy", func(envs []*Env, w io.Writer) {
+		WriteFigure11(w, Figure11(envs))
+	}},
+	{"fig12", "order-query error, target in branch", func(envs []*Env, w io.Writer) {
+		WriteFigureOrder(w, "Figure 12. Estimation Error of Queries with Order Axes (Branch Part)", Figure12(envs))
+	}},
+	{"fig13", "order-query error, target in trunk", func(envs []*Env, w io.Writer) {
+		WriteFigureOrder(w, "Figure 13. Estimation Error of Queries with Order Axes (Trunk Part)", Figure13(envs))
+	}},
+	{"ablation", "effect of Eq (2) correction and Eq (5) bound", func(envs []*Env, w io.Writer) {
+		WriteAblation(w, Ablation(envs))
+	}},
+	{"poshist", "p-histogram vs position histogram (Section 8)", func(envs []*Env, w io.Writer) {
+		WritePosHist(w, PosHist(envs))
+	}},
+}
+
+// Names lists the available experiment names in run order.
+func Names() []string {
+	out := make([]string, len(runners))
+	for i, r := range runners {
+		out[i] = r.name
+	}
+	return out
+}
+
+// Describe returns a name → description map.
+func Describe() map[string]string {
+	out := make(map[string]string, len(runners))
+	for _, r := range runners {
+		out[r.name] = r.desc
+	}
+	return out
+}
+
+// Run executes the named experiment ("all" runs everything) against
+// already-prepared environments, writing the formatted result to w.
+func Run(name string, envs []*Env, w io.Writer) error {
+	if name == "all" {
+		for _, r := range runners {
+			r.run(envs, w)
+			fprintf(w, "\n")
+		}
+		return nil
+	}
+	for _, r := range runners {
+		if r.name == name {
+			r.run(envs, w)
+			return nil
+		}
+	}
+	valid := Names()
+	sort.Strings(valid)
+	return fmt.Errorf("experiments: unknown experiment %q (valid: %v, or \"all\")", name, valid)
+}

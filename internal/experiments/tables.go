@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"io"
+	"time"
+
+	"xpathest/internal/histogram"
+	"xpathest/internal/xsketch"
+)
+
+// Table1Row is one dataset's characteristics (paper Table 1).
+type Table1Row struct {
+	Dataset      string
+	SizeBytes    int64
+	DistinctTags int
+	Elements     int
+}
+
+// Table1 computes dataset characteristics.
+func Table1(envs []*Env) []Table1Row {
+	var rows []Table1Row
+	for _, e := range envs {
+		rows = append(rows, Table1Row{
+			Dataset:      e.Name,
+			SizeBytes:    e.Doc.Bytes,
+			DistinctTags: e.Doc.NumDistinctTags(),
+			Elements:     e.Doc.NumElements(),
+		})
+	}
+	return rows
+}
+
+// WriteTable1 renders Table 1.
+func WriteTable1(w io.Writer, rows []Table1Row) {
+	fprintf(w, "Table 1. Characteristics of Datasets\n")
+	fprintf(w, "%-10s %10s %12s %10s\n", "Dataset", "Size(MB)", "#DistEles", "#Eles")
+	for _, r := range rows {
+		fprintf(w, "%-10s %10.1f %12d %10d\n",
+			r.Dataset, float64(r.SizeBytes)/(1<<20), r.DistinctTags, r.Elements)
+	}
+}
+
+// Table2Row is one dataset's workload sizes (paper Table 2).
+type Table2Row struct {
+	Dataset                 string
+	Simple, Branch, Total   int
+	OrderBranch, OrderTrunk int
+	WithOrder               int
+}
+
+// Table2 counts the generated workloads.
+func Table2(envs []*Env) []Table2Row {
+	var rows []Table2Row
+	for _, e := range envs {
+		w := e.Workload
+		rows = append(rows, Table2Row{
+			Dataset:     e.Name,
+			Simple:      len(w.Simple),
+			Branch:      len(w.Branch),
+			Total:       w.Total(),
+			OrderBranch: len(w.OrderBranch),
+			OrderTrunk:  len(w.OrderTrunk),
+			WithOrder:   w.TotalOrder(),
+		})
+	}
+	return rows
+}
+
+// WriteTable2 renders Table 2.
+func WriteTable2(w io.Writer, rows []Table2Row) {
+	fprintf(w, "Table 2. Query Workload\n")
+	fprintf(w, "%-10s %8s %8s %8s %12s\n", "Dataset", "Simple", "Branch", "Total", "WithOrder")
+	for _, r := range rows {
+		fprintf(w, "%-10s %8d %8d %8d %12d\n",
+			r.Dataset, r.Simple, r.Branch, r.Total, r.WithOrder)
+	}
+}
+
+// Table3Row is one dataset's space accounting (paper Table 3).
+type Table3Row struct {
+	Dataset       string
+	DistPaths     int
+	PidSizeBytes  int
+	DistPids      int
+	EncTabBytes   int
+	PidTabBytes   int
+	BinTreeBytes  int
+	TreeSavingPct float64
+}
+
+// Table3 computes the space requirements of the encoding table, raw
+// path-id table and compressed path-id binary tree.
+func Table3(envs []*Env) []Table3Row {
+	var rows []Table3Row
+	for _, e := range envs {
+		pidTab := e.Lab.PidTableSizeBytes()
+		tree := e.Tree.SizeBytes()
+		saving := 0.0
+		if pidTab > 0 {
+			saving = 100 * (1 - float64(tree)/float64(pidTab))
+		}
+		rows = append(rows, Table3Row{
+			Dataset:       e.Name,
+			DistPaths:     e.Lab.Table.NumPaths(),
+			PidSizeBytes:  e.Lab.PidSizeBytes(),
+			DistPids:      e.Lab.NumDistinct(),
+			EncTabBytes:   e.Lab.Table.SizeBytes(),
+			PidTabBytes:   pidTab,
+			BinTreeBytes:  tree,
+			TreeSavingPct: saving,
+		})
+	}
+	return rows
+}
+
+// WriteTable3 renders Table 3.
+func WriteTable3(w io.Writer, rows []Table3Row) {
+	fprintf(w, "Table 3. Space Requirement of Encoding Table and Path Id Binary Tree\n")
+	fprintf(w, "%-10s %10s %10s %10s %12s %12s %14s %8s\n",
+		"Dataset", "#DistPath", "PidSize(B)", "#DistPid", "EncTab(KB)", "PidTab(KB)", "PidBinTree(KB)", "Save%")
+	for _, r := range rows {
+		fprintf(w, "%-10s %10d %10d %10d %12s %12s %14s %7.1f%%\n",
+			r.Dataset, r.DistPaths, r.PidSizeBytes, r.DistPids,
+			kb(r.EncTabBytes), kb(r.PidTabBytes), kb(r.BinTreeBytes), r.TreeSavingPct)
+	}
+}
+
+// Table4Row compares p-histogram construction with XSketch (paper
+// Table 4). Histogram sizes are the [variance 14, variance 0] range.
+type Table4Row struct {
+	Dataset string
+
+	CollectPathTime time.Duration
+	PHistoMinBytes  int
+	PHistoMaxBytes  int
+	PHistoBuildTime time.Duration
+
+	XSketchBudget    int
+	XSketchBytes     int
+	XSketchBuildTime time.Duration
+}
+
+// Table4 measures construction cost for path statistics. The XSketch
+// budget matches the paper's protocol: "approximately the same as the
+// total memory size of the encoding table, path id binary tree and
+// p-histogram" (at variance 0).
+func Table4(envs []*Env) []Table4Row {
+	var rows []Table4Row
+	for _, e := range envs {
+		n := e.Lab.NumDistinct()
+
+		t0 := time.Now()
+		psMax := histogram.BuildPSet(e.Tables.Freq, n, 0)
+		buildTime := time.Since(t0)
+		psMin := histogram.BuildPSet(e.Tables.Freq, n, 14)
+
+		budget := e.FixedSizeBytes() + psMax.SizeBytes()
+		t1 := time.Now()
+		sk := xsketch.Build(e.Doc, budget)
+		skTime := time.Since(t1)
+
+		rows = append(rows, Table4Row{
+			Dataset:          e.Name,
+			CollectPathTime:  e.CollectPathTime,
+			PHistoMinBytes:   psMin.SizeBytes(),
+			PHistoMaxBytes:   psMax.SizeBytes(),
+			PHistoBuildTime:  buildTime,
+			XSketchBudget:    budget,
+			XSketchBytes:     sk.SizeBytes(),
+			XSketchBuildTime: skTime,
+		})
+	}
+	return rows
+}
+
+// WriteTable4 renders Table 4.
+func WriteTable4(w io.Writer, rows []Table4Row) {
+	fprintf(w, "Table 4. Construction Time for Queries without Order Axes\n")
+	fprintf(w, "%-10s %14s %20s %14s | %14s %14s %14s\n",
+		"Dataset", "CollectPath", "P-Histo Size(KB)", "P-Histo Time",
+		"XSk Budget(KB)", "XSk Size(KB)", "XSk Time")
+	for _, r := range rows {
+		fprintf(w, "%-10s %14s %9s ~ %8s %14s | %14s %14s %14s\n",
+			r.Dataset, r.CollectPathTime.Round(time.Millisecond),
+			kb(r.PHistoMinBytes), kb(r.PHistoMaxBytes),
+			r.PHistoBuildTime.Round(time.Microsecond),
+			kb(r.XSketchBudget), kb(r.XSketchBytes),
+			r.XSketchBuildTime.Round(time.Millisecond))
+	}
+}
+
+// Table5Row is the order-statistics construction cost (paper Table 5).
+type Table5Row struct {
+	Dataset          string
+	CollectOrderTime time.Duration
+	OHistoMinBytes   int
+	OHistoMaxBytes   int
+	OHistoBuildTime  time.Duration
+}
+
+// Table5 measures o-histogram construction. Sizes are the
+// [variance 14, variance 0] range.
+func Table5(envs []*Env) []Table5Row {
+	var rows []Table5Row
+	for _, e := range envs {
+		n := e.Lab.NumDistinct()
+		ps := histogram.BuildPSet(e.Tables.Freq, n, 0)
+
+		t0 := time.Now()
+		osMax := histogram.BuildOSet(e.Tables.Order, ps, n, 0)
+		buildTime := time.Since(t0)
+		osMin := histogram.BuildOSet(e.Tables.Order, ps, n, 14)
+
+		rows = append(rows, Table5Row{
+			Dataset:          e.Name,
+			CollectOrderTime: e.CollectOrderTime,
+			OHistoMinBytes:   osMin.SizeBytes(),
+			OHistoMaxBytes:   osMax.SizeBytes(),
+			OHistoBuildTime:  buildTime,
+		})
+	}
+	return rows
+}
+
+// WriteTable5 renders Table 5.
+func WriteTable5(w io.Writer, rows []Table5Row) {
+	fprintf(w, "Table 5. Construction Time for Order Data\n")
+	fprintf(w, "%-10s %16s %20s %16s\n",
+		"Dataset", "CollectOrder", "O-Histo Size(KB)", "O-Histo Time")
+	for _, r := range rows {
+		fprintf(w, "%-10s %16s %9s ~ %8s %16s\n",
+			r.Dataset, r.CollectOrderTime.Round(time.Millisecond),
+			kb(r.OHistoMinBytes), kb(r.OHistoMaxBytes),
+			r.OHistoBuildTime.Round(time.Microsecond))
+	}
+}

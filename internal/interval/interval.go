@@ -1,0 +1,65 @@
+// Package interval implements the interval-based (region) labeling
+// scheme the paper cites as prior order-preserving labeling work
+// ([9] Li/Moon and [17] Zhang et al.): every element receives a
+// (start, end, level) triple such that
+//
+//   - x is an ancestor of y  iff  x.Start < y.Start && y.End <= x.End;
+//   - x precedes y in document order iff x.Start < y.Start;
+//   - x is a parent of y additionally requires x.Level+1 == y.Level.
+//
+// It is the substrate of the position-histogram estimator (package
+// poshist), the comparison point of the paper's Section 8 discussion.
+package interval
+
+import "xpathest/internal/xmltree"
+
+// Label is one element's region label.
+type Label struct {
+	Start, End int
+	Level      int
+}
+
+// Contains reports whether the element labeled a is a proper ancestor
+// of the element labeled b.
+func (a Label) Contains(b Label) bool {
+	return a.Start < b.Start && b.End <= a.End
+}
+
+// Before reports whether a's whole region precedes b's (a is a
+// preceding element, no containment).
+func (a Label) Before(b Label) bool { return a.End < b.Start }
+
+// Labeling assigns region labels to every element of one document.
+type Labeling struct {
+	labels []Label // by document order (Ord)
+	maxPos int
+}
+
+// Build computes labels in one walk: Start/End are pre/post counters
+// in the classic region-numbering style.
+func Build(doc *xmltree.Document) *Labeling {
+	l := &Labeling{labels: make([]Label, doc.NumElements())}
+	pos := 0
+	var rec func(n *xmltree.Node, level int)
+	rec = func(n *xmltree.Node, level int) {
+		pos++
+		start := pos
+		for _, c := range n.Children {
+			rec(c, level+1)
+		}
+		pos++
+		l.labels[n.Ord] = Label{Start: start, End: pos, Level: level}
+	}
+	if doc.Root != nil {
+		rec(doc.Root, 0)
+	}
+	l.maxPos = pos
+	return l
+}
+
+// Of returns the label of a node.
+func (l *Labeling) Of(n *xmltree.Node) Label { return l.labels[n.Ord] }
+
+// MaxPos returns the largest position assigned; labels live in
+// [1, MaxPos]².
+func (l *Labeling) MaxPos() int { return l.maxPos }

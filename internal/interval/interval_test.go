@@ -1,0 +1,137 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xpathest/internal/paperfig"
+	"xpathest/internal/xmltree"
+)
+
+func TestFigure1Labels(t *testing.T) {
+	doc := paperfig.Doc()
+	l := Build(doc)
+	root := l.Of(doc.Root)
+	if root.Start != 1 {
+		t.Fatalf("root start = %d", root.Start)
+	}
+	if root.End != 2*doc.NumElements() {
+		t.Fatalf("root end = %d, want %d", root.End, 2*doc.NumElements())
+	}
+	if root.Level != 0 {
+		t.Fatalf("root level = %d", root.Level)
+	}
+	if l.MaxPos() != 2*doc.NumElements() {
+		t.Fatalf("MaxPos = %d", l.MaxPos())
+	}
+	// Root contains everything.
+	doc.Walk(func(n *xmltree.Node) bool {
+		if n != doc.Root && !root.Contains(l.Of(n)) {
+			t.Fatalf("root does not contain %s", n.Tag)
+		}
+		return true
+	})
+}
+
+func randomDoc(rng *rand.Rand, maxNodes int) *xmltree.Document {
+	tags := []string{"a", "b", "c"}
+	b := xmltree.NewBuilder()
+	n := 1
+	b.Open("r")
+	var grow func(depth int)
+	grow = func(depth int) {
+		kids := rng.Intn(4)
+		for i := 0; i < kids && n < maxNodes; i++ {
+			n++
+			b.Open(tags[rng.Intn(len(tags))])
+			if depth < 6 {
+				grow(depth + 1)
+			}
+			b.Close()
+		}
+	}
+	grow(0)
+	b.Close()
+	return b.Document()
+}
+
+// Property: Contains is exactly the ancestor relation; Before is
+// exactly "earlier in document order and disjoint"; Level is depth.
+func TestQuickLabelSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		doc := randomDoc(rng, 2+rng.Intn(120))
+		l := Build(doc)
+
+		depth := func(n *xmltree.Node) int {
+			d := 0
+			for cur := n.Parent; cur != nil; cur = cur.Parent {
+				d++
+			}
+			return d
+		}
+		isAnc := func(a, b *xmltree.Node) bool {
+			for cur := b.Parent; cur != nil; cur = cur.Parent {
+				if cur == a {
+					return true
+				}
+			}
+			return false
+		}
+
+		var nodes []*xmltree.Node
+		doc.Walk(func(n *xmltree.Node) bool { nodes = append(nodes, n); return true })
+		for _, a := range nodes {
+			la := l.Of(a)
+			if la.Level != depth(a) {
+				return false
+			}
+			if la.Start >= la.End {
+				return false
+			}
+			for _, b := range nodes {
+				if a == b {
+					continue
+				}
+				lb := l.Of(b)
+				if la.Contains(lb) != isAnc(a, b) {
+					return false
+				}
+				wantBefore := a.Ord < b.Ord && !isAnc(a, b)
+				if la.Before(lb) != wantBefore {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: start positions are distinct and ordered by document
+// order; all positions fall in [1, MaxPos].
+func TestQuickPositionsOrdered(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		doc := randomDoc(rng, 2+rng.Intn(150))
+		l := Build(doc)
+		prev := 0
+		ok := true
+		doc.Walk(func(n *xmltree.Node) bool {
+			lab := l.Of(n)
+			if lab.Start <= prev || lab.End > l.MaxPos() || lab.Start < 1 {
+				ok = false
+				return false
+			}
+			prev = lab.Start
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+// Package paperfig reconstructs the running example of the paper —
+// the XML instance of Figure 1(a) — so that tests across packages can
+// pin the worked examples (Examples 2.1–5.3, Figures 1–5) against the
+// published values.
+//
+// The tree below is derived from the paper's own tables: it reproduces
+// exactly the encoding table of Figure 1(b), the path-id table of
+// Figure 1(c), the PathId-Frequency table of Figure 2(a), and the
+// path-order table for B of Figure 2(b) (one B-with-p5 before C, two
+// after C).
+package paperfig
+
+import "xpathest/internal/xmltree"
+
+// Doc builds the Figure 1(a) document:
+//
+//	Root
+//	├── A            (p8 = 1100)
+//	│   └── B        (p8)        children: D (p5), E (p4)
+//	├── A            (p7 = 1011)
+//	│   ├── B (p5) → D (p5)
+//	│   ├── C (p3) → E (p2), F (p1)
+//	│   └── B (p5) → D (p5)
+//	└── A            (p6 = 1010)
+//	    ├── C (p2) → E (p2)
+//	    └── B (p5) → D (p5)
+//
+// Distinct root-to-leaf paths (encoding table of Figure 1(b)):
+//
+//	1 Root/A/B/D   2 Root/A/B/E   3 Root/A/C/E   4 Root/A/C/F
+func Doc() *xmltree.Document {
+	b := xmltree.NewBuilder()
+	b.Open("Root")
+
+	b.Open("A") // A1 → p8
+	b.Open("B") // B with p8
+	b.Leaf("D", "")
+	b.Leaf("E", "")
+	b.Close() // B
+	b.Close() // A1
+
+	b.Open("A") // A2 → p7
+	b.Open("B") // before C
+	b.Leaf("D", "")
+	b.Close()
+	b.Open("C") // C with p3
+	b.Leaf("E", "")
+	b.Leaf("F", "")
+	b.Close()
+	b.Open("B") // after C
+	b.Leaf("D", "")
+	b.Close()
+	b.Close() // A2
+
+	b.Open("A") // A3 → p6
+	b.Open("C") // C with p2
+	b.Leaf("E", "")
+	b.Close()
+	b.Open("B") // after C
+	b.Leaf("D", "")
+	b.Close()
+	b.Close() // A3
+
+	b.Close() // Root
+	return b.Document()
+}
+
+// XML is the Figure 1(a) document as serialized markup, for tests that
+// exercise the parser path.
+const XML = `<Root>
+  <A><B><D/><E/></B></A>
+  <A><B><D/></B><C><E/><F/></C><B><D/></B></A>
+  <A><C><E/></C><B><D/></B></A>
+</Root>`

@@ -1,0 +1,338 @@
+// Package pathenc implements the path encoding scheme of Section 2 of
+// the paper (originally from Li/Lee/Hsu, "A Path-Based Labeling Scheme
+// for Efficient Structural Join", XSym 2005).
+//
+// Every distinct root-to-leaf tag path of a document is assigned an
+// integer encoding (1-based, in order of first occurrence in document
+// order) and recorded in an encoding table. Every element node is then
+// labeled with a path id — a bit sequence whose width is the number of
+// distinct paths:
+//
+//   - a leaf element sets exactly the bit of its root-to-leaf path;
+//   - an internal element's path id is the bit-or of its children's.
+//
+// Path ids support the containment tests of Section 2 that the path
+// join (Section 4) prunes with: strict containment of PidY by PidX
+// guarantees every X-labeled node has a Y descendant, while equality
+// signals at least one ancestor–descendant pair whose direction and
+// distance are resolved by looking tag positions up in the encoding
+// table.
+package pathenc
+
+import (
+	"fmt"
+	"strings"
+
+	"xpathest/internal/bitset"
+	"xpathest/internal/xmltree"
+)
+
+// Table is the encoding table: the bidirectional mapping between
+// distinct root-to-leaf tag paths and their integer encodings
+// (Figure 1(b)).
+type Table struct {
+	paths    []string   // paths[i-1] is the path with encoding i
+	pathTags [][]string // split form of paths
+	byPath   map[string]int
+}
+
+// NumPaths returns the number of distinct root-to-leaf paths — the
+// "#(Dist Paths)" column of Table 3 and the path-id width.
+func (t *Table) NumPaths() int { return len(t.paths) }
+
+// Path returns the slash-joined path with the given encoding (1-based).
+func (t *Table) Path(enc int) string {
+	if enc < 1 || enc > len(t.paths) {
+		panic(fmt.Sprintf("pathenc: encoding %d out of range [1,%d]", enc, len(t.paths)))
+	}
+	return t.paths[enc-1]
+}
+
+// PathTags returns the tag sequence of the path with the given
+// encoding. The returned slice must not be modified.
+func (t *Table) PathTags(enc int) []string {
+	if enc < 1 || enc > len(t.pathTags) {
+		panic(fmt.Sprintf("pathenc: encoding %d out of range [1,%d]", enc, len(t.pathTags)))
+	}
+	return t.pathTags[enc-1]
+}
+
+// Encoding returns the encoding of a path string, or 0 if the path
+// does not occur in the document.
+func (t *Table) Encoding(path string) int { return t.byPath[path] }
+
+// SizeBytes estimates the storage of the encoding table: each path is
+// stored once as its tag string plus a 2-byte encoding. This is the
+// "EncTab" column of Table 3.
+func (t *Table) SizeBytes() int {
+	n := 0
+	for _, p := range t.paths {
+		n += len(p) + 2
+	}
+	return n
+}
+
+// Relationship describes how two tags relate on a concrete
+// root-to-leaf path.
+type Relationship int
+
+const (
+	// RelNone means the two tags do not both occur on the path in the
+	// required order.
+	RelNone Relationship = iota
+	// RelAncestor means the first tag occurs strictly above the second
+	// somewhere on the path, at distance ≥ 2.
+	RelAncestor
+	// RelParent means the first tag occurs immediately above the
+	// second somewhere on the path.
+	RelParent
+)
+
+// TagRelationship reports the closest relationship between ancTag and
+// descTag on the path with the given encoding. With recursive tags
+// (e.g. XMark's parlist inside parlist) a tag may occur several times;
+// RelParent wins over RelAncestor if any occurrence pair is adjacent.
+func (t *Table) TagRelationship(enc int, ancTag, descTag string) Relationship {
+	tags := t.PathTags(enc)
+	rel := RelNone
+	for i, tag := range tags {
+		if tag != ancTag {
+			continue
+		}
+		for j := i + 1; j < len(tags); j++ {
+			if tags[j] != descTag {
+				continue
+			}
+			if j == i+1 {
+				return RelParent
+			}
+			rel = RelAncestor
+		}
+	}
+	return rel
+}
+
+// Labeling is the complete path-id labeling of one document: the
+// encoding table plus a path id for every element, with the distinct
+// ids interned so identical bit sequences share storage (the path id
+// table of Figure 1(c)).
+type Labeling struct {
+	Table *Table
+
+	doc      *xmltree.Document
+	pids     []*bitset.Bitset // indexed by node Ord; interned
+	distinct []*bitset.Bitset // sorted by bit-sequence value
+	index    map[string]int   // bitset key -> index into distinct
+}
+
+// NewTable builds an encoding table directly from path strings in
+// encoding order (paths[0] gets encoding 1). It is the deserialization
+// entry point for summaries shipped without their document.
+func NewTable(paths []string) (*Table, error) {
+	t := &Table{byPath: make(map[string]int, len(paths))}
+	for i, p := range paths {
+		if p == "" {
+			return nil, fmt.Errorf("pathenc: empty path at encoding %d", i+1)
+		}
+		if _, dup := t.byPath[p]; dup {
+			return nil, fmt.Errorf("pathenc: duplicate path %q", p)
+		}
+		t.paths = append(t.paths, p)
+		t.pathTags = append(t.pathTags, strings.Split(p, "/"))
+		t.byPath[p] = i + 1
+	}
+	return t, nil
+}
+
+// EstimationLabeling wraps an encoding table and the document's
+// distinct path ids into a Labeling usable for estimation only: the
+// per-element labels are absent (there is no document), but everything
+// the estimator consults — the encoding table, containment tests and
+// anchor segments — works. distinct may be nil when only join logic is
+// needed.
+func EstimationLabeling(t *Table, distinct []*bitset.Bitset) *Labeling {
+	l := &Labeling{Table: t, index: make(map[string]int)}
+	for _, p := range distinct {
+		l.intern(p)
+	}
+	return l
+}
+
+// Build labels every element of doc with its path id. It makes two
+// passes: one to collect distinct root-to-leaf paths in first-
+// occurrence document order, one (bottom-up) to assign path ids.
+func Build(doc *xmltree.Document) *Labeling {
+	tbl := &Table{byPath: make(map[string]int)}
+	doc.Walk(func(n *xmltree.Node) bool {
+		if !n.IsLeaf() {
+			return true
+		}
+		p := n.PathString()
+		if _, ok := tbl.byPath[p]; !ok {
+			tbl.paths = append(tbl.paths, p)
+			tbl.pathTags = append(tbl.pathTags, strings.Split(p, "/"))
+			tbl.byPath[p] = len(tbl.paths)
+		}
+		return true
+	})
+
+	l := &Labeling{
+		Table: tbl,
+		doc:   doc,
+		pids:  make([]*bitset.Bitset, doc.NumElements()),
+		index: make(map[string]int),
+	}
+	if doc.Root != nil {
+		l.assign(doc.Root, []string{})
+	}
+	return l
+}
+
+// assign computes the path id of n bottom-up, interning the result.
+// prefix carries the tags above n (unused for the id itself but kept
+// for cheap leaf-path reconstruction).
+func (l *Labeling) assign(n *xmltree.Node, prefix []string) *bitset.Bitset {
+	width := l.Table.NumPaths()
+	var pid *bitset.Bitset
+	if n.IsLeaf() {
+		pid = bitset.New(width)
+		enc := l.Table.byPath[strings.Join(append(prefix, n.Tag), "/")]
+		if enc == 0 {
+			panic("pathenc: leaf path missing from encoding table: " + n.PathString())
+		}
+		pid.Set(enc)
+	} else {
+		pid = bitset.New(width)
+		childPrefix := append(prefix, n.Tag)
+		for _, c := range n.Children {
+			pid.Or(l.assign(c, childPrefix))
+		}
+	}
+	pid = l.intern(pid)
+	l.pids[n.Ord] = pid
+	return pid
+}
+
+// Intern returns the canonical copy of pid, registering it in the
+// distinct-pid dictionary if new. The streaming statistics collector
+// uses it to deduplicate path ids as elements close.
+func (l *Labeling) Intern(pid *bitset.Bitset) *bitset.Bitset { return l.intern(pid) }
+
+// intern returns the canonical copy of pid, registering it if new.
+func (l *Labeling) intern(pid *bitset.Bitset) *bitset.Bitset {
+	key := pid.Key()
+	if i, ok := l.index[key]; ok {
+		return l.distinct[i]
+	}
+	l.index[key] = len(l.distinct)
+	l.distinct = append(l.distinct, pid)
+	return pid
+}
+
+// PidOf returns the interned path id of a node.
+func (l *Labeling) PidOf(n *xmltree.Node) *bitset.Bitset { return l.pids[n.Ord] }
+
+// Distinct returns all distinct path ids in first-interning order. The
+// slice must not be modified. Its length is the "#(Dist Pid)" column
+// of Table 3.
+func (l *Labeling) Distinct() []*bitset.Bitset { return l.distinct }
+
+// NumDistinct returns the number of distinct path ids in the document.
+func (l *Labeling) NumDistinct() int { return len(l.distinct) }
+
+// PidWidth returns the width of every path id in bits (= NumPaths).
+func (l *Labeling) PidWidth() int { return l.Table.NumPaths() }
+
+// PidSizeBytes returns the byte size of a single stored path id — the
+// "Pid Size" column of Table 3.
+func (l *Labeling) PidSizeBytes() int { return (l.PidWidth() + 7) / 8 }
+
+// PidTableSizeBytes returns the storage of the raw path id table
+// (every distinct bit sequence spelled out) — the "PidTab" column of
+// Table 3, which the compressed binary tree of package pidtree is
+// measured against.
+func (l *Labeling) PidTableSizeBytes() int {
+	return l.NumDistinct() * l.PidSizeBytes()
+}
+
+// Axis distinguishes the two downward axes of the query language.
+type Axis int
+
+const (
+	// Child is the XPath child axis ("/").
+	Child Axis = iota
+	// Descendant is the XPath descendant axis ("//").
+	Descendant
+)
+
+func (a Axis) String() string {
+	if a == Child {
+		return "/"
+	}
+	return "//"
+}
+
+// EdgeCompatible reports whether an element with tag ancTag and path
+// id ancPid can stand in the given axis relationship above an element
+// with tag descTag and path id descPid. This is the pruning test of
+// the path join (Section 4):
+//
+//   - the ancestor's pid must contain or equal the descendant's
+//     (necessary, because every root-to-leaf path through a node also
+//     passes through all its ancestors);
+//   - some common root-to-leaf path must witness the two tags at a
+//     compatible distance (adjacent for Child), resolved from the
+//     encoding table as in Examples 2.2 and 2.3.
+func (l *Labeling) EdgeCompatible(ancTag string, ancPid *bitset.Bitset, descTag string, descPid *bitset.Bitset, axis Axis) bool {
+	if !ancPid.ContainsOrEqual(descPid) {
+		return false
+	}
+	// Both tags occur on every path of descPid (the descendant sits on
+	// all of them; the ancestor spans a superset). Scan those paths
+	// for a witness.
+	for _, enc := range descPid.Ones() {
+		switch l.Table.TagRelationship(enc, ancTag, descTag) {
+		case RelParent:
+			return true
+		case RelAncestor:
+			if axis == Descendant {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// AnchorSegment supports the preceding/following rewriting of
+// Example 5.3. Given the tag of the last trunk node (the common
+// context, e.g. A) and the path id of the node reached through the
+// order axis (e.g. D with p5), it decomposes the pid into its
+// root-to-leaf paths and returns, for each, the tag segment from the
+// child of the context (the sibling anchor, e.g. B) down to the target
+// tag inclusive: ["B", "D"]. Segments are deduplicated.
+func (l *Labeling) AnchorSegment(contextTag string, targetTag string, pid *bitset.Bitset) [][]string {
+	var out [][]string
+	seen := make(map[string]bool)
+	for _, enc := range pid.Ones() {
+		tags := l.Table.PathTags(enc)
+		for i, tag := range tags {
+			if tag != contextTag || i+1 >= len(tags) {
+				continue
+			}
+			for j := i + 1; j < len(tags); j++ {
+				if tags[j] != targetTag {
+					continue
+				}
+				seg := tags[i+1 : j+1]
+				key := strings.Join(seg, "/")
+				if !seen[key] {
+					seen[key] = true
+					cp := make([]string, len(seg))
+					copy(cp, seg)
+					out = append(out, cp)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,443 @@
+package pathenc
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"xpathest/internal/bitset"
+	"xpathest/internal/paperfig"
+	"xpathest/internal/xmltree"
+)
+
+// figure1Pids are the bit sequences of Figure 1(c), keyed by the
+// paper's names.
+var figure1Pids = map[string]string{
+	"p1": "0001", "p2": "0010", "p3": "0011", "p4": "0100",
+	"p5": "1000", "p6": "1010", "p7": "1011", "p8": "1100", "p9": "1111",
+}
+
+func buildFigure1(t *testing.T) *Labeling {
+	t.Helper()
+	return Build(paperfig.Doc())
+}
+
+// TestEncodingTableFigure1b pins the encoding table of Figure 1(b).
+func TestEncodingTableFigure1b(t *testing.T) {
+	l := buildFigure1(t)
+	want := []string{"Root/A/B/D", "Root/A/B/E", "Root/A/C/E", "Root/A/C/F"}
+	if l.Table.NumPaths() != len(want) {
+		t.Fatalf("NumPaths = %d, want %d", l.Table.NumPaths(), len(want))
+	}
+	for i, p := range want {
+		if got := l.Table.Path(i + 1); got != p {
+			t.Errorf("Path(%d) = %q, want %q", i+1, got, p)
+		}
+		if got := l.Table.Encoding(p); got != i+1 {
+			t.Errorf("Encoding(%q) = %d, want %d", p, got, i+1)
+		}
+	}
+	if l.Table.Encoding("Root/A/B/F") != 0 {
+		t.Error("Encoding of absent path should be 0")
+	}
+}
+
+// TestLabelingFigure1 pins the path ids of every element against
+// Figure 1(a)/(c): Example 2.1 and the full PathId table.
+func TestLabelingFigure1(t *testing.T) {
+	l := buildFigure1(t)
+	doc := l.doc
+
+	// Collect pid strings per tag in document order.
+	got := map[string][]string{}
+	doc.Walk(func(n *xmltree.Node) bool {
+		got[n.Tag] = append(got[n.Tag], l.PidOf(n).String())
+		return true
+	})
+	want := map[string][]string{
+		"Root": {"1111"},                         // p9
+		"A":    {"1100", "1011", "1010"},         // p8, p7, p6
+		"B":    {"1100", "1000", "1000", "1000"}, // p8, p5, p5, p5
+		"C":    {"0011", "0010"},                 // p3, p2
+		"D":    {"1000", "1000", "1000", "1000"}, // p5 ×4
+		"E":    {"0100", "0010", "0010"},         // p4, p2, p2
+		"F":    {"0001"},                         // p1
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("pids per tag:\n got %v\nwant %v", got, want)
+	}
+
+	// Exactly the nine distinct pids of Figure 1(c).
+	if l.NumDistinct() != 9 {
+		t.Fatalf("NumDistinct = %d, want 9", l.NumDistinct())
+	}
+	distinct := map[string]bool{}
+	for _, p := range l.Distinct() {
+		distinct[p.String()] = true
+	}
+	for name, bits := range figure1Pids {
+		if !distinct[bits] {
+			t.Errorf("distinct pids missing %s (%s)", name, bits)
+		}
+	}
+}
+
+func TestInterning(t *testing.T) {
+	l := buildFigure1(t)
+	var ds []*xmltree.Node
+	l.doc.Walk(func(n *xmltree.Node) bool {
+		if n.Tag == "D" {
+			ds = append(ds, n)
+		}
+		return true
+	})
+	if len(ds) != 4 {
+		t.Fatalf("found %d D nodes", len(ds))
+	}
+	for _, d := range ds[1:] {
+		if l.PidOf(d) != l.PidOf(ds[0]) {
+			t.Fatal("equal pids are not interned to the same object")
+		}
+	}
+}
+
+// TestTagRelationship pins Example 2.2: from path id p8 (1100), path 1
+// (Root/A/B/D) shows A is the parent of B.
+func TestTagRelationship(t *testing.T) {
+	l := buildFigure1(t)
+	if rel := l.Table.TagRelationship(1, "A", "B"); rel != RelParent {
+		t.Fatalf("A vs B on path 1 = %v, want RelParent", rel)
+	}
+	if rel := l.Table.TagRelationship(1, "A", "D"); rel != RelAncestor {
+		t.Fatalf("A vs D on path 1 = %v, want RelAncestor", rel)
+	}
+	if rel := l.Table.TagRelationship(1, "B", "A"); rel != RelNone {
+		t.Fatalf("B vs A on path 1 = %v, want RelNone", rel)
+	}
+	if rel := l.Table.TagRelationship(1, "A", "F"); rel != RelNone {
+		t.Fatalf("A vs F on path 1 = %v, want RelNone", rel)
+	}
+	if rel := l.Table.TagRelationship(1, "Root", "D"); rel != RelAncestor {
+		t.Fatalf("Root vs D on path 1 = %v, want RelAncestor", rel)
+	}
+}
+
+func TestTagRelationshipRecursive(t *testing.T) {
+	// a/b/a/b: a is both parent and grandparent of b; parent must win.
+	b := xmltree.NewBuilder()
+	b.Open("a").Open("b").Open("a").Leaf("b", "").Close().Close().Close()
+	l := Build(b.Document())
+	if l.Table.NumPaths() != 1 {
+		t.Fatalf("NumPaths = %d", l.Table.NumPaths())
+	}
+	if rel := l.Table.TagRelationship(1, "a", "b"); rel != RelParent {
+		t.Fatalf("a vs b = %v, want RelParent", rel)
+	}
+	if rel := l.Table.TagRelationship(1, "b", "a"); rel != RelParent {
+		t.Fatalf("b vs a = %v, want RelParent (b is parent of inner a)", rel)
+	}
+}
+
+// TestEdgeCompatible pins the containment reasoning of Examples 2.2,
+// 2.3 and 4.1.
+func TestEdgeCompatible(t *testing.T) {
+	l := buildFigure1(t)
+	pid := func(name string) *bitset.Bitset {
+		return bitset.MustFromString(figure1Pids[name])
+	}
+
+	cases := []struct {
+		anc, ancPid, desc, descPid string
+		axis                       Axis
+		want                       bool
+	}{
+		// Example 2.2: A(p8) parent of B(p8) — equal pids.
+		{"A", "p8", "B", "p8", Child, true},
+		{"A", "p8", "B", "p8", Descendant, true},
+		// Example 2.3: C(p3) parent of E(p2) — strict containment.
+		{"C", "p3", "E", "p2", Child, true},
+		// Example 4.1: p2 for C cannot contain p1 for F.
+		{"C", "p2", "F", "p1", Child, false},
+		{"C", "p2", "F", "p1", Descendant, false},
+		// Example 4.1: p6 and p8 for A cannot contain p3 for C.
+		{"A", "p6", "C", "p3", Child, false},
+		{"A", "p8", "C", "p3", Child, false},
+		{"A", "p7", "C", "p3", Child, true},
+		// A(p7) has B(p5) descendants at distance 1 (child).
+		{"A", "p7", "B", "p5", Child, true},
+		// A(p7) is grandparent of D(p5): descendant yes, child no.
+		{"A", "p7", "D", "p5", Child, false},
+		{"A", "p7", "D", "p5", Descendant, true},
+		// Root contains everything, at depth ≥ 2 for B.
+		{"Root", "p9", "B", "p5", Descendant, true},
+		{"Root", "p9", "B", "p5", Child, false},
+		// Direction matters: B under A, never A under B.
+		{"B", "p5", "A", "p7", Descendant, false},
+	}
+	for _, c := range cases {
+		got := l.EdgeCompatible(c.anc, pid(c.ancPid), c.desc, pid(c.descPid), c.axis)
+		if got != c.want {
+			t.Errorf("EdgeCompatible(%s:%s %v %s:%s) = %v, want %v",
+				c.anc, c.ancPid, c.axis, c.desc, c.descPid, got, c.want)
+		}
+	}
+}
+
+// TestAnchorSegment pins Example 5.3: D with p5 under context A
+// decomposes to the anchor segment B/D.
+func TestAnchorSegment(t *testing.T) {
+	l := buildFigure1(t)
+	p5 := bitset.MustFromString("1000")
+	segs := l.AnchorSegment("A", "D", p5)
+	if len(segs) != 1 || !reflect.DeepEqual(segs[0], []string{"B", "D"}) {
+		t.Fatalf("AnchorSegment = %v, want [[B D]]", segs)
+	}
+
+	// E with p2|p4 under A yields two segments: C/E and B/E.
+	pe := bitset.MustFromString("0110")
+	segs = l.AnchorSegment("A", "E", pe)
+	got := map[string]bool{}
+	for _, s := range segs {
+		got[s[0]+"/"+s[1]] = true
+	}
+	if len(segs) != 2 || !got["B/E"] || !got["C/E"] {
+		t.Fatalf("AnchorSegment(E, 0110) = %v, want B/E and C/E", segs)
+	}
+
+	// No segment when the context tag is absent from the paths.
+	if segs := l.AnchorSegment("Z", "D", p5); len(segs) != 0 {
+		t.Fatalf("AnchorSegment with absent context = %v", segs)
+	}
+}
+
+func TestPidSizes(t *testing.T) {
+	l := buildFigure1(t)
+	if l.PidWidth() != 4 {
+		t.Fatalf("PidWidth = %d", l.PidWidth())
+	}
+	if l.PidSizeBytes() != 1 {
+		t.Fatalf("PidSizeBytes = %d", l.PidSizeBytes())
+	}
+	if l.PidTableSizeBytes() != 9 {
+		t.Fatalf("PidTableSizeBytes = %d", l.PidTableSizeBytes())
+	}
+	if l.Table.SizeBytes() == 0 {
+		t.Fatal("encoding table size should be positive")
+	}
+}
+
+func TestPathPanicsOutOfRange(t *testing.T) {
+	l := buildFigure1(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Path(99) did not panic")
+		}
+	}()
+	l.Table.Path(99)
+}
+
+func randomDoc(rng *rand.Rand, maxNodes int) *xmltree.Document {
+	tags := []string{"a", "b", "c", "d", "e", "f"}
+	b := xmltree.NewBuilder()
+	n := 1
+	b.Open("root")
+	var grow func(depth int)
+	grow = func(depth int) {
+		kids := rng.Intn(4)
+		for i := 0; i < kids && n < maxNodes; i++ {
+			n++
+			b.Open(tags[rng.Intn(len(tags))])
+			if depth < 7 {
+				grow(depth + 1)
+			}
+			b.Close()
+		}
+	}
+	grow(0)
+	b.Close()
+	return b.Document()
+}
+
+// Property: for every internal node, its pid is the or of its
+// children's pids; for every leaf the pid has exactly one bit — the
+// encoding of its root-to-leaf path (the labeling rules of Section 2).
+func TestQuickLabelingInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		doc := randomDoc(rng, 1+rng.Intn(120))
+		l := Build(doc)
+		ok := true
+		doc.Walk(func(n *xmltree.Node) bool {
+			pid := l.PidOf(n)
+			if n.IsLeaf() {
+				if pid.Count() != 1 {
+					ok = false
+					return false
+				}
+				if pid.FirstOne() != l.Table.Encoding(n.PathString()) {
+					ok = false
+					return false
+				}
+				return true
+			}
+			or := bitset.New(l.PidWidth())
+			for _, c := range n.Children {
+				or.Or(l.PidOf(c))
+			}
+			if !or.Equal(pid) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (Section 2, soundness of the join test): whenever node y is
+// a descendant of node x in the real tree, EdgeCompatible accepts the
+// (tag, pid) pair of x over y for the Descendant axis; and whenever y
+// is a child of x, for the Child axis too.
+func TestQuickEdgeCompatibleSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		doc := randomDoc(rng, 1+rng.Intn(100))
+		l := Build(doc)
+		ok := true
+		doc.Walk(func(x *xmltree.Node) bool {
+			for _, y := range x.Children {
+				if !l.EdgeCompatible(x.Tag, l.PidOf(x), y.Tag, l.PidOf(y), Child) {
+					ok = false
+					return false
+				}
+			}
+			// Check one random descendant chain for the Descendant axis.
+			cur := x
+			for len(cur.Children) > 0 {
+				cur = cur.Children[rng.Intn(len(cur.Children))]
+				if !l.EdgeCompatible(x.Tag, l.PidOf(x), cur.Tag, l.PidOf(cur), Descendant) {
+					ok = false
+					return false
+				}
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (Case 2 of Section 2): strict containment implies a
+// descendant. The paper's literal claim — every x in (tagX, PidX) has
+// a descendant y in (tagY, PidY) whenever PidX ⊋ PidY — is false in
+// general (the y below x can carry a different pid than the group's,
+// even on non-recursive schemas), so we assert the statement the path
+// join actually relies on: every x has a *tag-Y* descendant. That
+// version holds on depth-stratified (non-recursive) schemas, which is
+// the regime of the paper's datasets.
+func TestQuickContainmentImpliesDescendant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		doc := stratifiedDoc(rng, 1+rng.Intn(90))
+		l := Build(doc)
+
+		// Group nodes by (tag, pid key).
+		type group struct {
+			tag   string
+			pid   *bitset.Bitset
+			nodes []*xmltree.Node
+		}
+		groups := map[string]*group{}
+		doc.Walk(func(n *xmltree.Node) bool {
+			k := n.Tag + "\x00" + l.PidOf(n).Key()
+			g, okk := groups[k]
+			if !okk {
+				g = &group{tag: n.Tag, pid: l.PidOf(n)}
+				groups[k] = g
+			}
+			g.nodes = append(g.nodes, n)
+			return true
+		})
+
+		hasTagDescendant := func(x *xmltree.Node, tag string) bool {
+			found := false
+			var rec func(n *xmltree.Node)
+			rec = func(n *xmltree.Node) {
+				if found {
+					return
+				}
+				for _, c := range n.Children {
+					if c.Tag == tag {
+						found = true
+						return
+					}
+					rec(c)
+				}
+			}
+			rec(x)
+			return found
+		}
+
+		for _, gx := range groups {
+			for _, gy := range groups {
+				if !gx.pid.Contains(gy.pid) {
+					continue
+				}
+				// Containment alone does not orient the relationship
+				// (the container's instances can sit *below* tag-Y
+				// positions on other instances); the join always pairs
+				// it with the encoding-table witness, so assert the
+				// descendant guarantee exactly under that condition.
+				if !l.EdgeCompatible(gx.tag, gx.pid, gy.tag, gy.pid, Descendant) {
+					continue
+				}
+				for _, x := range gx.nodes {
+					if !hasTagDescendant(x, gy.tag) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// stratifiedDoc builds a random document whose tags are unique per
+// depth — a non-recursive schema like the paper's datasets.
+func stratifiedDoc(rng *rand.Rand, maxNodes int) *xmltree.Document {
+	b := xmltree.NewBuilder()
+	n := 1
+	b.Open("root")
+	var grow func(depth int)
+	grow = func(depth int) {
+		kids := rng.Intn(4)
+		for i := 0; i < kids && n < maxNodes; i++ {
+			n++
+			b.Open(string(rune('a'+rng.Intn(3))) + string(rune('0'+depth)))
+			if depth < 6 {
+				grow(depth + 1)
+			}
+			b.Close()
+		}
+	}
+	grow(0)
+	b.Close()
+	return b.Document()
+}
+
+func BenchmarkBuildLabeling(b *testing.B) {
+	doc := paperfig.Doc()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Build(doc)
+	}
+}

@@ -1,0 +1,372 @@
+// Package poshist reimplements, in simplified form, the position
+// histogram estimator of Wu, Patel and Jagadish ("Estimating Answer
+// Sizes for XML Queries", EDBT 2002) — the alternative approach the
+// paper's Section 8 discusses and criticizes: "since only containment
+// information between nodes is captured, this approach cannot
+// distinguish between parent-child and ancestor-descendant
+// relationships".
+//
+// Every element tag gets a two-dimensional histogram over the
+// (start, end) plane of the interval labeling (package interval): a
+// g×g grid whose cells count the elements whose region label falls
+// inside. A position histogram join estimates structural predicates:
+// the expected number of (ancestor, descendant) pairs between two
+// cells follows from the containment condition a.start < b.start ≤
+// b.end ≤ a.end under uniformity within each cell.
+//
+// Simplifications preserved against the original: per-cell uniformity,
+// independence of the start and end coordinates, no per-level
+// refinement — and, faithfully to the critique, child steps are
+// estimated exactly like descendant steps. The extension experiment
+// "poshist" quantifies the resulting error against the p-histogram.
+package poshist
+
+import (
+	"fmt"
+
+	"xpathest/internal/interval"
+	"xpathest/internal/xmltree"
+	"xpathest/internal/xpath"
+)
+
+// cellStat is one non-empty grid cell: an element-count plus the
+// bounding box of the labels that fell into it (the box sharpens the
+// containment-probability geometry over the raw grid cell).
+type cellStat struct {
+	count                  float64
+	minS, maxS, minE, maxE float64
+}
+
+// tagGrid is the position histogram of one tag.
+type tagGrid struct {
+	cells map[int]*cellStat // row*g+col for non-empty cells
+}
+
+// Histogram is a set of per-tag position histograms over one document.
+type Histogram struct {
+	g      int
+	maxPos int
+	root   interval.Label
+	byTag  map[string]*tagGrid
+}
+
+// Build constructs position histograms with a g×g grid per tag.
+func Build(doc *xmltree.Document, il *interval.Labeling, g int) *Histogram {
+	if g < 1 {
+		panic(fmt.Sprintf("poshist: grid size %d", g))
+	}
+	if il == nil {
+		il = interval.Build(doc)
+	}
+	h := &Histogram{g: g, maxPos: il.MaxPos(), byTag: make(map[string]*tagGrid)}
+	if doc.Root != nil {
+		h.root = il.Of(doc.Root)
+	}
+	width := float64(h.maxPos) / float64(g)
+	doc.Walk(func(n *xmltree.Node) bool {
+		lab := il.Of(n)
+		grid := h.byTag[n.Tag]
+		if grid == nil {
+			grid = &tagGrid{cells: make(map[int]*cellStat)}
+			h.byTag[n.Tag] = grid
+		}
+		col := int(float64(lab.Start-1) / width)
+		row := int(float64(lab.End-1) / width)
+		if col >= g {
+			col = g - 1
+		}
+		if row >= g {
+			row = g - 1
+		}
+		key := row*g + col
+		c := grid.cells[key]
+		if c == nil {
+			c = &cellStat{
+				minS: float64(lab.Start), maxS: float64(lab.Start),
+				minE: float64(lab.End), maxE: float64(lab.End),
+			}
+			grid.cells[key] = c
+		}
+		c.count++
+		s, e := float64(lab.Start), float64(lab.End)
+		if s < c.minS {
+			c.minS = s
+		}
+		if s > c.maxS {
+			c.maxS = s
+		}
+		if e < c.minE {
+			c.minE = e
+		}
+		if e > c.maxE {
+			c.maxE = e
+		}
+		return true
+	})
+	return h
+}
+
+// SizeBytes prices the histogram like the other synopses: per
+// non-empty cell a 4-byte cell index, a 4-byte count and four 4-byte
+// bounds, plus a small per-tag directory.
+func (h *Histogram) SizeBytes() int {
+	n := 0
+	for tag, grid := range h.byTag {
+		n += len(tag) + 2
+		n += len(grid.cells) * (4 + 4 + 16)
+	}
+	return n
+}
+
+// probLess returns P(x < y) for independent x ~ U[x1,x2], y ~ U[y1,y2]
+// (continuous approximation of the integer positions).
+func probLess(x1, x2, y1, y2 float64) float64 {
+	if x2 <= y1 {
+		return 1
+	}
+	if y2 <= x1 {
+		return 0
+	}
+	// Degenerate intervals collapse to points.
+	if x2 <= x1 {
+		x2 = x1 + 1e-9
+	}
+	if y2 <= y1 {
+		y2 = y1 + 1e-9
+	}
+	// P(x<y) = ∫∫ [x<y] / (|X||Y|). Split y over the overlap.
+	lx, ly := x2-x1, y2-y1
+	// Contribution where y > x2: full.
+	p := 0.0
+	if y2 > x2 {
+		p += (y2 - max(y1, x2)) / ly
+	}
+	// Overlap region [max(x1,y1), min(x2,y2)]: for y in it,
+	// P(x < y) = (y - x1)/lx.
+	lo, hi := max(x1, y1), min(x2, y2)
+	if hi > lo {
+		// ∫ (y-x1)/lx dy / ly over [lo,hi]
+		p += ((hi-x1)*(hi-x1) - (lo-x1)*(lo-x1)) / (2 * lx * ly)
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// pContain estimates the probability that a random element of cell a
+// contains a random element of cell b: P(a.start < b.start) ×
+// P(b.end ≤ a.end), treating the coordinates as independent within
+// the cell bounding boxes.
+func pContain(a, b *cellStat) float64 {
+	return probLess(a.minS, a.maxS, b.minS, b.maxS) *
+		probLess(b.minE, b.maxE, a.minE, a.maxE+1e-9)
+}
+
+// frontier maps cell keys of the current tag to expected counts.
+type frontier map[int]float64
+
+// Estimate returns the estimated selectivity of the query's target.
+// Order axes are unsupported (the original handles them with separate
+// order predicates; the comparison here covers the no-order workload,
+// like Figure 11 does for XSketch).
+func (h *Histogram) Estimate(p *xpath.Path) (float64, error) {
+	if p.HasOrderAxis() {
+		return 0, fmt.Errorf("poshist: order axes are not supported")
+	}
+	target, err := p.TargetStep()
+	if err != nil {
+		return 0, err
+	}
+	if len(p.Steps) == 0 {
+		return 0, nil
+	}
+	// Seed the first step.
+	first := p.Steps[0]
+	grid := h.byTag[first.Tag]
+	f := frontier{}
+	if grid != nil {
+		for key, c := range grid.cells {
+			if first.Axis == xpath.Child {
+				// Absolute /Tag: only the document root's cell, scaled
+				// to the roots present there (approximated as 1 when
+				// the tag matches the root).
+				rootS, rootE := float64(h.root.Start), float64(h.root.End)
+				if c.minS <= rootS && rootS <= c.maxS && c.minE <= rootE && rootE <= c.maxE {
+					f[key] = 1
+				}
+				continue
+			}
+			f[key] = c.count
+		}
+	}
+	return h.count(f, first, p.Steps, 0, target)
+}
+
+// count advances the frontier through the steps, mirroring the
+// structure of the XSketch walker: predicates and the post-target
+// continuation act as satisfaction fractions.
+func (h *Histogram) count(f frontier, st *xpath.Step, steps []*xpath.Step, i int, target *xpath.Step) (float64, error) {
+	for {
+		// Apply predicates not containing the target.
+		var targetPred *xpath.Path
+		for _, pred := range st.Preds {
+			if pathContains(pred, target) {
+				targetPred = pred
+				continue
+			}
+			for key, v := range f {
+				m, err := h.expectedMatches(st.Tag, key, pred.Steps)
+				if err != nil {
+					return 0, err
+				}
+				f[key] = v * min(1, m)
+			}
+		}
+		isTarget := st == target
+		if isTarget || targetPred != nil {
+			if i+1 < len(steps) {
+				for key, v := range f {
+					m, err := h.expectedMatches(st.Tag, key, steps[i+1:])
+					if err != nil {
+						return 0, err
+					}
+					f[key] = v * min(1, m)
+				}
+			}
+			if isTarget {
+				return f.total(), nil
+			}
+			total := 0.0
+			for key, v := range f {
+				sub, err := h.countFromCell(st.Tag, key, targetPred.Steps, target)
+				if err != nil {
+					return 0, err
+				}
+				total += v * sub
+			}
+			return total, nil
+		}
+		if i+1 >= len(steps) {
+			return f.total(), nil
+		}
+		i++
+		st = steps[i]
+		var err error
+		f, err = h.propagate(f, steps[i-1].Tag, st)
+		if err != nil {
+			return 0, err
+		}
+	}
+}
+
+// countFromCell runs count on a sub-path from a single instance in a
+// cell.
+func (h *Histogram) countFromCell(tag string, key int, steps []*xpath.Step, target *xpath.Step) (float64, error) {
+	if len(steps) == 0 {
+		return 0, nil
+	}
+	f, err := h.propagate(frontier{key: 1}, tag, steps[0])
+	if err != nil {
+		return 0, err
+	}
+	return h.count(f, steps[0], steps, 0, target)
+}
+
+// propagate advances one step: for every candidate cell of the next
+// tag, the expected number of elements with at least one frontier
+// ancestor. Child steps use the same containment geometry as
+// descendant steps — the very limitation the paper's Section 8 points
+// out (level information is not captured).
+func (h *Histogram) propagate(f frontier, fromTag string, st *xpath.Step) (frontier, error) {
+	switch st.Axis {
+	case xpath.Child, xpath.Descendant:
+	default:
+		return nil, fmt.Errorf("poshist: axis %v not supported", st.Axis)
+	}
+	fromGrid := h.byTag[fromTag]
+	toGrid := h.byTag[st.Tag]
+	out := frontier{}
+	if fromGrid == nil || toGrid == nil {
+		return out, nil
+	}
+	for bKey, b := range toGrid.cells {
+		// Expected number of frontier ancestors per b element.
+		m := 0.0
+		for aKey, v := range f {
+			a := fromGrid.cells[aKey]
+			if a == nil || v == 0 {
+				continue
+			}
+			m += v * pContain(a, b)
+		}
+		if m > 0 {
+			out[bKey] = b.count * min(1, m)
+		}
+	}
+	return out, nil
+}
+
+// expectedMatches estimates matches of a step chain below one instance
+// in the given cell of fromTag.
+func (h *Histogram) expectedMatches(fromTag string, key int, steps []*xpath.Step) (float64, error) {
+	f := frontier{key: 1}
+	tag := fromTag
+	for _, st := range steps {
+		var err error
+		f, err = h.propagate(f, tag, st)
+		if err != nil {
+			return 0, err
+		}
+		for _, pred := range st.Preds {
+			for k, v := range f {
+				m, err := h.expectedMatches(st.Tag, k, pred.Steps)
+				if err != nil {
+					return 0, err
+				}
+				f[k] = v * min(1, m)
+			}
+		}
+		tag = st.Tag
+	}
+	return f.total(), nil
+}
+
+func (f frontier) total() float64 {
+	t := 0.0
+	for _, v := range f {
+		t += v
+	}
+	return t
+}
+
+func pathContains(p *xpath.Path, st *xpath.Step) bool {
+	for _, s := range p.Steps {
+		if s == st {
+			return true
+		}
+		for _, pred := range s.Preds {
+			if pathContains(pred, st) {
+				return true
+			}
+		}
+	}
+	return false
+}

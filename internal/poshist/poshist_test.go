@@ -1,0 +1,224 @@
+package poshist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xpathest/internal/eval"
+	"xpathest/internal/interval"
+	"xpathest/internal/paperfig"
+	"xpathest/internal/xmltree"
+	"xpathest/internal/xpath"
+)
+
+func estimate(t testing.TB, h *Histogram, q string) float64 {
+	t.Helper()
+	got, err := h.Estimate(xpath.MustParse(q))
+	if err != nil {
+		t.Fatalf("Estimate(%s): %v", q, err)
+	}
+	return got
+}
+
+func TestSingleTagCountsExact(t *testing.T) {
+	doc := paperfig.Doc()
+	for _, g := range []int{1, 4, 16} {
+		h := Build(doc, nil, g)
+		for tag, want := range doc.Tags() {
+			if got := estimate(t, h, "//"+tag); !close(got, float64(want)) {
+				t.Errorf("g=%d //%s = %v, want %d", g, tag, got, want)
+			}
+		}
+	}
+}
+
+func TestDescendantAccuracyFineGrid(t *testing.T) {
+	doc := paperfig.Doc()
+	ev := eval.New(doc)
+	h := Build(doc, nil, 64) // grid finer than the document: near-exact
+	for _, q := range []string{"//A//D", "//A//E", "/Root//B", "//C//F"} {
+		want, err := ev.Selectivity(xpath.MustParse(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := estimate(t, h, q)
+		if math.Abs(got-float64(want)) > 0.75 {
+			t.Errorf("%s = %v, want ≈ %d", q, got, want)
+		}
+	}
+}
+
+// TestChildIndistinguishable pins the paper's Section 8 critique: the
+// position histogram estimates //A/B and //A//B identically, because
+// only containment is captured.
+func TestChildIndistinguishable(t *testing.T) {
+	doc := paperfig.Doc()
+	h := Build(doc, nil, 16)
+	pairs := [][2]string{
+		{"//A/D", "//A//D"},       // true: 0 vs 4
+		{"//Root/B", "//Root//B"}, // true: 0 vs 4
+		{"//A/B", "//A//B"},       // same either way
+	}
+	for _, p := range pairs {
+		a, b := estimate(t, h, p[0]), estimate(t, h, p[1])
+		if !close(a, b) {
+			t.Errorf("child %s = %v, descendant %s = %v: expected identical (the documented limitation)", p[0], a, p[1], b)
+		}
+	}
+	// ...and therefore //A/D is (wrongly) far from its true value 0.
+	if got := estimate(t, h, "//A/D"); got < 2 {
+		t.Errorf("//A/D = %v: the limitation should over-estimate here", got)
+	}
+}
+
+func TestOrderAxesRejected(t *testing.T) {
+	h := Build(paperfig.Doc(), nil, 8)
+	if _, err := h.Estimate(xpath.MustParse("//A[/C/folls::B]")); err == nil {
+		t.Fatal("order query accepted")
+	}
+}
+
+func TestAbsoluteRootStep(t *testing.T) {
+	doc := paperfig.Doc()
+	h := Build(doc, nil, 8)
+	if got := estimate(t, h, "/Root"); !close(got, 1) {
+		t.Fatalf("/Root = %v", got)
+	}
+	if got := estimate(t, h, "/A"); got != 0 {
+		t.Fatalf("/A = %v, want 0 (A is not the document root)", got)
+	}
+}
+
+func TestPredicatesShrink(t *testing.T) {
+	doc := paperfig.Doc()
+	h := Build(doc, nil, 16)
+	plain := estimate(t, h, "//A//E")
+	pred := estimate(t, h, "//A[/C]//E")
+	if pred > plain+1e-9 {
+		t.Fatalf("predicate grew the estimate: %v > %v", pred, plain)
+	}
+	tgt := estimate(t, h, "//A[/C/E!]")
+	if tgt < 0 || math.IsNaN(tgt) {
+		t.Fatalf("target-in-predicate = %v", tgt)
+	}
+}
+
+func TestSizeBytesGrowsWithGrid(t *testing.T) {
+	doc := paperfig.Doc()
+	small := Build(doc, nil, 2).SizeBytes()
+	big := Build(doc, nil, 32).SizeBytes()
+	if big < small {
+		t.Fatalf("finer grid smaller: %d < %d", big, small)
+	}
+	if small <= 0 {
+		t.Fatal("empty histogram")
+	}
+}
+
+func TestBuildPanicsOnBadGrid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("g=0 accepted")
+		}
+	}()
+	Build(paperfig.Doc(), nil, 0)
+}
+
+func TestProbLess(t *testing.T) {
+	cases := []struct {
+		x1, x2, y1, y2, want float64
+	}{
+		{0, 1, 2, 3, 1},     // disjoint, x below
+		{2, 3, 0, 1, 0},     // disjoint, x above
+		{0, 2, 0, 2, 0.5},   // identical: symmetry
+		{0, 2, 1, 3, 0.875}, // partial overlap
+	}
+	for _, c := range cases {
+		if got := probLess(c.x1, c.x2, c.y1, c.y2); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("probLess(%v,%v,%v,%v) = %v, want %v", c.x1, c.x2, c.y1, c.y2, got, c.want)
+		}
+	}
+}
+
+func randomDoc(rng *rand.Rand, maxNodes int) *xmltree.Document {
+	tags := []string{"a", "b", "c", "d"}
+	b := xmltree.NewBuilder()
+	n := 1
+	b.Open("r")
+	var grow func(depth int)
+	grow = func(depth int) {
+		kids := rng.Intn(4)
+		for i := 0; i < kids && n < maxNodes; i++ {
+			n++
+			b.Open(tags[rng.Intn(len(tags))])
+			if depth < 5 {
+				grow(depth + 1)
+			}
+			b.Close()
+		}
+	}
+	grow(0)
+	b.Close()
+	return b.Document()
+}
+
+// Property: estimates are finite, non-negative, and single-tag counts
+// are exact at any grid size.
+func TestQuickWellFormed(t *testing.T) {
+	queries := []string{"//a//b", "//a/b", "//r//a[/b]", "//a[/b]//c", "//a[/b/c!]", "/r/a"}
+	f := func(seed int64, gs uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		doc := randomDoc(rng, 2+rng.Intn(120))
+		h := Build(doc, interval.Build(doc), int(gs%32)+1)
+		for _, q := range queries {
+			got, err := h.Estimate(xpath.MustParse(q))
+			if err != nil || got < 0 || math.IsNaN(got) || math.IsInf(got, 0) {
+				return false
+			}
+		}
+		for tag, cnt := range doc.Tags() {
+			got, err := h.Estimate(xpath.MustParse("//" + tag))
+			if err != nil || !close(got, float64(cnt)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: probLess is a probability and antisymmetric:
+// P(x<y) + P(y<x) ≈ 1 for non-degenerate continuous intervals.
+func TestQuickProbLess(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		x1, x2 := float64(a%50), float64(a%50)+float64(b%50)+1
+		y1, y2 := float64(c%50), float64(c%50)+float64(d%50)+1
+		p := probLess(x1, x2, y1, y2)
+		q := probLess(y1, y2, x1, x2)
+		if p < 0 || p > 1 {
+			return false
+		}
+		return math.Abs(p+q-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func close(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func BenchmarkEstimate(b *testing.B) {
+	doc := paperfig.Doc()
+	h := Build(doc, nil, 16)
+	q := xpath.MustParse("//A[/C]//E")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Estimate(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,323 @@
+// Package stats collects the two statistics of Section 3 of the paper
+// from a labeled document:
+//
+//   - the PathId-Frequency table (Figure 2(a)): for every distinct
+//     element tag, the distinct path ids it occurs with and their
+//     frequencies;
+//   - one Path-Order table per tag (Figure 2(b)): a grid over
+//     (path id of the tag, sibling tag) with two regions — "+element"
+//     counts elements of the tag occurring *before* a sibling with the
+//     other tag, "element+" counts those occurring *after* one.
+//
+// These exact tables are what the p-histogram and o-histogram of
+// Section 6 summarize, and what the estimator of Sections 4–5 reads
+// (either directly, for variance 0, or through the histograms).
+package stats
+
+import (
+	"sort"
+
+	"xpathest/internal/bitset"
+	"xpathest/internal/pathenc"
+	"xpathest/internal/xmltree"
+)
+
+// PidFreq is one (path id, frequency) entry of the PathId-Frequency
+// table. Frequency is a float64 because histogram lookups return
+// bucket averages; exact collection always stores whole numbers.
+type PidFreq struct {
+	Pid  *bitset.Bitset
+	Freq float64
+}
+
+// FreqTable is the PathId-Frequency table of the whole document.
+type FreqTable struct {
+	byTag map[string][]PidFreq
+}
+
+// Tags returns the element tags present, sorted.
+func (t *FreqTable) Tags() []string {
+	out := make([]string, 0, len(t.byTag))
+	for tag := range t.byTag {
+		out = append(out, tag)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Entries returns the (pid, frequency) list of a tag in first-
+// occurrence document order, or nil for an unknown tag. The slice must
+// not be modified.
+func (t *FreqTable) Entries(tag string) []PidFreq { return t.byTag[tag] }
+
+// NumEntries returns the total number of (tag, pid) pairs.
+func (t *FreqTable) NumEntries() int {
+	n := 0
+	for _, e := range t.byTag {
+		n += len(e)
+	}
+	return n
+}
+
+// CollectFreq builds the PathId-Frequency table in one document walk.
+func CollectFreq(doc *xmltree.Document, l *pathenc.Labeling) *FreqTable {
+	pos := make(map[string]map[string]int) // tag -> pid key -> index
+	t := &FreqTable{byTag: make(map[string][]PidFreq)}
+	doc.Walk(func(n *xmltree.Node) bool {
+		pid := l.PidOf(n)
+		m, ok := pos[n.Tag]
+		if !ok {
+			m = make(map[string]int)
+			pos[n.Tag] = m
+		}
+		key := pid.Key()
+		if i, ok := m[key]; ok {
+			t.byTag[n.Tag][i].Freq++
+		} else {
+			m[key] = len(t.byTag[n.Tag])
+			t.byTag[n.Tag] = append(t.byTag[n.Tag], PidFreq{Pid: pid, Freq: 1})
+		}
+		return true
+	})
+	return t
+}
+
+// SizeBytes estimates the storage of the exact table: one pid
+// reference plus a 4-byte count per entry, plus a tag directory.
+func (t *FreqTable) SizeBytes(pidRefBytes int) int {
+	n := 0
+	for tag, e := range t.byTag {
+		n += len(tag) + 2 // tag directory entry
+		n += len(e) * (pidRefBytes + 4)
+	}
+	return n
+}
+
+// Region selects one of the two halves of a path-order table.
+type Region int
+
+const (
+	// Before is the "+element" region: the tag occurs before a sibling
+	// with the other tag.
+	Before Region = iota
+	// After is the "element+" region: the tag occurs after one.
+	After
+)
+
+func (r Region) String() string {
+	if r == Before {
+		return "+element"
+	}
+	return "element+"
+}
+
+// OrderTable is the path-order table of one element tag X. A cell
+// g(pid, Y) in region Before counts the X elements labeled pid that
+// have at least one following sibling tagged Y; in region After, at
+// least one preceding sibling tagged Y. An X element occurring both
+// before and after Y elements is counted in both regions (Section 3).
+type OrderTable struct {
+	Tag   string
+	cells map[Region]map[string]map[string]float64 // region -> pid key -> sibling tag -> count
+	pids  map[string]*bitset.Bitset                // pid key -> pid
+}
+
+func newOrderTable(tag string) *OrderTable {
+	return &OrderTable{
+		Tag: tag,
+		cells: map[Region]map[string]map[string]float64{
+			Before: make(map[string]map[string]float64),
+			After:  make(map[string]map[string]float64),
+		},
+		pids: make(map[string]*bitset.Bitset),
+	}
+}
+
+func (o *OrderTable) add(region Region, pid *bitset.Bitset, sibTag string) {
+	key := pid.Key()
+	m := o.cells[region][key]
+	if m == nil {
+		m = make(map[string]float64)
+		o.cells[region][key] = m
+	}
+	m[sibTag]++
+	o.pids[key] = pid
+}
+
+// Get returns g(pid, sibTag) in the given region; 0 for empty cells.
+func (o *OrderTable) Get(region Region, pid *bitset.Bitset, sibTag string) float64 {
+	m := o.cells[region][pid.Key()]
+	if m == nil {
+		return 0
+	}
+	return m[sibTag]
+}
+
+// Cell is one non-empty cell of a path-order table, in export form.
+type Cell struct {
+	Region Region
+	Pid    *bitset.Bitset
+	SibTag string
+	Count  float64
+}
+
+// Cells returns all non-empty cells in a deterministic order (region,
+// then pid bit-sequence, then sibling tag).
+func (o *OrderTable) Cells() []Cell {
+	var out []Cell
+	for _, region := range []Region{Before, After} {
+		for key, m := range o.cells[region] {
+			for tag, c := range m {
+				out = append(out, Cell{Region: region, Pid: o.pids[key], SibTag: tag, Count: c})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Region != b.Region {
+			return a.Region < b.Region
+		}
+		if s1, s2 := a.Pid.String(), b.Pid.String(); s1 != s2 {
+			return s1 < s2
+		}
+		return a.SibTag < b.SibTag
+	})
+	return out
+}
+
+// NumCells returns the number of non-empty cells.
+func (o *OrderTable) NumCells() int {
+	n := 0
+	for _, region := range []Region{Before, After} {
+		for _, m := range o.cells[region] {
+			n += len(m)
+		}
+	}
+	return n
+}
+
+// Pids returns the distinct pids appearing in the table, sorted by bit
+// sequence.
+func (o *OrderTable) Pids() []*bitset.Bitset {
+	out := make([]*bitset.Bitset, 0, len(o.pids))
+	for _, p := range o.pids {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// SibTags returns the distinct sibling tags appearing in the table,
+// sorted alphabetically (the row order of Algorithm 2).
+func (o *OrderTable) SibTags() []string {
+	set := map[string]bool{}
+	for _, region := range []Region{Before, After} {
+		for _, m := range o.cells[region] {
+			for tag := range m {
+				set[tag] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for tag := range set {
+		out = append(out, tag)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OrderTables holds the path-order table of every tag.
+type OrderTables struct {
+	byTag map[string]*OrderTable
+}
+
+// Table returns the path-order table of a tag, or nil.
+func (ts *OrderTables) Table(tag string) *OrderTable { return ts.byTag[tag] }
+
+// Tags returns the tags that have at least one non-empty cell, sorted.
+func (ts *OrderTables) Tags() []string {
+	out := make([]string, 0, len(ts.byTag))
+	for tag := range ts.byTag {
+		out = append(out, tag)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumCells returns the total number of non-empty cells across tables.
+func (ts *OrderTables) NumCells() int {
+	n := 0
+	for _, t := range ts.byTag {
+		n += t.NumCells()
+	}
+	return n
+}
+
+// SizeBytes estimates exact storage: per non-empty cell one pid
+// reference, a 2-byte tag reference and a 4-byte count.
+func (ts *OrderTables) SizeBytes(pidRefBytes int) int {
+	return ts.NumCells() * (pidRefBytes + 2 + 4)
+}
+
+// CollectOrder builds every path-order table in one walk. For each
+// sibling group it sweeps left to right, maintaining per-tag counts of
+// siblings strictly before and strictly after the current child, and
+// marks the child in the Before region for every tag still to come and
+// in the After region for every tag already seen. Same-tag siblings
+// are counted like any other tag (the paper's definition does not
+// exclude Y = X, and queries such as q1[/B/folls::B] need the cells).
+func CollectOrder(doc *xmltree.Document, l *pathenc.Labeling) *OrderTables {
+	ts := &OrderTables{byTag: make(map[string]*OrderTable)}
+	doc.Walk(func(parent *xmltree.Node) bool {
+		kids := parent.Children
+		if len(kids) < 2 {
+			return true
+		}
+		remaining := map[string]int{}
+		for _, c := range kids {
+			remaining[c.Tag]++
+		}
+		seen := map[string]int{}
+		for _, c := range kids {
+			remaining[c.Tag]--
+			tbl := ts.byTag[c.Tag]
+			if tbl == nil {
+				tbl = newOrderTable(c.Tag)
+				ts.byTag[c.Tag] = tbl
+			}
+			pid := l.PidOf(c)
+			for tag, cnt := range remaining {
+				if cnt > 0 {
+					tbl.add(Before, pid, tag)
+				}
+			}
+			for tag, cnt := range seen {
+				if cnt > 0 {
+					tbl.add(After, pid, tag)
+				}
+			}
+			seen[c.Tag]++
+		}
+		return true
+	})
+	return ts
+}
+
+// Tables bundles a document's labeling with both exact statistics.
+type Tables struct {
+	Labeling *pathenc.Labeling
+	Freq     *FreqTable
+	Order    *OrderTables
+}
+
+// Collect labels the document (if l is nil) and gathers both tables.
+func Collect(doc *xmltree.Document, l *pathenc.Labeling) *Tables {
+	if l == nil {
+		l = pathenc.Build(doc)
+	}
+	return &Tables{
+		Labeling: l,
+		Freq:     CollectFreq(doc, l),
+		Order:    CollectOrder(doc, l),
+	}
+}

@@ -1,0 +1,257 @@
+package stats
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"xpathest/internal/bitset"
+	"xpathest/internal/pathenc"
+)
+
+// CollectStream computes the exact statistics tables in two streaming
+// passes over serialized XML, without ever materializing the document
+// tree — the way a production system would summarize a document too
+// large to hold in memory (the paper's DBLP input is 65 MB):
+//
+//   - pass one discovers the distinct root-to-leaf paths (fixing the
+//     path-id width and the encoding table);
+//   - pass two assigns path ids bottom-up on a stack of open elements,
+//     accumulating the PathId-Frequency table and the Path-Order
+//     tables as elements close.
+//
+// Peak memory is O(max fanout × depth) plus the tables themselves —
+// per-sibling (tag, pid) pairs must be buffered until the parent
+// closes, because a parent's order cells need its children's final
+// path ids.
+//
+// The opener is invoked once per pass and must return equivalent
+// streams (e.g. re-open the same file). The returned Tables carry an
+// estimation-only labeling (no per-node labels).
+func CollectStream(opener func() (io.ReadCloser, error)) (*Tables, error) {
+	// Pass one: the encoding table.
+	r1, err := opener()
+	if err != nil {
+		return nil, err
+	}
+	paths, err := streamPaths(r1)
+	closeErr := r1.Close()
+	if err != nil {
+		return nil, err
+	}
+	if closeErr != nil {
+		return nil, closeErr
+	}
+	table, err := pathenc.NewTable(paths)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass two: path ids and both tables.
+	r2, err := opener()
+	if err != nil {
+		return nil, err
+	}
+	tables, err := streamTables(r2, table)
+	closeErr = r2.Close()
+	if err != nil {
+		return nil, err
+	}
+	if closeErr != nil {
+		return nil, closeErr
+	}
+	return tables, nil
+}
+
+// streamPaths collects distinct root-to-leaf tag paths in first-
+// occurrence document order (matching pathenc.Build).
+func streamPaths(r io.Reader) ([]string, error) {
+	dec := xml.NewDecoder(r)
+	var (
+		stack      []string
+		hasChild   []bool
+		paths      []string
+		seen       = map[string]bool{}
+		rootClosed bool
+	)
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("stats: stream pass 1: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if len(stack) == 0 && rootClosed {
+				return nil, fmt.Errorf("stats: multiple root elements")
+			}
+			if len(stack) > 0 {
+				hasChild[len(hasChild)-1] = true
+			}
+			stack = append(stack, t.Name.Local)
+			hasChild = append(hasChild, false)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("stats: unbalanced end element %q", t.Name.Local)
+			}
+			if !hasChild[len(hasChild)-1] {
+				p := strings.Join(stack, "/")
+				if !seen[p] {
+					seen[p] = true
+					paths = append(paths, p)
+				}
+			}
+			stack = stack[:len(stack)-1]
+			hasChild = hasChild[:len(hasChild)-1]
+			if len(stack) == 0 {
+				rootClosed = true
+			}
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("stats: unclosed element %q", stack[len(stack)-1])
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("stats: document has no element")
+	}
+	return paths, nil
+}
+
+// childEntry is a closed child buffered in its parent's frame.
+type childEntry struct {
+	tag string
+	pid *bitset.Bitset
+}
+
+// frame is one open element during pass two.
+type frame struct {
+	tag      string
+	pid      *bitset.Bitset // or-accumulator; nil until a child closes
+	children []childEntry
+}
+
+func streamTables(r io.Reader, table *pathenc.Table) (*Tables, error) {
+	lab := pathenc.EstimationLabeling(table, nil)
+	freq := &FreqTable{byTag: make(map[string][]PidFreq)}
+	freqIdx := make(map[string]map[string]int)
+	order := &OrderTables{byTag: make(map[string]*OrderTable)}
+	width := table.NumPaths()
+
+	addFreq := func(tag string, pid *bitset.Bitset) {
+		m, ok := freqIdx[tag]
+		if !ok {
+			m = make(map[string]int)
+			freqIdx[tag] = m
+		}
+		key := pid.Key()
+		if i, ok := m[key]; ok {
+			freq.byTag[tag][i].Freq++
+			return
+		}
+		m[key] = len(freq.byTag[tag])
+		freq.byTag[tag] = append(freq.byTag[tag], PidFreq{Pid: pid, Freq: 1})
+	}
+
+	// addOrder replays the CollectOrder sweep over one closed sibling
+	// list.
+	addOrder := func(kids []childEntry) {
+		if len(kids) < 2 {
+			return
+		}
+		remaining := map[string]int{}
+		for _, c := range kids {
+			remaining[c.tag]++
+		}
+		seen := map[string]int{}
+		for _, c := range kids {
+			remaining[c.tag]--
+			tbl := order.byTag[c.tag]
+			if tbl == nil {
+				tbl = newOrderTable(c.tag)
+				order.byTag[c.tag] = tbl
+			}
+			for tag, cnt := range remaining {
+				if cnt > 0 {
+					tbl.add(Before, c.pid, tag)
+				}
+			}
+			for tag, cnt := range seen {
+				if cnt > 0 {
+					tbl.add(After, c.pid, tag)
+				}
+			}
+			seen[c.tag]++
+		}
+	}
+
+	dec := xml.NewDecoder(r)
+	var stack []*frame
+	rootClosed := false
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("stats: stream pass 2: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if len(stack) == 0 && rootClosed {
+				return nil, fmt.Errorf("stats: multiple root elements")
+			}
+			stack = append(stack, &frame{tag: t.Name.Local})
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("stats: unbalanced end element %q", t.Name.Local)
+			}
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+
+			var pid *bitset.Bitset
+			if f.pid == nil {
+				// Leaf: its root-to-leaf path must be in the table.
+				var sb strings.Builder
+				for _, fr := range stack {
+					sb.WriteString(fr.tag)
+					sb.WriteByte('/')
+				}
+				sb.WriteString(f.tag)
+				enc := table.Encoding(sb.String())
+				if enc == 0 {
+					return nil, fmt.Errorf("stats: pass 2 saw unknown path %q (streams differ between passes?)", sb.String())
+				}
+				pid = bitset.New(width)
+				pid.Set(enc)
+			} else {
+				pid = f.pid
+			}
+			pid = lab.Intern(pid)
+			addFreq(f.tag, pid)
+			addOrder(f.children)
+			f.children = nil
+
+			if len(stack) == 0 {
+				rootClosed = true
+				continue
+			}
+			p := stack[len(stack)-1]
+			if p.pid == nil {
+				p.pid = pid.Clone()
+			} else {
+				p.pid.Or(pid)
+			}
+			p.children = append(p.children, childEntry{tag: f.tag, pid: pid})
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("stats: unclosed element %q", stack[len(stack)-1].tag)
+	}
+	if !rootClosed {
+		return nil, fmt.Errorf("stats: document has no element")
+	}
+	return &Tables{Labeling: lab, Freq: freq, Order: order}, nil
+}

@@ -1,0 +1,48 @@
+package summaryio
+
+import (
+	"bytes"
+	"testing"
+
+	"xpathest/internal/histogram"
+	"xpathest/internal/stats"
+	"xpathest/internal/xmltree"
+)
+
+// FuzzDecode checks that the summary decoder never panics or
+// over-allocates on arbitrary input; only the genuine stream (seeded
+// below) may decode successfully.
+func FuzzDecode(f *testing.F) {
+	// Seed with a real stream plus mutations.
+	b := xmltree.NewBuilder()
+	b.Open("r")
+	b.Open("a").Leaf("b", "").Leaf("c", "").Close()
+	b.Open("a").Leaf("b", "").Close()
+	b.Close()
+	tbs := stats.Collect(b.Document(), nil)
+	n := tbs.Labeling.NumDistinct()
+	ps := histogram.BuildPSet(tbs.Freq, n, 0)
+	os := histogram.BuildOSet(tbs.Order, ps, n, 0)
+	var buf bytes.Buffer
+	if err := Encode(&buf, tbs.Labeling.Table, tbs.Labeling.Distinct(), ps, os); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("XPSUM"))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successful decode must yield a coherent payload.
+		if payload.Table == nil || payload.P == nil || payload.O == nil {
+			t.Fatal("successful decode with nil components")
+		}
+		if payload.Table.NumPaths() == 0 {
+			t.Fatal("decoded table with no paths")
+		}
+	})
+}

@@ -1,0 +1,294 @@
+// Package workload generates the query workloads of Section 7:
+//
+//   - simple queries: random subsequences of the root-to-leaf paths in
+//     the encoding table, with child axes between tags that were
+//     adjacent on the path and descendant axes elsewhere;
+//   - branch queries: merges of two subsequences sharing a common tag
+//     — the shared prefix becomes the trunk, one remainder the
+//     predicate branch, the other the trunk continuation;
+//   - order queries: branch queries whose two sibling branches get a
+//     fixed order (following-sibling or preceding-sibling).
+//
+// Query sizes run from 3 to 12 steps; duplicates and negative queries
+// (exact selectivity 0) are removed, exactly as the paper prescribes,
+// "to obtain a reasonable average relative error".
+package workload
+
+import (
+	"math/rand"
+	"sort"
+
+	"xpathest/internal/eval"
+	"xpathest/internal/pathenc"
+	"xpathest/internal/xmltree"
+	"xpathest/internal/xpath"
+)
+
+// Config controls workload generation.
+type Config struct {
+	Seed int64
+
+	// NumSimple and NumBranch are the generation attempts before
+	// de-duplication and negative filtering (the paper uses 4000 each).
+	NumSimple int
+	NumBranch int
+
+	// MinSteps and MaxSteps bound the query size in steps (paper: 3–12).
+	MinSteps int
+	MaxSteps int
+}
+
+// withDefaults fills zero fields with the paper's parameters.
+func (c Config) withDefaults() Config {
+	if c.NumSimple == 0 {
+		c.NumSimple = 4000
+	}
+	if c.NumBranch == 0 {
+		c.NumBranch = 4000
+	}
+	if c.MinSteps == 0 {
+		c.MinSteps = 3
+	}
+	if c.MaxSteps == 0 {
+		c.MaxSteps = 12
+	}
+	return c
+}
+
+// Query is one workload query with its exact selectivity.
+type Query struct {
+	Path  *xpath.Path
+	Exact int
+
+	// TargetInTrunk distinguishes the two order-query populations of
+	// Figures 12 and 13. Meaningless for no-order queries.
+	TargetInTrunk bool
+}
+
+// Workload is a generated query set over one document.
+type Workload struct {
+	Simple []Query
+	Branch []Query
+
+	// OrderBranch are order queries whose target sits in a branch part
+	// (Figure 12); OrderTrunk in the trunk part (Figure 13).
+	OrderBranch []Query
+	OrderTrunk  []Query
+}
+
+// Total returns the number of no-order queries (the "Total" column of
+// Table 2).
+func (w *Workload) Total() int { return len(w.Simple) + len(w.Branch) }
+
+// TotalOrder returns the number of order queries.
+func (w *Workload) TotalOrder() int { return len(w.OrderBranch) + len(w.OrderTrunk) }
+
+// Generate builds the workload for a document. The labeling may be
+// nil (it is rebuilt); pass the existing one to avoid recomputation.
+func Generate(doc *xmltree.Document, lab *pathenc.Labeling, cfg Config) *Workload {
+	cfg = cfg.withDefaults()
+	if lab == nil {
+		lab = pathenc.Build(doc)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ev := eval.New(doc)
+	w := &Workload{}
+
+	type sub struct {
+		tags []string
+		adj  []bool // adj[i]: tags[i] was adjacent to tags[i-1]; adj[0]: tags[0] is the path root
+	}
+
+	// subsequence draws a random ordered subsequence of a random
+	// root-to-leaf path. Half the time it takes a contiguous window
+	// (yielding child-axis chains, which are also what the sibling
+	// anchoring of order queries needs); otherwise a random subset.
+	subsequence := func(size int) sub {
+		tags := lab.Table.PathTags(1 + rng.Intn(lab.Table.NumPaths()))
+		if size > len(tags) {
+			size = len(tags)
+		}
+		var idx []int
+		if rng.Intn(2) == 0 {
+			start := rng.Intn(len(tags) - size + 1)
+			for i := 0; i < size; i++ {
+				idx = append(idx, start+i)
+			}
+		} else {
+			idx = rng.Perm(len(tags))[:size]
+		}
+		sort.Ints(idx)
+		s := sub{}
+		prev := -2
+		for _, i := range idx {
+			s.tags = append(s.tags, tags[i])
+			s.adj = append(s.adj, i == prev+1 || (len(s.adj) == 0 && i == 0))
+			prev = i
+		}
+		return s
+	}
+
+	toPath := func(s sub) *xpath.Path {
+		p := &xpath.Path{}
+		for i, tag := range s.tags {
+			axis := xpath.Descendant
+			if s.adj[i] {
+				axis = xpath.Child
+			}
+			p.Steps = append(p.Steps, &xpath.Step{Axis: axis, Tag: tag})
+		}
+		return p
+	}
+
+	seen := map[string]bool{}
+	keep := func(list *[]Query, p *xpath.Path, trunk bool) {
+		key := p.String()
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		exact, err := ev.Selectivity(p)
+		if err != nil || exact == 0 {
+			return
+		}
+		*list = append(*list, Query{Path: p, Exact: exact, TargetInTrunk: trunk})
+	}
+
+	// Simple queries.
+	for i := 0; i < cfg.NumSimple; i++ {
+		size := cfg.MinSteps + rng.Intn(cfg.MaxSteps-cfg.MinSteps+1)
+		s := subsequence(size)
+		if len(s.tags) < 2 {
+			continue
+		}
+		keep(&w.Simple, toPath(s), true)
+	}
+
+	// Branch queries: merge two subsequences at a shared tag. Record
+	// the merge shape so order queries can be derived from it.
+	type merge struct {
+		trunk        sub // up to and including the shared tag
+		branch, cont sub // remainders of the two subsequences
+	}
+	var merges []merge
+
+	for i := 0; i < cfg.NumBranch; i++ {
+		size := cfg.MinSteps + rng.Intn(cfg.MaxSteps-cfg.MinSteps+1)
+		a := subsequence(1 + size/2)
+		b := subsequence(1 + size/2)
+		// Find a shared tag.
+		var ai, bi = -1, -1
+		for i, ta := range a.tags {
+			for j, tb := range b.tags {
+				if ta == tb {
+					ai, bi = i, j
+					break
+				}
+			}
+			if ai >= 0 {
+				break
+			}
+		}
+		if ai < 0 || ai == len(a.tags)-1 || bi == len(b.tags)-1 {
+			continue // no shared tag, or nothing left to branch
+		}
+		m := merge{
+			trunk:  sub{tags: a.tags[:ai+1], adj: a.adj[:ai+1]},
+			branch: sub{tags: b.tags[bi+1:], adj: b.adj[bi+1:]},
+			cont:   sub{tags: a.tags[ai+1:], adj: a.adj[ai+1:]},
+		}
+		merges = append(merges, m)
+
+		p := toPath(m.trunk)
+		holder := p.Steps[len(p.Steps)-1]
+		holder.Preds = append(holder.Preds, toPath(m.branch))
+		p.Steps = append(p.Steps, toPath(m.cont).Steps...)
+		// Target: random step, biased to the default (last trunk step)
+		// half the time; otherwise any step including branch ones.
+		if rng.Intn(2) == 0 {
+			all := collectSteps(p)
+			all[rng.Intn(len(all))].Target = true
+		}
+		tgt, err := p.TargetStep()
+		if err != nil {
+			continue
+		}
+		keep(&w.Branch, p, onTrunk(p, tgt))
+	}
+
+	// Order queries: re-derive from the recorded merges, fixing the
+	// order between the two sibling branches. Both sibling nodes must
+	// be child-axis anchored under the trunk's last node (the
+	// standardized form of Section 5). Both directions are generated —
+	// "fixing the order" either way — and for each, one trunk-target
+	// and one branch-target variant, so the negative filter decides
+	// which survive (most sibling pairs admit only one direction).
+	for _, m := range merges {
+		if len(m.branch.tags) == 0 || len(m.cont.tags) == 0 {
+			continue
+		}
+		if !m.branch.adj[0] || !m.cont.adj[0] {
+			continue
+		}
+		for _, axis := range []xpath.Axis{xpath.FollowingSibling, xpath.PrecedingSibling} {
+			for _, trunkTarget := range []bool{true, false} {
+				p := toPath(m.trunk)
+				holder := p.Steps[len(p.Steps)-1]
+				pred := toPath(m.branch)
+				contSteps := toPath(m.cont).Steps
+				contSteps[0].Axis = axis
+				pred.Steps = append(pred.Steps, contSteps...)
+				holder.Preds = append(holder.Preds, pred)
+
+				if trunkTarget {
+					p.Steps[rng.Intn(len(p.Steps))].Target = true
+				} else {
+					pred.Steps[rng.Intn(len(pred.Steps))].Target = true
+				}
+				tgt, err := p.TargetStep()
+				if err != nil {
+					continue
+				}
+				if onTrunk(p, tgt) {
+					keep(&w.OrderTrunk, p, true)
+				} else {
+					keep(&w.OrderBranch, p, false)
+				}
+			}
+		}
+	}
+
+	return w
+}
+
+// collectSteps returns every step of the query, predicates included.
+func collectSteps(p *xpath.Path) []*xpath.Step {
+	var out []*xpath.Step
+	var rec func(q *xpath.Path)
+	rec = func(q *xpath.Path) {
+		for _, s := range q.Steps {
+			out = append(out, s)
+			for _, pred := range s.Preds {
+				rec(pred)
+			}
+		}
+	}
+	rec(p)
+	return out
+}
+
+// onTrunk reports whether the target is in the trunk part in the
+// paper's sense: on the outermost path with no predicate hanging on an
+// earlier step (targets after the branching point are branch-estimated,
+// see Section 4).
+func onTrunk(p *xpath.Path, target *xpath.Step) bool {
+	for _, s := range p.Steps {
+		if s == target {
+			return true
+		}
+		if len(s.Preds) > 0 {
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"testing"
+
+	"xpathest/internal/datagen"
+	"xpathest/internal/eval"
+	"xpathest/internal/paperfig"
+	"xpathest/internal/pathenc"
+	"xpathest/internal/xpath"
+)
+
+func TestGeneratePaperDoc(t *testing.T) {
+	doc := paperfig.Doc()
+	w := Generate(doc, nil, Config{Seed: 1, NumSimple: 300, NumBranch: 300, MinSteps: 2, MaxSteps: 4})
+	if len(w.Simple) == 0 {
+		t.Fatal("no simple queries generated")
+	}
+	if len(w.Branch) == 0 {
+		t.Fatal("no branch queries generated")
+	}
+	if w.Total() != len(w.Simple)+len(w.Branch) {
+		t.Fatal("Total miscounts")
+	}
+	ev := eval.New(doc)
+	seen := map[string]bool{}
+	for _, lists := range [][]Query{w.Simple, w.Branch, w.OrderBranch, w.OrderTrunk} {
+		for _, q := range lists {
+			key := q.Path.String()
+			if seen[key] {
+				t.Fatalf("duplicate query %s", key)
+			}
+			seen[key] = true
+			got, err := ev.Selectivity(q.Path)
+			if err != nil {
+				t.Fatalf("%s: %v", key, err)
+			}
+			if got != q.Exact {
+				t.Fatalf("%s: stored exact %d, recomputed %d", key, q.Exact, got)
+			}
+			if q.Exact == 0 {
+				t.Fatalf("%s: negative query kept", key)
+			}
+		}
+	}
+}
+
+func TestSimpleQueriesAreSimple(t *testing.T) {
+	doc := paperfig.Doc()
+	w := Generate(doc, nil, Config{Seed: 2, NumSimple: 200, NumBranch: 0, MinSteps: 2, MaxSteps: 4})
+	for _, q := range w.Simple {
+		if q.Path.HasBranch() || q.Path.HasOrderAxis() {
+			t.Fatalf("simple query %s has branches or order axes", q.Path)
+		}
+		if n := q.Path.NumSteps(); n < 2 || n > 4 {
+			t.Fatalf("simple query %s has %d steps", q.Path, n)
+		}
+		if !q.TargetInTrunk {
+			t.Fatalf("simple query %s not marked trunk", q.Path)
+		}
+	}
+}
+
+func TestBranchQueriesHaveBranches(t *testing.T) {
+	doc := datagen.SSPlays(datagen.Config{Seed: 3, Scale: 0.02})
+	lab := pathenc.Build(doc)
+	w := Generate(doc, lab, Config{Seed: 3, NumSimple: 0, NumBranch: 500, MinSteps: 3, MaxSteps: 6})
+	if len(w.Branch) == 0 {
+		t.Fatal("no branch queries")
+	}
+	for _, q := range w.Branch {
+		if !q.Path.HasBranch() {
+			t.Fatalf("branch query %s has no predicate", q.Path)
+		}
+		if q.Path.HasOrderAxis() {
+			t.Fatalf("branch query %s has an order axis", q.Path)
+		}
+	}
+}
+
+func TestOrderQueriesShape(t *testing.T) {
+	doc := datagen.SSPlays(datagen.Config{Seed: 4, Scale: 0.02})
+	w := Generate(doc, nil, Config{Seed: 4, NumSimple: 0, NumBranch: 1500, MinSteps: 3, MaxSteps: 8})
+	if w.TotalOrder() == 0 {
+		t.Fatal("no order queries generated")
+	}
+	for _, q := range append(append([]Query{}, w.OrderBranch...), w.OrderTrunk...) {
+		if !q.Path.HasOrderAxis() {
+			t.Fatalf("order query %s has no order axis", q.Path)
+		}
+		// The query must be estimable (standardized shape).
+		if _, err := xpath.BuildTree(q.Path); err != nil {
+			t.Fatalf("order query %s not anchorable: %v", q.Path, err)
+		}
+	}
+	for _, q := range w.OrderTrunk {
+		if !q.TargetInTrunk {
+			t.Fatal("OrderTrunk query marked branch")
+		}
+	}
+	for _, q := range w.OrderBranch {
+		if q.TargetInTrunk {
+			t.Fatal("OrderBranch query marked trunk")
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	doc := paperfig.Doc()
+	cfg := Config{Seed: 9, NumSimple: 100, NumBranch: 100, MinSteps: 2, MaxSteps: 4}
+	a := Generate(doc, nil, cfg)
+	b := Generate(doc, nil, cfg)
+	if a.Total() != b.Total() || a.TotalOrder() != b.TotalOrder() {
+		t.Fatalf("same seed, different counts: %d/%d vs %d/%d",
+			a.Total(), a.TotalOrder(), b.Total(), b.TotalOrder())
+	}
+	for i := range a.Simple {
+		if a.Simple[i].Path.String() != b.Simple[i].Path.String() {
+			t.Fatal("same seed, different queries")
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.NumSimple != 4000 || c.NumBranch != 4000 || c.MinSteps != 3 || c.MaxSteps != 12 {
+		t.Fatalf("defaults = %+v", c)
+	}
+}
+
+func TestOnTrunk(t *testing.T) {
+	p := xpath.MustParse("//A[/C/F]/B/D")
+	steps := collectSteps(p)
+	// Steps: A, C, F, B, D. A is trunk; C, F in the predicate; B, D
+	// after the branching point.
+	want := map[string]bool{"A": true, "C": false, "F": false, "B": false, "D": false}
+	for _, s := range steps {
+		if got := onTrunk(p, s); got != want[s.Tag] {
+			t.Errorf("onTrunk(%s) = %v, want %v", s.Tag, got, want[s.Tag])
+		}
+	}
+}

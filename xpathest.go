@@ -1,0 +1,378 @@
+// Package xpathest estimates the result sizes of XPath expressions —
+// with and without order-based axes — from compact summary structures,
+// reproducing "An Estimation System for XPath Expressions" (Li, Lee,
+// Hsu, Cong; ICDE 2006).
+//
+// The pipeline: parse or generate an XML document, label it with the
+// path encoding scheme, collect PathId-Frequency and Path-Order
+// statistics, compress them into p- and o-histograms at chosen
+// variance thresholds, and estimate query selectivities through the
+// path join and the order-axis formulas of the paper:
+//
+//	doc, _ := xpathest.ParseDocumentString(xml)
+//	sum := doc.BuildSummary(xpathest.SummaryOptions{})
+//	est, _ := sum.Estimate("//play[/act/folls::epilogue]")
+//	exact, _ := doc.ExactCount("//play[/act/folls::epilogue]")
+//
+// Queries use the paper's XPath fragment: "/" (child), "//"
+// (descendant), "[...]" branch predicates, and the order axes
+// following-sibling (folls::), preceding-sibling (pres::), following
+// (foll::) and preceding (pre::). An optional "!" after a tag marks
+// the target node whose selectivity is estimated; by default it is the
+// last step of the outermost path.
+package xpathest
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+
+	"xpathest/internal/core"
+	"xpathest/internal/datagen"
+	"xpathest/internal/eval"
+	"xpathest/internal/exec"
+	"xpathest/internal/histogram"
+	"xpathest/internal/pathenc"
+	"xpathest/internal/pidtree"
+	"xpathest/internal/stats"
+	"xpathest/internal/xmltree"
+	"xpathest/internal/xpath"
+)
+
+// Document is a parsed and labeled XML document, ready for summary
+// construction and exact evaluation. It is immutable and safe for
+// concurrent use.
+type Document struct {
+	doc    *xmltree.Document
+	lab    *pathenc.Labeling
+	tables *stats.Tables
+	tree   *pidtree.Tree
+	ev     *eval.Evaluator
+
+	execOnce sync.Once
+	exec     *exec.Executor
+}
+
+// ParseDocument reads an XML document and prepares it: builds the path
+// encoding, labels every element with its path id, collects the
+// PathId-Frequency and Path-Order statistics, and indexes the distinct
+// path ids in the compressed binary tree.
+func ParseDocument(r io.Reader) (*Document, error) {
+	doc, err := xmltree.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return prepare(doc), nil
+}
+
+// ParseDocumentString is ParseDocument over a string.
+func ParseDocumentString(s string) (*Document, error) {
+	return ParseDocument(strings.NewReader(s))
+}
+
+// LoadDocument reads an XML file from disk.
+func LoadDocument(path string) (*Document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseDocument(f)
+}
+
+func prepare(doc *xmltree.Document) *Document {
+	lab := pathenc.Build(doc)
+	return &Document{
+		doc:    doc,
+		lab:    lab,
+		tables: stats.Collect(doc, lab),
+		tree:   pidtree.Build(lab.Distinct()),
+		ev:     eval.New(doc),
+	}
+}
+
+// Dataset names a built-in synthetic dataset generator.
+type Dataset string
+
+// The three datasets of the paper's evaluation (Table 1), generated
+// synthetically; see DESIGN.md for the substitution rationale.
+const (
+	SSPlays Dataset = "SSPlays"
+	DBLP    Dataset = "DBLP"
+	XMark   Dataset = "XMark"
+)
+
+// GenerateDataset builds one of the paper's evaluation datasets at the
+// given scale (1.0 ≈ paper size) and prepares it like ParseDocument.
+func GenerateDataset(name Dataset, seed int64, scale float64) (*Document, error) {
+	for _, ds := range datagen.Datasets() {
+		if ds.Name == string(name) {
+			return prepare(ds.Gen(datagen.Config{Seed: seed, Scale: scale})), nil
+		}
+	}
+	return nil, fmt.Errorf("xpathest: unknown dataset %q (have SSPlays, DBLP, XMark)", name)
+}
+
+// NumElements returns the number of element nodes.
+func (d *Document) NumElements() int { return d.doc.NumElements() }
+
+// NumDistinctTags returns the number of distinct element names.
+func (d *Document) NumDistinctTags() int { return d.doc.NumDistinctTags() }
+
+// NumDistinctPaths returns the number of distinct root-to-leaf tag
+// paths (the path-id width in bits).
+func (d *Document) NumDistinctPaths() int { return d.lab.Table.NumPaths() }
+
+// NumDistinctPathIDs returns the number of distinct path ids.
+func (d *Document) NumDistinctPathIDs() int { return d.lab.NumDistinct() }
+
+// SizeBytes returns the byte size of the document as parsed or
+// generated.
+func (d *Document) SizeBytes() int64 { return d.doc.Bytes }
+
+// WriteXML serializes the document as XML to w (indented when indent
+// is true); reparsing the output reproduces the document's structure.
+func (d *Document) WriteXML(w io.Writer, indent bool) error {
+	return d.doc.WriteXML(w, indent)
+}
+
+// ExactCount evaluates the query exactly on the document tree and
+// returns the true selectivity of its target node.
+func (d *Document) ExactCount(query string) (int, error) {
+	p, err := xpath.Parse(query)
+	if err != nil {
+		return 0, err
+	}
+	return d.ev.Selectivity(p)
+}
+
+// IndexedCount evaluates the query exactly like ExactCount, but first
+// prunes the evaluator's candidate sets with the path join's surviving
+// path ids — the structural-join acceleration the labeling scheme was
+// designed for. Results always equal ExactCount; on wide documents
+// with selective predicates it is several times faster.
+func (d *Document) IndexedCount(query string) (int, error) {
+	p, err := xpath.Parse(query)
+	if err != nil {
+		return 0, err
+	}
+	d.execOnce.Do(func() {
+		d.exec = exec.New(d.doc, d.lab, d.tables)
+	})
+	return d.exec.Count(p)
+}
+
+// Match is one concrete query answer.
+type Match struct {
+	// Tag is the element name of the matched node.
+	Tag string
+	// Path is the root-to-node tag path, e.g. "site/people/person".
+	Path string
+	// Text is the node's direct character data, if any.
+	Text string
+}
+
+// Matches evaluates the query exactly and returns the matched target
+// nodes in document order.
+func (d *Document) Matches(query string) ([]Match, error) {
+	p, err := xpath.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	nodes, err := d.ev.Matches(p)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Match, len(nodes))
+	for i, n := range nodes {
+		out[i] = Match{Tag: n.Tag, Path: n.PathString(), Text: n.Text}
+	}
+	return out, nil
+}
+
+// ParseQuery validates a query string against the supported fragment
+// and returns its canonical form.
+func ParseQuery(query string) (string, error) {
+	p, err := xpath.Parse(query)
+	if err != nil {
+		return "", err
+	}
+	return p.String(), nil
+}
+
+// SummaryOptions controls synopsis construction.
+type SummaryOptions struct {
+	// PVariance is the intra-bucket frequency variance threshold of
+	// the p-histogram (Algorithm 1). 0 stores exact frequencies; the
+	// paper recommends 0–2.
+	PVariance float64
+
+	// OVariance is the variance threshold of the o-histogram
+	// (Algorithm 2). 0 stores exact order counts; the paper recommends
+	// 0–4.
+	OVariance float64
+
+	// Exact bypasses the histograms entirely and estimates from the
+	// uncompressed tables (equivalent to both variances at 0, but
+	// without histogram construction cost).
+	Exact bool
+}
+
+// Summary is a built synopsis plus its estimator. It is immutable and
+// safe for concurrent use. A Summary can be serialized with Save and
+// loaded back — without the document — via ReadSummary.
+type Summary struct {
+	opts SummaryOptions
+	est  *core.Estimator
+
+	lab  *pathenc.Labeling
+	tree *pidtree.Tree
+	ps   *histogram.PSet
+	os   *histogram.OSet
+
+	pBytes, oBytes int
+}
+
+// BuildSummary constructs the p- and o-histograms at the requested
+// variance thresholds and returns the estimator over them.
+func (d *Document) BuildSummary(opts SummaryOptions) *Summary {
+	s := &Summary{opts: opts, lab: d.lab, tree: d.tree}
+	if opts.Exact {
+		s.est = core.New(d.lab, core.TableSource{Tables: d.tables})
+		s.pBytes = d.tables.Freq.SizeBytes(pidRefBytes(d.lab.NumDistinct()))
+		s.oBytes = d.tables.Order.SizeBytes(pidRefBytes(d.lab.NumDistinct()))
+		// Keep variance-0 histograms around so an Exact summary can
+		// still be serialized (they are equivalent).
+		s.ps = histogramBuildP(d.tables, d.lab.NumDistinct(), 0)
+		s.os = histogramBuildO(d.tables, s.ps, d.lab.NumDistinct(), 0)
+		return s
+	}
+	n := d.lab.NumDistinct()
+	s.ps = histogramBuildP(d.tables, n, opts.PVariance)
+	s.os = histogramBuildO(d.tables, s.ps, n, opts.OVariance)
+	s.est = core.New(d.lab, core.HistogramSource{P: s.ps, O: s.os})
+	s.pBytes = s.ps.SizeBytes()
+	s.oBytes = s.os.SizeBytes()
+	return s
+}
+
+// Estimate returns the estimated selectivity of the query's target
+// node.
+func (s *Summary) Estimate(query string) (float64, error) {
+	return s.est.EstimateString(query)
+}
+
+// Explanation is a human-readable derivation of one estimate: which of
+// the paper's formulas applied (Theorem 4.1, Equations (2)–(5), the
+// Example 5.3 rewriting) and the intermediate quantities.
+type Explanation struct {
+	Query string
+	Value float64
+	Steps []string
+}
+
+// String renders the derivation, one step per line.
+func (x Explanation) String() string {
+	out := fmt.Sprintf("%s = %.4g\n", x.Query, x.Value)
+	for _, s := range x.Steps {
+		out += "  " + s + "\n"
+	}
+	return out
+}
+
+// Explain estimates the query while recording how the value was
+// derived.
+func (s *Summary) Explain(query string) (Explanation, error) {
+	x, err := s.est.ExplainString(query)
+	if err != nil {
+		return Explanation{}, err
+	}
+	return Explanation{Query: x.Query, Value: x.Value, Steps: x.Steps}, nil
+}
+
+// SizeBreakdown itemizes the memory cost of the summary under the
+// repository's documented cost model (see DESIGN.md).
+type SizeBreakdown struct {
+	EncodingTableBytes int
+	PidBinaryTreeBytes int
+	PHistogramBytes    int
+	OHistogramBytes    int
+}
+
+// Total sums all components.
+func (b SizeBreakdown) Total() int {
+	return b.EncodingTableBytes + b.PidBinaryTreeBytes + b.PHistogramBytes + b.OHistogramBytes
+}
+
+// Sizes returns the summary's memory breakdown.
+func (s *Summary) Sizes() SizeBreakdown {
+	return SizeBreakdown{
+		EncodingTableBytes: s.lab.Table.SizeBytes(),
+		PidBinaryTreeBytes: s.tree.SizeBytes(),
+		PHistogramBytes:    s.pBytes,
+		OHistogramBytes:    s.oBytes,
+	}
+}
+
+// Save serializes the summary — encoding table, path-id dictionary
+// and both histograms — as a versioned, checksummed binary stream that
+// ReadSummary loads back without the document. An Exact summary is
+// written as its equivalent variance-0 histograms.
+func (s *Summary) Save(w io.Writer) error {
+	return summaryEncode(w, s.lab, s.ps, s.os)
+}
+
+// SummarizeFile builds a summary directly from an XML file in two
+// streaming passes, without materializing the document tree — the
+// route for inputs too large to hold in memory. Peak memory is
+// O(max fanout × depth) plus the statistics tables. The returned
+// Summary carries no document, so only Estimate, Sizes and Save are
+// available; ExactCount needs ParseDocument/LoadDocument.
+func SummarizeFile(path string, opts SummaryOptions) (*Summary, error) {
+	return SummarizeStream(func() (io.ReadCloser, error) { return os.Open(path) }, opts)
+}
+
+// SummarizeStream is SummarizeFile over any re-openable source: the
+// opener is called once per pass and must yield equivalent streams.
+func SummarizeStream(opener func() (io.ReadCloser, error), opts SummaryOptions) (*Summary, error) {
+	tables, err := stats.CollectStream(opener)
+	if err != nil {
+		return nil, err
+	}
+	lab := tables.Labeling
+	s := &Summary{opts: opts, lab: lab, tree: pidtree.Build(lab.Distinct())}
+	n := lab.NumDistinct()
+	pv, ov := opts.PVariance, opts.OVariance
+	if opts.Exact {
+		pv, ov = 0, 0
+	}
+	s.ps = histogramBuildP(tables, n, pv)
+	s.os = histogramBuildO(tables, s.ps, n, ov)
+	s.est = core.New(lab, core.HistogramSource{P: s.ps, O: s.os})
+	s.pBytes = s.ps.SizeBytes()
+	s.oBytes = s.os.SizeBytes()
+	return s, nil
+}
+
+// ReadSummary loads a summary serialized by Save. The returned
+// Summary estimates exactly like the original; it carries no document,
+// so only Estimate and Sizes are available.
+func ReadSummary(r io.Reader) (*Summary, error) {
+	lab, ps, os, err := summaryDecode(r)
+	if err != nil {
+		return nil, err
+	}
+	s := &Summary{
+		opts: SummaryOptions{PVariance: ps.Threshold, OVariance: os.Threshold},
+		lab:  lab,
+		tree: pidtree.Build(lab.Distinct()),
+		ps:   ps,
+		os:   os,
+		est:  core.New(lab, core.HistogramSource{P: ps, O: os}),
+	}
+	s.pBytes = ps.SizeBytes()
+	s.oBytes = os.SizeBytes()
+	return s, nil
+}
