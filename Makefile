@@ -2,9 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build test vet race cover bench fuzz experiments examples clean
+.PHONY: all build test vet race cover bench fuzz ci experiments examples clean
 
 all: build vet test
+
+# What .github/workflows/ci.yml runs; keep the two in sync.
+ci: build vet race
+	$(GO) test -run XXX -fuzz FuzzParse -fuzztime 30s ./internal/xpath/
+	$(GO) test -run XXX -fuzz FuzzParse -fuzztime 30s ./internal/xmltree/
+	$(GO) test -run XXX -fuzz FuzzDecode -fuzztime 30s ./internal/summaryio/
 
 build:
 	$(GO) build ./...

@@ -12,6 +12,9 @@
 //	xpest experiments -run all -scale 0.125
 //	    regenerate the paper's tables and figures (table1..table5,
 //	    fig9..fig13, or all)
+//
+//	xpest serve -addr :8321 -summaries ./summaries
+//	    run the hardened HTTP estimation service
 package main
 
 import (
@@ -47,6 +50,8 @@ func main() {
 		err = cmdWorkload(os.Args[2:])
 	case "experiments":
 		err = cmdExperiments(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -70,6 +75,7 @@ commands:
   estimate     estimate query selectivities against a document or a saved summary
   workload     generate a Section 7 query workload as CSV (query, exact, kind)
   experiments  regenerate the paper's tables and figures
+  serve        run the hardened HTTP estimation service (see docs/OPERATIONS.md)
 
 run 'xpest <command> -h' for command flags
 `)

@@ -1,0 +1,209 @@
+package xpathest
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+
+	"xpathest/internal/core"
+	"xpathest/internal/guard"
+	"xpathest/internal/pidtree"
+	"xpathest/internal/stats"
+	"xpathest/internal/xmltree"
+	"xpathest/internal/xpath"
+)
+
+// Limits bounds the resources one untrusted input may consume; see the
+// field docs in internal/guard. The zero value means "unlimited" for
+// every dimension, matching the behavior of the non-Context API.
+type Limits = guard.Limits
+
+// DefaultLimits returns the limits the serving layer starts from:
+// generous enough for every dataset of the paper at full scale, small
+// enough that a hostile input cannot exhaust the process.
+func DefaultLimits() Limits { return guard.DefaultLimits() }
+
+// The error taxonomy of the hardened API. Every error produced by the
+// input-facing paths wraps exactly one of these sentinels, so callers
+// dispatch with errors.Is instead of string matching.
+var (
+	// ErrLimitExceeded: the input was structurally valid but larger
+	// than the configured Limits allow.
+	ErrLimitExceeded = guard.ErrLimitExceeded
+	// ErrCorruptSummary: a serialized summary stream failed structural
+	// validation (bad magic, truncation, checksum mismatch, ...).
+	ErrCorruptSummary = guard.ErrCorruptSummary
+	// ErrMalformedQuery: a query string is outside the supported XPath
+	// fragment.
+	ErrMalformedQuery = guard.ErrMalformedQuery
+	// ErrCanceled: the context was canceled or its deadline expired
+	// before the operation completed.
+	ErrCanceled = guard.ErrCanceled
+	// ErrInternal: a recovered panic — a bug, never the input's fault.
+	ErrInternal = guard.ErrInternal
+)
+
+// ParseDocumentContext is ParseDocument under resource limits and
+// cancellation: parsing stops with an ErrLimitExceeded-wrapped error as
+// soon as the document exceeds lim, and with ErrCanceled once ctx is
+// done. Limit checks run while streaming, before the offending input
+// is materialized.
+func ParseDocumentContext(ctx context.Context, r io.Reader, lim Limits) (*Document, error) {
+	doc, err := xmltree.ParseContext(ctx, r, lim)
+	if err != nil {
+		return nil, err
+	}
+	if err := guard.CheckContext(ctx); err != nil {
+		return nil, err
+	}
+	return prepare(doc)
+}
+
+// LoadDocumentContext is LoadDocument under resource limits and
+// cancellation.
+func LoadDocumentContext(ctx context.Context, path string, lim Limits) (*Document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseDocumentContext(ctx, f, lim)
+}
+
+// BuildSummaryContext is BuildSummary honoring cancellation at
+// histogram-construction loop boundaries.
+func (d *Document) BuildSummaryContext(ctx context.Context, opts SummaryOptions) (*Summary, error) {
+	if err := guard.CheckContext(ctx); err != nil {
+		return nil, err
+	}
+	s := &Summary{opts: opts, lab: d.lab, tree: d.tree}
+	n := d.lab.NumDistinct()
+	pv, ov := opts.PVariance, opts.OVariance
+	if opts.Exact {
+		pv, ov = 0, 0
+	}
+	ps, err := histogramBuildPContext(ctx, d.tables, n, pv)
+	if err != nil {
+		return nil, err
+	}
+	os, err := histogramBuildOContext(ctx, d.tables, ps, n, ov)
+	if err != nil {
+		return nil, err
+	}
+	s.ps, s.os = ps, os
+	if opts.Exact {
+		s.est = core.New(d.lab, core.TableSource{Tables: d.tables})
+		s.pBytes = d.tables.Freq.SizeBytes(pidRefBytes(n))
+		s.oBytes = d.tables.Order.SizeBytes(pidRefBytes(n))
+	} else {
+		s.est = core.New(d.lab, core.HistogramSource{P: ps, O: os})
+		s.pBytes = ps.SizeBytes()
+		s.oBytes = os.SizeBytes()
+	}
+	return s, nil
+}
+
+// ExactCountContext is ExactCount honoring cancellation at the
+// evaluator's candidate-loop boundaries — the route a serving process
+// uses so a client hang-up stops an expensive exact evaluation.
+func (d *Document) ExactCountContext(ctx context.Context, query string) (int, error) {
+	p, err := xpath.Parse(query)
+	if err != nil {
+		return 0, err
+	}
+	if err := guard.CheckContext(ctx); err != nil {
+		return 0, err
+	}
+	return d.ev.SelectivityContext(ctx, p)
+}
+
+// EstimateContext is Estimate with a cancellation check and panic
+// isolation: a panic anywhere in estimation comes back as an
+// ErrInternal-wrapped error instead of unwinding the caller. Estimation
+// itself is fast (no per-candidate loops), so the context is checked on
+// entry rather than mid-flight.
+func (s *Summary) EstimateContext(ctx context.Context, query string) (float64, error) {
+	if err := guard.CheckContext(ctx); err != nil {
+		return 0, err
+	}
+	var v float64
+	err := guard.Safe("estimate", func() error {
+		var err error
+		v, err = s.est.EstimateString(query)
+		return err
+	})
+	return v, err
+}
+
+// SummarizeFileContext is SummarizeFile under resource limits and
+// cancellation.
+func SummarizeFileContext(ctx context.Context, path string, opts SummaryOptions, lim Limits) (*Summary, error) {
+	return SummarizeStreamContext(ctx, func() (io.ReadCloser, error) { return os.Open(path) }, opts, lim)
+}
+
+// SummarizeStreamContext is SummarizeStream under resource limits and
+// cancellation: both streaming passes enforce lim and poll ctx, and the
+// histogram builds honor cancellation too.
+func SummarizeStreamContext(ctx context.Context, opener func() (io.ReadCloser, error), opts SummaryOptions, lim Limits) (*Summary, error) {
+	tables, err := stats.CollectStreamContext(ctx, opener, lim)
+	if err != nil {
+		return nil, err
+	}
+	lab := tables.Labeling
+	tree, err := pidtree.Build(lab.Distinct())
+	if err != nil {
+		return nil, err
+	}
+	s := &Summary{opts: opts, lab: lab, tree: tree}
+	n := lab.NumDistinct()
+	pv, ov := opts.PVariance, opts.OVariance
+	if opts.Exact {
+		pv, ov = 0, 0
+	}
+	ps, err := histogramBuildPContext(ctx, tables, n, pv)
+	if err != nil {
+		return nil, err
+	}
+	os, err := histogramBuildOContext(ctx, tables, ps, n, ov)
+	if err != nil {
+		return nil, err
+	}
+	s.ps, s.os = ps, os
+	s.est = core.New(lab, core.HistogramSource{P: ps, O: os})
+	s.pBytes = ps.SizeBytes()
+	s.oBytes = os.SizeBytes()
+	return s, nil
+}
+
+// ReadSummaryContext is ReadSummary under resource limits and
+// cancellation: the decoder refuses to consume more than
+// lim.MaxSummaryBytes (checked before each allocation, so a hostile
+// length field cannot force a huge allocation first).
+func ReadSummaryContext(ctx context.Context, r io.Reader, lim Limits) (*Summary, error) {
+	if err := guard.CheckContext(ctx); err != nil {
+		return nil, err
+	}
+	lab, ps, os, err := summaryDecodeLimited(r, lim.MaxSummaryBytes)
+	if err != nil {
+		return nil, err
+	}
+	if err := guard.CheckContext(ctx); err != nil {
+		return nil, err
+	}
+	tree, err := pidtree.Build(lab.Distinct())
+	if err != nil {
+		return nil, fmt.Errorf("xpathest: %v: %w", err, guard.ErrCorruptSummary)
+	}
+	s := &Summary{
+		opts: SummaryOptions{PVariance: ps.Threshold, OVariance: os.Threshold},
+		lab:  lab,
+		tree: tree,
+		ps:   ps,
+		os:   os,
+		est:  core.New(lab, core.HistogramSource{P: ps, O: os}),
+	}
+	s.pBytes = ps.SizeBytes()
+	s.oBytes = os.SizeBytes()
+	return s, nil
+}

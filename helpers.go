@@ -1,6 +1,7 @@
 package xpathest
 
 import (
+	"context"
 	"io"
 
 	"xpathest/internal/histogram"
@@ -21,7 +22,11 @@ func summaryEncode(w io.Writer, lab *pathenc.Labeling, ps *histogram.PSet, os *h
 }
 
 func summaryDecode(r io.Reader) (*pathenc.Labeling, *histogram.PSet, *histogram.OSet, error) {
-	p, err := summaryio.Decode(r)
+	return summaryDecodeLimited(r, 0)
+}
+
+func summaryDecodeLimited(r io.Reader, maxBytes int64) (*pathenc.Labeling, *histogram.PSet, *histogram.OSet, error) {
+	p, err := summaryio.DecodeLimited(r, maxBytes)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -43,6 +48,14 @@ func histogramBuildP(t *stats.Tables, n int, v float64) *histogram.PSet {
 
 func histogramBuildO(t *stats.Tables, ps *histogram.PSet, n int, v float64) *histogram.OSet {
 	return histogram.BuildOSet(t.Order, ps, n, v)
+}
+
+func histogramBuildPContext(ctx context.Context, t *stats.Tables, n int, v float64) (*histogram.PSet, error) {
+	return histogram.BuildPSetContext(ctx, t.Freq, n, v)
+}
+
+func histogramBuildOContext(ctx context.Context, t *stats.Tables, ps *histogram.PSet, n int, v float64) (*histogram.OSet, error) {
+	return histogram.BuildOSetContext(ctx, t.Order, ps, n, v)
 }
 
 // XSketchSummary wraps the reimplemented XSketch comparator so

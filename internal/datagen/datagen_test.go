@@ -10,7 +10,7 @@ import (
 // tagCount returns the number of distinct tags, distinct paths and
 // elements of a document.
 func profile(doc *xmltree.Document) (tags, paths, elements int) {
-	l := pathenc.Build(doc)
+	l := pathenc.MustBuild(doc)
 	return doc.NumDistinctTags(), l.Table.NumPaths(), doc.NumElements()
 }
 

@@ -1,0 +1,61 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+
+	"xpathest/internal/guard"
+	"xpathest/internal/xmltree"
+	"xpathest/internal/xpath"
+)
+
+// evalCanceled is the panic payload the cancellation probe throws to
+// unwind the evaluator's recursive phases; MatchesContext recovers it
+// and converts it to the guard.ErrCanceled-wrapped error. It never
+// escapes this file.
+type evalCanceled struct{ err error }
+
+// cancelCheckEvery is how many candidate tests pass between context
+// polls during evaluation — candidate loops are the O(candidates ×
+// query size) hot part of exact evaluation, so this is the boundary
+// where a canceled exact count on a huge document stops promptly.
+const cancelCheckEvery = 1024
+
+// MatchesContext is Matches honoring cancellation at candidate-loop
+// boundaries. The probe rides the CandidateFilter hook, so the
+// evaluator's phases need no context plumbing of their own.
+func (e *Evaluator) MatchesContext(ctx context.Context, p *xpath.Path) (nodes []*xmltree.Node, err error) {
+	if ctx == nil || ctx.Done() == nil {
+		return e.Matches(p)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			c, ok := r.(evalCanceled)
+			if !ok {
+				panic(r)
+			}
+			nodes, err = nil, c.err
+		}
+	}()
+	n := 0
+	probe := func(q *xpath.TreeNode, d *xmltree.Node) bool {
+		n++
+		if n%cancelCheckEvery == 0 {
+			if cerr := guard.CheckContext(ctx); cerr != nil {
+				panic(evalCanceled{err: fmt.Errorf("eval: %w", cerr)})
+			}
+		}
+		return true
+	}
+	return e.MatchesFiltered(p, probe)
+}
+
+// SelectivityContext is Selectivity honoring cancellation at
+// candidate-loop boundaries.
+func (e *Evaluator) SelectivityContext(ctx context.Context, p *xpath.Path) (int, error) {
+	m, err := e.MatchesContext(ctx, p)
+	if err != nil {
+		return 0, err
+	}
+	return len(m), nil
+}

@@ -30,7 +30,7 @@ type Executor struct {
 // collect them.
 func New(doc *xmltree.Document, lab *pathenc.Labeling, tables *stats.Tables) *Executor {
 	if lab == nil {
-		lab = pathenc.Build(doc)
+		lab = pathenc.MustBuild(doc)
 	}
 	if tables == nil {
 		tables = stats.Collect(doc, lab)

@@ -86,7 +86,7 @@ func SetupOne(ds datagen.Dataset, opts Options) *Env {
 	doc := ds.Gen(datagen.Config{Seed: opts.Seed, Scale: opts.Scale})
 
 	t0 := time.Now()
-	lab := pathenc.Build(doc)
+	lab := pathenc.MustBuild(doc)
 	freq := stats.CollectFreq(doc, lab)
 	pathTime := time.Since(t0)
 
@@ -94,7 +94,7 @@ func SetupOne(ds datagen.Dataset, opts Options) *Env {
 	order := stats.CollectOrder(doc, lab)
 	orderTime := time.Since(t1)
 
-	tree := pidtree.Build(lab.Distinct())
+	tree := pidtree.MustBuild(lab.Distinct())
 	w := workload.Generate(doc, lab, workload.Config{
 		Seed:      opts.Seed + 1,
 		NumSimple: opts.NumSimple,

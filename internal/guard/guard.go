@@ -1,0 +1,171 @@
+// Package guard centralizes the resilience primitives of the serving
+// layer: configurable resource limits for untrusted input, a typed
+// error taxonomy that lets callers distinguish bad input from internal
+// bugs, context-cancellation helpers, and panic-to-error recovery
+// wrappers.
+//
+// Every error produced by the input-facing paths of the system wraps
+// exactly one of the sentinel errors below, so callers dispatch with
+// errors.Is instead of string matching:
+//
+//   - ErrLimitExceeded: the input was structurally valid but larger
+//     than the configured resource limits allow;
+//   - ErrCorruptSummary: a serialized summary stream failed structural
+//     validation (bad magic, truncation, checksum mismatch, ...);
+//   - ErrMalformedQuery: a query string is outside the supported
+//     XPath fragment;
+//   - ErrCanceled: the caller's context was canceled or its deadline
+//     expired before the operation completed;
+//   - ErrInternal: a recovered panic — an actual bug, never the
+//     input's fault.
+package guard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// Sentinel errors of the taxonomy. They are compared with errors.Is;
+// concrete errors wrap them with situation-specific detail.
+var (
+	ErrLimitExceeded  = errors.New("resource limit exceeded")
+	ErrCorruptSummary = errors.New("corrupt summary")
+	ErrMalformedQuery = errors.New("malformed query")
+	ErrCanceled       = errors.New("operation canceled")
+	ErrInternal       = errors.New("internal error")
+)
+
+// Limits bounds the resources one untrusted input may consume. The
+// zero value means "unlimited" for every dimension, preserving the
+// behavior of the pre-hardening API; servers should start from
+// DefaultLimits and tune per deployment.
+type Limits struct {
+	// MaxDepth bounds XML element nesting depth (0 = unlimited).
+	MaxDepth int
+	// MaxElements bounds the number of element nodes in a document
+	// (0 = unlimited).
+	MaxElements int
+	// MaxDocumentBytes bounds the serialized size of an XML input
+	// (0 = unlimited).
+	MaxDocumentBytes int64
+	// MaxSummaryBytes bounds the serialized size of a summary stream
+	// accepted by the decoder (0 = unlimited).
+	MaxSummaryBytes int64
+	// MaxQueryLen bounds the length of a query string in bytes
+	// (0 = unlimited).
+	MaxQueryLen int
+}
+
+// DefaultLimits returns the limits the serving layer starts from:
+// generous enough for every dataset of the paper at full scale, small
+// enough that a hostile input cannot exhaust the process.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxDepth:         512,
+		MaxElements:      50_000_000,
+		MaxDocumentBytes: 1 << 31, // 2 GiB
+		MaxSummaryBytes:  1 << 28, // 256 MiB
+		MaxQueryLen:      4096,
+	}
+}
+
+// LimitError reports which limit was exceeded and by what. It wraps
+// ErrLimitExceeded.
+type LimitError struct {
+	What  string // the dimension, e.g. "XML depth"
+	Limit int64
+	Got   int64 // the observed value (may be the first offending value)
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("%s %d exceeds limit %d: %v", e.What, e.Got, e.Limit, ErrLimitExceeded)
+}
+
+func (e *LimitError) Unwrap() error { return ErrLimitExceeded }
+
+// Exceeded builds a *LimitError.
+func Exceeded(what string, limit, got int64) error {
+	return &LimitError{What: what, Limit: limit, Got: got}
+}
+
+// CheckDepth validates an XML nesting depth against MaxDepth.
+func (l Limits) CheckDepth(depth int) error {
+	if l.MaxDepth > 0 && depth > l.MaxDepth {
+		return Exceeded("XML depth", int64(l.MaxDepth), int64(depth))
+	}
+	return nil
+}
+
+// CheckElements validates an element count against MaxElements.
+func (l Limits) CheckElements(n int) error {
+	if l.MaxElements > 0 && n > l.MaxElements {
+		return Exceeded("element count", int64(l.MaxElements), int64(n))
+	}
+	return nil
+}
+
+// CheckDocumentBytes validates a consumed-byte count against
+// MaxDocumentBytes.
+func (l Limits) CheckDocumentBytes(n int64) error {
+	if l.MaxDocumentBytes > 0 && n > l.MaxDocumentBytes {
+		return Exceeded("document bytes", l.MaxDocumentBytes, n)
+	}
+	return nil
+}
+
+// CheckQuery validates a query string's length against MaxQueryLen.
+// The returned error wraps both ErrLimitExceeded and, conceptually,
+// belongs to the query-validation layer; callers that only care about
+// "reject this query" can test either sentinel.
+func (l Limits) CheckQuery(q string) error {
+	if l.MaxQueryLen > 0 && len(q) > l.MaxQueryLen {
+		return Exceeded("query length", int64(l.MaxQueryLen), int64(len(q)))
+	}
+	return nil
+}
+
+// CheckContext returns nil while ctx is live, and an ErrCanceled-
+// wrapped error once it is canceled or past its deadline. A nil ctx is
+// treated as context.Background(). This is the single cancellation
+// check used at loop boundaries throughout the system.
+func CheckContext(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("%w: %v", ErrCanceled, context.Cause(ctx))
+	default:
+		return nil
+	}
+}
+
+// PanicError is a panic converted into an error by Safe. It wraps
+// ErrInternal and carries the recovered value and the goroutine stack
+// for logging.
+type PanicError struct {
+	Op    string // the operation that panicked, e.g. "estimate"
+	Value interface{}
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("%s panicked: %v: %v", e.Op, e.Value, ErrInternal)
+}
+
+func (e *PanicError) Unwrap() error { return ErrInternal }
+
+// Safe runs fn, converting a panic into a *PanicError so one bad
+// input — or one latent bug — cannot take down a serving process. The
+// error taxonomy keeps the distinction visible: recovered panics wrap
+// ErrInternal, never any of the bad-input sentinels.
+func Safe(op string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Op: op, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}

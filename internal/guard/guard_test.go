@@ -1,0 +1,93 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestZeroLimitsAreUnlimited(t *testing.T) {
+	var l Limits
+	if err := l.CheckDepth(1 << 30); err != nil {
+		t.Errorf("zero MaxDepth rejected depth: %v", err)
+	}
+	if err := l.CheckElements(1 << 30); err != nil {
+		t.Errorf("zero MaxElements rejected count: %v", err)
+	}
+	if err := l.CheckDocumentBytes(1 << 40); err != nil {
+		t.Errorf("zero MaxDocumentBytes rejected size: %v", err)
+	}
+	if err := l.CheckQuery(string(make([]byte, 1<<20))); err != nil {
+		t.Errorf("zero MaxQueryLen rejected query: %v", err)
+	}
+}
+
+func TestLimitErrors(t *testing.T) {
+	l := Limits{MaxDepth: 3, MaxElements: 10, MaxDocumentBytes: 100, MaxQueryLen: 5}
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"depth", l.CheckDepth(4)},
+		{"elements", l.CheckElements(11)},
+		{"bytes", l.CheckDocumentBytes(101)},
+		{"query", l.CheckQuery("123456")},
+	}
+	for _, c := range cases {
+		if c.err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !errors.Is(c.err, ErrLimitExceeded) {
+			t.Errorf("%s: error %v does not wrap ErrLimitExceeded", c.name, c.err)
+		}
+		var le *LimitError
+		if !errors.As(c.err, &le) {
+			t.Errorf("%s: error %v is not a *LimitError", c.name, c.err)
+		}
+	}
+	// At-the-limit values pass.
+	if err := l.CheckDepth(3); err != nil {
+		t.Errorf("depth at limit rejected: %v", err)
+	}
+	if err := l.CheckQuery("12345"); err != nil {
+		t.Errorf("query at limit rejected: %v", err)
+	}
+}
+
+func TestCheckContext(t *testing.T) {
+	if err := CheckContext(nil); err != nil {
+		t.Errorf("nil context: %v", err)
+	}
+	if err := CheckContext(context.Background()); err != nil {
+		t.Errorf("background context: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := CheckContext(ctx)
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("canceled context: got %v, want ErrCanceled", err)
+	}
+}
+
+func TestSafeRecoversPanics(t *testing.T) {
+	err := Safe("boom", func() error { panic("kaboom") })
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("got %v, want ErrInternal", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %T, want *PanicError", err)
+	}
+	if pe.Op != "boom" || len(pe.Stack) == 0 {
+		t.Errorf("panic error missing op/stack: %+v", pe)
+	}
+	// Errors and nils pass through untouched.
+	if err := Safe("ok", func() error { return nil }); err != nil {
+		t.Errorf("nil passthrough: %v", err)
+	}
+	sentinel := errors.New("x")
+	if err := Safe("err", func() error { return sentinel }); err != sentinel {
+		t.Errorf("error passthrough: %v", err)
+	}
+}

@@ -18,11 +18,13 @@
 package histogram
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"xpathest/internal/bitset"
+	"xpathest/internal/guard"
 	"xpathest/internal/stats"
 )
 
@@ -310,6 +312,24 @@ func BuildPSet(ft *stats.FreqTable, numDistinctPids int, threshold float64) *PSe
 		s.byTag[tag] = BuildP(tag, ft.Entries(tag), threshold)
 	}
 	return s
+}
+
+// BuildPSetContext is BuildPSet honoring cancellation at the per-tag
+// loop boundary — the unit of work Algorithm 1 runs per iteration —
+// with errors wrapping guard.ErrCanceled.
+func BuildPSetContext(ctx context.Context, ft *stats.FreqTable, numDistinctPids int, threshold float64) (*PSet, error) {
+	s := &PSet{
+		Threshold:       threshold,
+		byTag:           make(map[string]*PHistogram),
+		numDistinctPids: numDistinctPids,
+	}
+	for _, tag := range ft.Tags() {
+		if err := guard.CheckContext(ctx); err != nil {
+			return nil, fmt.Errorf("histogram: build p-set: %w", err)
+		}
+		s.byTag[tag] = BuildP(tag, ft.Entries(tag), threshold)
+	}
+	return s, nil
 }
 
 // Histogram returns the p-histogram of a tag, or nil.

@@ -11,6 +11,15 @@
 //   - a leaf element sets exactly the bit of its root-to-leaf path;
 //   - an internal element's path id is the bit-or of its children's.
 //
+// Panic policy: Build operates on documents that may ultimately come
+// from untrusted input, so labeling failures (a leaf path missing from
+// the encoding table, indicating a document mutated mid-build) are
+// returned as errors; MustBuild panics on them and is for in-process
+// trees (tests, generators) only. The remaining panics in this package
+// — Path/PathTags encoding-range checks — guard programmer-error
+// invariants: every encoding handed to them is produced by this
+// package and validated at construction time.
+//
 // Path ids support the containment tests of Section 2 that the path
 // join (Section 4) prunes with: strict containment of PidY by PidX
 // guarantees every X-labeled node has a Y descendant, while equality
@@ -160,8 +169,10 @@ func EstimationLabeling(t *Table, distinct []*bitset.Bitset) *Labeling {
 
 // Build labels every element of doc with its path id. It makes two
 // passes: one to collect distinct root-to-leaf paths in first-
-// occurrence document order, one (bottom-up) to assign path ids.
-func Build(doc *xmltree.Document) *Labeling {
+// occurrence document order, one (bottom-up) to assign path ids. An
+// inconsistency between the passes (possible only if the tree is
+// mutated concurrently) is reported as an error, never a panic.
+func Build(doc *xmltree.Document) (*Labeling, error) {
 	tbl := &Table{byPath: make(map[string]int)}
 	doc.Walk(func(n *xmltree.Node) bool {
 		if !n.IsLeaf() {
@@ -183,7 +194,20 @@ func Build(doc *xmltree.Document) *Labeling {
 		index: make(map[string]int),
 	}
 	if doc.Root != nil {
-		l.assign(doc.Root, []string{})
+		if _, err := l.assign(doc.Root, []string{}); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// MustBuild is Build that panics on error, for in-process-constructed
+// documents (tests, generators) where a labeling failure is a
+// programmer error.
+func MustBuild(doc *xmltree.Document) *Labeling {
+	l, err := Build(doc)
+	if err != nil {
+		panic(err)
 	}
 	return l
 }
@@ -191,26 +215,30 @@ func Build(doc *xmltree.Document) *Labeling {
 // assign computes the path id of n bottom-up, interning the result.
 // prefix carries the tags above n (unused for the id itself but kept
 // for cheap leaf-path reconstruction).
-func (l *Labeling) assign(n *xmltree.Node, prefix []string) *bitset.Bitset {
+func (l *Labeling) assign(n *xmltree.Node, prefix []string) (*bitset.Bitset, error) {
 	width := l.Table.NumPaths()
 	var pid *bitset.Bitset
 	if n.IsLeaf() {
 		pid = bitset.New(width)
 		enc := l.Table.byPath[strings.Join(append(prefix, n.Tag), "/")]
 		if enc == 0 {
-			panic("pathenc: leaf path missing from encoding table: " + n.PathString())
+			return nil, fmt.Errorf("pathenc: leaf path missing from encoding table: %s", n.PathString())
 		}
 		pid.Set(enc)
 	} else {
 		pid = bitset.New(width)
 		childPrefix := append(prefix, n.Tag)
 		for _, c := range n.Children {
-			pid.Or(l.assign(c, childPrefix))
+			cp, err := l.assign(c, childPrefix)
+			if err != nil {
+				return nil, err
+			}
+			pid.Or(cp)
 		}
 	}
 	pid = l.intern(pid)
 	l.pids[n.Ord] = pid
-	return pid
+	return pid, nil
 }
 
 // Intern returns the canonical copy of pid, registering it in the

@@ -20,7 +20,7 @@ var figure1Pids = map[string]string{
 
 func buildFigure1(t *testing.T) *Labeling {
 	t.Helper()
-	return Build(paperfig.Doc())
+	return MustBuild(paperfig.Doc())
 }
 
 // TestEncodingTableFigure1b pins the encoding table of Figure 1(b).
@@ -127,7 +127,7 @@ func TestTagRelationshipRecursive(t *testing.T) {
 	// a/b/a/b: a is both parent and grandparent of b; parent must win.
 	b := xmltree.NewBuilder()
 	b.Open("a").Open("b").Open("a").Leaf("b", "").Close().Close().Close()
-	l := Build(b.Document())
+	l := MustBuild(b.Document())
 	if l.Table.NumPaths() != 1 {
 		t.Fatalf("NumPaths = %d", l.Table.NumPaths())
 	}
@@ -266,7 +266,7 @@ func TestQuickLabelingInvariants(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		doc := randomDoc(rng, 1+rng.Intn(120))
-		l := Build(doc)
+		l := MustBuild(doc)
 		ok := true
 		doc.Walk(func(n *xmltree.Node) bool {
 			pid := l.PidOf(n)
@@ -306,7 +306,7 @@ func TestQuickEdgeCompatibleSound(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		doc := randomDoc(rng, 1+rng.Intn(100))
-		l := Build(doc)
+		l := MustBuild(doc)
 		ok := true
 		doc.Walk(func(x *xmltree.Node) bool {
 			for _, y := range x.Children {
@@ -345,7 +345,7 @@ func TestQuickContainmentImpliesDescendant(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		doc := stratifiedDoc(rng, 1+rng.Intn(90))
-		l := Build(doc)
+		l := MustBuild(doc)
 
 		// Group nodes by (tag, pid key).
 		type group struct {

@@ -16,6 +16,13 @@
 // Path ids are numbered 1..n in ascending bit-sequence order, which is
 // exactly the p1..p9 numbering of Figure 1(c).
 //
+// Panic policy: the distinct-pid list can originate from a
+// deserialized summary — untrusted input — so Build validates it and
+// returns an error for an empty list or inconsistent widths. MustBuild
+// panics on those errors and is reserved for call sites whose input is
+// constructed in-process (tests, generated datasets), where a bad list
+// is a programmer error.
+//
 // The tree is compressed losslessly: a left (right) subtree consisting
 // only of left (right) edges — a pure all-0 (all-1) suffix chain — is
 // removed together with its incoming edge (the dotted region of
@@ -23,6 +30,7 @@
 package pidtree
 
 import (
+	"fmt"
 	"sort"
 
 	"xpathest/internal/bitset"
@@ -58,17 +66,19 @@ type Tree struct {
 
 // Build constructs the tree from the document's distinct path ids. The
 // input order is irrelevant; ids are assigned by ascending bit-sequence
-// value. Build panics if pids is empty or widths are inconsistent.
-func Build(pids []*bitset.Bitset) *Tree {
+// value. Build returns an error if pids is empty or widths are
+// inconsistent — both states are reachable from corrupt summary
+// streams and must not crash a serving process.
+func Build(pids []*bitset.Bitset) (*Tree, error) {
 	if len(pids) == 0 {
-		panic("pidtree: no path ids")
+		return nil, fmt.Errorf("pidtree: no path ids")
 	}
 	width := pids[0].Width()
 	sorted := make([]*bitset.Bitset, len(pids))
 	copy(sorted, pids)
 	for _, p := range sorted {
 		if p.Width() != width {
-			panic("pidtree: inconsistent path id widths")
+			return nil, fmt.Errorf("pidtree: inconsistent path id widths (%d vs %d)", p.Width(), width)
 		}
 	}
 	sort.Slice(sorted, func(i, j int) bool { return lessBits(sorted[i], sorted[j]) })
@@ -80,6 +90,17 @@ func Build(pids []*bitset.Bitset) *Tree {
 		compress(t.root)
 	}
 	t.compressedNodes = countNodes(t.root)
+	return t, nil
+}
+
+// MustBuild is Build that panics on error, for in-process-constructed
+// pid lists (tests, generated datasets) where a bad list is a
+// programmer error.
+func MustBuild(pids []*bitset.Bitset) *Tree {
+	t, err := Build(pids)
+	if err != nil {
+		panic(err)
+	}
 	return t
 }
 

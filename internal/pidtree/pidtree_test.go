@@ -14,8 +14,8 @@ import (
 // Figure 1(c).
 func figure1Tree(t testing.TB) *Tree {
 	t.Helper()
-	l := pathenc.Build(paperfig.Doc())
-	return Build(l.Distinct())
+	l := pathenc.MustBuild(paperfig.Doc())
+	return MustBuild(l.Distinct())
 }
 
 func TestFigure6IDAssignment(t *testing.T) {
@@ -90,29 +90,30 @@ func TestCompressionSavesNodes(t *testing.T) {
 	}
 }
 
-func TestBuildPanics(t *testing.T) {
-	t.Run("empty", func(t *testing.T) {
+func TestBuildErrors(t *testing.T) {
+	// Both states are reachable from corrupt summary streams, so Build
+	// must return errors, not panic (MustBuild panics for in-process
+	// misuse).
+	if _, err := Build(nil); err == nil {
+		t.Error("Build(nil) did not error")
+	}
+	if _, err := Build([]*bitset.Bitset{bitset.New(3), bitset.New(4)}); err == nil {
+		t.Error("Build with mixed widths did not error")
+	}
+	t.Run("MustBuild panics", func(t *testing.T) {
 		defer func() {
 			if recover() == nil {
-				t.Fatal("Build(nil) did not panic")
+				t.Fatal("MustBuild(nil) did not panic")
 			}
 		}()
-		Build(nil)
-	})
-	t.Run("mixed widths", func(t *testing.T) {
-		defer func() {
-			if recover() == nil {
-				t.Fatal("Build with mixed widths did not panic")
-			}
-		}()
-		Build([]*bitset.Bitset{bitset.New(3), bitset.New(4)})
+		MustBuild(nil)
 	})
 }
 
 func TestSinglePid(t *testing.T) {
 	// One pid: the whole tree is (almost) one trimmed chain.
 	p := bitset.MustFromString("0000001")
-	tr := Build([]*bitset.Bitset{p})
+	tr := MustBuild([]*bitset.Bitset{p})
 	got, ok := tr.Bits(1)
 	if !ok || !got.Equal(p) {
 		t.Fatalf("Bits(1) = %v/%v", got, ok)
@@ -130,7 +131,7 @@ func TestAllOnesAllZeros(t *testing.T) {
 		bitset.MustFromString("11111"),
 		bitset.MustFromString("10000"),
 	}
-	tr := Build(pids)
+	tr := MustBuild(pids)
 	for want := 1; want <= 3; want++ {
 		b, ok := tr.Bits(want)
 		if !ok {
@@ -179,7 +180,7 @@ func TestQuickRoundTrip(t *testing.T) {
 		n := int(c)%40 + 1
 		rng := rand.New(rand.NewSource(seed))
 		pids := randomPids(rng, width, n)
-		tr := Build(pids)
+		tr := MustBuild(pids)
 		for id := 1; id <= tr.NumIDs(); id++ {
 			b, ok := tr.Bits(id)
 			if !ok {
@@ -207,7 +208,7 @@ func TestQuickOrdering(t *testing.T) {
 		width := int(w%40) + 2
 		n := int(c)%30 + 2
 		rng := rand.New(rand.NewSource(seed))
-		tr := Build(randomPids(rng, width, n))
+		tr := MustBuild(randomPids(rng, width, n))
 		prev, _ := tr.Bits(1)
 		for id := 2; id <= tr.NumIDs(); id++ {
 			cur, ok := tr.Bits(id)
@@ -231,7 +232,7 @@ func TestQuickCompressionLossless(t *testing.T) {
 		width := 4 + rng.Intn(80)
 		n := 1 + rng.Intn(60)
 		pids := randomPids(rng, width, n)
-		tr := Build(pids)
+		tr := MustBuild(pids)
 		if tr.NumNodes() > tr.NumNodesUncompressed() {
 			return false
 		}
@@ -274,7 +275,7 @@ func TestXMarkLikeCompression(t *testing.T) {
 			pids = append(pids, b)
 		}
 	}
-	tr := Build(pids)
+	tr := MustBuild(pids)
 	rawBytes := len(pids) * ((width + 7) / 8)
 	if tr.SizeBytes() >= rawBytes/2 {
 		t.Fatalf("compressed tree %dB vs raw table %dB: want > 50%% saving",
@@ -287,14 +288,14 @@ func BenchmarkBuild(b *testing.B) {
 	pids := randomPids(rng, 344, 1000)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		Build(pids)
+		MustBuild(pids)
 	}
 }
 
 func BenchmarkLookupID(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	pids := randomPids(rng, 344, 1000)
-	tr := Build(pids)
+	tr := MustBuild(pids)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, ok := tr.ID(pids[i%len(pids)]); !ok {

@@ -1,0 +1,597 @@
+// Package server implements the hardened HTTP estimation service
+// behind `xpest serve`. Its resilience posture:
+//
+//   - every request runs under a deadline and the configured resource
+//     Limits; hostile inputs (XML bombs, huge summary streams, oversized
+//     queries) are rejected with typed errors before they are
+//     materialized;
+//   - a panic anywhere in request handling becomes a structured 500
+//     response — the process never dies for one request;
+//   - admission control caps in-flight requests; excess load sheds with
+//     503 instead of queuing unboundedly;
+//   - the summary registry swaps atomically, so /reload never blocks or
+//     torments in-flight estimates, and a summary that fails to load
+//     degrades that name to low-confidence fallback estimates instead
+//     of taking the endpoint down;
+//   - shutdown is graceful: on context cancellation the listener closes
+//     immediately and in-flight requests drain up to DrainTimeout.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xpathest"
+	"xpathest/internal/guard"
+)
+
+// Config tunes the service. The zero value of each field falls back to
+// the default noted on it.
+type Config struct {
+	// Addr is the listen address (default "127.0.0.1:8321").
+	Addr string
+	// Limits bounds per-request resource use (default guard.DefaultLimits()).
+	Limits guard.Limits
+	// RequestTimeout is the per-request deadline (default 30s).
+	RequestTimeout time.Duration
+	// MaxInFlight caps concurrently-served requests; excess requests
+	// receive 503 (default 64).
+	MaxInFlight int
+	// SummaryDir, when set, is scanned for *.xpsum files at startup and
+	// on POST /reload, and receives uploaded summaries.
+	SummaryDir string
+	// DrainTimeout bounds graceful shutdown (default 10s).
+	DrainTimeout time.Duration
+	// FallbackEstimate is returned (with confidence "low") when the
+	// requested summary is missing or failed to load (default 1.0).
+	FallbackEstimate float64
+	// EnablePanicRoute registers POST /debug/panic, which panics inside
+	// the handler. Tests use it to prove panic isolation; production
+	// configs leave it off.
+	EnablePanicRoute bool
+	// Logger receives operational messages (default log.Default()).
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:8321"
+	}
+	if c.Limits == (guard.Limits{}) {
+		c.Limits = guard.DefaultLimits()
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.FallbackEstimate == 0 {
+		c.FallbackEstimate = 1.0
+	}
+	if c.Logger == nil {
+		c.Logger = log.Default()
+	}
+	return c
+}
+
+// entry is one named summary in the registry. A load failure is kept —
+// not dropped — so /estimate can degrade gracefully and /summaries can
+// report why the name is unhealthy.
+type entry struct {
+	sum     *xpathest.Summary
+	loadErr error
+	loaded  time.Time
+}
+
+// registry is the atomically-swappable name→summary map. Readers grab
+// the current map with a single atomic load; writers build a new map
+// and swap it in, so estimates never see a half-updated view.
+type registry struct {
+	m atomic.Pointer[map[string]*entry]
+	// mu serializes writers only (upload, summarize, reload).
+	mu sync.Mutex
+}
+
+func newRegistry() *registry {
+	r := &registry{}
+	empty := map[string]*entry{}
+	r.m.Store(&empty)
+	return r
+}
+
+func (r *registry) get(name string) (*entry, bool) {
+	e, ok := (*r.m.Load())[name]
+	return e, ok
+}
+
+func (r *registry) snapshot() map[string]*entry { return *r.m.Load() }
+
+// set installs one entry, copying the current map.
+func (r *registry) set(name string, e *entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := *r.m.Load()
+	next := make(map[string]*entry, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[name] = e
+	r.m.Store(&next)
+}
+
+// replace swaps the whole map.
+func (r *registry) replace(next map[string]*entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m.Store(&next)
+}
+
+// Server is the estimation service.
+type Server struct {
+	cfg  Config
+	reg  *registry
+	sem  chan struct{}
+	mux  *http.ServeMux
+	http *http.Server
+
+	ln      net.Listener // nil until Start; guarded by lnGuard
+	lnGuard sync.Mutex
+
+	started  time.Time
+	requests atomic.Int64
+	panics   atomic.Int64
+	shed     atomic.Int64
+}
+
+// New builds a Server and, if cfg.SummaryDir is set, loads the *.xpsum
+// files found there. Load failures do not fail construction — the
+// affected names serve fallback estimates and the failure is visible in
+// GET /summaries.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg: cfg,
+		reg: newRegistry(),
+		sem: make(chan struct{}, cfg.MaxInFlight),
+	}
+	s.mux = http.NewServeMux()
+	s.routes()
+	s.http = &http.Server{
+		Addr:              cfg.Addr,
+		Handler:           s.middleware(s.mux),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if cfg.SummaryDir != "" {
+		if err := s.reload(context.Background()); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("/estimate", s.handleEstimate)
+	s.mux.HandleFunc("GET /summaries", s.handleList)
+	s.mux.HandleFunc("PUT /summaries/{name}", s.handleUpload)
+	s.mux.HandleFunc("POST /summaries/{name}", s.handleUpload)
+	s.mux.HandleFunc("POST /summarize", s.handleSummarize)
+	s.mux.HandleFunc("POST /reload", s.handleReload)
+	if s.cfg.EnablePanicRoute {
+		s.mux.HandleFunc("POST /debug/panic", func(http.ResponseWriter, *http.Request) {
+			panic("debug/panic: deliberate")
+		})
+	}
+}
+
+// middleware wraps every route with, outermost first: panic recovery,
+// admission control, and the per-request deadline.
+func (s *Server) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.panics.Add(1)
+				s.cfg.Logger.Printf("server: recovered panic in %s %s: %v", r.Method, r.URL.Path, rec)
+				writeError(w, &guard.PanicError{Op: r.URL.Path, Value: rec})
+			}
+		}()
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			s.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"error": "server at capacity", "kind": "overloaded",
+			})
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		// The context deadline stops compute loops, but a handler blocked
+		// in r.Body.Read waits on the network, not the context — a
+		// connection read deadline is what bounds a stalled client.
+		rc := http.NewResponseController(w)
+		_ = rc.SetReadDeadline(time.Now().Add(s.cfg.RequestTimeout))
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// errorResponse maps the guard taxonomy onto HTTP statuses. Anything
+// not in the taxonomy is an internal error.
+func statusFor(err error) (int, string) {
+	switch {
+	case errors.Is(err, guard.ErrMalformedQuery):
+		return http.StatusBadRequest, "malformed_query"
+	case errors.Is(err, guard.ErrCorruptSummary):
+		return http.StatusBadRequest, "corrupt_summary"
+	case errors.Is(err, guard.ErrLimitExceeded):
+		return http.StatusRequestEntityTooLarge, "limit_exceeded"
+	case errors.Is(err, guard.ErrCanceled),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, os.ErrDeadlineExceeded):
+		return http.StatusGatewayTimeout, "canceled"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	code, kind := statusFor(err)
+	msg := err.Error()
+	if code == http.StatusInternalServerError {
+		// Internal detail (including panic stacks) stays in the log.
+		msg = "internal error"
+	}
+	writeJSON(w, code, map[string]any{"error": msg, "kind": kind})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	snap := s.reg.snapshot()
+	healthy := 0
+	for _, e := range snap {
+		if e.loadErr == nil {
+			healthy++
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":             "ok",
+		"uptime_seconds":     int(time.Since(s.started).Seconds()),
+		"summaries":          len(snap),
+		"summaries_healthy":  healthy,
+		"requests_total":     s.requests.Load(),
+		"requests_shed":      s.shed.Load(),
+		"panics_recovered":   s.panics.Load(),
+		"max_in_flight":      s.cfg.MaxInFlight,
+		"request_timeout_ms": s.cfg.RequestTimeout.Milliseconds(),
+	})
+}
+
+// estimateResponse is the /estimate payload. Fallback answers are
+// explicit: callers can always tell a real estimate from a degraded
+// one.
+type estimateResponse struct {
+	Summary    string  `json:"summary"`
+	Query      string  `json:"query"`
+	Estimate   float64 `json:"estimate"`
+	Confidence string  `json:"confidence"`
+	Fallback   bool    `json:"fallback"`
+	Reason     string  `json:"reason,omitempty"`
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]any{"error": "GET or POST"})
+		return
+	}
+	name := r.URL.Query().Get("summary")
+	q := r.URL.Query().Get("q")
+	if name == "" || q == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]any{
+			"error": "required query parameters: summary, q", "kind": "bad_request",
+		})
+		return
+	}
+	if err := s.cfg.Limits.CheckQuery(q); err != nil {
+		writeError(w, err)
+		return
+	}
+	// A malformed query is the client's fault regardless of summary
+	// health — validate before the fallback decision so degradation
+	// never masks bad queries.
+	canonical, err := xpathest.ParseQuery(q)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	e, ok := s.reg.get(name)
+	if !ok || e.loadErr != nil {
+		reason := "summary not loaded"
+		if ok {
+			reason = fmt.Sprintf("summary failed to load: %v", e.loadErr)
+		}
+		writeJSON(w, http.StatusOK, estimateResponse{
+			Summary:    name,
+			Query:      canonical,
+			Estimate:   s.cfg.FallbackEstimate,
+			Confidence: "low",
+			Fallback:   true,
+			Reason:     reason,
+		})
+		return
+	}
+	v, err := e.sum.EstimateContext(r.Context(), q)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, estimateResponse{
+		Summary:    name,
+		Query:      canonical,
+		Estimate:   v,
+		Confidence: "normal",
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	snap := s.reg.snapshot()
+	type item struct {
+		Name   string `json:"name"`
+		Status string `json:"status"`
+		Error  string `json:"error,omitempty"`
+		Loaded string `json:"loaded"`
+	}
+	items := make([]item, 0, len(snap))
+	for name, e := range snap {
+		it := item{Name: name, Status: "ok", Loaded: e.loaded.UTC().Format(time.RFC3339)}
+		if e.loadErr != nil {
+			it.Status = "failed"
+			it.Error = e.loadErr.Error()
+		}
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].Name < items[j].Name })
+	writeJSON(w, http.StatusOK, map[string]any{"summaries": items})
+}
+
+// validName keeps registry keys safe for use as file names.
+func validName(name string) bool {
+	if name == "" || len(name) > 128 {
+		return false
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return !strings.Contains(name, "..")
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !validName(name) {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "invalid summary name", "kind": "bad_request"})
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, maxSummaryBytes(s.cfg.Limits))
+	sum, err := xpathest.ReadSummaryContext(r.Context(), body, s.cfg.Limits)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			err = guard.Exceeded("summary bytes", tooLarge.Limit, tooLarge.Limit+1)
+		}
+		writeError(w, err)
+		return
+	}
+	if s.cfg.SummaryDir != "" {
+		if err := s.persist(name, sum); err != nil {
+			writeError(w, err)
+			return
+		}
+	}
+	s.reg.set(name, &entry{sum: sum, loaded: time.Now()})
+	writeJSON(w, http.StatusOK, map[string]any{"summary": name, "status": "loaded"})
+}
+
+func (s *Server) persist(name string, sum *xpathest.Summary) error {
+	path := filepath.Join(s.cfg.SummaryDir, name+".xpsum")
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := sum.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if !validName(name) {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "required query parameter: name", "kind": "bad_request"})
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, maxDocumentBytes(s.cfg.Limits))
+	doc, err := xpathest.ParseDocumentContext(r.Context(), body, s.cfg.Limits)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			err = guard.Exceeded("document bytes", tooLarge.Limit, tooLarge.Limit+1)
+		}
+		writeError(w, err)
+		return
+	}
+	sum, err := doc.BuildSummaryContext(r.Context(), xpathest.SummaryOptions{})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if s.cfg.SummaryDir != "" {
+		if err := s.persist(name, sum); err != nil {
+			writeError(w, err)
+			return
+		}
+	}
+	s.reg.set(name, &entry{sum: sum, loaded: time.Now()})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"summary": name, "status": "loaded",
+		"elements": doc.NumElements(),
+	})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.SummaryDir == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "no summary directory configured", "kind": "bad_request"})
+		return
+	}
+	if err := s.reload(r.Context()); err != nil {
+		writeError(w, err)
+		return
+	}
+	snap := s.reg.snapshot()
+	failed := []string{}
+	for name, e := range snap {
+		if e.loadErr != nil {
+			failed = append(failed, name)
+		}
+	}
+	sort.Strings(failed)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "reloaded", "summaries": len(snap), "failed": failed,
+	})
+}
+
+// reload builds a fresh registry map from SummaryDir and swaps it in
+// atomically. A file that fails to load is recorded as a failed entry
+// — visible in /summaries, served as fallback by /estimate — rather
+// than aborting the whole reload.
+func (s *Server) reload(ctx context.Context) error {
+	matches, err := filepath.Glob(filepath.Join(s.cfg.SummaryDir, "*.xpsum"))
+	if err != nil {
+		return err
+	}
+	next := make(map[string]*entry, len(matches))
+	for _, path := range matches {
+		name := strings.TrimSuffix(filepath.Base(path), ".xpsum")
+		e := &entry{loaded: time.Now()}
+		f, err := os.Open(path)
+		if err != nil {
+			e.loadErr = err
+		} else {
+			e.sum, e.loadErr = xpathest.ReadSummaryContext(ctx, f, s.cfg.Limits)
+			f.Close()
+		}
+		if e.loadErr != nil {
+			s.cfg.Logger.Printf("server: summary %q failed to load: %v", name, e.loadErr)
+		}
+		next[name] = e
+	}
+	s.reg.replace(next)
+	return nil
+}
+
+func maxSummaryBytes(l guard.Limits) int64 {
+	if l.MaxSummaryBytes > 0 {
+		return l.MaxSummaryBytes
+	}
+	return guard.DefaultLimits().MaxSummaryBytes
+}
+
+func maxDocumentBytes(l guard.Limits) int64 {
+	if l.MaxDocumentBytes > 0 {
+		return l.MaxDocumentBytes
+	}
+	return guard.DefaultLimits().MaxDocumentBytes
+}
+
+// Addr returns the bound listen address once Run (or Start) has opened
+// the listener — useful when cfg.Addr requested port 0.
+func (s *Server) Addr() string {
+	s.lnGuard.Lock()
+	defer s.lnGuard.Unlock()
+	if s.ln != nil {
+		return s.ln.Addr().String()
+	}
+	return s.cfg.Addr
+}
+
+// Start opens the listener and begins serving in a new goroutine. It
+// returns once the address is bound, so callers can read Addr().
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.lnGuard.Lock()
+	s.ln = ln
+	s.lnGuard.Unlock()
+	s.started = time.Now()
+	go func() {
+		if err := s.http.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.cfg.Logger.Printf("server: serve: %v", err)
+		}
+	}()
+	s.cfg.Logger.Printf("server: listening on %s", ln.Addr())
+	return nil
+}
+
+// Shutdown drains in-flight requests up to DrainTimeout, then forces
+// the remaining connections closed.
+func (s *Server) Shutdown() error {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	err := s.http.Shutdown(ctx)
+	if err != nil {
+		// Past the drain budget: hard-close what is left.
+		closeErr := s.http.Close()
+		if closeErr != nil && err == nil {
+			err = closeErr
+		}
+	}
+	return err
+}
+
+// Run starts the server and blocks until ctx is canceled (typically by
+// SIGTERM via signal.NotifyContext), then shuts down gracefully.
+func (s *Server) Run(ctx context.Context) error {
+	if err := s.Start(); err != nil {
+		return err
+	}
+	<-ctx.Done()
+	s.cfg.Logger.Printf("server: shutting down (draining up to %s)", s.cfg.DrainTimeout)
+	return s.Shutdown()
+}

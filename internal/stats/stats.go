@@ -311,9 +311,12 @@ type Tables struct {
 }
 
 // Collect labels the document (if l is nil) and gathers both tables.
+// A nil l is a convenience for in-process documents; it labels via
+// pathenc.MustBuild. Input-facing callers label explicitly with
+// pathenc.Build and pass the result in.
 func Collect(doc *xmltree.Document, l *pathenc.Labeling) *Tables {
 	if l == nil {
-		l = pathenc.Build(doc)
+		l = pathenc.MustBuild(doc)
 	}
 	return &Tables{
 		Labeling: l,

@@ -256,7 +256,7 @@ func TestQuickOrderBruteForce(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		doc := randomDoc(rng, 1+rng.Intn(120))
-		l := pathenc.Build(doc)
+		l := pathenc.MustBuild(doc)
 		got := CollectOrder(doc, l)
 
 		// Brute force: for each child x and tag Y, test siblings.
@@ -363,7 +363,7 @@ func TestSingleChildNoOrder(t *testing.T) {
 
 func BenchmarkCollect(b *testing.B) {
 	doc := paperfig.Doc()
-	l := pathenc.Build(doc)
+	l := pathenc.MustBuild(doc)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		Collect(doc, l)

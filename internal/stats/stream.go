@@ -1,12 +1,14 @@
 package stats
 
 import (
+	"context"
 	"encoding/xml"
 	"fmt"
 	"io"
 	"strings"
 
 	"xpathest/internal/bitset"
+	"xpathest/internal/guard"
 	"xpathest/internal/pathenc"
 )
 
@@ -30,12 +32,26 @@ import (
 // streams (e.g. re-open the same file). The returned Tables carry an
 // estimation-only labeling (no per-node labels).
 func CollectStream(opener func() (io.ReadCloser, error)) (*Tables, error) {
+	return CollectStreamContext(context.Background(), opener, guard.Limits{})
+}
+
+// ctxCheckEvery is how many decoder tokens the streaming passes
+// consume between context-cancellation checks.
+const ctxCheckEvery = 1024
+
+// CollectStreamContext is CollectStream under a context and resource
+// limits. Both streaming passes honor cancellation at token-loop
+// boundaries (errors wrap guard.ErrCanceled) and enforce the depth,
+// element-count and byte limits as tokens arrive (errors wrap
+// guard.ErrLimitExceeded), so a hostile stream fails fast instead of
+// exhausting the collector.
+func CollectStreamContext(ctx context.Context, opener func() (io.ReadCloser, error), lim guard.Limits) (*Tables, error) {
 	// Pass one: the encoding table.
 	r1, err := opener()
 	if err != nil {
 		return nil, err
 	}
-	paths, err := streamPaths(r1)
+	paths, err := streamPaths(ctx, r1, lim)
 	closeErr := r1.Close()
 	if err != nil {
 		return nil, err
@@ -53,7 +69,7 @@ func CollectStream(opener func() (io.ReadCloser, error)) (*Tables, error) {
 	if err != nil {
 		return nil, err
 	}
-	tables, err := streamTables(r2, table)
+	tables, err := streamTables(ctx, r2, table, lim)
 	closeErr = r2.Close()
 	if err != nil {
 		return nil, err
@@ -64,10 +80,61 @@ func CollectStream(opener func() (io.ReadCloser, error)) (*Tables, error) {
 	return tables, nil
 }
 
+// streamGuard tracks the per-pass limit state shared by both streaming
+// passes: token cadence for context checks, element count and consumed
+// bytes.
+type streamGuard struct {
+	ctx      context.Context
+	lim      guard.Limits
+	cr       *countingReader
+	pass     int
+	tokens   int
+	elements int
+}
+
+// token accounts one decoder token; open accounts one element start at
+// the given depth.
+func (g *streamGuard) token() error {
+	g.tokens++
+	if g.tokens%ctxCheckEvery == 0 {
+		if err := guard.CheckContext(g.ctx); err != nil {
+			return fmt.Errorf("stats: stream pass %d: %w", g.pass, err)
+		}
+	}
+	if err := g.lim.CheckDocumentBytes(g.cr.n); err != nil {
+		return fmt.Errorf("stats: stream pass %d: %w", g.pass, err)
+	}
+	return nil
+}
+
+func (g *streamGuard) open(depth int) error {
+	g.elements++
+	if err := g.lim.CheckDepth(depth); err != nil {
+		return fmt.Errorf("stats: stream pass %d: %w", g.pass, err)
+	}
+	if err := g.lim.CheckElements(g.elements); err != nil {
+		return fmt.Errorf("stats: stream pass %d: %w", g.pass, err)
+	}
+	return nil
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
 // streamPaths collects distinct root-to-leaf tag paths in first-
 // occurrence document order (matching pathenc.Build).
-func streamPaths(r io.Reader) ([]string, error) {
-	dec := xml.NewDecoder(r)
+func streamPaths(ctx context.Context, r io.Reader, lim guard.Limits) ([]string, error) {
+	cr := &countingReader{r: r}
+	g := &streamGuard{ctx: ctx, lim: lim, cr: cr, pass: 1}
+	dec := xml.NewDecoder(cr)
 	var (
 		stack      []string
 		hasChild   []bool
@@ -83,6 +150,9 @@ func streamPaths(r io.Reader) ([]string, error) {
 		if err != nil {
 			return nil, fmt.Errorf("stats: stream pass 1: %w", err)
 		}
+		if err := g.token(); err != nil {
+			return nil, err
+		}
 		switch t := tok.(type) {
 		case xml.StartElement:
 			if len(stack) == 0 && rootClosed {
@@ -93,6 +163,9 @@ func streamPaths(r io.Reader) ([]string, error) {
 			}
 			stack = append(stack, t.Name.Local)
 			hasChild = append(hasChild, false)
+			if err := g.open(len(stack)); err != nil {
+				return nil, err
+			}
 		case xml.EndElement:
 			if len(stack) == 0 {
 				return nil, fmt.Errorf("stats: unbalanced end element %q", t.Name.Local)
@@ -133,7 +206,10 @@ type frame struct {
 	children []childEntry
 }
 
-func streamTables(r io.Reader, table *pathenc.Table) (*Tables, error) {
+func streamTables(ctx context.Context, r io.Reader, table *pathenc.Table, lim guard.Limits) (*Tables, error) {
+	cr := &countingReader{r: r}
+	r = cr
+	g := &streamGuard{ctx: ctx, lim: lim, cr: cr, pass: 2}
 	lab := pathenc.EstimationLabeling(table, nil)
 	freq := &FreqTable{byTag: make(map[string][]PidFreq)}
 	freqIdx := make(map[string]map[string]int)
@@ -198,12 +274,18 @@ func streamTables(r io.Reader, table *pathenc.Table) (*Tables, error) {
 		if err != nil {
 			return nil, fmt.Errorf("stats: stream pass 2: %w", err)
 		}
+		if err := g.token(); err != nil {
+			return nil, err
+		}
 		switch t := tok.(type) {
 		case xml.StartElement:
 			if len(stack) == 0 && rootClosed {
 				return nil, fmt.Errorf("stats: multiple root elements")
 			}
 			stack = append(stack, &frame{tag: t.Name.Local})
+			if err := g.open(len(stack)); err != nil {
+				return nil, err
+			}
 		case xml.EndElement:
 			if len(stack) == 0 {
 				return nil, fmt.Errorf("stats: unbalanced end element %q", t.Name.Local)

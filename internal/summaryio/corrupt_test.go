@@ -1,0 +1,132 @@
+package summaryio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"xpathest/internal/guard"
+	"xpathest/internal/histogram"
+	"xpathest/internal/stats"
+	"xpathest/internal/xmltree"
+)
+
+// genuineStream builds a small valid summary stream.
+func genuineStream(t testing.TB) []byte {
+	t.Helper()
+	b := xmltree.NewBuilder()
+	b.Open("r")
+	b.Open("a").Leaf("b", "").Leaf("c", "").Close()
+	b.Open("a").Leaf("b", "").Leaf("b", "").Close()
+	b.Close()
+	tbs := stats.Collect(b.Document(), nil)
+	n := tbs.Labeling.NumDistinct()
+	ps := histogram.BuildPSet(tbs.Freq, n, 0)
+	os := histogram.BuildOSet(tbs.Order, ps, n, 0)
+	var buf bytes.Buffer
+	if err := Encode(&buf, tbs.Labeling.Table, tbs.Labeling.Distinct(), ps, os); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDecodeCorruptStreams is the table of hostile inputs the serving
+// layer must classify: every one returns an error wrapping
+// guard.ErrCorruptSummary — never a panic, never a silent zero-value
+// payload.
+func TestDecodeCorruptStreams(t *testing.T) {
+	good := genuineStream(t)
+
+	flipChecksum := bytes.Clone(good)
+	flipChecksum[len(flipChecksum)-1] ^= 0xFF
+
+	flipPayload := bytes.Clone(good)
+	flipPayload[len(flipPayload)/2] ^= 0x01
+
+	badVersion := bytes.Clone(good)
+	binary.LittleEndian.PutUint16(badVersion[5:], 99)
+
+	badMagic := bytes.Clone(good)
+	copy(badMagic, "XPBAD")
+
+	hugePathCount := bytes.Clone(good)
+	binary.LittleEndian.PutUint32(hugePathCount[7:], 0xFFFFFFFF)
+
+	tiny := []byte{'X', 'P', 'S', 'U', 'M'}
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"magic only", tiny},
+		{"bad magic", badMagic},
+		{"version mismatch", badVersion},
+		{"implausible path count", hugePathCount},
+		{"truncated after header", good[:9]},
+		{"truncated mid-payload", good[:len(good)/2]},
+		{"truncated before checksum", good[:len(good)-4]},
+		{"checksum byte flipped", flipChecksum},
+		{"payload byte flipped", flipPayload},
+		{"truncated inside checksum", good[:len(good)-2]},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p, err := Decode(bytes.NewReader(c.data))
+			if err == nil {
+				t.Fatalf("decode accepted corrupt stream (payload %v)", p)
+			}
+			if !errors.Is(err, guard.ErrCorruptSummary) {
+				t.Fatalf("error %v does not wrap guard.ErrCorruptSummary", err)
+			}
+		})
+	}
+}
+
+// TestDecodeTruncatedEverywhere cuts the genuine stream at every
+// length and demands a typed error each time.
+func TestDecodeTruncatedEverywhere(t *testing.T) {
+	good := genuineStream(t)
+	for n := 0; n < len(good); n++ {
+		if _, err := Decode(bytes.NewReader(good[:n])); !errors.Is(err, guard.ErrCorruptSummary) {
+			t.Fatalf("truncation at %d/%d: got %v, want ErrCorruptSummary", n, len(good), err)
+		}
+	}
+	if _, err := Decode(bytes.NewReader(good)); err != nil {
+		t.Fatalf("genuine stream rejected: %v", err)
+	}
+}
+
+// TestDecodeLimited verifies the byte budget fails before large
+// allocations and wraps ErrLimitExceeded, while generous budgets
+// still admit the genuine stream.
+func TestDecodeLimited(t *testing.T) {
+	good := genuineStream(t)
+	if _, err := DecodeLimited(bytes.NewReader(good), int64(len(good))); err != nil {
+		t.Fatalf("budget = len: %v", err)
+	}
+	_, err := DecodeLimited(bytes.NewReader(good), 16)
+	if !errors.Is(err, guard.ErrLimitExceeded) {
+		t.Fatalf("tight budget: got %v, want ErrLimitExceeded", err)
+	}
+	// A stream declaring huge lengths against a small budget must fail
+	// fast — and without reading gigabytes from the reader.
+	huge := []byte{'X', 'P', 'S', 'U', 'M', 1, 0, 0xFF, 0xFF, 0xFF, 0x00}
+	r := io.MultiReader(bytes.NewReader(huge), zeroReader{})
+	if _, err := DecodeLimited(r, 1024); err == nil {
+		t.Fatal("hostile declared lengths decoded under budget")
+	}
+}
+
+// zeroReader yields zeros forever, standing in for a hostile client
+// that streams endless padding after a crafted header.
+type zeroReader struct{}
+
+func (zeroReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 0
+	}
+	return len(p), nil
+}

@@ -2,6 +2,7 @@ package summaryio
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 
 	"xpathest/internal/histogram"
@@ -31,6 +32,35 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte("XPSUM"))
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	// Length-field mutations of the genuine stream: every u32 count a
+	// hostile encoder controls, forced to extreme values, so the fuzzer
+	// starts from streams that are valid except for one declared count.
+	mutate := func(off int, val uint32) []byte {
+		m := bytes.Clone(buf.Bytes())
+		if off+4 <= len(m) {
+			binary.LittleEndian.PutUint32(m[off:], val)
+		}
+		return m
+	}
+	// u32 #paths sits right after the 5-byte magic + u16 version.
+	const pathCountOff = 7
+	for _, v := range []uint32{0, 1, 0xFFFF, 0xFFFFFF, 0xFFFFFFFF} {
+		f.Add(mutate(pathCountOff, v))
+	}
+	// Every other aligned u32 in the stream, maxed and zeroed: this
+	// covers the pid count, bucket counts, bucket sizes, column/row
+	// counts and box coordinates without hardcoding their offsets.
+	for off := pathCountOff + 4; off+4 <= buf.Len(); off += 4 {
+		f.Add(mutate(off, 0xFFFFFFFF))
+		f.Add(mutate(off, 0))
+	}
+	// Truncations at structure boundaries.
+	for _, n := range []int{5, 7, 11, buf.Len() / 2, buf.Len() - 4, buf.Len() - 1} {
+		if n >= 0 && n <= buf.Len() {
+			f.Add(bytes.Clone(buf.Bytes()[:n]))
+		}
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		payload, err := Decode(bytes.NewReader(data))

@@ -24,11 +24,23 @@
 //	                u32 #rows (u8 region + string sib tag),
 //	                u32 #buckets (4×u32 coords, f64 avg)
 //	u32 crc32(IEEE) of everything above
+//
+// Decode hardening: summary streams arrive from untrusted callers
+// (uploads, replicated files), so every declared count is validated
+// against a hard cap — and against the counts already decoded (pid
+// references cannot outnumber the dictionary, o-buckets cannot
+// outnumber grid cells) — *before* anything is allocated for it, and
+// DecodeLimited additionally enforces a total byte budget checked
+// before each read. A crafted header therefore cannot trigger a large
+// allocation: memory use is bounded by bytes actually supplied.
+// All decode failures wrap guard.ErrCorruptSummary (budget overruns
+// wrap guard.ErrLimitExceeded) so servers can blame the right party.
 package summaryio
 
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash"
 	"hash/crc32"
@@ -36,6 +48,7 @@ import (
 	"math"
 
 	"xpathest/internal/bitset"
+	"xpathest/internal/guard"
 	"xpathest/internal/histogram"
 	"xpathest/internal/pathenc"
 	"xpathest/internal/stats"
@@ -150,11 +163,30 @@ func Encode(w io.Writer, table *pathenc.Table, distinct []*bitset.Bitset, ps *hi
 	return err
 }
 
-// Decode reads a summary stream back.
+// Decode reads a summary stream back with no total-size budget (the
+// per-field caps still apply). Errors wrap guard.ErrCorruptSummary.
 func Decode(r io.Reader) (*Payload, error) {
-	crc := crc32.NewIEEE()
-	d := &decoder{r: bufio.NewReader(r), crc: crc}
+	return DecodeLimited(r, 0)
+}
 
+// DecodeLimited is Decode under a total byte budget (0 = unlimited):
+// once the stream has declared or consumed more than maxBytes, it
+// fails with an error wrapping guard.ErrLimitExceeded — checked before
+// the corresponding allocation, never after.
+func DecodeLimited(r io.Reader, maxBytes int64) (*Payload, error) {
+	crc := crc32.NewIEEE()
+	d := &decoder{r: bufio.NewReader(r), crc: crc, budget: maxBytes}
+	p, err := decodePayload(d, crc)
+	if err != nil {
+		if errors.Is(err, guard.ErrLimitExceeded) || errors.Is(err, guard.ErrCorruptSummary) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%v: %w", err, guard.ErrCorruptSummary)
+	}
+	return p, nil
+}
+
+func decodePayload(d *decoder, crc hash.Hash32) (*Payload, error) {
 	head := d.raw(len(magic))
 	if d.err == nil && string(head) != magic {
 		return nil, fmt.Errorf("summaryio: bad magic %q", head)
@@ -180,8 +212,12 @@ func Decode(r io.Reader) (*Payload, error) {
 	}
 
 	nPids := int(d.u32())
-	if d.err == nil && (nPids < 0 || nPids > maxPids) {
+	if d.err == nil && (nPids < 1 || nPids > maxPids) {
 		return nil, fmt.Errorf("summaryio: implausible pid count %d", nPids)
+	}
+	// There are at most 2^width − 1 distinct nonzero bit sequences.
+	if d.err == nil && nPaths < 31 && nPids > 1<<uint(nPaths)-1 {
+		return nil, fmt.Errorf("summaryio: %d pids exceed the 2^%d-1 distinct sequences of the path width", nPids, nPaths)
 	}
 	pidBytes := (nPaths + 7) / 8
 	distinct := make([]*bitset.Bitset, 0, min(nPids, 65536))
@@ -212,16 +248,22 @@ func Decode(r io.Reader) (*Payload, error) {
 	for t := 0; t < nPTags && d.err == nil; t++ {
 		tag := d.str()
 		nb := int(d.u32())
-		if d.err == nil && (nb < 0 || nb > maxBuckets) {
-			return nil, fmt.Errorf("summaryio: implausible bucket count %d", nb)
+		// A tag's buckets partition (a subset of) the pid dictionary, so
+		// neither the bucket count nor the pid references across the
+		// tag's buckets can exceed the dictionary size — checked before
+		// any bucket storage is allocated.
+		if d.err == nil && (nb < 0 || nb > maxBuckets || nb > nPids) {
+			return nil, fmt.Errorf("summaryio: implausible bucket count %d for %d pids", nb, nPids)
 		}
+		refsLeft := nPids
 		buckets := make([]histogram.PBucket, 0, min(nb, 4096))
 		for i := 0; i < nb && d.err == nil; i++ {
 			b := histogram.PBucket{AvgFreq: d.f64()}
 			np := int(d.u32())
-			if d.err == nil && (np < 0 || np > maxPids) {
-				return nil, fmt.Errorf("summaryio: implausible bucket size %d", np)
+			if d.err == nil && (np < 0 || np > refsLeft) {
+				return nil, fmt.Errorf("summaryio: implausible bucket size %d (%d pid references left)", np, refsLeft)
 			}
+			refsLeft -= np
 			for j := 0; j < np && d.err == nil; j++ {
 				p, err := pid()
 				if err != nil {
@@ -245,8 +287,10 @@ func Decode(r io.Reader) (*Payload, error) {
 	for t := 0; t < nOTags && d.err == nil; t++ {
 		tag := d.str()
 		nc := int(d.u32())
-		if d.err == nil && (nc < 0 || nc > maxPids) {
-			return nil, fmt.Errorf("summaryio: implausible column count %d", nc)
+		// Columns are distinct pids of the tag: bounded by the
+		// dictionary, checked before the column slice grows.
+		if d.err == nil && (nc < 0 || nc > nPids) {
+			return nil, fmt.Errorf("summaryio: implausible column count %d for %d pids", nc, nPids)
 		}
 		var cols []*bitset.Bitset
 		for i := 0; i < nc && d.err == nil; i++ {
@@ -269,8 +313,11 @@ func Decode(r io.Reader) (*Payload, error) {
 			rows = append(rows, histogram.RowKey{Region: region, SibTag: d.str()})
 		}
 		nb := int(d.u32())
-		if d.err == nil && (nb < 0 || nb > maxBuckets) {
-			return nil, fmt.Errorf("summaryio: implausible bucket count %d", nb)
+		// Buckets are disjoint boxes tiling the nc×nr grid, so there can
+		// be at most one per cell — checked before the bucket slice
+		// grows.
+		if d.err == nil && (nb < 0 || nb > maxBuckets || nb > nc*nr) {
+			return nil, fmt.Errorf("summaryio: implausible bucket count %d for a %d×%d grid", nb, nc, nr)
 		}
 		var buckets []histogram.OBucket
 		for i := 0; i < nb && d.err == nil; i++ {
@@ -356,13 +403,22 @@ func (e *encoder) str(s string) {
 }
 
 type decoder struct {
-	r   *bufio.Reader
-	crc hash.Hash32 // hashes exactly the consumed payload bytes
-	err error
+	r        *bufio.Reader
+	crc      hash.Hash32 // hashes exactly the consumed payload bytes
+	budget   int64       // max total bytes to read; 0 = unlimited
+	consumed int64
+	err      error
 }
 
 func (d *decoder) raw(n int) []byte {
 	if d.err != nil {
+		return nil
+	}
+	// The budget is charged before the buffer exists, so a declared
+	// length can never cause an allocation past the budget.
+	d.consumed += int64(n)
+	if d.budget > 0 && d.consumed > d.budget {
+		d.err = fmt.Errorf("summaryio: %w", guard.Exceeded("summary bytes", d.budget, d.consumed))
 		return nil
 	}
 	b := make([]byte, n)

@@ -88,7 +88,7 @@ func (w *Workload) TotalOrder() int { return len(w.OrderBranch) + len(w.OrderTru
 func Generate(doc *xmltree.Document, lab *pathenc.Labeling, cfg Config) *Workload {
 	cfg = cfg.withDefaults()
 	if lab == nil {
-		lab = pathenc.Build(doc)
+		lab = pathenc.MustBuild(doc)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	ev := eval.New(doc)

@@ -63,7 +63,7 @@ func TestSimpleQueriesAreSimple(t *testing.T) {
 
 func TestBranchQueriesHaveBranches(t *testing.T) {
 	doc := datagen.SSPlays(datagen.Config{Seed: 3, Scale: 0.02})
-	lab := pathenc.Build(doc)
+	lab := pathenc.MustBuild(doc)
 	w := Generate(doc, lab, Config{Seed: 3, NumSimple: 0, NumBranch: 500, MinSteps: 3, MaxSteps: 6})
 	if len(w.Branch) == 0 {
 		t.Fatal("no branch queries")

@@ -11,10 +11,13 @@
 package xmltree
 
 import (
+	"context"
 	"encoding/xml"
 	"fmt"
 	"io"
 	"strings"
+
+	"xpathest/internal/guard"
 )
 
 // Node is a single element node in the document tree.
@@ -150,11 +153,29 @@ func (d *Document) finalize() {
 // Parse reads an XML document from r and builds its tree. It returns
 // an error for malformed XML or for input containing no element.
 func Parse(r io.Reader) (*Document, error) {
+	return ParseContext(context.Background(), r, guard.Limits{})
+}
+
+// ctxCheckEvery is how many decoder tokens ParseContext consumes
+// between context-cancellation checks — frequent enough that a
+// canceled parse of a huge document stops promptly, rare enough that
+// the check never shows up in profiles.
+const ctxCheckEvery = 1024
+
+// ParseContext is Parse under a context and resource limits: nesting
+// depth, element count and consumed bytes are checked as the token
+// stream is read, so a hostile document (e.g. a deep-nesting bomb)
+// fails fast with an error wrapping guard.ErrLimitExceeded instead of
+// exhausting the process; cancellation is honored at token-loop
+// boundaries with an error wrapping guard.ErrCanceled.
+func ParseContext(ctx context.Context, r io.Reader, lim guard.Limits) (*Document, error) {
 	cr := &countingReader{r: r}
 	dec := xml.NewDecoder(cr)
 	var (
-		root  *Node
-		stack []*Node
+		root     *Node
+		stack    []*Node
+		elements int
+		tokens   int
 	)
 	for {
 		tok, err := dec.Token()
@@ -162,6 +183,15 @@ func Parse(r io.Reader) (*Document, error) {
 			break
 		}
 		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		tokens++
+		if tokens%ctxCheckEvery == 0 {
+			if err := guard.CheckContext(ctx); err != nil {
+				return nil, fmt.Errorf("xmltree: parse: %w", err)
+			}
+		}
+		if err := lim.CheckDocumentBytes(cr.n); err != nil {
 			return nil, fmt.Errorf("xmltree: parse: %w", err)
 		}
 		switch t := tok.(type) {
@@ -177,6 +207,13 @@ func Parse(r io.Reader) (*Document, error) {
 				p.Children = append(p.Children, n)
 			}
 			stack = append(stack, n)
+			elements++
+			if err := lim.CheckDepth(len(stack)); err != nil {
+				return nil, fmt.Errorf("xmltree: parse: %w", err)
+			}
+			if err := lim.CheckElements(elements); err != nil {
+				return nil, fmt.Errorf("xmltree: parse: %w", err)
+			}
 		case xml.EndElement:
 			if len(stack) == 0 {
 				return nil, fmt.Errorf("xmltree: unbalanced end element %q", t.Name.Local)

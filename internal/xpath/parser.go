@@ -3,14 +3,31 @@ package xpath
 import (
 	"fmt"
 	"strings"
+
+	"xpathest/internal/guard"
 )
+
+// Panic policy: query strings are untrusted input, so Parse never
+// panics — every rejection is a returned error wrapping
+// guard.ErrMalformedQuery, and a defensive recover converts even a
+// latent parser bug into such an error. The only panic in this file is
+// MustParse, which exists for package-level literals and tests where a
+// bad query is a programmer error.
 
 // Parse parses a query in the fragment documented at the top of the
 // package. It validates that the first step of the outermost path does
 // not use an order axis (there is no context node to order against).
-func Parse(input string) (*Path, error) {
+// All errors wrap guard.ErrMalformedQuery.
+func Parse(input string) (path *Path, err error) {
+	// Untrusted input must never take the process down: a bug in the
+	// parser surfaces as a malformed-query error, not a crash.
+	defer func() {
+		if r := recover(); r != nil {
+			path, err = nil, fmt.Errorf("xpath: parser failure on %q: %v: %w", input, r, guard.ErrMalformedQuery)
+		}
+	}()
 	p := &parser{src: input}
-	path, err := p.parsePath(false)
+	path, err = p.parsePath(false)
 	if err != nil {
 		return nil, err
 	}
@@ -22,12 +39,14 @@ func Parse(input string) (*Path, error) {
 		return nil, p.errorf("empty query")
 	}
 	if path.Steps[0].Axis.IsOrder() {
-		return nil, fmt.Errorf("xpath: query cannot start with an order axis: %q", input)
+		return nil, fmt.Errorf("xpath: query cannot start with an order axis: %q: %w", input, guard.ErrMalformedQuery)
 	}
 	return path, nil
 }
 
-// MustParse is Parse that panics on error, for tests and literals.
+// MustParse is Parse that panics on error, for tests and package-level
+// literals only — never call it on externally supplied input (see the
+// panic policy above).
 func MustParse(input string) *Path {
 	p, err := Parse(input)
 	if err != nil {
@@ -42,7 +61,7 @@ type parser struct {
 }
 
 func (p *parser) errorf(format string, args ...interface{}) error {
-	return fmt.Errorf("xpath: position %d: %s", p.pos, fmt.Sprintf(format, args...))
+	return fmt.Errorf("xpath: position %d: %s: %w", p.pos, fmt.Sprintf(format, args...), guard.ErrMalformedQuery)
 }
 
 func (p *parser) skipSpace() {

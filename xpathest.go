@@ -32,6 +32,7 @@ import (
 	"xpathest/internal/core"
 	"xpathest/internal/datagen"
 	"xpathest/internal/eval"
+	"xpathest/internal/guard"
 	"xpathest/internal/exec"
 	"xpathest/internal/histogram"
 	"xpathest/internal/pathenc"
@@ -64,7 +65,7 @@ func ParseDocument(r io.Reader) (*Document, error) {
 	if err != nil {
 		return nil, err
 	}
-	return prepare(doc), nil
+	return prepare(doc)
 }
 
 // ParseDocumentString is ParseDocument over a string.
@@ -82,15 +83,22 @@ func LoadDocument(path string) (*Document, error) {
 	return ParseDocument(f)
 }
 
-func prepare(doc *xmltree.Document) *Document {
-	lab := pathenc.Build(doc)
+func prepare(doc *xmltree.Document) (*Document, error) {
+	lab, err := pathenc.Build(doc)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := pidtree.Build(lab.Distinct())
+	if err != nil {
+		return nil, err
+	}
 	return &Document{
 		doc:    doc,
 		lab:    lab,
 		tables: stats.Collect(doc, lab),
-		tree:   pidtree.Build(lab.Distinct()),
+		tree:   tree,
 		ev:     eval.New(doc),
-	}
+	}, nil
 }
 
 // Dataset names a built-in synthetic dataset generator.
@@ -109,7 +117,7 @@ const (
 func GenerateDataset(name Dataset, seed int64, scale float64) (*Document, error) {
 	for _, ds := range datagen.Datasets() {
 		if ds.Name == string(name) {
-			return prepare(ds.Gen(datagen.Config{Seed: seed, Scale: scale})), nil
+			return prepare(ds.Gen(datagen.Config{Seed: seed, Scale: scale}))
 		}
 	}
 	return nil, fmt.Errorf("xpathest: unknown dataset %q (have SSPlays, DBLP, XMark)", name)
@@ -342,7 +350,11 @@ func SummarizeStream(opener func() (io.ReadCloser, error), opts SummaryOptions) 
 		return nil, err
 	}
 	lab := tables.Labeling
-	s := &Summary{opts: opts, lab: lab, tree: pidtree.Build(lab.Distinct())}
+	tree, err := pidtree.Build(lab.Distinct())
+	if err != nil {
+		return nil, err
+	}
+	s := &Summary{opts: opts, lab: lab, tree: tree}
 	n := lab.NumDistinct()
 	pv, ov := opts.PVariance, opts.OVariance
 	if opts.Exact {
@@ -364,10 +376,16 @@ func ReadSummary(r io.Reader) (*Summary, error) {
 	if err != nil {
 		return nil, err
 	}
+	tree, err := pidtree.Build(lab.Distinct())
+	if err != nil {
+		// The distinct-pid list came from the decoded stream: a list the
+		// tree rejects means the stream was corrupt, not an internal bug.
+		return nil, fmt.Errorf("xpathest: %v: %w", err, guard.ErrCorruptSummary)
+	}
 	s := &Summary{
 		opts: SummaryOptions{PVariance: ps.Threshold, OVariance: os.Threshold},
 		lab:  lab,
-		tree: pidtree.Build(lab.Distinct()),
+		tree: tree,
 		ps:   ps,
 		os:   os,
 		est:  core.New(lab, core.HistogramSource{P: ps, O: os}),
