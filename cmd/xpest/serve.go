@@ -40,7 +40,10 @@ func cmdServe(args []string) error {
 		}
 	}
 
-	srv, err := server.New(server.Config{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv, err := server.New(ctx, server.Config{
 		Addr: *addr,
 		Limits: guard.Limits{
 			MaxDepth:         *depth,
@@ -59,8 +62,5 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	return srv.Run(ctx)
 }

@@ -37,6 +37,12 @@ var (
 	// ErrMalformedQuery: a query string is outside the supported XPath
 	// fragment.
 	ErrMalformedQuery = guard.ErrMalformedQuery
+	// ErrMalformedDocument: an XML input failed to parse or violated the
+	// structural rules the tree builder relies on.
+	ErrMalformedDocument = guard.ErrMalformedDocument
+	// ErrInvalidArgument: a caller violated a documented precondition —
+	// a programming error on the caller's side, not hostile input.
+	ErrInvalidArgument = guard.ErrInvalidArgument
 	// ErrCanceled: the context was canceled or its deadline expired
 	// before the operation completed.
 	ErrCanceled = guard.ErrCanceled
@@ -75,6 +81,9 @@ func LoadDocumentContext(ctx context.Context, path string, lim Limits) (*Documen
 // histogram-construction loop boundaries.
 func (d *Document) BuildSummaryContext(ctx context.Context, opts SummaryOptions) (*Summary, error) {
 	if err := guard.CheckContext(ctx); err != nil {
+		return nil, err
+	}
+	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	s := &Summary{opts: opts, lab: d.lab, tree: d.tree}
@@ -146,6 +155,9 @@ func SummarizeFileContext(ctx context.Context, path string, opts SummaryOptions,
 // cancellation: both streaming passes enforce lim and poll ctx, and the
 // histogram builds honor cancellation too.
 func SummarizeStreamContext(ctx context.Context, opener func() (io.ReadCloser, error), opts SummaryOptions, lim Limits) (*Summary, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	tables, err := stats.CollectStreamContext(ctx, opener, lim)
 	if err != nil {
 		return nil, err

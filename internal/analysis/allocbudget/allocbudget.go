@@ -1,0 +1,285 @@
+// Package allocbudget enforces the decoder allocation discipline
+// documented in internal/summaryio: every allocation whose size comes
+// from a decoded length field must be dominated by a budget or cap
+// check, so a crafted header can never force a large allocation before
+// validation. Concretely, inside decode-path functions (name contains
+// "ecod", or methods on a *ecoder receiver) it flags
+//
+//   - make(...) with a non-constant size argument, and
+//   - append(...) inside a for loop whose bound is non-constant
+//     (the loop bound is the decoded element count),
+//
+// unless the size (or a value data-flowed from it, e.g. a running
+// byte counter it was added to) appears earlier in the function in a
+// comparison — a bounds or budget check — or is passed to a function
+// whose name marks it as a check (Check*, *Budget*, *Limit*,
+// *Exceeded*, charge, cap). Sizes capped on the spot with
+// min(n, constant) or derived via len/cap of already-materialized
+// data are accepted directly.
+package allocbudget
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"xpathest/internal/analysis/lintutil"
+)
+
+const name = "allocbudget"
+
+// scope is bound by init to the -allocbudget.scope flag.
+var scope string
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "flag decode-path allocations sized by decoded lengths without a dominating budget/cap check",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&scope, "scope", "", "comma-separated import paths to check (empty = every package)")
+}
+
+// guardFunc matches callee names that count as budget/cap checks.
+var guardFunc = regexp.MustCompile(`(?i)(check|budget|limit|charge|exceed|^cap$|^min$)`)
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !lintutil.InScope(scope, pass.Pkg.Path()) {
+		return nil, nil
+	}
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	insp.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		call := n.(*ast.CallExpr)
+		decl := enclosingDecodeFunc(stack)
+		if decl == nil || lintutil.InTestFile(pass, call.Pos()) {
+			return true
+		}
+		switch {
+		case lintutil.IsBuiltin(pass, call, "make"):
+			for _, size := range call.Args[1:] {
+				checkSize(pass, decl, call, size, names(pass, size), "make")
+			}
+		case lintutil.IsBuiltin(pass, call, "append"):
+			loop := enclosingFor(stack)
+			if loop == nil || loop.Cond == nil {
+				return true
+			}
+			// The loop bound is the allocation size: each iteration
+			// grows the slice, so the decoded count must be validated
+			// before the loop runs. The index variable itself is not a
+			// seed — it is the bound that must have been checked.
+			seeds := names(pass, loop.Cond)
+			if loop.Init != nil {
+				if init, ok := loop.Init.(*ast.AssignStmt); ok {
+					for _, lhs := range init.Lhs {
+						delete(seeds, types.ExprString(lhs))
+					}
+				}
+			}
+			delete(seeds, "nil")
+			checkSize(pass, decl, call, loop.Cond, seeds, "append in a loop")
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// checkSize reports call unless size is constant, locally capped, or
+// dominated by a check of a value data-flowed from the seed names.
+func checkSize(pass *analysis.Pass, decl *ast.FuncDecl, call *ast.CallExpr, size ast.Expr, seeds map[string]bool, what string) {
+	if isConst(pass, size) || locallyCapped(pass, size) {
+		return
+	}
+	if len(seeds) == 0 || dominatedByCheck(pass, decl, call.Pos(), seeds) {
+		return
+	}
+	if lintutil.Suppressed(pass, call.Pos(), name) {
+		return
+	}
+	pass.Reportf(call.Pos(), "%s sized by %s with no dominating budget/cap check on a decode path", what, types.ExprString(size))
+}
+
+func isConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+// locallyCapped accepts sizes that are bounded at the allocation site:
+// min(..., constant) caps the value, len/cap measure data that is
+// already in memory.
+func locallyCapped(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if lintutil.IsBuiltin(pass, call, "len") || lintutil.IsBuiltin(pass, call, "cap") {
+		return true
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "min" {
+		for _, arg := range call.Args {
+			if isConst(pass, arg) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// dominatedByCheck scans decl's body in source order up to pos,
+// propagating taint from the seed names through assignments
+// (x += seed taints x), and reports whether a tainted value is
+// compared in an if condition or passed to a guard-named function
+// that has been fully evaluated before pos. A for-loop's own condition
+// is deliberately not a guard: `i < n` drives the loop, it does not
+// bound n.
+func dominatedByCheck(pass *analysis.Pass, decl *ast.FuncDecl, pos token.Pos, seeds map[string]bool) bool {
+	tainted := make(map[string]bool, len(seeds))
+	for s := range seeds {
+		tainted[s] = true
+	}
+	found := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if n == nil || found || n.Pos() >= pos {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.End() > pos {
+				break
+			}
+			for _, rhs := range n.Rhs {
+				if mentions(pass, rhs, tainted) {
+					for _, lhs := range n.Lhs {
+						tainted[types.ExprString(lhs)] = true
+					}
+					break
+				}
+			}
+		case *ast.IfStmt:
+			// The condition runs before anything in the body, so a
+			// guard is valid for allocations inside its branches too —
+			// only the condition itself must precede pos.
+			if n.Cond.End() <= pos && comparesTainted(pass, n.Cond, tainted) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if n.End() > pos {
+				break
+			}
+			if fn := lintutil.CalleeFunc(pass, n); fn != nil && guardFunc.MatchString(fn.Name()) {
+				for _, arg := range n.Args {
+					if mentions(pass, arg, tainted) {
+						found = true
+						break
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// comparesTainted reports whether cond contains an ordering comparison
+// with a tainted operand.
+func comparesTainted(pass *analysis.Pass, cond ast.Expr, tainted map[string]bool) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok || found {
+			return !found
+		}
+		switch b.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ:
+			if mentions(pass, b.X, tainted) || mentions(pass, b.Y, tainted) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// names collects the identifier and selector paths appearing in e,
+// e.g. {"n"} for int64(n), {"d.consumed", "d.budget"} for a field
+// comparison.
+func names(pass *analysis.Pass, e ast.Expr) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			out[types.ExprString(n)] = true
+			return false // the path as a whole, not its pieces
+		case *ast.Ident:
+			if !isConst(pass, n) {
+				out[n.Name] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func mentions(pass *analysis.Pass, e ast.Expr, tainted map[string]bool) bool {
+	for name := range names(pass, e) {
+		if tainted[name] {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingDecodeFunc returns the outermost function declaration on
+// the stack if it is a decode-path function.
+func enclosingDecodeFunc(stack []ast.Node) *ast.FuncDecl {
+	for _, n := range stack {
+		if decl, ok := n.(*ast.FuncDecl); ok {
+			if isDecodeFunc(decl) {
+				return decl
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// isDecodeFunc identifies decode paths by naming convention: Decode*,
+// decode*, *Decode*, or a method on a decoder-ish receiver type.
+func isDecodeFunc(decl *ast.FuncDecl) bool {
+	if strings.Contains(decl.Name.Name, "ecod") {
+		return true
+	}
+	if decl.Recv != nil {
+		for _, f := range decl.Recv.List {
+			t := f.Type
+			if star, ok := t.(*ast.StarExpr); ok {
+				t = star.X
+			}
+			if id, ok := t.(*ast.Ident); ok && strings.Contains(id.Name, "ecoder") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// enclosingFor returns the innermost for statement on the stack.
+func enclosingFor(stack []ast.Node) *ast.ForStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if loop, ok := stack[i].(*ast.ForStmt); ok {
+			return loop
+		}
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+package allocbudget_test
+
+import (
+	"testing"
+
+	"xpathest/internal/analysis/allocbudget"
+	"xpathest/internal/analysis/analysistest"
+)
+
+func TestAllocBudget(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), allocbudget.Analyzer, "a")
+}
+
+func TestScope(t *testing.T) {
+	if err := allocbudget.Analyzer.Flags.Set("scope", "some/other/pkg"); err != nil {
+		t.Fatal(err)
+	}
+	defer allocbudget.Analyzer.Flags.Set("scope", "")
+	analysistest.RunExpectClean(t, analysistest.TestData(), allocbudget.Analyzer, "a")
+}

@@ -1,0 +1,100 @@
+// Package a exercises the allocbudget analyzer: on decode paths,
+// allocations sized by decoded lengths need a dominating budget or
+// cap check.
+package a
+
+type decoder struct {
+	budget   int64
+	consumed int64
+}
+
+func readLen() int { return 42 }
+
+// DecodeNaive allocates whatever the stream declares: the classic
+// decompression-bomb shape.
+func DecodeNaive() []byte {
+	n := readLen()
+	return make([]byte, n) // want `make sized by n with no dominating budget/cap check`
+}
+
+// decodeLoop grows a slice as many times as the stream says without
+// validating the count first.
+func decodeLoop() []int {
+	n := readLen()
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want `append in a loop sized by .* with no dominating budget/cap check`
+	}
+	return out
+}
+
+// DecodeChecked validates the declared count before allocating.
+func DecodeChecked() ([]byte, bool) {
+	const maxLen = 1 << 16
+	n := readLen()
+	if n < 0 || n > maxLen {
+		return nil, false
+	}
+	return make([]byte, n), true
+}
+
+// decodeCapped bounds the pre-allocation on the spot.
+func decodeCapped() []string {
+	n := readLen()
+	return make([]string, 0, min(n, 4096))
+}
+
+// decodeLoopChecked validates the loop bound, so the per-iteration
+// growth is bounded too.
+func decodeLoopChecked() []int {
+	n := readLen()
+	if n > 1<<20 {
+		return nil
+	}
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// raw mirrors summaryio's budgeted reader: the size taints the
+// running counter through +=, and the counter is compared against the
+// budget before the allocation.
+func (d *decoder) raw(n int) []byte {
+	d.consumed += int64(n)
+	if d.budget > 0 && d.consumed > d.budget {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// rawUnbudgeted skips the charge: flagged.
+func (d *decoder) rawUnbudgeted(n int) []byte {
+	return make([]byte, n) // want `make sized by n with no dominating budget/cap check`
+}
+
+// checkLen is a guard-named helper; passing the size through it
+// counts as domination.
+func checkLen(n int) bool { return n < 1<<20 }
+
+func decodeViaHelper() []byte {
+	n := readLen()
+	if !checkLen(n) {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// measuring data already in memory is always fine.
+func decodeEcho(in []byte) []byte {
+	out := make([]byte, len(in))
+	copy(out, in)
+	return out
+}
+
+// Encode-side allocations are out of scope for the decode invariant.
+func Encode(items []int) []byte {
+	n := readLen()
+	return make([]byte, n)
+}

@@ -1,0 +1,272 @@
+// Package analysistest is a minimal, dependency-free reimplementation
+// of golang.org/x/tools/go/analysis/analysistest: it loads a testdata
+// package from source, type-checks it against the standard library,
+// runs an analyzer (and its Requires closure), and diffs the reported
+// diagnostics against `// want` expectations embedded in the testdata.
+//
+// The real analysistest depends on go/packages, which the offline
+// toolchain does not vendor; this harness covers the subset the
+// xpestlint analyzers need — single-package testdata, stdlib-only
+// imports, no facts — with the same testdata layout and expectation
+// syntax, so the testdata stays portable:
+//
+//	testdata/src/<pkg>/*.go
+//	somecode() // want `regexp matching the diagnostic`
+//
+// An expectation matches a diagnostic on the same file:line whose
+// message matches the regexp. Unmatched diagnostics and unsatisfied
+// expectations both fail the test.
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run analyzes each named package under dir/src/ with a and reports
+// expectation mismatches through t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		runPkg(t, filepath.Join(dir, "src", pkg), pkg, a)
+	}
+}
+
+// RunExpectClean analyzes each named package and fails if the
+// analyzer reports anything at all, ignoring `// want` comments — used
+// to verify scoping and suppression switch a package fully off.
+func RunExpectClean(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		diags := collect(t, filepath.Join(dir, "src", pkg), pkg, a)
+		for _, d := range diags {
+			t.Errorf("%s: analyzer fired despite being out of scope: %s", pkg, d.Message)
+		}
+	}
+}
+
+// TestData returns the absolute path of the calling test's testdata
+// directory, mirroring the real analysistest's helper.
+func TestData() string {
+	testdata, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return testdata
+}
+
+func runPkg(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) {
+	t.Helper()
+	fset, files, diags := load(t, dir, pkgPath, a)
+	checkExpectations(t, fset, files, pkgPath, diags)
+}
+
+func collect(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) []analysis.Diagnostic {
+	t.Helper()
+	_, _, diags := load(t, dir, pkgPath, a)
+	return diags
+}
+
+func load(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) (*token.FileSet, []*ast.File, []analysis.Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	var files []*ast.File
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("%s: %v", pkgPath, err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", pkgPath, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("%s: no Go files in %s", pkgPath, dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{
+		// The source importer compiles stdlib dependencies from
+		// GOROOT source: slower than export data, but works with no
+		// pre-built pkg cache and no network.
+		Importer: importer.ForCompiler(fset, "source", nil),
+	}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("%s: type-check: %v", pkgPath, err)
+	}
+
+	var diags []analysis.Diagnostic
+	if _, err := runAnalyzer(a, fset, files, pkg, info, &diags, true, make(map[*analysis.Analyzer]interface{})); err != nil {
+		t.Fatalf("%s: %s: %v", pkgPath, a.Name, err)
+	}
+	return fset, files, diags
+}
+
+// runAnalyzer runs a's Requires closure depth-first (memoized), then a
+// itself. Only the target analyzer's diagnostics are collected into
+// diags; what prerequisites report is not under test and is dropped.
+func runAnalyzer(a *analysis.Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, diags *[]analysis.Diagnostic, target bool, memo map[*analysis.Analyzer]interface{}) (interface{}, error) {
+	if res, ok := memo[a]; ok {
+		return res, nil
+	}
+	resultOf := make(map[*analysis.Analyzer]interface{})
+	for _, req := range a.Requires {
+		res, err := runAnalyzer(req, fset, files, pkg, info, diags, false, memo)
+		if err != nil {
+			return nil, err
+		}
+		resultOf[req] = res
+	}
+	report := func(analysis.Diagnostic) {}
+	if target {
+		report = func(d analysis.Diagnostic) { *diags = append(*diags, d) }
+	}
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   resultOf,
+		Report:     report,
+		ReadFile:   os.ReadFile,
+		// The xpestlint analyzers use no facts; stubs keep the Pass
+		// total for any Requires dependency that asks.
+		ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
+		ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+		ExportObjectFact:  func(types.Object, analysis.Fact) {},
+		ExportPackageFact: func(analysis.Fact) {},
+		AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+		AllPackageFacts:   func() []analysis.PackageFact { return nil },
+	}
+	res, err := a.Run(pass)
+	memo[a] = res
+	return res, err
+}
+
+// expectation is one `// want` annotation.
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	text string
+	met  bool
+}
+
+var wantRe = regexp.MustCompile(`// want (.*)$`)
+
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, pkgPath string, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		filename := fset.Position(f.FileStart).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				for _, pat := range parsePatterns(m[1]) {
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad // want pattern %q: %v", pkgPath, pat, err)
+					}
+					wants = append(wants, &expectation{
+						file: filename,
+						line: fset.Position(c.Pos()).Line,
+						rx:   rx,
+						text: pat,
+					})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == posn.Filename && w.line == posn.Line && w.rx.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s", pkgPath, filepath.Base(posn.Filename), posn.Line, d.Message)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool { return wants[i].line < wants[j].line })
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s: expected diagnostic at %s:%d matching %q, got none", pkgPath, filepath.Base(w.file), w.line, w.text)
+		}
+	}
+}
+
+// parsePatterns extracts the quoted (backquoted or double-quoted)
+// regexps from the text after "// want".
+func parsePatterns(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return append(out, s[1:]) // unterminated: take the rest
+			}
+			out = append(out, s[1:1+end])
+			s = strings.TrimSpace(s[end+2:])
+		case '"':
+			// Find the closing quote, honoring escapes, via Unquote on
+			// growing prefixes.
+			i := 1
+			for ; i < len(s); i++ {
+				if s[i] == '"' && s[i-1] != '\\' {
+					break
+				}
+			}
+			if i >= len(s) {
+				return append(out, s[1:])
+			}
+			unq, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				unq = s[1:i]
+			}
+			out = append(out, unq)
+			s = strings.TrimSpace(s[i+1:])
+		default:
+			// Bare text: match it literally.
+			return append(out, regexp.QuoteMeta(s))
+		}
+	}
+	return out
+}

@@ -1,0 +1,16 @@
+package ctxpropagate_test
+
+import (
+	"testing"
+
+	"xpathest/internal/analysis/analysistest"
+	"xpathest/internal/analysis/ctxpropagate"
+)
+
+func TestCtxPropagate(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ctxpropagate.Analyzer, "a")
+}
+
+func TestMainExempt(t *testing.T) {
+	analysistest.RunExpectClean(t, analysistest.TestData(), ctxpropagate.Analyzer, "mainpkg")
+}

@@ -1,0 +1,45 @@
+// Package a exercises the ctxpropagate analyzer: fresh context roots
+// in library code are diagnostics — especially where an incoming ctx
+// is already in scope — and documented compat wrappers may opt out
+// with a reason.
+package a
+
+import "context"
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+// BuildContext receives a ctx but starts a fresh root for its callee:
+// cancellation silently stops propagating.
+func BuildContext(ctx context.Context) error {
+	return work(context.Background()) // want `context.Background inside a function that receives a ctx`
+}
+
+// closures capture the enclosing ctx and are held to the same rule.
+func Closure(ctx context.Context) func() error {
+	return func() error {
+		return work(context.TODO()) // want `context.TODO inside a function that receives a ctx`
+	}
+}
+
+// Library code with no incoming context should accept one.
+func Standalone() error {
+	return work(context.Background()) // want `context.Background in library code`
+}
+
+// TODO is a placeholder wherever it appears.
+func Placeholder() error {
+	return work(context.TODO()) // want `context.TODO in library code`
+}
+
+// Deriving from the incoming ctx is the sanctioned pattern.
+func Derived(ctx context.Context) error {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return work(sub)
+}
+
+// Build is the documented compat wrapper of the non-Context API.
+func Build() error {
+	//lint:ignore ctxpropagate compat wrapper: the non-Context API is documented as uncancelable
+	return BuildContext(context.Background())
+}

@@ -1,0 +1,10 @@
+// Command mainpkg verifies that package main is exempt: binaries are
+// where context roots are legitimately created.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

@@ -1,0 +1,102 @@
+// Package errtaxonomy enforces the guard error taxonomy in the
+// packages behind the API boundary: every error constructed inside a
+// function body must wrap something — in practice one of the guard
+// sentinels — so callers can dispatch with errors.Is. It flags
+//
+//   - errors.New(...) inside a function body (package-level sentinel
+//     declarations are the one legitimate use and are not flagged), and
+//   - fmt.Errorf(...) whose constant format string has no %w verb.
+//
+// A naked error born deep in a decode or parse helper escapes through
+// `return err` chains untouched, so the check applies to every
+// function in the scoped packages, not only exported ones — the
+// boundary wraps only what it can see.
+package errtaxonomy
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"xpathest/internal/analysis/lintutil"
+)
+
+const name = "errtaxonomy"
+
+// scope is bound by init to the -errtaxonomy.scope flag.
+var scope string
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "flag error constructors that wrap no sentinel (errors.New, fmt.Errorf without %w) in API-boundary packages",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&scope, "scope", "", "comma-separated import paths to check (empty = every package)")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !lintutil.InScope(scope, pass.Pkg.Path()) {
+		return nil, nil
+	}
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	nodeFilter := []ast.Node{(*ast.CallExpr)(nil)}
+	insp.WithStack(nodeFilter, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		call := n.(*ast.CallExpr)
+		if lintutil.InTestFile(pass, call.Pos()) {
+			return true
+		}
+		if !insideFuncBody(stack) {
+			// Package-level var initializers are where sentinels are
+			// legitimately declared with errors.New.
+			return true
+		}
+		switch {
+		case lintutil.IsPkgFunc(pass, call, "errors", "New"):
+			if !lintutil.Suppressed(pass, call.Pos(), name) {
+				pass.Reportf(call.Pos(), "errors.New inside a function wraps no guard sentinel; use fmt.Errorf(\"...: %%w\", guard.Err...) or declare a package-level sentinel")
+			}
+		case lintutil.IsPkgFunc(pass, call, "fmt", "Errorf"):
+			format, ok := constFormat(pass, call)
+			if ok && !strings.Contains(format, "%w") && !lintutil.Suppressed(pass, call.Pos(), name) {
+				pass.Reportf(call.Pos(), "fmt.Errorf without %%w wraps no guard sentinel; append \": %%w\" with the sentinel that classifies this failure")
+			}
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// insideFuncBody reports whether the innermost enclosing declaration
+// on the traversal stack is a function (declaration or literal).
+func insideFuncBody(stack []ast.Node) bool {
+	for _, n := range stack {
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return true
+		}
+	}
+	return false
+}
+
+// constFormat extracts call's format string when it is a compile-time
+// constant; non-constant formats cannot be checked and are skipped.
+func constFormat(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

@@ -1,0 +1,20 @@
+package errtaxonomy_test
+
+import (
+	"testing"
+
+	"xpathest/internal/analysis/analysistest"
+	"xpathest/internal/analysis/errtaxonomy"
+)
+
+func TestErrTaxonomy(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), errtaxonomy.Analyzer, "a")
+}
+
+func TestScope(t *testing.T) {
+	if err := errtaxonomy.Analyzer.Flags.Set("scope", "some/other/pkg"); err != nil {
+		t.Fatal(err)
+	}
+	defer errtaxonomy.Analyzer.Flags.Set("scope", "")
+	analysistest.RunExpectClean(t, analysistest.TestData(), errtaxonomy.Analyzer, "a")
+}

@@ -1,0 +1,46 @@
+// Package a exercises the errtaxonomy analyzer: in-function error
+// constructors must wrap something (%w); package-level sentinel
+// declarations are the sanctioned use of errors.New.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadInput is a package-level sentinel: the one legitimate
+// errors.New, never flagged.
+var ErrBadInput = errors.New("bad input")
+
+// Decode fabricates errors three ways; only the wrapping one passes.
+func Decode(b []byte) error {
+	if len(b) == 0 {
+		return errors.New("empty stream") // want `errors.New inside a function wraps no guard sentinel`
+	}
+	if b[0] != 'X' {
+		return fmt.Errorf("bad magic %q", b[0]) // want `fmt.Errorf without %w wraps no guard sentinel`
+	}
+	if len(b) < 4 {
+		return fmt.Errorf("truncated stream: %w", ErrBadInput)
+	}
+	return nil
+}
+
+// helper errors escape through return chains, so unexported functions
+// are held to the same rule.
+func helper() error {
+	return fmt.Errorf("helper failed") // want `fmt.Errorf without %w wraps no guard sentinel`
+}
+
+// Sprintf-style calls that do not build errors are none of our
+// business, and non-constant formats cannot be checked.
+func formatting(format string) (string, error) {
+	s := fmt.Sprintf("x: %d", 1)
+	return s, fmt.Errorf(format, 1)
+}
+
+// Justified exceptions carry a recorded reason.
+func devTool() error {
+	//lint:ignore errtaxonomy developer-facing tool error, never crosses the serving API
+	return errors.New("usage: devtool <arg>")
+}

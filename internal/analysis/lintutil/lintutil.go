@@ -1,0 +1,131 @@
+// Package lintutil holds the pieces shared by every xpestlint
+// analyzer: package scoping (each invariant applies to a configured
+// set of import paths), test-file detection (test code is exempt from
+// the serving-layer invariants), and the `//lint:ignore` suppression
+// directive that lets a human overrule an analyzer at one site with a
+// recorded reason.
+//
+// Suppression syntax, modeled on staticcheck's:
+//
+//	//lint:ignore analyzer1[,analyzer2...] reason text
+//
+// placed on the line immediately above the flagged statement (or at
+// the end of the same line). The reason is mandatory: a directive
+// without one does not suppress anything, so every exception to an
+// invariant is explained where it is made.
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// InScope reports whether pkgPath is selected by the comma-separated
+// import-path list in scope. An empty scope selects every package —
+// the permissive default used by the analyzer unit tests; cmd/xpestlint
+// installs this repo's per-invariant package lists as flag defaults.
+func InScope(scope, pkgPath string) bool {
+	if scope == "" {
+		return true
+	}
+	for _, entry := range strings.Split(scope, ",") {
+		if strings.TrimSpace(entry) == pkgPath {
+			return true
+		}
+	}
+	return false
+}
+
+// InTestFile reports whether pos lies in a _test.go file. The
+// invariants enforced by this suite protect serving paths; test code
+// may panic, fabricate errors, and use context.Background freely.
+func InTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}
+
+// ignorePrefix is the suppression directive marker. The "//lint:"
+// prefix makes it a directive comment, so gofmt keeps it attached to
+// the line it governs.
+const ignorePrefix = "//lint:ignore "
+
+// Suppressed reports whether a diagnostic from the named analyzer at
+// pos is covered by a well-formed //lint:ignore directive on the same
+// or the immediately preceding line.
+func Suppressed(pass *analysis.Pass, pos token.Pos, name string) bool {
+	file := enclosingFile(pass, pos)
+	if file == nil {
+		return false
+	}
+	line := pass.Fset.Position(pos).Line
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			cline := pass.Fset.Position(c.Pos()).Line
+			if cline != line && cline != line-1 {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, ignorePrefix)
+			names, reason, ok := strings.Cut(strings.TrimSpace(rest), " ")
+			if !ok || strings.TrimSpace(reason) == "" {
+				continue // no reason given: directive is inert
+			}
+			for _, n := range strings.Split(names, ",") {
+				if n == name {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func enclosingFile(pass *analysis.Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// CalleeFunc resolves the called function or method of call, or nil
+// for calls through function-typed variables and builtins.
+func CalleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether call invokes the package-level function
+// pkgPath.name (resolved through the type checker, so import renames
+// and shadowing are handled).
+func IsPkgFunc(pass *analysis.Pass, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := CalleeFunc(pass, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// IsBuiltin reports whether call invokes the named builtin (panic,
+// make, min, ...), resolved through the type checker so a local
+// function shadowing the name does not match.
+func IsBuiltin(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}

@@ -1,0 +1,22 @@
+package lintutil
+
+import "testing"
+
+func TestInScope(t *testing.T) {
+	cases := []struct {
+		scope, pkg string
+		want       bool
+	}{
+		{"", "anything/at/all", true},
+		{"a/b", "a/b", true},
+		{"a/b,c/d", "c/d", true},
+		{"a/b, c/d", "c/d", true}, // spaces after commas tolerated
+		{"a/b", "a/b/c", false},   // exact match, not prefix
+		{"a/b", "b", false},       // exact match, not suffix
+	}
+	for _, c := range cases {
+		if got := InScope(c.scope, c.pkg); got != c.want {
+			t.Errorf("InScope(%q, %q) = %v, want %v", c.scope, c.pkg, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Package panicpolicy enforces the repo's panic discipline in the
+// input-reachable packages: a library function may panic only if it is
+// a Must* / must* constructor (documented as programmer-error-only) or
+// an init-time invariant. Everywhere else, untrusted input must come
+// back as an error wrapping a guard sentinel — a panic in a parse or
+// decode path is a crash a hostile client can trigger.
+//
+// Bounds-check panics that mirror the runtime's own (slice-index
+// style) are allowed case by case through a //lint:ignore directive
+// with a recorded justification; see docs/STATIC_ANALYSIS.md.
+package panicpolicy
+
+import (
+	"go/ast"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"xpathest/internal/analysis/lintutil"
+)
+
+const name = "panicpolicy"
+
+// scope is bound by init to the -panicpolicy.scope flag.
+var scope string
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "flag panic calls outside Must*/must* constructors and init functions in input-reachable packages",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&scope, "scope", "", "comma-separated import paths to check (empty = every package)")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !lintutil.InScope(scope, pass.Pkg.Path()) {
+		return nil, nil
+	}
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	insp.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		decl := n.(*ast.FuncDecl)
+		if decl.Body == nil || exemptFunc(decl.Name.Name) || lintutil.InTestFile(pass, decl.Pos()) {
+			return
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !lintutil.IsBuiltin(pass, call, "panic") {
+				return true
+			}
+			if lintutil.Suppressed(pass, call.Pos(), name) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "panic outside a Must*/must* constructor or init: convert to an error wrapping a guard sentinel (or add //lint:ignore panicpolicy <reason>)")
+			return true
+		})
+	})
+	return nil, nil
+}
+
+// exemptFunc reports whether a function name places its body outside
+// the panic policy: Must*/must* constructors promise to panic on
+// programmer error, and init-time panics fail fast at process start,
+// before any untrusted input is in play.
+func exemptFunc(name string) bool {
+	return name == "init" ||
+		strings.HasPrefix(name, "Must") ||
+		strings.HasPrefix(name, "must")
+}

@@ -1,0 +1,21 @@
+package panicpolicy_test
+
+import (
+	"testing"
+
+	"xpathest/internal/analysis/analysistest"
+	"xpathest/internal/analysis/panicpolicy"
+)
+
+func TestPanicPolicy(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), panicpolicy.Analyzer, "a")
+}
+
+func TestScope(t *testing.T) {
+	// With a scope that excludes the testdata package, nothing fires.
+	if err := panicpolicy.Analyzer.Flags.Set("scope", "some/other/pkg"); err != nil {
+		t.Fatal(err)
+	}
+	defer panicpolicy.Analyzer.Flags.Set("scope", "")
+	analysistest.RunExpectClean(t, analysistest.TestData(), panicpolicy.Analyzer, "a")
+}

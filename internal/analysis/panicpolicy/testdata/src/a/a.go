@@ -1,0 +1,70 @@
+// Package a exercises the panicpolicy analyzer: panics outside
+// Must*/must*/init are diagnostics, panics inside them are not, and a
+// //lint:ignore directive with a reason suppresses a finding.
+package a
+
+import "errors"
+
+// Parse panics on bad input — the exact pattern the policy forbids:
+// a caller-reachable crash.
+func Parse(s string) int {
+	if s == "" {
+		panic("empty input") // want `panic outside a Must\*/must\* constructor or init`
+	}
+	return len(s)
+}
+
+// nested panics inside a closure still belong to the enclosing
+// non-Must function.
+func nested() func() {
+	return func() {
+		panic("inner") // want `panic outside a Must\*/must\* constructor or init`
+	}
+}
+
+// MustParse may panic: that is its documented contract.
+func MustParse(s string) int {
+	n, err := parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// mustHave is the unexported spelling of the same contract.
+func mustHave(ok bool) {
+	if !ok {
+		panic("invariant")
+	}
+}
+
+// init-time panics fail fast before any input is in play.
+func init() {
+	if len(table) == 0 {
+		panic("empty table")
+	}
+}
+
+// Index carries a recorded justification, so it is not reported.
+func Index(xs []int, i int) int {
+	if i < 0 || i >= len(xs) {
+		//lint:ignore panicpolicy bounds panic mirrors the runtime's own slice-index behavior
+		panic("index out of range")
+	}
+	return xs[i]
+}
+
+// Bad directive: no reason given, so the panic is still reported.
+func Unjustified() {
+	//lint:ignore panicpolicy
+	panic("no reason recorded") // want `panic outside a Must\*/must\* constructor or init`
+}
+
+var table = []string{"x"}
+
+func parse(s string) (int, error) {
+	if s == "" {
+		return 0, errors.New("empty")
+	}
+	return len(s), nil
+}

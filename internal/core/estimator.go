@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"xpathest/internal/bitset"
+	"xpathest/internal/guard"
 	"xpathest/internal/pathenc"
 	"xpathest/internal/stats"
 	"xpathest/internal/xpath"
@@ -95,7 +96,7 @@ func (e *Estimator) Estimate(p *xpath.Path) (float64, error) {
 		return e.noOrder(tree, fullInclude(tree), tree.Target)
 	case 1:
 	default:
-		return 0, fmt.Errorf("core: queries with multiple order axes are not supported")
+		return 0, fmt.Errorf("core: queries with multiple order axes are not supported: %w", guard.ErrMalformedQuery)
 	}
 	edge := tree.Edges[0]
 	if !edge.SiblingOnly {
@@ -396,10 +397,10 @@ func (e *Estimator) convertAndEstimate(tree *xpath.Tree, p *xpath.Path, edge xpa
 	case edge.Before.Step.Axis == xpath.Preceding:
 		m = edge.Before
 	default:
-		return 0, fmt.Errorf("core: cannot locate the preceding/following step")
+		return 0, fmt.Errorf("core: cannot locate the preceding/following step: %w", guard.ErrInternal)
 	}
 	if edge.Parent.IsVRoot() {
-		return 0, fmt.Errorf("core: preceding/following cannot be anchored at the document root")
+		return 0, fmt.Errorf("core: preceding/following cannot be anchored at the document root: %w", guard.ErrMalformedQuery)
 	}
 
 	joined, err := pathJoin(e.lab, e.src, tree, fullInclude(tree))

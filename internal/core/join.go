@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"xpathest/internal/guard"
 	"xpathest/internal/pathenc"
 	"xpathest/internal/stats"
 	"xpathest/internal/xpath"
@@ -73,7 +74,7 @@ func pathJoin(lab *pathenc.Labeling, src Source, tree *xpath.Tree, inc includeSe
 	lists := make(map[*xpath.TreeNode][]stats.PidFreq, len(inc))
 	for n := range inc {
 		if n.Tag == "*" {
-			return nil, fmt.Errorf("core: wildcard node tests are not estimable")
+			return nil, fmt.Errorf("core: wildcard node tests are not estimable: %w", guard.ErrMalformedQuery)
 		}
 		entries := src.Entries(n.Tag)
 		cp := make([]stats.PidFreq, 0, len(entries))

@@ -14,10 +14,15 @@
 //     validation (bad magic, truncation, checksum mismatch, ...);
 //   - ErrMalformedQuery: a query string is outside the supported
 //     XPath fragment;
+//   - ErrMalformedDocument: an XML input failed to parse or violated
+//     the structural rules the tree builder relies on;
+//   - ErrInvalidArgument: a caller passed an argument that violates a
+//     documented precondition — a programming error on the caller's
+//     side, not hostile input;
 //   - ErrCanceled: the caller's context was canceled or its deadline
 //     expired before the operation completed;
-//   - ErrInternal: a recovered panic — an actual bug, never the
-//     input's fault.
+//   - ErrInternal: a recovered panic or a broken internal invariant —
+//     an actual bug, never the input's fault.
 package guard
 
 import (
@@ -30,11 +35,13 @@ import (
 // Sentinel errors of the taxonomy. They are compared with errors.Is;
 // concrete errors wrap them with situation-specific detail.
 var (
-	ErrLimitExceeded  = errors.New("resource limit exceeded")
-	ErrCorruptSummary = errors.New("corrupt summary")
-	ErrMalformedQuery = errors.New("malformed query")
-	ErrCanceled       = errors.New("operation canceled")
-	ErrInternal       = errors.New("internal error")
+	ErrLimitExceeded     = errors.New("resource limit exceeded")
+	ErrCorruptSummary    = errors.New("corrupt summary")
+	ErrMalformedQuery    = errors.New("malformed query")
+	ErrMalformedDocument = errors.New("malformed document")
+	ErrInvalidArgument   = errors.New("invalid argument")
+	ErrCanceled          = errors.New("operation canceled")
+	ErrInternal          = errors.New("internal error")
 )
 
 // Limits bounds the resources one untrusted input may consume. The

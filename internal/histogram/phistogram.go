@@ -65,6 +65,7 @@ func variance(sum, sumSq float64, k int) float64 {
 // stays within the threshold. The threshold must be non-negative.
 func BuildP(tag string, entries []stats.PidFreq, threshold float64) *PHistogram {
 	if threshold < 0 {
+		//lint:ignore panicpolicy documented precondition on an in-process build parameter, validated at the root API by SummaryOptions; never reachable from untrusted input
 		panic(fmt.Sprintf("histogram: negative variance threshold %v", threshold))
 	}
 	sorted := make([]stats.PidFreq, len(entries))
@@ -119,6 +120,7 @@ func BuildP(tag string, entries []stats.PidFreq, threshold float64) *PHistogram 
 // buckets should estimate skewed tags better.
 func BuildPEquiCount(tag string, entries []stats.PidFreq, numBuckets int) *PHistogram {
 	if numBuckets < 1 {
+		//lint:ignore panicpolicy documented precondition on an in-process build parameter, validated at the root API by SummaryOptions; never reachable from untrusted input
 		panic(fmt.Sprintf("histogram: %d buckets", numBuckets))
 	}
 	sorted := make([]stats.PidFreq, len(entries))

@@ -33,6 +33,7 @@ import (
 	"strings"
 
 	"xpathest/internal/bitset"
+	"xpathest/internal/guard"
 	"xpathest/internal/xmltree"
 )
 
@@ -52,6 +53,7 @@ func (t *Table) NumPaths() int { return len(t.paths) }
 // Path returns the slash-joined path with the given encoding (1-based).
 func (t *Table) Path(enc int) string {
 	if enc < 1 || enc > len(t.paths) {
+		//lint:ignore panicpolicy documented programmer-error invariant: encodings come from this table, an out-of-range value mirrors a slice-index bug
 		panic(fmt.Sprintf("pathenc: encoding %d out of range [1,%d]", enc, len(t.paths)))
 	}
 	return t.paths[enc-1]
@@ -61,6 +63,7 @@ func (t *Table) Path(enc int) string {
 // encoding. The returned slice must not be modified.
 func (t *Table) PathTags(enc int) []string {
 	if enc < 1 || enc > len(t.pathTags) {
+		//lint:ignore panicpolicy documented programmer-error invariant: encodings come from this table, an out-of-range value mirrors a slice-index bug
 		panic(fmt.Sprintf("pathenc: encoding %d out of range [1,%d]", enc, len(t.pathTags)))
 	}
 	return t.pathTags[enc-1]
@@ -141,10 +144,10 @@ func NewTable(paths []string) (*Table, error) {
 	t := &Table{byPath: make(map[string]int, len(paths))}
 	for i, p := range paths {
 		if p == "" {
-			return nil, fmt.Errorf("pathenc: empty path at encoding %d", i+1)
+			return nil, fmt.Errorf("pathenc: empty path at encoding %d: %w", i+1, guard.ErrInvalidArgument)
 		}
 		if _, dup := t.byPath[p]; dup {
-			return nil, fmt.Errorf("pathenc: duplicate path %q", p)
+			return nil, fmt.Errorf("pathenc: duplicate path %q: %w", p, guard.ErrInvalidArgument)
 		}
 		t.paths = append(t.paths, p)
 		t.pathTags = append(t.pathTags, strings.Split(p, "/"))
@@ -222,7 +225,7 @@ func (l *Labeling) assign(n *xmltree.Node, prefix []string) (*bitset.Bitset, err
 		pid = bitset.New(width)
 		enc := l.Table.byPath[strings.Join(append(prefix, n.Tag), "/")]
 		if enc == 0 {
-			return nil, fmt.Errorf("pathenc: leaf path missing from encoding table: %s", n.PathString())
+			return nil, fmt.Errorf("pathenc: leaf path missing from encoding table: %s: %w", n.PathString(), guard.ErrInternal)
 		}
 		pid.Set(enc)
 	} else {

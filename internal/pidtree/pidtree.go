@@ -34,6 +34,7 @@ import (
 	"sort"
 
 	"xpathest/internal/bitset"
+	"xpathest/internal/guard"
 )
 
 // node is one trie node. Leaves have leaf=true and id = pid integer.
@@ -71,14 +72,14 @@ type Tree struct {
 // streams and must not crash a serving process.
 func Build(pids []*bitset.Bitset) (*Tree, error) {
 	if len(pids) == 0 {
-		return nil, fmt.Errorf("pidtree: no path ids")
+		return nil, fmt.Errorf("pidtree: no path ids: %w", guard.ErrInvalidArgument)
 	}
 	width := pids[0].Width()
 	sorted := make([]*bitset.Bitset, len(pids))
 	copy(sorted, pids)
 	for _, p := range sorted {
 		if p.Width() != width {
-			return nil, fmt.Errorf("pidtree: inconsistent path id widths (%d vs %d)", p.Width(), width)
+			return nil, fmt.Errorf("pidtree: inconsistent path id widths (%d vs %d): %w", p.Width(), width, guard.ErrInvalidArgument)
 		}
 	}
 	sort.Slice(sorted, func(i, j int) bool { return lessBits(sorted[i], sorted[j]) })

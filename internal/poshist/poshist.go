@@ -24,6 +24,7 @@ package poshist
 import (
 	"fmt"
 
+	"xpathest/internal/guard"
 	"xpathest/internal/interval"
 	"xpathest/internal/xmltree"
 	"xpathest/internal/xpath"
@@ -189,7 +190,7 @@ type frontier map[int]float64
 // like Figure 11 does for XSketch).
 func (h *Histogram) Estimate(p *xpath.Path) (float64, error) {
 	if p.HasOrderAxis() {
-		return 0, fmt.Errorf("poshist: order axes are not supported")
+		return 0, fmt.Errorf("poshist: order axes are not supported: %w", guard.ErrMalformedQuery)
 	}
 	target, err := p.TargetStep()
 	if err != nil {
@@ -299,7 +300,7 @@ func (h *Histogram) propagate(f frontier, fromTag string, st *xpath.Step) (front
 	switch st.Axis {
 	case xpath.Child, xpath.Descendant:
 	default:
-		return nil, fmt.Errorf("poshist: axis %v not supported", st.Axis)
+		return nil, fmt.Errorf("poshist: axis %v not supported: %w", st.Axis, guard.ErrMalformedQuery)
 	}
 	fromGrid := h.byTag[fromTag]
 	toGrid := h.byTag[st.Tag]

@@ -160,10 +160,10 @@ type Server struct {
 }
 
 // New builds a Server and, if cfg.SummaryDir is set, loads the *.xpsum
-// files found there. Load failures do not fail construction — the
-// affected names serve fallback estimates and the failure is visible in
-// GET /summaries.
-func New(cfg Config) (*Server, error) {
+// files found there under ctx — canceling it aborts the initial load.
+// Load failures do not fail construction — the affected names serve
+// fallback estimates and the failure is visible in GET /summaries.
+func New(ctx context.Context, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg: cfg,
@@ -178,7 +178,7 @@ func New(cfg Config) (*Server, error) {
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	if cfg.SummaryDir != "" {
-		if err := s.reload(context.Background()); err != nil {
+		if err := s.reload(ctx); err != nil {
 			return nil, err
 		}
 	}
@@ -240,8 +240,12 @@ func statusFor(err error) (int, string) {
 	switch {
 	case errors.Is(err, guard.ErrMalformedQuery):
 		return http.StatusBadRequest, "malformed_query"
+	case errors.Is(err, guard.ErrMalformedDocument):
+		return http.StatusBadRequest, "malformed_document"
 	case errors.Is(err, guard.ErrCorruptSummary):
 		return http.StatusBadRequest, "corrupt_summary"
+	case errors.Is(err, guard.ErrInvalidArgument):
+		return http.StatusBadRequest, "invalid_argument"
 	case errors.Is(err, guard.ErrLimitExceeded):
 		return http.StatusRequestEntityTooLarge, "limit_exceeded"
 	case errors.Is(err, guard.ErrCanceled),
@@ -572,6 +576,9 @@ func (s *Server) Start() error {
 // Shutdown drains in-flight requests up to DrainTimeout, then forces
 // the remaining connections closed.
 func (s *Server) Shutdown() error {
+	// The drain must outlive the (already canceled) serve context, so a
+	// fresh root bounded by DrainTimeout is the correct lifetime here.
+	//lint:ignore ctxpropagate drain deadline must survive the canceled serve context
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 	defer cancel()
 	err := s.http.Shutdown(ctx)

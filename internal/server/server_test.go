@@ -40,7 +40,7 @@ func startServer(t *testing.T, cfg Config) *Server {
 	if cfg.Logger == nil {
 		cfg.Logger = log.New(io.Discard, "", 0)
 	}
-	s, err := New(cfg)
+	s, err := New(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

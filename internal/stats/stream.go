@@ -3,6 +3,7 @@ package stats
 import (
 	"context"
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -32,7 +33,20 @@ import (
 // streams (e.g. re-open the same file). The returned Tables carry an
 // estimation-only labeling (no per-node labels).
 func CollectStream(opener func() (io.ReadCloser, error)) (*Tables, error) {
+	//lint:ignore ctxpropagate documented compat wrapper of the pre-hardening API; callers that need cancellation use CollectStreamContext
 	return CollectStreamContext(context.Background(), opener, guard.Limits{})
+}
+
+// wrapTokenErr classifies a decoder token error: XML syntax errors are
+// the document's fault and wrap guard.ErrMalformedDocument; anything
+// else (a reader timeout, a canceled body) keeps its own identity so
+// the serving layer can map it to the right status.
+func wrapTokenErr(op string, err error) error {
+	var syn *xml.SyntaxError
+	if errors.As(err, &syn) {
+		return fmt.Errorf("%s: %v: %w", op, err, guard.ErrMalformedDocument)
+	}
+	return fmt.Errorf("%s: %w", op, err)
 }
 
 // ctxCheckEvery is how many decoder tokens the streaming passes
@@ -148,7 +162,7 @@ func streamPaths(ctx context.Context, r io.Reader, lim guard.Limits) ([]string, 
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("stats: stream pass 1: %w", err)
+			return nil, wrapTokenErr("stats: stream pass 1", err)
 		}
 		if err := g.token(); err != nil {
 			return nil, err
@@ -156,7 +170,7 @@ func streamPaths(ctx context.Context, r io.Reader, lim guard.Limits) ([]string, 
 		switch t := tok.(type) {
 		case xml.StartElement:
 			if len(stack) == 0 && rootClosed {
-				return nil, fmt.Errorf("stats: multiple root elements")
+				return nil, fmt.Errorf("stats: multiple root elements: %w", guard.ErrMalformedDocument)
 			}
 			if len(stack) > 0 {
 				hasChild[len(hasChild)-1] = true
@@ -168,7 +182,7 @@ func streamPaths(ctx context.Context, r io.Reader, lim guard.Limits) ([]string, 
 			}
 		case xml.EndElement:
 			if len(stack) == 0 {
-				return nil, fmt.Errorf("stats: unbalanced end element %q", t.Name.Local)
+				return nil, fmt.Errorf("stats: unbalanced end element %q: %w", t.Name.Local, guard.ErrMalformedDocument)
 			}
 			if !hasChild[len(hasChild)-1] {
 				p := strings.Join(stack, "/")
@@ -185,10 +199,10 @@ func streamPaths(ctx context.Context, r io.Reader, lim guard.Limits) ([]string, 
 		}
 	}
 	if len(stack) != 0 {
-		return nil, fmt.Errorf("stats: unclosed element %q", stack[len(stack)-1])
+		return nil, fmt.Errorf("stats: unclosed element %q: %w", stack[len(stack)-1], guard.ErrMalformedDocument)
 	}
 	if len(paths) == 0 {
-		return nil, fmt.Errorf("stats: document has no element")
+		return nil, fmt.Errorf("stats: document has no element: %w", guard.ErrMalformedDocument)
 	}
 	return paths, nil
 }
@@ -272,7 +286,7 @@ func streamTables(ctx context.Context, r io.Reader, table *pathenc.Table, lim gu
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("stats: stream pass 2: %w", err)
+			return nil, wrapTokenErr("stats: stream pass 2", err)
 		}
 		if err := g.token(); err != nil {
 			return nil, err
@@ -280,7 +294,7 @@ func streamTables(ctx context.Context, r io.Reader, table *pathenc.Table, lim gu
 		switch t := tok.(type) {
 		case xml.StartElement:
 			if len(stack) == 0 && rootClosed {
-				return nil, fmt.Errorf("stats: multiple root elements")
+				return nil, fmt.Errorf("stats: multiple root elements: %w", guard.ErrMalformedDocument)
 			}
 			stack = append(stack, &frame{tag: t.Name.Local})
 			if err := g.open(len(stack)); err != nil {
@@ -288,7 +302,7 @@ func streamTables(ctx context.Context, r io.Reader, table *pathenc.Table, lim gu
 			}
 		case xml.EndElement:
 			if len(stack) == 0 {
-				return nil, fmt.Errorf("stats: unbalanced end element %q", t.Name.Local)
+				return nil, fmt.Errorf("stats: unbalanced end element %q: %w", t.Name.Local, guard.ErrMalformedDocument)
 			}
 			f := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
@@ -304,7 +318,7 @@ func streamTables(ctx context.Context, r io.Reader, table *pathenc.Table, lim gu
 				sb.WriteString(f.tag)
 				enc := table.Encoding(sb.String())
 				if enc == 0 {
-					return nil, fmt.Errorf("stats: pass 2 saw unknown path %q (streams differ between passes?)", sb.String())
+					return nil, fmt.Errorf("stats: pass 2 saw unknown path %q (streams differ between passes?): %w", sb.String(), guard.ErrInvalidArgument)
 				}
 				pid = bitset.New(width)
 				pid.Set(enc)
@@ -330,10 +344,10 @@ func streamTables(ctx context.Context, r io.Reader, table *pathenc.Table, lim gu
 		}
 	}
 	if len(stack) != 0 {
-		return nil, fmt.Errorf("stats: unclosed element %q", stack[len(stack)-1].tag)
+		return nil, fmt.Errorf("stats: unclosed element %q: %w", stack[len(stack)-1].tag, guard.ErrMalformedDocument)
 	}
 	if !rootClosed {
-		return nil, fmt.Errorf("stats: document has no element")
+		return nil, fmt.Errorf("stats: document has no element: %w", guard.ErrMalformedDocument)
 	}
 	return &Tables{Labeling: lab, Freq: freq, Order: order}, nil
 }

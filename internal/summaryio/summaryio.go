@@ -94,7 +94,7 @@ func Encode(w io.Writer, table *pathenc.Table, distinct []*bitset.Bitset, ps *hi
 	e.u32(uint32(len(distinct)))
 	for i, p := range distinct {
 		if p.Width() != table.NumPaths() {
-			return fmt.Errorf("summaryio: pid width %d does not match %d paths", p.Width(), table.NumPaths())
+			return fmt.Errorf("summaryio: pid width %d does not match %d paths: %w", p.Width(), table.NumPaths(), guard.ErrInvalidArgument)
 		}
 		pidIdx[p.Key()] = uint32(i)
 		e.raw(p.Bytes())
@@ -102,7 +102,7 @@ func Encode(w io.Writer, table *pathenc.Table, distinct []*bitset.Bitset, ps *hi
 	pid := func(p *bitset.Bitset) error {
 		i, ok := pidIdx[p.Key()]
 		if !ok {
-			return fmt.Errorf("summaryio: histogram pid %s not in the distinct dictionary", p)
+			return fmt.Errorf("summaryio: histogram pid %s not in the distinct dictionary: %w", p, guard.ErrInvalidArgument)
 		}
 		e.u32(i)
 		return nil
@@ -189,15 +189,15 @@ func DecodeLimited(r io.Reader, maxBytes int64) (*Payload, error) {
 func decodePayload(d *decoder, crc hash.Hash32) (*Payload, error) {
 	head := d.raw(len(magic))
 	if d.err == nil && string(head) != magic {
-		return nil, fmt.Errorf("summaryio: bad magic %q", head)
+		return nil, fmt.Errorf("summaryio: bad magic %q: %w", head, guard.ErrCorruptSummary)
 	}
 	if v := d.u16(); d.err == nil && v != version {
-		return nil, fmt.Errorf("summaryio: unsupported version %d", v)
+		return nil, fmt.Errorf("summaryio: unsupported version %d: %w", v, guard.ErrCorruptSummary)
 	}
 
 	nPaths := int(d.u32())
 	if d.err == nil && (nPaths <= 0 || nPaths > maxPaths) {
-		return nil, fmt.Errorf("summaryio: implausible path count %d", nPaths)
+		return nil, fmt.Errorf("summaryio: implausible path count %d: %w", nPaths, guard.ErrCorruptSummary)
 	}
 	paths := make([]string, 0, min(nPaths, 4096))
 	for i := 0; i < nPaths && d.err == nil; i++ {
@@ -213,11 +213,11 @@ func decodePayload(d *decoder, crc hash.Hash32) (*Payload, error) {
 
 	nPids := int(d.u32())
 	if d.err == nil && (nPids < 1 || nPids > maxPids) {
-		return nil, fmt.Errorf("summaryio: implausible pid count %d", nPids)
+		return nil, fmt.Errorf("summaryio: implausible pid count %d: %w", nPids, guard.ErrCorruptSummary)
 	}
 	// There are at most 2^width − 1 distinct nonzero bit sequences.
 	if d.err == nil && nPaths < 31 && nPids > 1<<uint(nPaths)-1 {
-		return nil, fmt.Errorf("summaryio: %d pids exceed the 2^%d-1 distinct sequences of the path width", nPids, nPaths)
+		return nil, fmt.Errorf("summaryio: %d pids exceed the 2^%d-1 distinct sequences of the path width: %w", nPids, nPaths, guard.ErrCorruptSummary)
 	}
 	pidBytes := (nPaths + 7) / 8
 	distinct := make([]*bitset.Bitset, 0, min(nPids, 65536))
@@ -234,7 +234,7 @@ func decodePayload(d *decoder, crc hash.Hash32) (*Payload, error) {
 			return nil, d.err
 		}
 		if i < 0 || i >= len(distinct) {
-			return nil, fmt.Errorf("summaryio: pid index %d out of range", i)
+			return nil, fmt.Errorf("summaryio: pid index %d out of range: %w", i, guard.ErrCorruptSummary)
 		}
 		return distinct[i], nil
 	}
@@ -242,7 +242,7 @@ func decodePayload(d *decoder, crc hash.Hash32) (*Payload, error) {
 	pThreshold := d.f64()
 	nPTags := int(d.u32())
 	if d.err == nil && (nPTags < 0 || nPTags > maxTags) {
-		return nil, fmt.Errorf("summaryio: implausible tag count %d", nPTags)
+		return nil, fmt.Errorf("summaryio: implausible tag count %d: %w", nPTags, guard.ErrCorruptSummary)
 	}
 	var phs []*histogram.PHistogram
 	for t := 0; t < nPTags && d.err == nil; t++ {
@@ -253,7 +253,7 @@ func decodePayload(d *decoder, crc hash.Hash32) (*Payload, error) {
 		// tag's buckets can exceed the dictionary size — checked before
 		// any bucket storage is allocated.
 		if d.err == nil && (nb < 0 || nb > maxBuckets || nb > nPids) {
-			return nil, fmt.Errorf("summaryio: implausible bucket count %d for %d pids", nb, nPids)
+			return nil, fmt.Errorf("summaryio: implausible bucket count %d for %d pids: %w", nb, nPids, guard.ErrCorruptSummary)
 		}
 		refsLeft := nPids
 		buckets := make([]histogram.PBucket, 0, min(nb, 4096))
@@ -261,7 +261,7 @@ func decodePayload(d *decoder, crc hash.Hash32) (*Payload, error) {
 			b := histogram.PBucket{AvgFreq: d.f64()}
 			np := int(d.u32())
 			if d.err == nil && (np < 0 || np > refsLeft) {
-				return nil, fmt.Errorf("summaryio: implausible bucket size %d (%d pid references left)", np, refsLeft)
+				return nil, fmt.Errorf("summaryio: implausible bucket size %d (%d pid references left): %w", np, refsLeft, guard.ErrCorruptSummary)
 			}
 			refsLeft -= np
 			for j := 0; j < np && d.err == nil; j++ {
@@ -281,7 +281,7 @@ func decodePayload(d *decoder, crc hash.Hash32) (*Payload, error) {
 	oThreshold := d.f64()
 	nOTags := int(d.u32())
 	if d.err == nil && (nOTags < 0 || nOTags > maxTags) {
-		return nil, fmt.Errorf("summaryio: implausible tag count %d", nOTags)
+		return nil, fmt.Errorf("summaryio: implausible tag count %d: %w", nOTags, guard.ErrCorruptSummary)
 	}
 	var ohs []*histogram.OHistogram
 	for t := 0; t < nOTags && d.err == nil; t++ {
@@ -290,7 +290,7 @@ func decodePayload(d *decoder, crc hash.Hash32) (*Payload, error) {
 		// Columns are distinct pids of the tag: bounded by the
 		// dictionary, checked before the column slice grows.
 		if d.err == nil && (nc < 0 || nc > nPids) {
-			return nil, fmt.Errorf("summaryio: implausible column count %d for %d pids", nc, nPids)
+			return nil, fmt.Errorf("summaryio: implausible column count %d for %d pids: %w", nc, nPids, guard.ErrCorruptSummary)
 		}
 		var cols []*bitset.Bitset
 		for i := 0; i < nc && d.err == nil; i++ {
@@ -302,13 +302,13 @@ func decodePayload(d *decoder, crc hash.Hash32) (*Payload, error) {
 		}
 		nr := int(d.u32())
 		if d.err == nil && (nr < 0 || nr > maxTags) {
-			return nil, fmt.Errorf("summaryio: implausible row count %d", nr)
+			return nil, fmt.Errorf("summaryio: implausible row count %d: %w", nr, guard.ErrCorruptSummary)
 		}
 		var rows []histogram.RowKey
 		for i := 0; i < nr && d.err == nil; i++ {
 			region := stats.Region(d.u8())
 			if d.err == nil && region != stats.Before && region != stats.After {
-				return nil, fmt.Errorf("summaryio: bad region %d", region)
+				return nil, fmt.Errorf("summaryio: bad region %d: %w", region, guard.ErrCorruptSummary)
 			}
 			rows = append(rows, histogram.RowKey{Region: region, SibTag: d.str()})
 		}
@@ -317,7 +317,7 @@ func decodePayload(d *decoder, crc hash.Hash32) (*Payload, error) {
 		// be at most one per cell — checked before the bucket slice
 		// grows.
 		if d.err == nil && (nb < 0 || nb > maxBuckets || nb > nc*nr) {
-			return nil, fmt.Errorf("summaryio: implausible bucket count %d for a %d×%d grid", nb, nc, nr)
+			return nil, fmt.Errorf("summaryio: implausible bucket count %d for a %d×%d grid: %w", nb, nc, nr, guard.ErrCorruptSummary)
 		}
 		var buckets []histogram.OBucket
 		for i := 0; i < nb && d.err == nil; i++ {
@@ -327,7 +327,7 @@ func decodePayload(d *decoder, crc hash.Hash32) (*Payload, error) {
 				Avg: d.f64(),
 			}
 			if d.err == nil && (b.Col1 < 0 || b.Col2 >= nc || b.Row1 < 0 || b.Row2 >= nr || b.Col1 > b.Col2 || b.Row1 > b.Row2) {
-				return nil, fmt.Errorf("summaryio: bucket box out of grid")
+				return nil, fmt.Errorf("summaryio: bucket box out of grid: %w", guard.ErrCorruptSummary)
 			}
 			buckets = append(buckets, b)
 		}
@@ -347,7 +347,7 @@ func decodePayload(d *decoder, crc hash.Hash32) (*Payload, error) {
 		return nil, fmt.Errorf("summaryio: missing checksum: %w", err)
 	}
 	if got := binary.LittleEndian.Uint32(sum[:]); got != want {
-		return nil, fmt.Errorf("summaryio: checksum mismatch (stream corrupt)")
+		return nil, fmt.Errorf("summaryio: checksum mismatch (stream corrupt): %w", guard.ErrCorruptSummary)
 	}
 
 	return &Payload{
@@ -394,7 +394,7 @@ func (e *encoder) f64(v float64) {
 func (e *encoder) str(s string) {
 	if len(s) > maxStrLen {
 		if e.err == nil {
-			e.err = fmt.Errorf("summaryio: string too long (%d bytes)", len(s))
+			e.err = fmt.Errorf("summaryio: string too long (%d bytes): %w", len(s), guard.ErrInvalidArgument)
 		}
 		return
 	}

@@ -28,6 +28,7 @@ func (b *Builder) Open(tag string) *Builder {
 	n := &Node{Tag: tag}
 	if len(b.stack) == 0 {
 		if b.root != nil {
+			//lint:ignore panicpolicy Builder is an in-process construction API for generators and tests; misuse is a programming error, untrusted XML goes through Parse
 			panic("xmltree: Builder: second root element " + tag)
 		}
 		b.root = n
@@ -44,6 +45,7 @@ func (b *Builder) Open(tag string) *Builder {
 // Text appends character data to the current element.
 func (b *Builder) Text(s string) *Builder {
 	if len(b.stack) == 0 {
+		//lint:ignore panicpolicy Builder is an in-process construction API for generators and tests; misuse is a programming error, untrusted XML goes through Parse
 		panic("xmltree: Builder: Text outside any element")
 	}
 	top := b.stack[len(b.stack)-1]
@@ -59,6 +61,7 @@ func (b *Builder) Text(s string) *Builder {
 // Close ends the current element. It panics if no element is open.
 func (b *Builder) Close() *Builder {
 	if len(b.stack) == 0 {
+		//lint:ignore panicpolicy Builder is an in-process construction API for generators and tests; misuse is a programming error, untrusted XML goes through Parse
 		panic("xmltree: Builder: Close with no open element")
 	}
 	b.stack = b.stack[:len(b.stack)-1]
@@ -81,9 +84,11 @@ func (b *Builder) Depth() int { return len(b.stack) }
 // elements remain open or nothing was built.
 func (b *Builder) Document() *Document {
 	if len(b.stack) != 0 {
+		//lint:ignore panicpolicy Builder is an in-process construction API for generators and tests; misuse is a programming error, untrusted XML goes through Parse
 		panic("xmltree: Builder: Document with unclosed element " + b.stack[len(b.stack)-1].Tag)
 	}
 	if b.root == nil {
+		//lint:ignore panicpolicy Builder is an in-process construction API for generators and tests; misuse is a programming error, untrusted XML goes through Parse
 		panic("xmltree: Builder: empty document")
 	}
 	d := &Document{Root: b.root, Bytes: b.bytes}

@@ -13,6 +13,7 @@ package xmltree
 import (
 	"context"
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -153,6 +154,7 @@ func (d *Document) finalize() {
 // Parse reads an XML document from r and builds its tree. It returns
 // an error for malformed XML or for input containing no element.
 func Parse(r io.Reader) (*Document, error) {
+	//lint:ignore ctxpropagate documented compat wrapper of the pre-hardening API; callers that need cancellation use ParseContext
 	return ParseContext(context.Background(), r, guard.Limits{})
 }
 
@@ -161,6 +163,18 @@ func Parse(r io.Reader) (*Document, error) {
 // canceled parse of a huge document stops promptly, rare enough that
 // the check never shows up in profiles.
 const ctxCheckEvery = 1024
+
+// wrapTokenErr classifies a decoder token error: XML syntax errors are
+// the document's fault and wrap guard.ErrMalformedDocument; anything
+// else (a reader timeout, a canceled body) keeps its own identity so
+// the serving layer can map it to the right status.
+func wrapTokenErr(op string, err error) error {
+	var syn *xml.SyntaxError
+	if errors.As(err, &syn) {
+		return fmt.Errorf("%s: %v: %w", op, err, guard.ErrMalformedDocument)
+	}
+	return fmt.Errorf("%s: %w", op, err)
+}
 
 // ParseContext is Parse under a context and resource limits: nesting
 // depth, element count and consumed bytes are checked as the token
@@ -183,7 +197,7 @@ func ParseContext(ctx context.Context, r io.Reader, lim guard.Limits) (*Document
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("xmltree: parse: %w", err)
+			return nil, wrapTokenErr("xmltree: parse", err)
 		}
 		tokens++
 		if tokens%ctxCheckEvery == 0 {
@@ -199,7 +213,7 @@ func ParseContext(ctx context.Context, r io.Reader, lim guard.Limits) (*Document
 			n := &Node{Tag: t.Name.Local}
 			if len(stack) == 0 {
 				if root != nil {
-					return nil, fmt.Errorf("xmltree: multiple root elements (%q and %q)", root.Tag, n.Tag)
+					return nil, fmt.Errorf("xmltree: multiple root elements (%q and %q): %w", root.Tag, n.Tag, guard.ErrMalformedDocument)
 				}
 				root = n
 			} else {
@@ -216,7 +230,7 @@ func ParseContext(ctx context.Context, r io.Reader, lim guard.Limits) (*Document
 			}
 		case xml.EndElement:
 			if len(stack) == 0 {
-				return nil, fmt.Errorf("xmltree: unbalanced end element %q", t.Name.Local)
+				return nil, fmt.Errorf("xmltree: unbalanced end element %q: %w", t.Name.Local, guard.ErrMalformedDocument)
 			}
 			stack = stack[:len(stack)-1]
 		case xml.CharData:
@@ -233,10 +247,10 @@ func ParseContext(ctx context.Context, r io.Reader, lim guard.Limits) (*Document
 		}
 	}
 	if root == nil {
-		return nil, fmt.Errorf("xmltree: document has no element")
+		return nil, fmt.Errorf("xmltree: document has no element: %w", guard.ErrMalformedDocument)
 	}
 	if len(stack) != 0 {
-		return nil, fmt.Errorf("xmltree: unclosed element %q", stack[len(stack)-1].Tag)
+		return nil, fmt.Errorf("xmltree: unclosed element %q: %w", stack[len(stack)-1].Tag, guard.ErrMalformedDocument)
 	}
 	doc := &Document{Root: root, Bytes: cr.n}
 	doc.finalize()

@@ -28,6 +28,8 @@ package xpath
 import (
 	"fmt"
 	"strings"
+
+	"xpathest/internal/guard"
 )
 
 // Axis is the relationship of a step to its context node.
@@ -208,13 +210,13 @@ func (p *Path) TargetStep() (*Step, error) {
 	switch len(marked) {
 	case 0:
 		if len(p.Steps) == 0 {
-			return nil, fmt.Errorf("xpath: empty path has no target")
+			return nil, fmt.Errorf("xpath: empty path has no target: %w", guard.ErrMalformedQuery)
 		}
 		return p.Steps[len(p.Steps)-1], nil
 	case 1:
 		return marked[0], nil
 	default:
-		return nil, fmt.Errorf("xpath: %d steps marked as target, want one", len(marked))
+		return nil, fmt.Errorf("xpath: %d steps marked as target, want one: %w", len(marked), guard.ErrMalformedQuery)
 	}
 }
 

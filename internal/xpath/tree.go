@@ -1,6 +1,10 @@
 package xpath
 
-import "fmt"
+import (
+	"fmt"
+
+	"xpathest/internal/guard"
+)
 
 // TreeNode is one node of the query-tree form of a path: a single
 // element test, attached to its structural parent by a downward axis.
@@ -59,7 +63,7 @@ func BuildTree(p *Path) (*Tree, error) {
 		return nil, err
 	}
 	if t.Target == nil {
-		return nil, fmt.Errorf("xpath: target step not reached during tree build")
+		return nil, fmt.Errorf("xpath: target step not reached during tree build: %w", guard.ErrInternal)
 	}
 	return t, nil
 }
@@ -79,10 +83,10 @@ func (t *Tree) attachPath(ctx *TreeNode, p *Path, trunk bool, target *Step) erro
 			parent, axis = cur, s.Axis
 		case FollowingSibling, PrecedingSibling, Following, Preceding:
 			if cur.IsVRoot() {
-				return fmt.Errorf("xpath: order axis %v has no context node", s.Axis)
+				return fmt.Errorf("xpath: order axis %v has no context node: %w", s.Axis, guard.ErrMalformedQuery)
 			}
 			if cur.Axis != Child {
-				return fmt.Errorf("xpath: order axis %v after a %v step cannot be anchored (standardized queries attach siblings under an explicit parent)", s.Axis, cur.Axis)
+				return fmt.Errorf("xpath: order axis %v after a %v step cannot be anchored (standardized queries attach siblings under an explicit parent): %w", s.Axis, cur.Axis, guard.ErrMalformedQuery)
 			}
 			parent = cur.Parent
 			if s.Axis.IsSibling() {
@@ -92,7 +96,7 @@ func (t *Tree) attachPath(ctx *TreeNode, p *Path, trunk bool, target *Step) erro
 			}
 			edge = &OrderEdge{Parent: parent, SiblingOnly: s.Axis.IsSibling()}
 		default:
-			return fmt.Errorf("xpath: unknown axis %v", s.Axis)
+			return fmt.Errorf("xpath: unknown axis %v: %w", s.Axis, guard.ErrMalformedQuery)
 		}
 
 		n := &TreeNode{
@@ -107,7 +111,7 @@ func (t *Tree) attachPath(ctx *TreeNode, p *Path, trunk bool, target *Step) erro
 		t.Nodes = append(t.Nodes, n)
 		if n.Target {
 			if t.Target != nil {
-				return fmt.Errorf("xpath: duplicate target step")
+				return fmt.Errorf("xpath: duplicate target step: %w", guard.ErrMalformedQuery)
 			}
 			t.Target = n
 		}

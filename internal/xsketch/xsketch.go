@@ -26,6 +26,7 @@ import (
 	"math"
 	"sort"
 
+	"xpathest/internal/guard"
 	"xpathest/internal/xmltree"
 	"xpathest/internal/xpath"
 )
@@ -288,7 +289,7 @@ type frontier map[*gnode]float64
 // node. Order axes are unsupported (as in the original system).
 func (s *Synopsis) Estimate(p *xpath.Path) (float64, error) {
 	if p.HasOrderAxis() {
-		return 0, fmt.Errorf("xsketch: order axes are not supported")
+		return 0, fmt.Errorf("xsketch: order axes are not supported: %w", guard.ErrMalformedQuery)
 	}
 	target, err := p.TargetStep()
 	if err != nil {
@@ -486,7 +487,7 @@ func (s *Synopsis) propagate(f frontier, axis xpath.Axis, tag string) (frontier,
 		}
 		return out, nil
 	default:
-		return nil, fmt.Errorf("xsketch: axis %v not supported", axis)
+		return nil, fmt.Errorf("xsketch: axis %v not supported: %w", axis, guard.ErrMalformedQuery)
 	}
 }
 

@@ -32,8 +32,8 @@ import (
 	"xpathest/internal/core"
 	"xpathest/internal/datagen"
 	"xpathest/internal/eval"
-	"xpathest/internal/guard"
 	"xpathest/internal/exec"
+	"xpathest/internal/guard"
 	"xpathest/internal/histogram"
 	"xpathest/internal/pathenc"
 	"xpathest/internal/pidtree"
@@ -120,7 +120,7 @@ func GenerateDataset(name Dataset, seed int64, scale float64) (*Document, error)
 			return prepare(ds.Gen(datagen.Config{Seed: seed, Scale: scale}))
 		}
 	}
-	return nil, fmt.Errorf("xpathest: unknown dataset %q (have SSPlays, DBLP, XMark)", name)
+	return nil, fmt.Errorf("xpathest: unknown dataset %q (have SSPlays, DBLP, XMark): %w", name, guard.ErrInvalidArgument)
 }
 
 // NumElements returns the number of element nodes.
@@ -226,6 +226,21 @@ type SummaryOptions struct {
 	// uncompressed tables (equivalent to both variances at 0, but
 	// without histogram construction cost).
 	Exact bool
+}
+
+// Validate reports whether the options violate a documented
+// precondition: variance thresholds must be non-negative. The
+// error-returning Context APIs call it, so a bad threshold surfaces as
+// an ErrInvalidArgument-wrapped error there instead of the histogram
+// builders' programmer-error panic.
+func (o SummaryOptions) Validate() error {
+	if o.PVariance < 0 {
+		return fmt.Errorf("xpathest: negative PVariance %v: %w", o.PVariance, guard.ErrInvalidArgument)
+	}
+	if o.OVariance < 0 {
+		return fmt.Errorf("xpathest: negative OVariance %v: %w", o.OVariance, guard.ErrInvalidArgument)
+	}
+	return nil
 }
 
 // Summary is a built synopsis plus its estimator. It is immutable and
