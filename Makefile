@@ -10,12 +10,12 @@ GOVULNCHECK_VERSION = v1.1.4
 
 XPESTLINT = bin/xpestlint
 
-.PHONY: all build test vet lint vuln race cover bench fuzz ci experiments examples clean
+.PHONY: all build test vet lint vuln race race-hot cover bench bench-json fuzz ci experiments examples clean
 
 all: build vet lint test
 
 # What .github/workflows/ci.yml runs; keep the two in sync.
-ci: build vet lint race
+ci: build vet lint race-hot race
 	$(GO) test -run XXX -fuzz FuzzParse -fuzztime 30s ./internal/xpath/
 	$(GO) test -run XXX -fuzz FuzzParse -fuzztime 30s ./internal/xmltree/
 	$(GO) test -run XXX -fuzz FuzzDecode -fuzztime 30s ./internal/summaryio/
@@ -52,11 +52,34 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Focused -race pass over the concurrency hot paths added by the join
+# kernel and the batch API: the memoized compatibility cache, the plan
+# cache / in-flight dedup of the server, and EstimateBatch itself.
+race-hot:
+	$(GO) test -race . ./internal/core ./internal/pathenc ./internal/server
+
 cover:
 	$(GO) test -cover ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Benchmark-regression harness (docs/PERFORMANCE.md): run the
+# benchmark suite with -benchmem, convert the output into a JSON
+# artifact via cmd/benchjson, and — when BENCH_BASELINE points at a
+# previous artifact — merge before/after with speedup ratios.
+# BENCH_PR3.json in the repo root was produced this way. benchjson
+# exits non-zero on empty or malformed benchmark output, so this
+# target doubles as the CI format check (timings stay advisory).
+BENCH          ?= .
+BENCHTIME      ?= 1x
+BENCH_LABEL    ?= after
+BENCH_OUT      ?= bench.json
+BENCH_BASELINE ?=
+bench-json:
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	$(GO) test -run XXX -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) ./... > bench.txt
+	bin/benchjson -label $(BENCH_LABEL) $(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE),) -in bench.txt -out $(BENCH_OUT)
 
 # Short fuzzing pass over the three fuzz targets.
 fuzz:

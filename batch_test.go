@@ -1,0 +1,146 @@
+package xpathest
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"xpathest/internal/guard"
+)
+
+func batchTestSummary(t *testing.T) *Summary {
+	t.Helper()
+	doc, err := GenerateDataset(SSPlays, 11, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc.BuildSummary(SummaryOptions{})
+}
+
+// TestEstimateBatch pins the batch contract: positional results,
+// per-query error isolation, and agreement with single-query
+// estimation.
+func TestEstimateBatch(t *testing.T) {
+	sum := batchTestSummary(t)
+	queries := []string{
+		"//PLAY/ACT/SCENE/SPEECH",
+		"][not-a-query",
+		"//SPEECH/LINE",
+		"//PLAY/ACT/SCENE/SPEECH", // duplicate of slot 0
+	}
+	results := sum.EstimateBatch(queries)
+	if len(results) != len(queries) {
+		t.Fatalf("%d results for %d queries", len(results), len(queries))
+	}
+	for i, r := range results {
+		if r.Query != queries[i] {
+			t.Errorf("slot %d: query %q, want %q", i, r.Query, queries[i])
+		}
+	}
+	if !errors.Is(results[1].Err, guard.ErrMalformedQuery) {
+		t.Errorf("slot 1: err = %v, want ErrMalformedQuery", results[1].Err)
+	}
+	for _, i := range []int{0, 2, 3} {
+		if results[i].Err != nil {
+			t.Fatalf("slot %d: %v", i, results[i].Err)
+		}
+		want, err := sum.Estimate(queries[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if results[i].Estimate != want {
+			t.Errorf("slot %d: batch %v != single %v", i, results[i].Estimate, want)
+		}
+	}
+	if results[0].Estimate != results[3].Estimate {
+		t.Errorf("duplicate slots disagree: %v vs %v", results[0].Estimate, results[3].Estimate)
+	}
+}
+
+// TestEstimateBatchLimits: the whole batch is rejected when it exceeds
+// MaxBatchQueries, while MaxQueryLen failures stay isolated per slot.
+func TestEstimateBatchLimits(t *testing.T) {
+	sum := batchTestSummary(t)
+	lim := Limits{MaxBatchQueries: 2}
+	_, err := sum.EstimateBatchContext(nil, []string{"//a", "//b", "//c"}, BatchOptions{Limits: lim})
+	if !errors.Is(err, guard.ErrLimitExceeded) {
+		t.Errorf("oversized batch: err = %v, want ErrLimitExceeded", err)
+	}
+
+	lim = Limits{MaxQueryLen: 16}
+	results, err := sum.EstimateBatchContext(nil,
+		[]string{"//SPEECH/LINE", "//" + strings.Repeat("x", 100)},
+		BatchOptions{Limits: lim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil {
+		t.Errorf("slot 0: %v", results[0].Err)
+	}
+	if !errors.Is(results[1].Err, guard.ErrLimitExceeded) {
+		t.Errorf("slot 1: err = %v, want ErrLimitExceeded", results[1].Err)
+	}
+}
+
+// TestEstimateBatchCanceled: a dead context fails remaining slots with
+// ErrCanceled instead of blocking or succeeding silently.
+func TestEstimateBatchCanceled(t *testing.T) {
+	sum := batchTestSummary(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := sum.EstimateBatchContext(ctx, []string{"//SPEECH/LINE"}, BatchOptions{})
+	if err == nil {
+		for _, r := range results {
+			if !errors.Is(r.Err, guard.ErrCanceled) {
+				t.Errorf("slot err = %v, want ErrCanceled", r.Err)
+			}
+		}
+		return
+	}
+	if !errors.Is(err, guard.ErrCanceled) {
+		t.Errorf("err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestEstimateBatchConcurrent runs many whole batches against one
+// shared summary — with the core kernel underneath, this is the root
+// API's -race hammer; every run must agree with the first.
+func TestEstimateBatchConcurrent(t *testing.T) {
+	sum := batchTestSummary(t)
+	queries := []string{
+		"//PLAY/ACT/SCENE/SPEECH",
+		"//ACT[/SCENE/SPEECH/STAGEDIR]/SCENE/TITLE",
+		"//PLAY[/FM/P]//SPEECH/LINE",
+		"//SPEECH/LINE",
+	}
+	var want []float64
+	for _, r := range sum.EstimateBatch(queries) {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Query, r.Err)
+		}
+		want = append(want, r.Estimate)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				for j, r := range sum.EstimateBatch(queries) {
+					if r.Err != nil {
+						t.Errorf("%s: %v", r.Query, r.Err)
+						return
+					}
+					if r.Estimate != want[j] {
+						t.Errorf("slot %d: %v != %v", j, r.Estimate, want[j])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,192 @@
+// Command benchjson converts `go test -bench` output into a stable
+// JSON artifact, and optionally merges a baseline run into a
+// before/after comparison. It is the machine half of the benchmark
+// regression harness (`make bench-json`, docs/PERFORMANCE.md):
+//
+//	go test -bench=. -benchmem ./... | benchjson -label after -out bench.json
+//	benchjson -label after -baseline before.json -out BENCH_PR3.json < bench.txt
+//
+// The tool is strict about shape and lenient about timings: it exits
+// non-zero when the input contains no benchmark lines or a line that
+// looks like a benchmark but does not parse (so CI catches a broken
+// harness), while the numbers themselves are reported, not judged.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Bench is one parsed benchmark result line.
+type Bench struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Run is one labeled benchmark run.
+type Run struct {
+	Label      string  `json:"label"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+// Delta compares one benchmark across two runs. Speedup > 1 means the
+// "after" run is faster; AllocsReductionPct > 0 means it allocates
+// less.
+type Delta struct {
+	Name               string  `json:"name"`
+	NsBefore           float64 `json:"ns_per_op_before"`
+	NsAfter            float64 `json:"ns_per_op_after"`
+	Speedup            float64 `json:"speedup"`
+	AllocsBefore       float64 `json:"allocs_per_op_before"`
+	AllocsAfter        float64 `json:"allocs_per_op_after"`
+	AllocsReductionPct float64 `json:"allocs_reduction_pct"`
+}
+
+// Report is the on-disk artifact: a bare run, or before/after plus
+// the per-benchmark comparison when -baseline is given.
+type Report struct {
+	Before     *Run    `json:"before,omitempty"`
+	After      Run     `json:"after"`
+	Comparison []Delta `json:"comparison,omitempty"`
+}
+
+// benchLine matches `BenchmarkName-8  123  456 ns/op  789 B/op  12 allocs/op`
+// (the -benchmem columns are optional, the GOMAXPROCS suffix too).
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+(\d+) allocs/op)?`)
+
+func parse(r io.Reader) ([]Bench, error) {
+	var out []Bench
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			// A name-only line ("BenchmarkFoo") precedes the result
+			// line under some verbosity settings; skip it, but reject
+			// anything that has columns yet fails to parse.
+			if len(strings.Fields(line)) == 1 {
+				continue
+			}
+			return nil, fmt.Errorf("unparseable benchmark line: %q", line)
+		}
+		b := Bench{Name: m[1]}
+		b.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		b.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			b.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+			b.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
+		}
+		out = append(out, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark lines in input")
+	}
+	return out, nil
+}
+
+// compare lines up before/after by benchmark name; benchmarks present
+// on only one side are omitted (new benchmarks have no baseline).
+func compare(before, after []Bench) []Delta {
+	prev := make(map[string]Bench, len(before))
+	for _, b := range before {
+		prev[b.Name] = b
+	}
+	var out []Delta
+	for _, a := range after {
+		b, ok := prev[a.Name]
+		if !ok {
+			continue
+		}
+		d := Delta{
+			Name:     a.Name,
+			NsBefore: b.NsPerOp, NsAfter: a.NsPerOp,
+			AllocsBefore: b.AllocsPerOp, AllocsAfter: a.AllocsPerOp,
+		}
+		if a.NsPerOp > 0 {
+			d.Speedup = round2(b.NsPerOp / a.NsPerOp)
+		}
+		if b.AllocsPerOp > 0 {
+			d.AllocsReductionPct = round2(100 * (b.AllocsPerOp - a.AllocsPerOp) / b.AllocsPerOp)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }
+
+func main() {
+	label := flag.String("label", "run", "label for this run")
+	in := flag.String("in", "", "benchmark output file (default stdin)")
+	out := flag.String("out", "", "JSON output file (default stdout)")
+	baseline := flag.String("baseline", "", "baseline JSON (a prior benchjson run) to compare against")
+	flag.Parse()
+
+	src := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	benches, err := parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	rep := Report{After: Run{Label: *label, Benchmarks: benches}}
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		// Accept either a bare run or a full report (its "after" is
+		// then the baseline), so runs chain.
+		var base Run
+		if err := json.Unmarshal(data, &base); err != nil || len(base.Benchmarks) == 0 {
+			var prior Report
+			if err := json.Unmarshal(data, &prior); err != nil || len(prior.After.Benchmarks) == 0 {
+				fatal(fmt.Errorf("baseline %s: not a benchjson run", *baseline))
+			}
+			base = prior.After
+		}
+		rep.Before = &base
+		rep.Comparison = compare(base.Benchmarks, benches)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -32,6 +32,8 @@ func cmdServe(args []string) error {
 	docBytes := fs.Int64("max-doc-bytes", def.MaxDocumentBytes, "max XML document bytes (0 = unlimited)")
 	sumBytes := fs.Int64("max-summary-bytes", def.MaxSummaryBytes, "max summary stream bytes (0 = unlimited)")
 	queryLen := fs.Int("max-query-len", def.MaxQueryLen, "max query length in bytes (0 = unlimited)")
+	batchQueries := fs.Int("max-batch-queries", def.MaxBatchQueries, "max queries per /estimate/batch request (0 = unlimited)")
+	planCache := fs.Int("plan-cache", 1024, "compiled-query LRU cache size")
 	fs.Parse(args)
 
 	if *dir != "" {
@@ -51,7 +53,9 @@ func cmdServe(args []string) error {
 			MaxDocumentBytes: *docBytes,
 			MaxSummaryBytes:  *sumBytes,
 			MaxQueryLen:      *queryLen,
+			MaxBatchQueries:  *batchQueries,
 		},
+		PlanCacheSize:    *planCache,
 		RequestTimeout:   *timeout,
 		DrainTimeout:     *drain,
 		MaxInFlight:      *inflight,

@@ -188,7 +188,14 @@ func (b *Bitset) Count() int {
 // order. In path-id terms these are the encodings of the root-to-leaf
 // paths the labeled element occurs on.
 func (b *Bitset) Ones() []int {
-	out := make([]int, 0, b.Count())
+	return b.OnesAppend(make([]int, 0, b.Count()))
+}
+
+// OnesAppend appends the 1-based positions of all set bits, in
+// increasing order, to dst and returns the extended slice. It is the
+// non-allocating variant of Ones for hot paths that reuse a buffer
+// (pass dst[:0] to recycle it).
+func (b *Bitset) OnesAppend(dst []int) []int {
 	for wi, w := range b.words {
 		for w != 0 {
 			lz := bits.LeadingZeros64(w)
@@ -196,11 +203,31 @@ func (b *Bitset) Ones() []int {
 			if pos > b.width {
 				break
 			}
-			out = append(out, pos)
+			dst = append(dst, pos)
 			w &^= 1 << (wordBits - 1 - uint(lz))
 		}
 	}
-	return out
+	return dst
+}
+
+// ForEachOne calls fn with each set 1-based position in increasing
+// order, stopping early when fn returns false. It never allocates,
+// which makes it the iteration of choice inside the estimator's join
+// kernel and other per-query paths.
+func (b *Bitset) ForEachOne(fn func(pos int) bool) {
+	for wi, w := range b.words {
+		for w != 0 {
+			lz := bits.LeadingZeros64(w)
+			pos := wi*wordBits + lz + 1
+			if pos > b.width {
+				break
+			}
+			if !fn(pos) {
+				return
+			}
+			w &^= 1 << (wordBits - 1 - uint(lz))
+		}
+	}
 }
 
 // FirstOne returns the smallest 1-based set position, or 0 if the set
@@ -256,9 +283,10 @@ func (b *Bitset) Key() string {
 // byte is zero-padded. This is the serialization format of path ids.
 func (b *Bitset) Bytes() []byte {
 	out := make([]byte, b.SizeBytes())
-	for _, pos := range b.Ones() {
+	b.ForEachOne(func(pos int) bool {
 		out[(pos-1)/8] |= 0x80 >> uint((pos-1)%8)
-	}
+		return true
+	})
 	return out
 }
 

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"xpathest/internal/datagen"
+	"xpathest/internal/stats"
+	"xpathest/internal/xpath"
+)
+
+// joinBenchQueries mixes the shapes the path join kernel has to
+// handle: plain chains, branch predicates, and descendant edges. The
+// set cycles inside the timed loop so the measurement averages over
+// shapes instead of over-fitting one.
+var joinBenchQueries = []string{
+	"//PLAY/ACT/SCENE/SPEECH",
+	"//ACT[/SCENE/SPEECH/STAGEDIR]/SCENE/TITLE",
+	"//PLAY[/FM/P]//SPEECH/LINE",
+	"//SCENE[/SPEECH/SPEAKER]/SPEECH/LINE",
+}
+
+// joinBench builds one estimator over a generated SSPlays document and
+// parses the query set once, so the timed loop measures only the join.
+func joinBench(b *testing.B) (*Estimator, []*xpath.Path) {
+	b.Helper()
+	doc := datagen.SSPlays(datagen.Config{Seed: 42, Scale: 0.05})
+	tbs := stats.Collect(doc, nil)
+	est := New(tbs.Labeling, TableSource{Tables: tbs})
+	paths := make([]*xpath.Path, len(joinBenchQueries))
+	for i, q := range joinBenchQueries {
+		paths[i] = xpath.MustParse(q)
+		if _, err := est.RawJoinEstimate(paths[i]); err != nil {
+			b.Fatalf("%s: %v", q, err)
+		}
+	}
+	return est, paths
+}
+
+// BenchmarkPathJoin measures the path-join fixpoint (paper §4) on its
+// own, without the order-estimation layers above it.
+func BenchmarkPathJoin(b *testing.B) {
+	est, paths := joinBench(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.RawJoinEstimate(paths[i%len(paths)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"xpathest/internal/datagen"
+	"xpathest/internal/stats"
+	"xpathest/internal/xpath"
+)
+
+// TestEstimatorConcurrent hammers one shared estimator from many
+// goroutines. The kernel's tag indexes and edge-compatibility bitmaps
+// fill lazily under concurrent readers, so this is the -race guard for
+// the memo kernel; results must also stay bit-for-bit identical to a
+// sequential run regardless of which goroutine fills which cache line.
+func TestEstimatorConcurrent(t *testing.T) {
+	doc := datagen.SSPlays(datagen.Config{Seed: 7, Scale: 0.03})
+	tbs := stats.Collect(doc, nil)
+	est := New(tbs.Labeling, TableSource{Tables: tbs})
+
+	queries := []string{
+		"//PLAY/ACT/SCENE/SPEECH",
+		"//ACT[/SCENE/SPEECH/STAGEDIR]/SCENE/TITLE",
+		"//PLAY[/FM/P]//SPEECH/LINE",
+		"//SCENE[/SPEECH/SPEAKER]/SPEECH/LINE",
+		"//SCENE[/SPEECH/folls::STAGEDIR]",
+		"//PLAY/PERSONAE/PERSONA",
+	}
+	paths := make([]*xpath.Path, len(queries))
+	want := make([]float64, len(queries))
+	for i, q := range queries {
+		paths[i] = xpath.MustParse(q)
+		v, err := est.Estimate(paths[i])
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		want[i] = v
+	}
+
+	// A fresh estimator per run would defeat the point: every goroutine
+	// shares est, so cache fills race with cache reads.
+	est = New(tbs.Labeling, TableSource{Tables: tbs})
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				j := (g + i) % len(paths)
+				v, err := est.Estimate(paths[j])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if v != want[j] {
+					t.Errorf("%s: concurrent %v != sequential %v", queries[j], v, want[j])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

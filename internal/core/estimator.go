@@ -15,6 +15,11 @@ type Estimator struct {
 	lab *pathenc.Labeling
 	src Source
 
+	// kern is the summary-resident fast path: tag snapshots and
+	// memoized edge-compatibility verdicts, shared (and safe) across
+	// concurrent estimations.
+	kern *kernel
+
 	// trace receives human-readable derivation lines when set (only on
 	// the private copy Explain makes; the shared Estimator keeps it
 	// nil, preserving concurrency safety).
@@ -22,9 +27,11 @@ type Estimator struct {
 }
 
 // New returns an estimator over the given labeling (for the encoding
-// table the path join consults) and statistics source.
+// table the path join consults) and statistics source. The source must
+// not be mutated afterwards: the estimator snapshots its statistics
+// lazily and memoizes derived verdicts for the estimator's lifetime.
 func New(lab *pathenc.Labeling, src Source) *Estimator {
-	return &Estimator{lab: lab, src: src}
+	return &Estimator{lab: lab, src: src, kern: newKernel(lab, src)}
 }
 
 func (e *Estimator) tracef(format string, args ...interface{}) {
@@ -116,7 +123,7 @@ func (e *Estimator) RawJoinEstimate(p *xpath.Path) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	joined, err := pathJoin(e.lab, e.src, tree, fullInclude(tree))
+	joined, err := pathJoin(e.kern, tree, fullInclude(tree))
 	if err != nil {
 		return 0, err
 	}
@@ -136,7 +143,7 @@ func (e *Estimator) SurvivingPids(p *xpath.Path) (map[*xpath.Step][]*bitset.Bits
 	if err != nil {
 		return nil, err
 	}
-	joined, err := pathJoin(e.lab, e.src, tree, fullInclude(tree))
+	joined, err := pathJoin(e.kern, tree, fullInclude(tree))
 	if err != nil {
 		return nil, err
 	}
@@ -158,7 +165,7 @@ func (e *Estimator) SurvivingPids(p *xpath.Path) (map[*xpath.Step][]*bitset.Bits
 // ignoring order edges: Theorem 4.1 when the target is in the trunk
 // part, Equation (2) otherwise.
 func (e *Estimator) noOrder(tree *xpath.Tree, inc includeSet, target *xpath.TreeNode) (float64, error) {
-	joined, err := pathJoin(e.lab, e.src, tree, inc)
+	joined, err := pathJoin(e.kern, tree, inc)
 	if err != nil {
 		return 0, err
 	}
@@ -170,7 +177,7 @@ func (e *Estimator) noOrder(tree *xpath.Tree, inc includeSet, target *xpath.Tree
 		// Equation (2): Q′ keeps only the target's root chain and its
 		// own subtree; ni is the deepest trunk node above the target.
 		incQ := chainPlusSubtree(inc, target)
-		joinedQ, err := pathJoin(e.lab, e.src, tree, incQ)
+		joinedQ, err := pathJoin(e.kern, tree, incQ)
 		if err != nil {
 			return 0, err
 		}
@@ -204,14 +211,11 @@ func (e *Estimator) posAncestorFactor(joined map[*xpath.TreeNode][]stats.PidFreq
 		if !inc[a] || a.Step == nil || a.Step.Pos == xpath.PosNone {
 			continue
 		}
-		raw := map[string]float64{}
-		for _, pf := range e.src.Entries(a.Tag) {
-			raw[pf.Pid.Key()] = pf.Freq
-		}
+		ti := e.kern.tag(a.Tag)
 		var filtered, unfiltered float64
 		for _, pf := range joined[a] {
 			filtered += pf.Freq
-			unfiltered += raw[pf.Pid.Key()]
+			unfiltered += ti.rawFreq(pf.Pid)
 		}
 		if unfiltered > 0 {
 			factor *= filtered / unfiltered
@@ -318,7 +322,7 @@ func (e *Estimator) siblingEstimate(tree *xpath.Tree, inc includeSet, edge xpath
 	}
 
 	incSimpl := withoutSubtree(inc, other)
-	joinedSimpl, err := pathJoin(e.lab, e.src, tree, incSimpl)
+	joinedSimpl, err := pathJoin(e.kern, tree, incSimpl)
 	if err != nil {
 		return 0, err
 	}
@@ -403,7 +407,7 @@ func (e *Estimator) convertAndEstimate(tree *xpath.Tree, p *xpath.Path, edge xpa
 		return 0, fmt.Errorf("core: preceding/following cannot be anchored at the document root: %w", guard.ErrMalformedQuery)
 	}
 
-	joined, err := pathJoin(e.lab, e.src, tree, fullInclude(tree))
+	joined, err := pathJoin(e.kern, tree, fullInclude(tree))
 	if err != nil {
 		return 0, err
 	}

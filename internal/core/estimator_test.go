@@ -56,7 +56,7 @@ func TestExample41PathJoin(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	joined, err := pathJoin(f.tbs.Labeling, TableSource{Tables: f.tbs}, tree, fullInclude(tree))
+	joined, err := pathJoin(newKernel(f.tbs.Labeling, TableSource{Tables: f.tbs}), tree, fullInclude(tree))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -65,20 +65,55 @@ func strictDescendantOf(n, anc *xpath.TreeNode) bool {
 	return false
 }
 
+// nodeState is one query node's surviving entries during the join:
+// the (pid, frequency) list plus, in parallel, each entry's tag-local
+// dense id (its position in the kernel's tag snapshot), which indexes
+// the memoized compatibility bitmaps. Both slices are pruned in
+// lockstep, in place — filtering preserves order, so the final list
+// is always a subsequence of the tag snapshot.
+type nodeState struct {
+	pf  []stats.PidFreq
+	ids []int32
+}
+
 // pathJoin runs the path id join of Section 4 over the included nodes:
 // every node starts with its tag's full (pid, frequency) list, and
-// adjacent (parent, child) pairs repeatedly prune entries that cannot
-// satisfy the containment relationship, until a fixpoint is reached
-// (Example 4.1's cascading removals require iteration).
-func pathJoin(lab *pathenc.Labeling, src Source, tree *xpath.Tree, inc includeSet) (map[*xpath.TreeNode][]stats.PidFreq, error) {
-	lists := make(map[*xpath.TreeNode][]stats.PidFreq, len(inc))
+// adjacent (parent, child) pairs prune entries that cannot satisfy
+// the containment relationship until a fixpoint is reached (Example
+// 4.1's cascading removals require iteration).
+//
+// The fixpoint is computed with a worklist: processing an edge makes
+// it arc-consistent in both directions, and only edges incident to a
+// node whose list shrank are revisited. Pruning is a monotone
+// intersection, so the greatest fixpoint is unique and independent of
+// processing order — the surviving lists (and hence all downstream
+// float sums, taken in list order) are identical to those of a full
+// round-robin sweep.
+func pathJoin(k *kernel, tree *xpath.Tree, inc includeSet) (map[*xpath.TreeNode][]stats.PidFreq, error) {
+	// Resolve every included node's tag snapshot once and size one
+	// backing slab for all (pid, frequency) lists — the lists only
+	// shrink after this point, so disjoint sub-slices of a single
+	// allocation never interfere.
+	nodes := make([]*xpath.TreeNode, 0, len(inc))
+	tis := make([]*tagIndex, 0, len(inc))
+	idx := make(map[*xpath.TreeNode]int32, len(inc))
+	total := 0
 	for n := range inc {
 		if n.Tag == "*" {
 			return nil, fmt.Errorf("core: wildcard node tests are not estimable: %w", guard.ErrMalformedQuery)
 		}
-		entries := src.Entries(n.Tag)
-		cp := make([]stats.PidFreq, 0, len(entries))
-		for _, e := range entries {
+		ti := k.tag(n.Tag)
+		idx[n] = int32(len(nodes))
+		nodes = append(nodes, n)
+		tis = append(tis, ti)
+		total += len(ti.entries)
+	}
+	pfSlab := make([]stats.PidFreq, 0, total)
+	idSlab := make([]int32, 0, total)
+	states := make([]nodeState, len(nodes))
+	for ni, n := range nodes {
+		start := len(pfSlab)
+		for i, e := range tis[ni].entries {
 			// Positional filters are exact corrections from the
 			// path-order statistics: an element is first (last) among
 			// its same-tag siblings iff it has no preceding (following)
@@ -87,71 +122,137 @@ func pathJoin(lab *pathenc.Labeling, src Source, tree *xpath.Tree, inc includeSe
 			if n.Step != nil {
 				switch n.Step.Pos {
 				case xpath.PosFirst:
-					e.Freq -= src.OrderCount(n.Tag, stats.After, e.Pid, n.Tag)
+					e.Freq -= k.src.OrderCount(n.Tag, stats.After, e.Pid, n.Tag)
 				case xpath.PosLast:
-					e.Freq -= src.OrderCount(n.Tag, stats.Before, e.Pid, n.Tag)
+					e.Freq -= k.src.OrderCount(n.Tag, stats.Before, e.Pid, n.Tag)
 				}
 			}
 			if e.Freq > 0 {
-				cp = append(cp, e)
+				pfSlab = append(pfSlab, e)
+				idSlab = append(idSlab, int32(i))
 			}
 		}
-		lists[n] = cp
+		end := len(pfSlab)
+		states[ni] = nodeState{pf: pfSlab[start:end:end], ids: idSlab[start:end:end]}
 	}
 
-	// Collect the (parent, child) pairs among included nodes.
-	type edge struct{ p, c *xpath.TreeNode }
-	var edges []edge
-	for n := range inc {
-		if p := n.Parent; p != nil && !p.IsVRoot() && inc[p] {
-			edges = append(edges, edge{p, n})
+	// Collect the (parent, child) pairs among included nodes, resolving
+	// each edge's memo cache once, and index edges by incident node
+	// (CSR layout over node indices).
+	type edge struct {
+		p, c  int32
+		axis  pathenc.Axis
+		cache *edgeCache
+	}
+	edges := make([]edge, 0, len(nodes))
+	for ni, n := range nodes {
+		p := n.Parent
+		if p == nil || p.IsVRoot() {
+			continue
+		}
+		pi, ok := idx[p]
+		if !ok {
+			continue
+		}
+		ax := treeAxis(n)
+		edges = append(edges, edge{
+			p: pi, c: int32(ni), axis: ax,
+			cache: k.edge(tis[pi], tis[ni], p.Tag, n.Tag, ax),
+		})
+	}
+	off := make([]int32, len(nodes)+1)
+	for _, e := range edges {
+		off[e.p+1]++
+		off[e.c+1]++
+	}
+	for i := 1; i <= len(nodes); i++ {
+		off[i] += off[i-1]
+	}
+	incSlab := make([]int32, off[len(nodes)])
+	pos := append([]int32(nil), off[:len(nodes)]...)
+	for ei, e := range edges {
+		incSlab[pos[e.p]] = int32(ei)
+		pos[e.p]++
+		incSlab[pos[e.c]] = int32(ei)
+		pos[e.c]++
+	}
+
+	work := make([]int32, len(edges), 2*len(edges)+1)
+	inWork := make([]bool, len(edges))
+	for i := range edges {
+		work[i] = int32(i)
+		inWork[i] = true
+	}
+	// enqueue schedules the edges incident to n, minus except (pass -1
+	// to schedule all): after processing an edge, the edge itself is
+	// already consistent with a parent-side shrink (the child side was
+	// pruned against the shrunken parent list), but a child-side shrink
+	// invalidates the parent side, which was pruned against the
+	// pre-shrink child list — so child shrinks re-enqueue everything.
+	enqueue := func(ni int32, except int32) {
+		for _, ei := range incSlab[off[ni]:off[ni+1]] {
+			if ei != except && !inWork[ei] {
+				inWork[ei] = true
+				work = append(work, ei)
+			}
+		}
+	}
+	for len(work) > 0 {
+		ei := work[0]
+		work = work[1:]
+		inWork[ei] = false
+		e := &edges[ei]
+		ps, cs := &states[e.p], &states[e.c]
+		pn, cn := nodes[e.p], nodes[e.c]
+
+		// Prune the parent side against the child list.
+		w := 0
+		for i := range ps.pf {
+			ok := false
+			for j := range cs.pf {
+				if k.compatible(e.cache, pn.Tag, ps.ids[i], ps.pf[i].Pid, cn.Tag, cs.ids[j], cs.pf[j].Pid, e.axis) {
+					ok = true
+					break
+				}
+			}
+			if ok {
+				ps.pf[w] = ps.pf[i]
+				ps.ids[w] = ps.ids[i]
+				w++
+			}
+		}
+		if w != len(ps.pf) {
+			ps.pf = ps.pf[:w]
+			ps.ids = ps.ids[:w]
+			enqueue(e.p, ei)
+		}
+
+		// Prune the child side against the (possibly shrunken) parent.
+		w = 0
+		for j := range cs.pf {
+			ok := false
+			for i := range ps.pf {
+				if k.compatible(e.cache, pn.Tag, ps.ids[i], ps.pf[i].Pid, cn.Tag, cs.ids[j], cs.pf[j].Pid, e.axis) {
+					ok = true
+					break
+				}
+			}
+			if ok {
+				cs.pf[w] = cs.pf[j]
+				cs.ids[w] = cs.ids[j]
+				w++
+			}
+		}
+		if w != len(cs.pf) {
+			cs.pf = cs.pf[:w]
+			cs.ids = cs.ids[:w]
+			enqueue(e.c, -1)
 		}
 	}
 
-	compatible := func(p, c *xpath.TreeNode, pp, cc stats.PidFreq) bool {
-		return lab.EdgeCompatible(p.Tag, pp.Pid, c.Tag, cc.Pid, treeAxis(c))
-	}
-
-	for changed := true; changed; {
-		changed = false
-		for _, e := range edges {
-			pl, cl := lists[e.p], lists[e.c]
-			np := pl[:0:0]
-			for _, pp := range pl {
-				ok := false
-				for _, cc := range cl {
-					if compatible(e.p, e.c, pp, cc) {
-						ok = true
-						break
-					}
-				}
-				if ok {
-					np = append(np, pp)
-				}
-			}
-			if len(np) != len(pl) {
-				lists[e.p] = np
-				changed = true
-				pl = np
-			}
-			nc := cl[:0:0]
-			for _, cc := range cl {
-				ok := false
-				for _, pp := range pl {
-					if compatible(e.p, e.c, pp, cc) {
-						ok = true
-						break
-					}
-				}
-				if ok {
-					nc = append(nc, cc)
-				}
-			}
-			if len(nc) != len(cl) {
-				lists[e.c] = nc
-				changed = true
-			}
-		}
+	lists := make(map[*xpath.TreeNode][]stats.PidFreq, len(nodes))
+	for ni, n := range nodes {
+		lists[n] = states[ni].pf
 	}
 	return lists, nil
 }

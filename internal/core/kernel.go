@@ -1,0 +1,190 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"xpathest/internal/bitset"
+	"xpathest/internal/pathenc"
+	"xpathest/internal/stats"
+)
+
+// kernel is the summary-resident fast path under the estimator. It
+// amortizes, over the lifetime of one (labeling, source) pair, the
+// per-query costs the paper's formulas do not account for: fetching a
+// tag's (pid, frequency) list, mapping interned pids to dense indices,
+// and deciding edge compatibility for a (pid, pid) pair.
+//
+// The kernel assumes the source is immutable once the estimator is
+// built — the invariant every Source in this repository satisfies
+// (exact tables and histograms are both frozen after construction).
+// All state is either written once under mu or updated monotonically
+// with atomics, so one kernel is safe for any number of concurrent
+// estimations.
+// Both lookup maps are copy-on-write: readers follow an atomic
+// pointer with no lock, and the occasional miss clones the map under
+// mu before publishing the extended copy. A summary only ever sees a
+// bounded set of tags and edges, so clones stop once the caches warm
+// up and the steady-state read path is two pointer loads.
+type kernel struct {
+	lab *pathenc.Labeling
+	src Source
+
+	mu     sync.Mutex // serializes copy-on-write misses
+	tags   atomic.Pointer[map[string]*tagIndex]
+	compat atomic.Pointer[map[compatKey]*edgeCache]
+}
+
+// tagIndex snapshots one tag's statistics: the (pid, frequency) list
+// exactly as the source reports it, plus an identity-keyed map from
+// each entry's interned pid to its position in the list. The position
+// is the tag-local dense id used throughout the join kernel.
+type tagIndex struct {
+	entries []stats.PidFreq
+	local   map[*bitset.Bitset]int32
+}
+
+// compatKey identifies one memoized compatibility relation: all
+// (ancestor pid, descendant pid) verdicts for a (tag, tag, axis)
+// triple share one cache.
+type compatKey struct {
+	anc  string
+	desc string
+	axis pathenc.Axis
+}
+
+// maxCachePairs bounds the verdict bitmap of one compatKey: beyond
+// 2^26 pairs (16 MiB of bitmap) memoization is skipped and verdicts
+// are recomputed — still allocation-free via Bitset.ForEachOne.
+const maxCachePairs = 1 << 26
+
+// edgeCache memoizes EdgeCompatible verdicts over the dense pid pairs
+// of one compatKey. Each pair owns two bits of a lazily-filled bitmap:
+// bit 0 records that the verdict is known, bit 1 the verdict itself.
+// Writes are monotonic 0→1 transitions via compare-and-swap, and the
+// underlying computation is deterministic, so concurrent fillers can
+// only agree — readers never see a torn or changing verdict.
+type edgeCache struct {
+	nd    int // number of descendant-tag entries (row stride)
+	words []atomic.Uint64
+}
+
+func (c *edgeCache) lookup(ai, di int32) (verdict, known bool) {
+	pair := uint64(ai)*uint64(c.nd) + uint64(di)
+	w := c.words[pair>>5].Load()
+	s := (pair & 31) << 1
+	if w>>s&1 == 0 {
+		return false, false
+	}
+	return w>>(s+1)&1 == 1, true
+}
+
+func (c *edgeCache) store(ai, di int32, verdict bool) {
+	pair := uint64(ai)*uint64(c.nd) + uint64(di)
+	s := (pair & 31) << 1
+	m := uint64(1) << s
+	if verdict {
+		m |= uint64(1) << (s + 1)
+	}
+	w := &c.words[pair>>5]
+	for {
+		old := w.Load()
+		if old&m == m {
+			return
+		}
+		if w.CompareAndSwap(old, old|m) {
+			return
+		}
+	}
+}
+
+func newKernel(lab *pathenc.Labeling, src Source) *kernel {
+	k := &kernel{lab: lab, src: src}
+	tags := make(map[string]*tagIndex)
+	compat := make(map[compatKey]*edgeCache)
+	k.tags.Store(&tags)
+	k.compat.Store(&compat)
+	return k
+}
+
+// tag returns the snapshot of one tag's statistics, building it on
+// first use.
+func (k *kernel) tag(tag string) *tagIndex {
+	if t := (*k.tags.Load())[tag]; t != nil {
+		return t
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	cur := *k.tags.Load()
+	if t := cur[tag]; t != nil {
+		return t
+	}
+	entries := k.src.Entries(tag)
+	t := &tagIndex{entries: entries, local: make(map[*bitset.Bitset]int32, len(entries))}
+	for i, e := range entries {
+		t.local[e.Pid] = int32(i)
+	}
+	next := make(map[string]*tagIndex, len(cur)+1)
+	for key, v := range cur {
+		next[key] = v
+	}
+	next[tag] = t
+	k.tags.Store(&next)
+	return t
+}
+
+// rawFreq returns the unfiltered source frequency of a pid under this
+// tag, 0 when absent. Canonical pids hit the identity index; an
+// equal-bits duplicate falls back to a scan.
+func (t *tagIndex) rawFreq(pid *bitset.Bitset) float64 {
+	if i, ok := t.local[pid]; ok {
+		return t.entries[i].Freq
+	}
+	for _, e := range t.entries {
+		if e.Pid.Equal(pid) {
+			return e.Freq
+		}
+	}
+	return 0
+}
+
+// edge returns the verdict cache of a (tag, tag, axis) triple, or nil
+// when the pair space is empty or too large to memoize.
+func (k *kernel) edge(anc, desc *tagIndex, ancTag, descTag string, axis pathenc.Axis) *edgeCache {
+	key := compatKey{anc: ancTag, desc: descTag, axis: axis}
+	if c, ok := (*k.compat.Load())[key]; ok {
+		return c
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	cur := *k.compat.Load()
+	if c, ok := cur[key]; ok {
+		return c
+	}
+	var c *edgeCache
+	if pairs := len(anc.entries) * len(desc.entries); pairs > 0 && pairs <= maxCachePairs {
+		c = &edgeCache{nd: len(desc.entries), words: make([]atomic.Uint64, (2*pairs+63)/64)}
+	}
+	next := make(map[compatKey]*edgeCache, len(cur)+1)
+	for k2, v := range cur {
+		next[k2] = v
+	}
+	next[key] = c
+	k.compat.Store(&next)
+	return c
+}
+
+// compatible answers one EdgeCompatible verdict through the memo
+// cache, computing and recording it on a miss. ai and di are the
+// pids' tag-local dense ids (positions in the tag snapshots).
+func (k *kernel) compatible(c *edgeCache, ancTag string, ai int32, ancPid *bitset.Bitset, descTag string, di int32, descPid *bitset.Bitset, axis pathenc.Axis) bool {
+	if c == nil {
+		return k.lab.EdgeCompatible(ancTag, ancPid, descTag, descPid, axis)
+	}
+	if v, known := c.lookup(ai, di); known {
+		return v
+	}
+	v := k.lab.EdgeCompatible(ancTag, ancPid, descTag, descPid, axis)
+	c.store(ai, di, v)
+	return v
+}

@@ -63,6 +63,9 @@ type Limits struct {
 	// MaxQueryLen bounds the length of a query string in bytes
 	// (0 = unlimited).
 	MaxQueryLen int
+	// MaxBatchQueries bounds the number of queries accepted in one
+	// batch estimation request (0 = unlimited).
+	MaxBatchQueries int
 }
 
 // DefaultLimits returns the limits the serving layer starts from:
@@ -75,6 +78,7 @@ func DefaultLimits() Limits {
 		MaxDocumentBytes: 1 << 31, // 2 GiB
 		MaxSummaryBytes:  1 << 28, // 256 MiB
 		MaxQueryLen:      4096,
+		MaxBatchQueries:  1024,
 	}
 }
 
@@ -129,6 +133,15 @@ func (l Limits) CheckDocumentBytes(n int64) error {
 func (l Limits) CheckQuery(q string) error {
 	if l.MaxQueryLen > 0 && len(q) > l.MaxQueryLen {
 		return Exceeded("query length", int64(l.MaxQueryLen), int64(len(q)))
+	}
+	return nil
+}
+
+// CheckBatchQueries validates a batch's query count against
+// MaxBatchQueries.
+func (l Limits) CheckBatchQueries(n int) error {
+	if l.MaxBatchQueries > 0 && n > l.MaxBatchQueries {
+		return Exceeded("batch queries", int64(l.MaxBatchQueries), int64(n))
 	}
 	return nil
 }

@@ -40,8 +40,9 @@ type PHistogram struct {
 	Tag     string
 	Buckets []PBucket
 
-	lookup map[string]int // pid key -> bucket index
-	order  []*bitset.Bitset
+	lookup    map[string]int         // pid key -> bucket index
+	lookupPtr map[*bitset.Bitset]int // identity-keyed mirror for interned pids
+	order     []*bitset.Bitset
 }
 
 // variance computes the paper's intra-bucket frequency variance
@@ -78,7 +79,11 @@ func BuildP(tag string, entries []stats.PidFreq, threshold float64) *PHistogram 
 		return sorted[i].Pid.String() < sorted[j].Pid.String()
 	})
 
-	h := &PHistogram{Tag: tag, lookup: make(map[string]int, len(sorted))}
+	h := &PHistogram{
+		Tag:       tag,
+		lookup:    make(map[string]int, len(sorted)),
+		lookupPtr: make(map[*bitset.Bitset]int, len(sorted)),
+	}
 	i := 0
 	for i < len(sorted) {
 		var (
@@ -101,6 +106,7 @@ func BuildP(tag string, entries []stats.PidFreq, threshold float64) *PHistogram 
 		b := PBucket{Pids: pids, AvgFreq: sum / float64(len(pids))}
 		for _, p := range pids {
 			h.lookup[p.Key()] = len(h.Buckets)
+			h.lookupPtr[p] = len(h.Buckets)
 		}
 		h.Buckets = append(h.Buckets, b)
 		i = j
@@ -131,7 +137,11 @@ func BuildPEquiCount(tag string, entries []stats.PidFreq, numBuckets int) *PHist
 		}
 		return sorted[i].Pid.String() < sorted[j].Pid.String()
 	})
-	h := &PHistogram{Tag: tag, lookup: make(map[string]int, len(sorted))}
+	h := &PHistogram{
+		Tag:       tag,
+		lookup:    make(map[string]int, len(sorted)),
+		lookupPtr: make(map[*bitset.Bitset]int, len(sorted)),
+	}
 	if len(sorted) == 0 {
 		return h
 	}
@@ -150,6 +160,7 @@ func BuildPEquiCount(tag string, entries []stats.PidFreq, numBuckets int) *PHist
 			sum += e.Freq
 			pids = append(pids, e.Pid)
 			h.lookup[e.Pid.Key()] = len(h.Buckets)
+			h.lookupPtr[e.Pid] = len(h.Buckets)
 			h.order = append(h.order, e.Pid)
 		}
 		h.Buckets = append(h.Buckets, PBucket{Pids: pids, AvgFreq: sum / float64(j-i)})
@@ -181,10 +192,16 @@ func BuildPSetEquiCount(ft *stats.FreqTable, numDistinctPids int, ref *PSet) *PS
 // is the concatenation of the bucket pid lists, which is exactly how
 // BuildP lays buckets out.
 func RestoreP(tag string, buckets []PBucket) *PHistogram {
-	h := &PHistogram{Tag: tag, Buckets: buckets, lookup: make(map[string]int)}
+	h := &PHistogram{
+		Tag:       tag,
+		Buckets:   buckets,
+		lookup:    make(map[string]int),
+		lookupPtr: make(map[*bitset.Bitset]int),
+	}
 	for i, b := range buckets {
 		for _, p := range b.Pids {
 			h.lookup[p.Key()] = i
+			h.lookupPtr[p] = i
 			h.order = append(h.order, p)
 		}
 	}
@@ -217,6 +234,11 @@ func (s *PSet) Histograms() []*PHistogram {
 // Freq returns the (approximate) frequency of a pid: the average of
 // its bucket, or 0 when the pid never occurs with this tag.
 func (h *PHistogram) Freq(pid *bitset.Bitset) float64 {
+	// Identity fast path for canonical (interned) pid instances; the
+	// key-string map remains as the fallback for duplicates.
+	if i, ok := h.lookupPtr[pid]; ok {
+		return h.Buckets[i].AvgFreq
+	}
 	if i, ok := h.lookup[pid.Key()]; ok {
 		return h.Buckets[i].AvgFreq
 	}

@@ -1,0 +1,56 @@
+package pathenc_test
+
+import (
+	"testing"
+
+	"xpathest/internal/bitset"
+	"xpathest/internal/datagen"
+	"xpathest/internal/pathenc"
+)
+
+// BenchmarkEdgeCompatible measures the per-pair compatibility check
+// the path join asks for once per (ancestor pid, descendant pid) pair
+// of every query edge. The pid pairs are pre-filtered to pass the
+// bit-containment test and to have multi-path descendants, so every
+// call walks the encoding table over several paths — the calls that
+// dominate real joins, where internal-node pids cover many paths and
+// most surviving pairs get past the cheap rejection.
+func BenchmarkEdgeCompatible(b *testing.B) {
+	doc := datagen.SSPlays(datagen.Config{Seed: 42, Scale: 0.05})
+	lab, err := pathenc.Build(doc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pids := lab.Distinct()
+	type pair struct{ anc, desc *bitset.Bitset }
+	var pairs []pair
+	for _, a := range pids {
+		for _, d := range pids {
+			if a != d && d.Count() >= 2 && a.ContainsOrEqual(d) {
+				pairs = append(pairs, pair{anc: a, desc: d})
+			}
+		}
+		if len(pairs) >= 512 {
+			break
+		}
+	}
+	if len(pairs) == 0 {
+		b.Fatal("no containment-passing pid pairs in labeling")
+	}
+	edges := []struct {
+		anc, desc string
+		axis      pathenc.Axis
+	}{
+		{"ACT", "SCENE", pathenc.Child},
+		{"SCENE", "SPEECH", pathenc.Child},
+		{"PLAY", "LINE", pathenc.Descendant},
+		{"PLAYS", "STAGEDIR", pathenc.Descendant},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := edges[i%len(edges)]
+		p := pairs[i%len(pairs)]
+		lab.EdgeCompatible(e.anc, p.anc, e.desc, p.desc, e.axis)
+	}
+}

@@ -44,6 +44,33 @@ type Table struct {
 	paths    []string   // paths[i-1] is the path with encoding i
 	pathTags [][]string // split form of paths
 	byPath   map[string]int
+
+	// tagIDs interns every tag occurring on any path into a dense
+	// 1-based id; pathTagIDs mirrors pathTags with tags replaced by
+	// their ids. The witness scans on the join's hot path compare
+	// these int32s instead of strings. Built by internTags once the
+	// path set is complete, read-only afterwards.
+	tagIDs     map[string]int32
+	pathTagIDs [][]int32
+}
+
+// internTags builds the dense tag-id view of pathTags. Both table
+// constructors call it after the last path is added.
+func (t *Table) internTags() {
+	t.tagIDs = make(map[string]int32)
+	t.pathTagIDs = make([][]int32, len(t.pathTags))
+	for i, tags := range t.pathTags {
+		ids := make([]int32, len(tags))
+		for j, tag := range tags {
+			id, ok := t.tagIDs[tag]
+			if !ok {
+				id = int32(len(t.tagIDs)) + 1
+				t.tagIDs[tag] = id
+			}
+			ids[j] = id
+		}
+		t.pathTagIDs[i] = ids
+	}
 }
 
 // NumPaths returns the number of distinct root-to-leaf paths — the
@@ -135,6 +162,14 @@ type Labeling struct {
 	pids     []*bitset.Bitset // indexed by node Ord; interned
 	distinct []*bitset.Bitset // sorted by bit-sequence value
 	index    map[string]int   // bitset key -> index into distinct
+
+	// denseID maps each canonical interned instance to its position in
+	// distinct. Because interning makes identical bit sequences share one
+	// instance, pointer identity is a sound key, and hot-path lookups
+	// avoid the Bitset.Key() string allocation entirely. Built alongside
+	// index and read-only once labeling construction finishes, so
+	// concurrent estimator reads need no locking.
+	denseID map[*bitset.Bitset]int32
 }
 
 // NewTable builds an encoding table directly from path strings in
@@ -153,6 +188,7 @@ func NewTable(paths []string) (*Table, error) {
 		t.pathTags = append(t.pathTags, strings.Split(p, "/"))
 		t.byPath[p] = i + 1
 	}
+	t.internTags()
 	return t, nil
 }
 
@@ -163,7 +199,11 @@ func NewTable(paths []string) (*Table, error) {
 // anchor segments — works. distinct may be nil when only join logic is
 // needed.
 func EstimationLabeling(t *Table, distinct []*bitset.Bitset) *Labeling {
-	l := &Labeling{Table: t, index: make(map[string]int)}
+	l := &Labeling{
+		Table:   t,
+		index:   make(map[string]int, len(distinct)),
+		denseID: make(map[*bitset.Bitset]int32, len(distinct)),
+	}
 	for _, p := range distinct {
 		l.intern(p)
 	}
@@ -189,12 +229,14 @@ func Build(doc *xmltree.Document) (*Labeling, error) {
 		}
 		return true
 	})
+	tbl.internTags()
 
 	l := &Labeling{
-		Table: tbl,
-		doc:   doc,
-		pids:  make([]*bitset.Bitset, doc.NumElements()),
-		index: make(map[string]int),
+		Table:   tbl,
+		doc:     doc,
+		pids:    make([]*bitset.Bitset, doc.NumElements()),
+		index:   make(map[string]int),
+		denseID: make(map[*bitset.Bitset]int32),
 	}
 	if doc.Root != nil {
 		if _, err := l.assign(doc.Root, []string{}); err != nil {
@@ -255,9 +297,30 @@ func (l *Labeling) intern(pid *bitset.Bitset) *bitset.Bitset {
 	if i, ok := l.index[key]; ok {
 		return l.distinct[i]
 	}
+	if l.denseID == nil {
+		l.denseID = make(map[*bitset.Bitset]int32)
+	}
 	l.index[key] = len(l.distinct)
+	l.denseID[pid] = int32(len(l.distinct))
 	l.distinct = append(l.distinct, pid)
 	return pid
+}
+
+// DenseID returns the dense id of an interned path id — its position in
+// Distinct(), a value in [0, NumDistinct()) — and whether the pid is
+// known. The fast path is a pointer lookup on the canonical instance
+// (every pid flowing out of the statistics tables and histograms is
+// one); an equal-bits-but-distinct instance falls back to a Key()
+// lookup. Dense ids let hot-path caches index slices and bitmaps
+// instead of hashing bit-sequence strings.
+func (l *Labeling) DenseID(pid *bitset.Bitset) (int32, bool) {
+	if id, ok := l.denseID[pid]; ok {
+		return id, true
+	}
+	if i, ok := l.index[pid.Key()]; ok {
+		return int32(i), true
+	}
+	return -1, false
 }
 
 // PidOf returns the interned path id of a node.
@@ -318,20 +381,45 @@ func (l *Labeling) EdgeCompatible(ancTag string, ancPid *bitset.Bitset, descTag 
 	if !ancPid.ContainsOrEqual(descPid) {
 		return false
 	}
+	// A tag missing from the table occurs on no path, so no witness
+	// can exist.
+	t := l.Table
+	ancID, ok := t.tagIDs[ancTag]
+	if !ok {
+		return false
+	}
+	descID, ok := t.tagIDs[descTag]
+	if !ok {
+		return false
+	}
 	// Both tags occur on every path of descPid (the descendant sits on
 	// all of them; the ancestor spans a superset). Scan those paths
-	// for a witness.
-	for _, enc := range descPid.Ones() {
-		switch l.Table.TagRelationship(enc, ancTag, descTag) {
-		case RelParent:
-			return true
-		case RelAncestor:
-			if axis == Descendant {
-				return true
+	// for a witness — the interned-tag form of TagRelationship, with
+	// the tag-id lookups hoisted out of the per-path loop. ForEachOne
+	// keeps the test allocation-free; it runs inside the path join's
+	// innermost loop.
+	found := false
+	descPid.ForEachOne(func(enc int) bool {
+		ids := t.pathTagIDs[enc-1]
+		for i, id := range ids {
+			if id != ancID {
+				continue
+			}
+			for j := i + 1; j < len(ids); j++ {
+				if ids[j] != descID {
+					continue
+				}
+				// Adjacent occurrences witness both axes; a wider gap
+				// only the descendant axis.
+				if j == i+1 || axis == Descendant {
+					found = true
+					return false
+				}
 			}
 		}
-	}
-	return false
+		return true
+	})
+	return found
 }
 
 // AnchorSegment supports the preceding/following rewriting of
@@ -344,7 +432,7 @@ func (l *Labeling) EdgeCompatible(ancTag string, ancPid *bitset.Bitset, descTag 
 func (l *Labeling) AnchorSegment(contextTag string, targetTag string, pid *bitset.Bitset) [][]string {
 	var out [][]string
 	seen := make(map[string]bool)
-	for _, enc := range pid.Ones() {
+	pid.ForEachOne(func(enc int) bool {
 		tags := l.Table.PathTags(enc)
 		for i, tag := range tags {
 			if tag != contextTag || i+1 >= len(tags) {
@@ -364,6 +452,7 @@ func (l *Labeling) AnchorSegment(contextTag string, targetTag string, pid *bitse
 				}
 			}
 		}
-	}
+		return true
+	})
 	return out
 }

@@ -1,0 +1,309 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"xpathest"
+	"xpathest/internal/guard"
+)
+
+// planCache is a small LRU over compiled queries, shared by every
+// summary (compilation is summary-independent). Hot serving traffic
+// repeats a small set of query shapes, so the cache turns the
+// per-request parse into a map hit. Only successful compilations are
+// cached; failures are recomputed (they are as cheap as a parse and
+// caching them would let a hostile client evict real plans with
+// garbage).
+type planCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type planEntry struct {
+	key string
+	q   *xpathest.Query
+}
+
+func newPlanCache(max int) *planCache {
+	return &planCache{max: max, ll: list.New(), items: make(map[string]*list.Element, max)}
+}
+
+// compile returns the cached plan for a raw query string, compiling
+// and inserting on miss.
+func (c *planCache) compile(query string) (*xpathest.Query, error) {
+	c.mu.Lock()
+	if el, ok := c.items[query]; ok {
+		c.ll.MoveToFront(el)
+		q := el.Value.(*planEntry).q
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return q, nil
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	q, err := xpathest.CompileQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[query]; ok { // raced with another compiler
+		c.ll.MoveToFront(el)
+		return el.Value.(*planEntry).q, nil
+	}
+	c.items[query] = c.ll.PushFront(&planEntry{key: query, q: q})
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*planEntry).key)
+	}
+	return q, nil
+}
+
+// flightGroup deduplicates identical in-flight estimations: one
+// leader per (summary, query) computes while followers wait for its
+// result. Estimation is a pure function of (summary, query), so
+// sharing is always sound; a follower whose leader was canceled
+// retries on its own (see estimateShared).
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[flightKey]*flightCall
+
+	shared atomic.Int64
+}
+
+type flightKey struct {
+	sum   *xpathest.Summary
+	query string
+}
+
+type flightCall struct {
+	done chan struct{}
+	v    float64
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[flightKey]*flightCall)}
+}
+
+// do runs fn once per key among concurrent callers. It reports
+// whether this caller shared another's execution. A follower whose
+// own ctx dies while waiting gives up with an ErrCanceled-wrapped
+// error (the leader keeps computing for the others).
+func (g *flightGroup) do(ctx context.Context, key flightKey, fn func() (float64, error)) (v float64, shared bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		g.shared.Add(1)
+		select {
+		case <-c.done:
+			return c.v, true, c.err
+		case <-ctx.Done():
+			return 0, true, fmt.Errorf("server: abandoned shared estimate: %w: %v", guard.ErrCanceled, context.Cause(ctx))
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.v, c.err = fn()
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.v, false, c.err
+}
+
+// estimateShared estimates one compiled query through the dedup
+// group. A shared result that failed with ErrCanceled reflects the
+// *leader's* deadline, not ours — if our context is still live the
+// query is retried once directly, so one slow client cannot poison
+// identical queries from healthy ones.
+func (s *Server) estimateShared(ctx context.Context, sum *xpathest.Summary, q *xpathest.Query) (float64, error) {
+	v, shared, err := s.flight.do(ctx, flightKey{sum: sum, query: q.String()}, func() (float64, error) {
+		return sum.EstimateQueryContext(ctx, q)
+	})
+	if shared && err != nil && errors.Is(err, guard.ErrCanceled) && guard.CheckContext(ctx) == nil {
+		return sum.EstimateQueryContext(ctx, q)
+	}
+	return v, err
+}
+
+// batchRequest is the POST /estimate/batch payload.
+type batchRequest struct {
+	Summary string   `json:"summary"`
+	Queries []string `json:"queries"`
+}
+
+// batchItem is one slot of the batch response; slots are positional
+// (results[i] answers queries[i]). Exactly one of Estimate or Error
+// is meaningful, and fallback answers are marked like /estimate's.
+type batchItem struct {
+	Query      string  `json:"query"`
+	Estimate   float64 `json:"estimate"`
+	Confidence string  `json:"confidence,omitempty"`
+	Fallback   bool    `json:"fallback,omitempty"`
+	Error      string  `json:"error,omitempty"`
+	Kind       string  `json:"kind,omitempty"`
+	Reason     string  `json:"reason,omitempty"`
+}
+
+// maxBatchBytes bounds the request body of one batch: the configured
+// per-query and per-batch limits plus JSON overhead, with a safe
+// floor when either limit is unlimited.
+func maxBatchBytes(l guard.Limits) int64 {
+	if l.MaxQueryLen > 0 && l.MaxBatchQueries > 0 {
+		return int64(l.MaxBatchQueries)*(int64(l.MaxQueryLen)+16) + 1024
+	}
+	return 64 << 20
+}
+
+// handleEstimateBatch serves POST /estimate/batch: many queries, one
+// summary, one round trip. Per-query failures are isolated into their
+// slots; only request-level problems (bad JSON, batch too large) fail
+// the whole call. Duplicate queries inside the batch are estimated
+// once, and identical queries across concurrent batches share one
+// estimation through the in-flight dedup group.
+func (s *Server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
+	s.batches.Add(1)
+	var req batchRequest
+	body := http.MaxBytesReader(w, r.Body, maxBatchBytes(s.cfg.Limits))
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, guard.Exceeded("batch bytes", tooLarge.Limit, tooLarge.Limit+1))
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, map[string]any{
+			"error": fmt.Sprintf("invalid JSON body: %v", err), "kind": "bad_request",
+		})
+		return
+	}
+	if req.Summary == "" || len(req.Queries) == 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]any{
+			"error": "required fields: summary, queries", "kind": "bad_request",
+		})
+		return
+	}
+	if err := s.cfg.Limits.CheckBatchQueries(len(req.Queries)); err != nil {
+		writeError(w, err)
+		return
+	}
+	s.batchQueries.Add(int64(len(req.Queries)))
+
+	e, ok := s.reg.get(req.Summary)
+	degraded := !ok || e.loadErr != nil
+	reason := ""
+	if degraded {
+		reason = "summary not loaded"
+		if ok {
+			reason = fmt.Sprintf("summary failed to load: %v", e.loadErr)
+		}
+	}
+
+	// Estimate each distinct query once; positional slots share the
+	// outcome. Distinct queries run on a bounded worker pool.
+	type outcome struct {
+		item batchItem
+		once sync.Once
+	}
+	distinct := make(map[string]*outcome, len(req.Queries))
+	order := make([]string, 0, len(req.Queries))
+	for _, q := range req.Queries {
+		if _, seen := distinct[q]; !seen {
+			distinct[q] = &outcome{}
+			order = append(order, q)
+		}
+	}
+
+	run := func(ctx context.Context, raw string, out *outcome) {
+		item := batchItem{Query: raw}
+		fail := func(err error) {
+			_, kind := statusFor(err)
+			msg := err.Error()
+			if kind == "internal" {
+				msg = "internal error"
+			}
+			item.Error, item.Kind = msg, kind
+		}
+		if err := s.cfg.Limits.CheckQuery(raw); err != nil {
+			fail(err)
+			out.item = item
+			return
+		}
+		// Malformed queries are the client's fault regardless of
+		// summary health — compile before the fallback decision, so
+		// degradation never masks bad queries (same contract as
+		// /estimate).
+		q, err := s.plans.compile(raw)
+		if err != nil {
+			fail(err)
+			out.item = item
+			return
+		}
+		item.Query = q.String()
+		if degraded {
+			item.Estimate = s.cfg.FallbackEstimate
+			item.Confidence = "low"
+			item.Fallback = true
+			item.Reason = reason
+			out.item = item
+			return
+		}
+		v, err := s.estimateShared(ctx, e.sum, q)
+		if err != nil {
+			fail(err)
+			out.item = item
+			return
+		}
+		item.Estimate = v
+		item.Confidence = "normal"
+		out.item = item
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(order) {
+		workers = len(order)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := int(next.Add(1)) - 1
+				if n >= len(order) {
+					return
+				}
+				raw := order[n]
+				out := distinct[raw]
+				out.once.Do(func() { run(r.Context(), raw, out) })
+			}
+		}()
+	}
+	wg.Wait()
+
+	results := make([]batchItem, len(req.Queries))
+	for i, q := range req.Queries {
+		results[i] = distinct[q].item
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"summary": req.Summary,
+		"results": results,
+	})
+}

@@ -57,6 +57,9 @@ type Config struct {
 	// FallbackEstimate is returned (with confidence "low") when the
 	// requested summary is missing or failed to load (default 1.0).
 	FallbackEstimate float64
+	// PlanCacheSize caps the LRU cache of compiled query plans shared
+	// by /estimate/batch (default 1024 entries).
+	PlanCacheSize int
 	// EnablePanicRoute registers POST /debug/panic, which panics inside
 	// the handler. Tests use it to prove panic isolation; production
 	// configs leave it off.
@@ -83,6 +86,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FallbackEstimate == 0 {
 		c.FallbackEstimate = 1.0
+	}
+	if c.PlanCacheSize <= 0 {
+		c.PlanCacheSize = 1024
 	}
 	if c.Logger == nil {
 		c.Logger = log.Default()
@@ -144,19 +150,23 @@ func (r *registry) replace(next map[string]*entry) {
 
 // Server is the estimation service.
 type Server struct {
-	cfg  Config
-	reg  *registry
-	sem  chan struct{}
-	mux  *http.ServeMux
-	http *http.Server
+	cfg    Config
+	reg    *registry
+	sem    chan struct{}
+	mux    *http.ServeMux
+	http   *http.Server
+	plans  *planCache
+	flight *flightGroup
 
 	ln      net.Listener // nil until Start; guarded by lnGuard
 	lnGuard sync.Mutex
 
-	started  time.Time
-	requests atomic.Int64
-	panics   atomic.Int64
-	shed     atomic.Int64
+	started      time.Time
+	requests     atomic.Int64
+	panics       atomic.Int64
+	shed         atomic.Int64
+	batches      atomic.Int64
+	batchQueries atomic.Int64
 }
 
 // New builds a Server and, if cfg.SummaryDir is set, loads the *.xpsum
@@ -166,9 +176,11 @@ type Server struct {
 func New(ctx context.Context, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg: cfg,
-		reg: newRegistry(),
-		sem: make(chan struct{}, cfg.MaxInFlight),
+		cfg:    cfg,
+		reg:    newRegistry(),
+		sem:    make(chan struct{}, cfg.MaxInFlight),
+		plans:  newPlanCache(cfg.PlanCacheSize),
+		flight: newFlightGroup(),
 	}
 	s.mux = http.NewServeMux()
 	s.routes()
@@ -188,6 +200,7 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("/estimate", s.handleEstimate)
+	s.mux.HandleFunc("POST /estimate/batch", s.handleEstimateBatch)
 	s.mux.HandleFunc("GET /summaries", s.handleList)
 	s.mux.HandleFunc("PUT /summaries/{name}", s.handleUpload)
 	s.mux.HandleFunc("POST /summaries/{name}", s.handleUpload)
@@ -292,6 +305,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"panics_recovered":   s.panics.Load(),
 		"max_in_flight":      s.cfg.MaxInFlight,
 		"request_timeout_ms": s.cfg.RequestTimeout.Milliseconds(),
+		"batch_requests":     s.batches.Load(),
+		"batch_queries":      s.batchQueries.Load(),
+		"plan_cache_hits":    s.plans.hits.Load(),
+		"plan_cache_misses":  s.plans.misses.Load(),
+		"dedup_shared":       s.flight.shared.Load(),
 	})
 }
 

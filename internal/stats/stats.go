@@ -120,6 +120,14 @@ type OrderTable struct {
 	Tag   string
 	cells map[Region]map[string]map[string]float64 // region -> pid key -> sibling tag -> count
 	pids  map[string]*bitset.Bitset                // pid key -> pid
+
+	// cellsByPid mirrors cells keyed by the interned pid instance
+	// (sharing the same inner maps), so the per-probe Get on the
+	// estimator's hot path costs a pointer hash instead of a
+	// Bitset.Key() string allocation. Path ids are interned during
+	// labeling, so every pid collected here — and every pid the
+	// estimator probes with — is its canonical instance.
+	cellsByPid map[Region]map[*bitset.Bitset]map[string]float64
 }
 
 func newOrderTable(tag string) *OrderTable {
@@ -130,6 +138,10 @@ func newOrderTable(tag string) *OrderTable {
 			After:  make(map[string]map[string]float64),
 		},
 		pids: make(map[string]*bitset.Bitset),
+		cellsByPid: map[Region]map[*bitset.Bitset]map[string]float64{
+			Before: make(map[*bitset.Bitset]map[string]float64),
+			After:  make(map[*bitset.Bitset]map[string]float64),
+		},
 	}
 }
 
@@ -139,13 +151,20 @@ func (o *OrderTable) add(region Region, pid *bitset.Bitset, sibTag string) {
 	if m == nil {
 		m = make(map[string]float64)
 		o.cells[region][key] = m
+		o.cellsByPid[region][pid] = m
 	}
 	m[sibTag]++
 	o.pids[key] = pid
 }
 
 // Get returns g(pid, sibTag) in the given region; 0 for empty cells.
+// The identity-keyed index answers probes with canonical (interned)
+// pid instances without allocating; an equal-bits duplicate instance
+// falls back to the key-string map.
 func (o *OrderTable) Get(region Region, pid *bitset.Bitset, sibTag string) float64 {
+	if m := o.cellsByPid[region][pid]; m != nil {
+		return m[sibTag]
+	}
 	m := o.cells[region][pid.Key()]
 	if m == nil {
 		return 0
