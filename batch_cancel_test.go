@@ -1,0 +1,149 @@
+package xpathest
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"xpathest/internal/guard"
+)
+
+// cancelAfterN is a context that cancels itself on the nth Done()
+// call. guard.CheckContext polls Done() exactly once per admission and
+// once per batch slot, so the counter turns "cancel somewhere in the
+// middle of the pool" — inherently racy with a timer — into a
+// deterministic schedule.
+type cancelAfterN struct {
+	context.Context
+	mu        sync.Mutex
+	remaining int
+	closed    bool
+	done      chan struct{}
+}
+
+func newCancelAfterN(n int) *cancelAfterN {
+	return &cancelAfterN{Context: context.Background(), remaining: n, done: make(chan struct{})}
+}
+
+func (c *cancelAfterN) Done() <-chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.remaining--
+	if c.remaining <= 0 && !c.closed {
+		c.closed = true
+		close(c.done)
+	}
+	return c.done
+}
+
+func (c *cancelAfterN) Err() error {
+	select {
+	case <-c.done:
+		return context.Canceled
+	default:
+		return nil
+	}
+}
+
+// TestEstimateBatchContextCancelMidPool cancels after the pool has
+// completed some slots: the call must return (not hang), the slots
+// estimated before cancellation keep their values, every later slot
+// fails with ErrCanceled, and the worker goroutines all exit.
+func TestEstimateBatchContextCancelMidPool(t *testing.T) {
+	sum := batchTestSummary(t)
+	queries := []string{
+		"//PLAY", "//ACT", "//SCENE", "//SPEECH",
+		"//LINE", "//PLAY/ACT", "//ACT/SCENE", "//SPEECH/LINE",
+	}
+
+	baseline := runtime.NumGoroutine()
+
+	// Done() call 1 is the admission check; calls 2..4 are slots 0..2,
+	// and the counter closes the channel on call 4 — so with one
+	// worker, slots 0 and 1 complete and slots 2..7 are canceled.
+	ctx := newCancelAfterN(4)
+	results, err := sum.EstimateBatchContext(ctx, queries, BatchOptions{Concurrency: 1})
+	if err != nil {
+		t.Fatalf("admitted batch returned request-level error: %v", err)
+	}
+	if len(results) != len(queries) {
+		t.Fatalf("%d results for %d queries", len(results), len(queries))
+	}
+	for i := 0; i < 2; i++ {
+		if results[i].Err != nil {
+			t.Errorf("slot %d (pre-cancel): %v", i, results[i].Err)
+		}
+		want, werr := sum.Estimate(queries[i])
+		if werr != nil {
+			t.Fatal(werr)
+		}
+		if results[i].Estimate != want {
+			t.Errorf("slot %d: %v, want %v", i, results[i].Estimate, want)
+		}
+	}
+	for i := 2; i < len(queries); i++ {
+		if !errors.Is(results[i].Err, guard.ErrCanceled) {
+			t.Errorf("slot %d (post-cancel): err = %v, want ErrCanceled", i, results[i].Err)
+		}
+	}
+
+	waitGoroutines(t, baseline)
+}
+
+// TestEstimateBatchContextCancelDrainsWorkers runs the full pool width
+// under mid-batch cancellation: whatever the interleaving, the call
+// returns, every slot carries either a value or an ErrCanceled error,
+// and no worker goroutine survives the call.
+func TestEstimateBatchContextCancelDrainsWorkers(t *testing.T) {
+	sum := batchTestSummary(t)
+	var queries []string
+	base := []string{"//PLAY", "//ACT", "//SCENE", "//SPEECH", "//LINE"}
+	for i := 0; i < 8; i++ {
+		for _, b := range base {
+			queries = append(queries, b+"/"+base[i%len(base)][2:])
+		}
+	}
+
+	baseline := runtime.NumGoroutine()
+	ctx := newCancelAfterN(len(queries) / 2)
+	results, err := sum.EstimateBatchContext(ctx, queries, BatchOptions{Concurrency: 4})
+	if err != nil {
+		t.Fatalf("admitted batch returned request-level error: %v", err)
+	}
+	canceled := 0
+	for i, r := range results {
+		if r.Err != nil {
+			if !errors.Is(r.Err, guard.ErrCanceled) {
+				t.Errorf("slot %d: non-cancellation error %v", i, r.Err)
+			}
+			canceled++
+		}
+	}
+	if canceled == 0 {
+		t.Error("cancellation at half the Done() budget canceled no slot")
+	}
+	waitGoroutines(t, baseline)
+}
+
+// waitGoroutines polls until the goroutine count returns to the
+// pre-batch baseline, failing after a generous deadline. Polling (vs a
+// single read) absorbs the scheduler lag between wg.Wait returning in
+// the test goroutine and the workers' final states being torn down.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked by batch pool: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -24,9 +24,15 @@ import (
 	"strings"
 )
 
-// Bench is one parsed benchmark result line.
+// Bench is one parsed benchmark result line. Name has the GOMAXPROCS
+// suffix stripped so runs line up across machines; Procs keeps the
+// stripped value ("8" for BenchmarkFoo-8, "" when absent) so merges
+// can refuse to compare runs taken at different parallelism — a
+// "speedup" between -8 and -16 timings would be noise presented as
+// signal.
 type Bench struct {
 	Name        string  `json:"name"`
+	Procs       string  `json:"procs,omitempty"`
 	Iterations  int64   `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
@@ -63,7 +69,7 @@ type Report struct {
 // benchLine matches `BenchmarkName-8  123  456 ns/op  789 B/op  12 allocs/op`
 // (the -benchmem columns are optional, the GOMAXPROCS suffix too).
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+(\d+) allocs/op)?`)
+	`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+(\d+) allocs/op)?`)
 
 func parse(r io.Reader) ([]Bench, error) {
 	var out []Bench
@@ -84,12 +90,12 @@ func parse(r io.Reader) ([]Bench, error) {
 			}
 			return nil, fmt.Errorf("unparseable benchmark line: %q", line)
 		}
-		b := Bench{Name: m[1]}
-		b.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
-		b.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
-		if m[4] != "" {
-			b.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
-			b.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
+		b := Bench{Name: m[1], Procs: m[2]}
+		b.Iterations, _ = strconv.ParseInt(m[3], 10, 64)
+		b.NsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		if m[5] != "" {
+			b.BytesPerOp, _ = strconv.ParseFloat(m[5], 64)
+			b.AllocsPerOp, _ = strconv.ParseFloat(m[6], 64)
 		}
 		out = append(out, b)
 	}
@@ -99,12 +105,45 @@ func parse(r io.Reader) ([]Bench, error) {
 	if len(out) == 0 {
 		return nil, fmt.Errorf("no benchmark lines in input")
 	}
+	if err := checkProcsConsistent(out); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
+// checkProcsConsistent rejects inputs where the stripped suffix made
+// two different benchmarks collide: the same name at two GOMAXPROCS
+// values means two runs were concatenated, and merging them would
+// compare timings taken at different parallelism.
+func checkProcsConsistent(benches []Bench) error {
+	procs := make(map[string]string, len(benches))
+	for _, b := range benches {
+		prev, seen := procs[b.Name]
+		if seen && prev != b.Procs {
+			return procsConflict(b.Name, prev, b.Procs)
+		}
+		procs[b.Name] = b.Procs
+	}
+	return nil
+}
+
+func procsConflict(name, a, b string) error {
+	suffix := func(p string) string {
+		if p == "" {
+			return "no suffix"
+		}
+		return "-" + p
+	}
+	return fmt.Errorf("benchmark %s appears with conflicting GOMAXPROCS suffixes (%s vs %s): runs at different parallelism are not comparable", name, suffix(a), suffix(b))
+}
+
 // compare lines up before/after by benchmark name; benchmarks present
-// on only one side are omitted (new benchmarks have no baseline).
-func compare(before, after []Bench) []Delta {
+// on only one side are omitted (new benchmarks have no baseline). A
+// name measured at different GOMAXPROCS on the two sides is a hard
+// error: the delta would mix parallelism change into the speedup.
+// Baselines from before Procs was recorded carry "" and are accepted
+// against any suffix.
+func compare(before, after []Bench) ([]Delta, error) {
 	prev := make(map[string]Bench, len(before))
 	for _, b := range before {
 		prev[b.Name] = b
@@ -114,6 +153,9 @@ func compare(before, after []Bench) []Delta {
 		b, ok := prev[a.Name]
 		if !ok {
 			continue
+		}
+		if a.Procs != b.Procs && a.Procs != "" && b.Procs != "" {
+			return nil, procsConflict(a.Name, b.Procs, a.Procs)
 		}
 		d := Delta{
 			Name:     a.Name,
@@ -128,7 +170,7 @@ func compare(before, after []Bench) []Delta {
 		}
 		out = append(out, d)
 	}
-	return out
+	return out, nil
 }
 
 func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }
@@ -170,7 +212,10 @@ func main() {
 			base = prior.After
 		}
 		rep.Before = &base
-		rep.Comparison = compare(base.Benchmarks, benches)
+		rep.Comparison, err = compare(base.Benchmarks, benches)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

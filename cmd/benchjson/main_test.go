@@ -1,0 +1,92 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseStripsProcsSuffix(t *testing.T) {
+	benches, err := parse(strings.NewReader(
+		"BenchmarkJoin-8   1000   1200 ns/op   64 B/op   2 allocs/op\n" +
+			"BenchmarkParse   500   900 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(benches))
+	}
+	if benches[0].Name != "BenchmarkJoin" || benches[0].Procs != "8" {
+		t.Errorf("got name=%q procs=%q, want BenchmarkJoin/8", benches[0].Name, benches[0].Procs)
+	}
+	if benches[1].Name != "BenchmarkParse" || benches[1].Procs != "" {
+		t.Errorf("got name=%q procs=%q, want BenchmarkParse with no suffix", benches[1].Name, benches[1].Procs)
+	}
+}
+
+// Two concatenated runs at different GOMAXPROCS must be rejected, not
+// silently merged under the stripped name.
+func TestParseRejectsConflictingProcs(t *testing.T) {
+	_, err := parse(strings.NewReader(
+		"BenchmarkJoin-8    1000   1200 ns/op\n" +
+			"BenchmarkJoin-16   1000   800 ns/op\n"))
+	if err == nil {
+		t.Fatal("parse accepted one benchmark at two GOMAXPROCS values")
+	}
+	if !strings.Contains(err.Error(), "conflicting GOMAXPROCS") {
+		t.Errorf("error does not name the conflict: %v", err)
+	}
+}
+
+// Repeated samples of the same benchmark at the same parallelism are
+// normal -count output and stay accepted.
+func TestParseAcceptsRepeatedSamples(t *testing.T) {
+	benches, err := parse(strings.NewReader(
+		"BenchmarkJoin-8   1000   1200 ns/op\n" +
+			"BenchmarkJoin-8   1000   1190 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(benches))
+	}
+}
+
+func TestCompareRejectsCrossRunProcsConflict(t *testing.T) {
+	before := []Bench{{Name: "BenchmarkJoin", Procs: "8", NsPerOp: 1200}}
+	after := []Bench{{Name: "BenchmarkJoin", Procs: "16", NsPerOp: 700}}
+	if _, err := compare(before, after); err == nil {
+		t.Fatal("compare accepted a baseline at -8 against an after run at -16")
+	}
+}
+
+func TestCompareMatchesByStrippedName(t *testing.T) {
+	before := []Bench{{Name: "BenchmarkJoin", Procs: "8", NsPerOp: 1200, AllocsPerOp: 4}}
+	after := []Bench{{Name: "BenchmarkJoin", Procs: "8", NsPerOp: 600, AllocsPerOp: 2}}
+	deltas, err := compare(before, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 1 {
+		t.Fatalf("got %d deltas, want 1", len(deltas))
+	}
+	if deltas[0].Speedup != 2 {
+		t.Errorf("speedup = %v, want 2", deltas[0].Speedup)
+	}
+	if deltas[0].AllocsReductionPct != 50 {
+		t.Errorf("allocs reduction = %v, want 50", deltas[0].AllocsReductionPct)
+	}
+}
+
+// A baseline written before Procs was recorded has "" everywhere and
+// must keep comparing against suffixed after-runs.
+func TestCompareToleratesLegacyBaseline(t *testing.T) {
+	before := []Bench{{Name: "BenchmarkJoin", NsPerOp: 1200}}
+	after := []Bench{{Name: "BenchmarkJoin", Procs: "8", NsPerOp: 600}}
+	deltas, err := compare(before, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 1 {
+		t.Fatalf("got %d deltas, want 1", len(deltas))
+	}
+}

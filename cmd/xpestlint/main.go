@@ -1,7 +1,9 @@
 // Command xpestlint is the project's static analysis gate. It bundles
-// the four repo-specific analyzers (panicpolicy, errtaxonomy,
-// ctxpropagate, allocbudget) with the standard vet suite, and runs in
-// two modes:
+// the repo-specific analyzers — the policy suite (panicpolicy,
+// errtaxonomy, ctxpropagate, allocbudget) and the CFG-based
+// concurrency suite (atomicfield, cowpublish, guardedby,
+// goroutinescope) — with the standard vet suite, and runs in two
+// modes:
 //
 //	xpestlint ./...                     # standalone: re-execs go vet -vettool=itself
 //	go vet -vettool=$(pwd)/xpestlint    # driver mode: unitchecker protocol
@@ -45,8 +47,12 @@ import (
 	"golang.org/x/tools/go/analysis/passes/unusedresult"
 
 	"xpathest/internal/analysis/allocbudget"
+	"xpathest/internal/analysis/atomicfield"
+	"xpathest/internal/analysis/cowpublish"
 	"xpathest/internal/analysis/ctxpropagate"
 	"xpathest/internal/analysis/errtaxonomy"
+	"xpathest/internal/analysis/goroutinescope"
+	"xpathest/internal/analysis/guardedby"
 	"xpathest/internal/analysis/panicpolicy"
 )
 
@@ -71,6 +77,13 @@ var defaultScopes = map[*analysis.Analyzer]string{
 	ctxpropagate.Analyzer: "",
 	// Allocation budgets are a summary-decoder invariant.
 	allocbudget.Analyzer: join("internal/summaryio"),
+	// The concurrency suite binds everywhere: the lock-free kernel and
+	// the server share the same publication and locking protocols, and
+	// an unguarded access anywhere can reach shared state.
+	atomicfield.Analyzer:    "",
+	cowpublish.Analyzer:     "",
+	guardedby.Analyzer:      "",
+	goroutinescope.Analyzer: "",
 }
 
 func join(pkgs ...string) string {
@@ -86,6 +99,10 @@ func suite() []*analysis.Analyzer {
 		errtaxonomy.Analyzer,
 		ctxpropagate.Analyzer,
 		allocbudget.Analyzer,
+		atomicfield.Analyzer,
+		cowpublish.Analyzer,
+		guardedby.Analyzer,
+		goroutinescope.Analyzer,
 	}
 	for _, a := range custom {
 		if scope, ok := defaultScopes[a]; ok && scope != "" {

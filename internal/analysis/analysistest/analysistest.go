@@ -57,6 +57,44 @@ func RunExpectClean(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...stri
 	}
 }
 
+// Diagnostics analyzes one testdata package and returns the raw
+// diagnostics without checking `// want` expectations. The fixtures
+// meta-test uses it to assert that every analyzer still fires on its
+// own seeded violations — a `// want`-based run cannot distinguish "no
+// seeded violations left" from "all expectations satisfied".
+func Diagnostics(t *testing.T, dir string, a *analysis.Analyzer, pkg string) []analysis.Diagnostic {
+	t.Helper()
+	return collect(t, filepath.Join(dir, "src", pkg), pkg, a)
+}
+
+// WantComments counts the `// want` expectation comments in one
+// testdata package, so the meta-test can detect fixtures whose
+// expectations were stripped wholesale.
+func WantComments(t *testing.T, dir string, pkg string) int {
+	t.Helper()
+	pkgDir := filepath.Join(dir, "src", pkg)
+	entries, err := os.ReadDir(pkgDir)
+	if err != nil {
+		t.Fatalf("%s: %v", pkg, err)
+	}
+	n := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(pkgDir, e.Name()))
+		if err != nil {
+			t.Fatalf("%s: %v", pkg, err)
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			if wantRe.MatchString(line) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // TestData returns the absolute path of the calling test's testdata
 // directory, mirroring the real analysistest's helper.
 func TestData() string {

@@ -1,0 +1,188 @@
+// Package atomicfield enforces all-or-nothing atomicity on struct
+// fields. A field that participates in the sync/atomic protocol —
+// either its address is passed to a sync/atomic function somewhere in
+// the package, or its type is one of the sync/atomic value types
+// (atomic.Pointer[T], atomic.Uint64, ...) — must be accessed through
+// that protocol everywhere. One plain load or store next to atomic
+// ones is a data race the race detector only catches when the
+// schedule cooperates; this analyzer catches it on every build.
+//
+// Aliasing through method receivers is covered structurally: accesses
+// are matched by the field *object* (the types.Var of the declaration),
+// so `k.tags` in one method and `self.tags` in another are the same
+// field regardless of how the receiver is named or copied.
+//
+// For typed atomics, the methods are the only sound interface, so the
+// analyzer flags whole-value assignment (which tears the value and
+// severs concurrent observers) and by-value copies (which fork the
+// state — the vet copylock pass flags some of these, this one ties
+// the message to the invariant). Taking the field's address is
+// allowed: a *atomic.Uint64 still funnels every access through the
+// methods.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"xpathest/internal/analysis/lintutil"
+)
+
+const name = "atomicfield"
+
+// scope is bound by init to the -atomicfield.scope flag.
+var scope string
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "flag plain reads/writes of struct fields that are accessed via sync/atomic elsewhere, and non-method uses of atomic-typed fields",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&scope, "scope", "", "comma-separated import paths to check (empty = every package)")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !lintutil.InScope(scope, pass.Pkg.Path()) {
+		return nil, nil
+	}
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Pass 1: every field whose address reaches a sync/atomic function
+	// joins the atomic protocol — test files included, because a test
+	// using atomic.LoadUint64 proves the field is shared.
+	atomicFields := make(map[*types.Var]string)
+	insp.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		fn := lintutil.CalleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			return
+		}
+		if len(call.Args) == 0 {
+			return
+		}
+		addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+		if !ok || addr.Op != token.AND {
+			return
+		}
+		sel, ok := ast.Unparen(addr.X).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		if fld := lintutil.FieldObject(pass.TypesInfo, sel); fld != nil {
+			atomicFields[fld] = fn.Name()
+		}
+	})
+
+	// Pass 2: audit every field selection.
+	insp.WithStack([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		sel := n.(*ast.SelectorExpr)
+		fld := lintutil.FieldObject(pass.TypesInfo, sel)
+		if fld == nil || lintutil.InTestFile(pass, sel.Pos()) {
+			return true
+		}
+		if via, shared := atomicFields[fld]; shared {
+			if partOfAtomicCall(pass, stack) {
+				return true
+			}
+			if !lintutil.Suppressed(pass, sel.Pos(), name) {
+				pass.Reportf(sel.Pos(), "field %s is accessed via sync/atomic.%s elsewhere but read or written directly here: every access must go through sync/atomic", fld.Name(), via)
+			}
+			return true
+		}
+		if _, isAtomic := lintutil.NamedInPkg(fld.Type(), "sync/atomic"); isAtomic {
+			checkTypedAtomicUse(pass, sel, fld, stack)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// partOfAtomicCall reports whether the selector on top of stack is
+// the &field argument of a sync/atomic call: stack ends
+// [... CallExpr UnaryExpr(&) SelectorExpr].
+func partOfAtomicCall(pass *analysis.Pass, stack []ast.Node) bool {
+	i := len(stack) - 2 // above the selector itself
+	for ; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); !ok {
+			break
+		}
+	}
+	if i < 1 {
+		return false
+	}
+	addr, ok := stack[i].(*ast.UnaryExpr)
+	if !ok || addr.Op != token.AND {
+		return false
+	}
+	for i--; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); !ok {
+			break
+		}
+	}
+	call, ok := stack[i].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := lintutil.CalleeFunc(pass, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// checkTypedAtomicUse audits one selection of a field with a
+// sync/atomic value type. Method calls and address-taking are the
+// sanctioned uses; assignment and copies are reported.
+func checkTypedAtomicUse(pass *analysis.Pass, sel *ast.SelectorExpr, fld *types.Var, stack []ast.Node) {
+	parent := parentNode(stack)
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		// x.f.Load() — the method selection on the atomic value.
+		return
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			return // &x.f: a *atomic.T keeps the protocol intact
+		}
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if ast.Unparen(lhs) == sel {
+				report(pass, sel, "atomic field %s is overwritten by plain assignment: use its Store/CompareAndSwap methods", fld)
+				return
+			}
+		}
+	case *ast.IncDecStmt:
+		report(pass, sel, "atomic field %s is modified with ++/--: use its Add method", fld)
+		return
+	}
+	report(pass, sel, "atomic field %s is copied or read by value: call its methods through a pointer instead (a copy forks the shared state)", fld)
+}
+
+func report(pass *analysis.Pass, sel *ast.SelectorExpr, format string, fld *types.Var) {
+	if lintutil.Suppressed(pass, sel.Pos(), name) {
+		return
+	}
+	pass.Reportf(sel.Pos(), format, fld.Name())
+}
+
+// parentNode returns the nearest non-paren ancestor of the node on
+// top of stack.
+func parentNode(stack []ast.Node) ast.Node {
+	for i := len(stack) - 2; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		return stack[i]
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+// Seeded violations for the atomicfield analyzer: mixed plain/atomic
+// access to one field, and non-method uses of typed atomics.
+package a
+
+import "sync/atomic"
+
+// counter.n joins the atomic protocol through Add in bump; every
+// other access must follow.
+type counter struct {
+	n    uint64
+	name string // never atomic: plain access stays legal
+}
+
+func (c *counter) bump() {
+	atomic.AddUint64(&c.n, 1)
+}
+
+func (c *counter) read() uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+
+func (c *counter) racyRead() uint64 {
+	return c.n // want `accessed via sync/atomic\.\w+ elsewhere`
+}
+
+// Aliasing through a differently-named receiver is the same field.
+func (self *counter) racyWrite() {
+	self.n = 0 // want `accessed via sync/atomic\.\w+ elsewhere`
+}
+
+func (c *counter) labelOK() string {
+	return c.name
+}
+
+func (c *counter) justified() uint64 {
+	//lint:ignore atomicfield single-threaded snapshot taken before the workers start
+	return c.n
+}
+
+// gauge.v has an atomic value type: methods and address-taking are
+// the only sanctioned uses.
+type gauge struct {
+	v atomic.Int64
+}
+
+func (g *gauge) ok() int64 {
+	g.v.Add(1)
+	return g.v.Load()
+}
+
+func (g *gauge) ptrOK() *atomic.Int64 {
+	return &g.v
+}
+
+func (g *gauge) overwrite() {
+	g.v = atomic.Int64{} // want `overwritten by plain assignment`
+}
+
+func (g *gauge) copied() int64 {
+	snapshot := g.v // want `copied or read by value`
+	return snapshot.Load()
+}
+
+// Generic atomics are still sync/atomic types.
+type holder struct {
+	p atomic.Pointer[int]
+}
+
+func (h *holder) ok() *int { return h.p.Load() }
+
+func (h *holder) reset() {
+	h.p = atomic.Pointer[int]{} // want `overwritten by plain assignment`
+}

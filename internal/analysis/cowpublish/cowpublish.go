@@ -1,0 +1,298 @@
+// Package cowpublish enforces the copy-on-write publication protocol
+// the lock-free kernel and the server registry rely on: a map, slice,
+// or pointee that is published through atomic.Pointer.Store (or Swap /
+// CompareAndSwap, or atomic.Value.Store) is immutable from that point
+// on. Readers follow the atomic pointer with no lock, so a write
+// after publication is a data race — and for the estimator kernel it
+// also breaks the bit-for-bit determinism of the join fixpoint, which
+// is only guaranteed over frozen summaries.
+//
+// The check is a flow-sensitive, intra-procedural reachability
+// analysis over the ctrlflow CFG (the offline toolchain vendors no
+// go/ssa; the CFG carries the same statement ordering the check
+// needs): from each publication site, every CFG node that may execute
+// afterwards — including the publication's own block when a loop
+// re-enters it — is scanned for writes through the published variable
+// or any local alias of it (simple `y := x` / `p := &x` chains).
+// Writes found there are reported; the fix is to clone first and
+// publish the clone last, the discipline internal/core/kernel.go and
+// internal/server's registry follow.
+//
+// Values published through expressions the analyzer cannot name (a
+// field, a call result) are not tracked; keeping publications as
+// `local := clone(...); ...; ptr.Store(&local)` keeps the analyzer
+// able to see them. _test.go files are exempt.
+package cowpublish
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/cfg"
+
+	"xpathest/internal/analysis/lintutil"
+)
+
+const name = "cowpublish"
+
+// scope is bound by init to the -cowpublish.scope flag.
+var scope string
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "flag mutations of values after they are published through an atomic pointer (copy-on-write violation)",
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	Run:      run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&scope, "scope", "", "comma-separated import paths to check (empty = every package)")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !lintutil.InScope(scope, pass.Pkg.Path()) {
+		return nil, nil
+	}
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+
+	insp.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		var body *ast.BlockStmt
+		var g *cfg.CFG
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body == nil {
+				return
+			}
+			body, g = fn.Body, cfgs.FuncDecl(fn)
+		case *ast.FuncLit:
+			body, g = fn.Body, cfgs.FuncLit(fn)
+		}
+		if g == nil || lintutil.InTestFile(pass, body.Pos()) {
+			return
+		}
+		checkFunc(pass, body, g)
+	})
+	return nil, nil
+}
+
+// checkFunc finds each publication in one function body (nested
+// closures are separate functions with their own CFGs) and scans the
+// CFG region after it for writes to the published value.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, g *cfg.CFG) {
+	var pubs []publication
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n.Pos() != body.Pos() {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if p, ok := publishedValue(pass.TypesInfo, call); ok {
+			pubs = append(pubs, p)
+		}
+		return true
+	})
+	if len(pubs) == 0 {
+		return
+	}
+
+	aliases := collectAliases(pass.TypesInfo, body)
+	reported := make(map[token.Pos]bool)
+	for _, pub := range pubs {
+		group := aliasGroup(aliases, pub.value)
+		containing, after := lintutil.ReachableAfter(g, pub.call.Pos())
+		if containing == nil {
+			continue
+		}
+		scan := func(n ast.Node, lowerBound token.Pos) {
+			findWrites(pass.TypesInfo, n, group, lowerBound, func(at token.Pos, what string) {
+				if reported[at] || lintutil.Suppressed(pass, at, name) {
+					return
+				}
+				reported[at] = true
+				pass.Reportf(at, "%s of %s after it was published via atomic %s: readers hold the old snapshot lock-free — clone before publishing (copy-on-write)", what, pub.value.Name(), pub.how)
+			})
+		}
+		scan(containing, pub.call.End())
+		for _, n := range after {
+			scan(n, token.NoPos)
+		}
+	}
+}
+
+// publication is one atomic publish site: the call, the local
+// variable holding the published value, and the method used.
+type publication struct {
+	call  *ast.CallExpr
+	value *types.Var
+	how   string
+}
+
+// publishedValue recognizes Store/Swap/CompareAndSwap on
+// atomic.Pointer[T] and Store/Swap on atomic.Value, and resolves the
+// published argument — through one level of & — to a local variable.
+func publishedValue(info *types.Info, call *ast.CallExpr) (publication, bool) {
+	recv, method, ok := lintutil.MethodOnTypeIn(info, call, "sync/atomic")
+	if !ok || (recv != "Pointer" && recv != "Value") {
+		return publication{}, false
+	}
+	argIdx := 0
+	switch method {
+	case "Store", "Swap":
+	case "CompareAndSwap":
+		argIdx = 1
+	default:
+		return publication{}, false
+	}
+	if len(call.Args) <= argIdx {
+		return publication{}, false
+	}
+	arg := ast.Unparen(call.Args[argIdx])
+	if addr, ok := arg.(*ast.UnaryExpr); ok && addr.Op == token.AND {
+		arg = ast.Unparen(addr.X)
+	}
+	id, ok := arg.(*ast.Ident)
+	if !ok {
+		return publication{}, false
+	}
+	v, ok := info.ObjectOf(id).(*types.Var)
+	if !ok || v.IsField() {
+		return publication{}, false
+	}
+	return publication{call: call, value: v, how: recv + "." + method}, true
+}
+
+// collectAliases records the simple local aliasing edges of one body:
+// `y := x`, `y = x`, `p := &x`, `q := *p`. Flow-insensitive and
+// bidirectional — an over-approximation that errs toward reporting.
+func collectAliases(info *types.Info, body *ast.BlockStmt) map[*types.Var][]*types.Var {
+	edges := make(map[*types.Var][]*types.Var)
+	add := func(a, b *types.Var) {
+		edges[a] = append(edges[a], b)
+		edges[b] = append(edges[b], a)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			lid, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			lv, ok := info.ObjectOf(lid).(*types.Var)
+			if !ok {
+				continue
+			}
+			rhs := ast.Unparen(assign.Rhs[i])
+			switch r := rhs.(type) {
+			case *ast.UnaryExpr:
+				if r.Op == token.AND {
+					rhs = ast.Unparen(r.X)
+				}
+			case *ast.StarExpr:
+				rhs = ast.Unparen(r.X)
+			}
+			rid, ok := rhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if rv, ok := info.ObjectOf(rid).(*types.Var); ok && !rv.IsField() {
+				add(lv, rv)
+			}
+		}
+		return true
+	})
+	return edges
+}
+
+// aliasGroup is the transitive closure of aliasing edges from seed.
+func aliasGroup(edges map[*types.Var][]*types.Var, seed *types.Var) map[*types.Var]bool {
+	group := map[*types.Var]bool{seed: true}
+	work := []*types.Var{seed}
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, next := range edges[v] {
+			if !group[next] {
+				group[next] = true
+				work = append(work, next)
+			}
+		}
+	}
+	return group
+}
+
+// findWrites reports each mutation of a variable in group inside node
+// n: element/field/pointee assignment, ++/--, delete, and append
+// (which writes the published backing array in place when capacity
+// allows). Writes at or before lowerBound are skipped — used for the
+// node containing the publication itself.
+func findWrites(info *types.Info, n ast.Node, group map[*types.Var]bool, lowerBound token.Pos, report func(token.Pos, string)) {
+	inGroup := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		v, ok := info.ObjectOf(id).(*types.Var)
+		return ok && group[v]
+	}
+	baseInGroup := func(e ast.Expr) (string, bool) {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			if inGroup(e.X) {
+				return "element write", true
+			}
+		case *ast.SelectorExpr:
+			if inGroup(e.X) {
+				return "field write", true
+			}
+		case *ast.StarExpr:
+			if inGroup(e.X) {
+				return "pointee write", true
+			}
+		}
+		return "", false
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		if n == nil || (lowerBound.IsValid() && n.Pos() <= lowerBound && n.End() <= lowerBound) {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if what, ok := baseInGroup(lhs); ok && (!lowerBound.IsValid() || lhs.Pos() > lowerBound) {
+					report(lhs.Pos(), what)
+				}
+			}
+		case *ast.IncDecStmt:
+			if what, ok := baseInGroup(n.X); ok && (!lowerBound.IsValid() || n.Pos() > lowerBound) {
+				report(n.Pos(), what)
+			}
+		case *ast.CallExpr:
+			if !lowerBound.IsValid() || n.Pos() > lowerBound {
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+					if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && len(n.Args) > 0 && inGroup(n.Args[0]) {
+						switch id.Name {
+						case "delete":
+							report(n.Pos(), "delete")
+						case "append":
+							report(n.Pos(), "append")
+						case "clear":
+							report(n.Pos(), "clear")
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}

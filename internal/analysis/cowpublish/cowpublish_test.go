@@ -1,0 +1,12 @@
+package cowpublish_test
+
+import (
+	"testing"
+
+	"xpathest/internal/analysis/analysistest"
+	"xpathest/internal/analysis/cowpublish"
+)
+
+func TestCowPublish(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), cowpublish.Analyzer, "a")
+}

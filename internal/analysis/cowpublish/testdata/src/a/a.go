@@ -1,0 +1,75 @@
+// Seeded violations for the cowpublish analyzer: values mutated after
+// being published through an atomic pointer, and the clone-then-publish
+// shapes that are the sanctioned fix.
+package a
+
+import "sync/atomic"
+
+type index struct {
+	tags atomic.Pointer[map[string]int]
+	val  atomic.Value
+}
+
+// mutateAfterStore is the canonical violation: the map is published,
+// then written.
+func (ix *index) mutateAfterStore(k string) {
+	m := map[string]int{}
+	ix.tags.Store(&m)
+	m[k] = 1 // want `element write of m after it was published via atomic Pointer\.Store`
+}
+
+// mutateViaAlias writes through a second name for the published map.
+func (ix *index) mutateViaAlias(k string) {
+	m := map[string]int{}
+	alias := m
+	ix.tags.Store(&m)
+	delete(alias, k) // want `delete of m after it was published via atomic Pointer\.Store`
+}
+
+// loopRepublish mutates a map that a previous loop iteration already
+// published: the back edge makes the write post-publication.
+func (ix *index) loopRepublish(keys []string) {
+	m := map[string]int{}
+	for _, k := range keys {
+		m[k] = 1 // want `element write of m after it was published via atomic Pointer\.Store`
+		ix.tags.Store(&m)
+	}
+}
+
+// valueStore covers atomic.Value with a slice payload.
+func (ix *index) valueStore(xs []int) {
+	xs = append(xs, 1)
+	ix.val.Store(xs)
+	xs[0] = 2 // want `element write of xs after it was published via atomic Value\.Store`
+}
+
+// cowClone is the sanctioned shape: clone under the writer's lock,
+// mutate the clone, publish it last. Nothing is written afterwards.
+func (ix *index) cowClone(k string) {
+	old := ix.tags.Load()
+	next := make(map[string]int, len(*old)+1)
+	for key, v := range *old {
+		next[key] = v
+	}
+	next[k] = 1
+	ix.tags.Store(&next)
+}
+
+// branchNoWrite publishes on one branch and mutates on the other:
+// the mutation cannot follow the publication, so it is clean.
+func (ix *index) branchNoWrite(publish bool, k string) {
+	m := map[string]int{}
+	if publish {
+		ix.tags.Store(&m)
+	} else {
+		m[k] = 1
+	}
+}
+
+// justified carries a suppression with a reason.
+func (ix *index) justified(k string) {
+	m := map[string]int{}
+	ix.tags.Store(&m)
+	//lint:ignore cowpublish map is still private: the pointer is not handed out until init returns
+	m[k] = 1
+}

@@ -1,0 +1,105 @@
+// Package goroutinescope enforces bounded goroutine lifetimes in
+// library and server code: every `go` statement must be visibly tied,
+// at the spawn site, to a context.Context, a sync.WaitGroup, or an
+// errgroup.Group. A goroutine with none of the three has no shutdown
+// signal and no join point — under serving load it outlives the
+// request that spawned it, and leaked workers are exactly the failure
+// mode the batch pool's -race hammers exist to rule out.
+//
+// "Tied to" is a spawn-site check, not a whole-program escape
+// analysis: the spawned function literal (plus its call arguments),
+// or the full call expression for a named function, must mention a
+// value of one of the three types. A goroutine whose lifetime is
+// legitimately bounded some other way — e.g. a server accept loop
+// that ends when its listener closes — carries a //lint:ignore
+// directive with the reason recorded.
+//
+// package main and _test.go files are exempt: programs own their
+// process lifetime, and tests join through the testing package.
+package goroutinescope
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"xpathest/internal/analysis/lintutil"
+)
+
+const name = "goroutinescope"
+
+// scope is bound by init to the -goroutinescope.scope flag.
+var scope string
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "flag go statements not tied to a context.Context, sync.WaitGroup, or errgroup.Group at the spawn site",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&scope, "scope", "", "comma-separated import paths to check (empty = every non-main package)")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !lintutil.InScope(scope, pass.Pkg.Path()) || pass.Pkg.Name() == "main" {
+		return nil, nil
+	}
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	insp.Preorder([]ast.Node{(*ast.GoStmt)(nil)}, func(n ast.Node) {
+		stmt := n.(*ast.GoStmt)
+		if lintutil.InTestFile(pass, stmt.Pos()) || lintutil.Suppressed(pass, stmt.Pos(), name) {
+			return
+		}
+		if tiedToLifecycle(pass.TypesInfo, stmt.Call) {
+			return
+		}
+		pass.Reportf(stmt.Pos(), "goroutine is not tied to a context.Context, sync.WaitGroup, or errgroup at the spawn site: a worker must not outlive its request (or add //lint:ignore goroutinescope <reason>)")
+	})
+	return nil, nil
+}
+
+// tiedToLifecycle reports whether any expression in the spawn — the
+// function literal's body and the call arguments, or the whole call
+// for a named function — has one of the lifecycle-binding types.
+func tiedToLifecycle(info *types.Info, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(call, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if isLifecycleType(info.TypeOf(e)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isLifecycleType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := lintutil.NamedInPkg(t, "context"); ok && n == "Context" {
+		return true
+	}
+	if n, ok := lintutil.NamedInPkg(t, "sync"); ok && n == "WaitGroup" {
+		return true
+	}
+	if n, ok := lintutil.NamedInPkg(t, "golang.org/x/sync/errgroup"); ok && n == "Group" {
+		return true
+	}
+	return false
+}

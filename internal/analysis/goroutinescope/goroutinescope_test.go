@@ -1,0 +1,16 @@
+package goroutinescope_test
+
+import (
+	"testing"
+
+	"xpathest/internal/analysis/analysistest"
+	"xpathest/internal/analysis/goroutinescope"
+)
+
+func TestGoroutineScope(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), goroutinescope.Analyzer, "a")
+}
+
+func TestMainExempt(t *testing.T) {
+	analysistest.RunExpectClean(t, analysistest.TestData(), goroutinescope.Analyzer, "mainpkg")
+}

@@ -1,0 +1,69 @@
+// Seeded violations for the goroutinescope analyzer: goroutines with
+// no visible lifecycle binding are flagged; context-, WaitGroup-, and
+// suppression-carrying spawns are not.
+package a
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+func fireAndForget() {
+	go work() // want `not tied to a context`
+}
+
+func anonymousLeak(n int) {
+	go func() { // want `not tied to a context`
+		_ = n * 2
+	}()
+}
+
+func loopLeak(items []int) {
+	for range items {
+		go func() { // want `not tied to a context`
+			work()
+		}()
+	}
+}
+
+func withContext(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func withContextArg(ctx context.Context) {
+	go func(c context.Context) {
+		<-c.Done()
+	}(ctx)
+}
+
+func withWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func namedWithContext(ctx context.Context) {
+	go watch(ctx)
+}
+
+func watch(ctx context.Context) { <-ctx.Done() }
+
+func justified(stop chan struct{}) {
+	//lint:ignore goroutinescope bounded by the stop channel closed in Close; no request outlives it
+	go func() {
+		<-stop
+	}()
+}
+
+func reasonlessDirectiveIsInert() {
+	//lint:ignore goroutinescope
+	go work() // want `not tied to a context`
+}

@@ -1,0 +1,7 @@
+// package main is exempt: a program owns its process lifetime, and
+// its goroutines end when main returns.
+package main
+
+func main() {
+	go func() {}()
+}

@@ -1,0 +1,282 @@
+// Package guardedby turns `// guarded by <mu>` field comments into a
+// checked invariant: every access to an annotated field must happen
+// with the named mutex held on *every* control-flow path reaching the
+// access. The annotation names either a sibling field of the same
+// struct (`ln net.Listener // guarded by lnGuard`) or a package-level
+// mutex; annotations naming neither, or naming something that is not a
+// sync.Mutex/RWMutex, are themselves reported so stale comments cannot
+// rot silently.
+//
+// The check is an intra-procedural forward must-analysis over the
+// ctrlflow CFG (lintutil.LockTracker): Lock/RLock acquire, Unlock/
+// RUnlock release, the meet over merging paths is set intersection,
+// and deferred unlocks — which run at return — never release mid-body.
+// Mutexes are matched to field accesses structurally via access paths:
+// the access `s.ln` with annotation `guarded by lnGuard` requires
+// `s.lnGuard` to be held, for whatever variable `s` names the
+// receiver. Closures are analyzed as separate functions with an empty
+// entry lock set: a closure may run on a goroutine that holds nothing,
+// so anything it touches must take the lock itself.
+//
+// Accesses whose base the analyzer cannot name (a call result, a map
+// element) are reported conservatively: a guard it cannot verify is a
+// guard the reviewer must, and naming the base through a local
+// variable both fixes the report and makes the locking legible.
+// _test.go files are exempt from access checks; tests serialize with
+// t.Run and exercise unexported states deliberately.
+package guardedby
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/cfg"
+
+	"xpathest/internal/analysis/lintutil"
+)
+
+const name = "guardedby"
+
+// scope is bound by init to the -guardedby.scope flag.
+var scope string
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "check that fields annotated `// guarded by <mu>` are only accessed with that mutex held on every path",
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	Run:      run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&scope, "scope", "", "comma-separated import paths to check (empty = every package)")
+}
+
+var annotationRe = regexp.MustCompile(`(?i)guarded by ([A-Za-z_][A-Za-z0-9_.]*)`)
+
+// guardSpec is one resolved `// guarded by <mu>` annotation.
+type guardSpec struct {
+	mutexName string   // the annotation text, for diagnostics
+	sibling   []string // field chain on the access's own base (nil for pkgVar)
+	pkgVar    types.Object
+	chain     []string // field chain under pkgVar
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !lintutil.InScope(scope, pass.Pkg.Path()) {
+		return nil, nil
+	}
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+
+	guards := collectAnnotations(pass, insp)
+	if len(guards) == 0 {
+		return nil, nil
+	}
+
+	// One LockTracker per function, built on first access inside it.
+	trackers := make(map[ast.Node]*lintutil.LockTracker)
+	trackerFor := func(fn ast.Node) *lintutil.LockTracker {
+		if t, ok := trackers[fn]; ok {
+			return t
+		}
+		var g *cfg.CFG
+		switch fn := fn.(type) {
+		case *ast.FuncDecl:
+			g = cfgs.FuncDecl(fn)
+		case *ast.FuncLit:
+			g = cfgs.FuncLit(fn)
+		}
+		var t *lintutil.LockTracker
+		if g != nil {
+			t = lintutil.NewLockTracker(g, pass.TypesInfo)
+		}
+		trackers[fn] = t
+		return t
+	}
+
+	insp.WithStack([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		sel := n.(*ast.SelectorExpr)
+		fld := lintutil.FieldObject(pass.TypesInfo, sel)
+		if fld == nil {
+			return true
+		}
+		spec, annotated := guards[fld]
+		if !annotated || lintutil.InTestFile(pass, sel.Pos()) || lintutil.Suppressed(pass, sel.Pos(), name) {
+			return true
+		}
+		fn := enclosingFunc(stack)
+		if fn == nil {
+			// Package-level initializer: runs before any goroutine can
+			// contend, no lock to check.
+			return true
+		}
+
+		key, ok := requiredKey(pass.TypesInfo, sel, spec)
+		if !ok {
+			pass.Reportf(sel.Pos(), "field %s is guarded by %s, but the base of this access is too complex to verify the lock: bind it to a named variable first", fld.Name(), spec.mutexName)
+			return true
+		}
+		tracker := trackerFor(fn)
+		if tracker == nil || !tracker.Held(sel.Pos(), key) {
+			pass.Reportf(sel.Pos(), "field %s is accessed without %s held on every path (annotated `// guarded by %s`)", fld.Name(), spec.mutexName, spec.mutexName)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// collectAnnotations scans every struct type for `// guarded by`
+// field comments, resolves each to a sibling field chain or a
+// package-level mutex, and reports annotations that resolve to
+// neither or to a non-mutex.
+func collectAnnotations(pass *analysis.Pass, insp *inspector.Inspector) map[*types.Var]*guardSpec {
+	guards := make(map[*types.Var]*guardSpec)
+	insp.Preorder([]ast.Node{(*ast.StructType)(nil)}, func(n ast.Node) {
+		st := n.(*ast.StructType)
+
+		// Sibling fields by name, with their types, for resolution.
+		siblings := make(map[string]types.Type)
+		for _, f := range st.Fields.List {
+			for _, id := range f.Names {
+				if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+					siblings[id.Name] = v.Type()
+				}
+			}
+		}
+
+		for _, f := range st.Fields.List {
+			text := ""
+			if f.Doc != nil {
+				text = f.Doc.Text()
+			}
+			if f.Comment != nil {
+				text += " " + f.Comment.Text()
+			}
+			m := annotationRe.FindStringSubmatch(text)
+			if m == nil {
+				continue
+			}
+			spec := resolveAnnotation(pass, f, m[1], siblings)
+			if spec == nil {
+				continue
+			}
+			for _, id := range f.Names {
+				if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+					guards[v] = spec
+				}
+			}
+		}
+	})
+	return guards
+}
+
+// resolveAnnotation resolves the mutex name of one annotation against
+// the sibling fields of the annotated struct, then the package scope.
+// Unresolvable or non-mutex annotations are reported and yield nil.
+func resolveAnnotation(pass *analysis.Pass, f *ast.Field, mutexName string, siblings map[string]types.Type) *guardSpec {
+	bad := func(format string, args ...interface{}) *guardSpec {
+		if !lintutil.Suppressed(pass, f.Pos(), name) {
+			pass.Reportf(f.Pos(), format, args...)
+		}
+		return nil
+	}
+	segs := strings.Split(mutexName, ".")
+
+	if t, ok := siblings[segs[0]]; ok {
+		for _, s := range segs[1:] {
+			t, ok = fieldTypeByName(t, s)
+			if !ok {
+				return bad("`// guarded by %s`: %s has no field %s", mutexName, segs[0], s)
+			}
+		}
+		if !isMutexType(t) {
+			return bad("`// guarded by %s`: %s is not a sync.Mutex or sync.RWMutex", mutexName, mutexName)
+		}
+		return &guardSpec{mutexName: mutexName, sibling: segs}
+	}
+
+	if obj := pass.Pkg.Scope().Lookup(segs[0]); obj != nil {
+		if _, isVar := obj.(*types.Var); isVar {
+			t := obj.Type()
+			ok := true
+			for _, s := range segs[1:] {
+				t, ok = fieldTypeByName(t, s)
+				if !ok {
+					return bad("`// guarded by %s`: %s has no field %s", mutexName, segs[0], s)
+				}
+			}
+			if !isMutexType(t) {
+				return bad("`// guarded by %s`: %s is not a sync.Mutex or sync.RWMutex", mutexName, mutexName)
+			}
+			return &guardSpec{mutexName: mutexName, pkgVar: obj, chain: segs[1:]}
+		}
+	}
+
+	return bad("`// guarded by %s`: %s names neither a sibling field nor a package-level variable", mutexName, segs[0])
+}
+
+// requiredKey builds the lock-set key the access at sel needs held:
+// the access's own base extended by the sibling chain, or the
+// package-level mutex path.
+func requiredKey(info *types.Info, sel *ast.SelectorExpr, spec *guardSpec) (string, bool) {
+	if spec.pkgVar != nil {
+		return lintutil.PathOf(spec.pkgVar, spec.chain...).Key(), true
+	}
+	base, ok := lintutil.ParsePath(info, sel.X)
+	if !ok {
+		return "", false
+	}
+	for _, s := range spec.sibling {
+		base = base.Child(s)
+	}
+	return base.Key(), true
+}
+
+// enclosingFunc returns the innermost FuncDecl or FuncLit on stack.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// fieldTypeByName looks up a struct field through pointers and named
+// types.
+func fieldTypeByName(t types.Type, fieldName string) (types.Type, bool) {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil, false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == fieldName {
+			return st.Field(i).Type(), true
+		}
+	}
+	return nil, false
+}
+
+// isMutexType reports whether t (or *t) is sync.Mutex or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := lintutil.NamedInPkg(t, "sync")
+	return ok && (n == "Mutex" || n == "RWMutex")
+}

@@ -1,0 +1,12 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"xpathest/internal/analysis/analysistest"
+	"xpathest/internal/analysis/guardedby"
+)
+
+func TestGuardedBy(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), guardedby.Analyzer, "a")
+}

@@ -1,0 +1,107 @@
+// Seeded violations for the guardedby analyzer: annotated fields
+// accessed with and without their mutex held, closures, a package-level
+// guard, and stale annotations.
+package a
+
+import "sync"
+
+var pkgMu sync.Mutex
+
+type cache struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	items map[string]int // guarded by mu
+	order []string       // guarded by rw
+	hits  int            // guarded by pkgMu
+	stale int            // guarded by gone // want `names neither a sibling field nor a package-level variable`
+	wrong int            // guarded by items // want `items is not a sync\.Mutex or sync\.RWMutex`
+}
+
+func (c *cache) locked(k string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.items[k]
+}
+
+func (c *cache) lockUnlock(k string) int {
+	c.mu.Lock()
+	v := c.items[k]
+	c.mu.Unlock()
+	return v
+}
+
+func (c *cache) unlocked(k string) int {
+	return c.items[k] // want `field items is accessed without mu held on every path`
+}
+
+func (c *cache) afterUnlock(k string) int {
+	c.mu.Lock()
+	c.mu.Unlock()
+	return c.items[k] // want `field items is accessed without mu held on every path`
+}
+
+// wrongMutex holds rw where the annotation demands mu.
+func (c *cache) wrongMutex(k string) int {
+	c.rw.Lock()
+	defer c.rw.Unlock()
+	return c.items[k] // want `field items is accessed without mu held on every path`
+}
+
+// branchy only locks on one path: must-analysis rejects the merge.
+func (c *cache) branchy(k string, fast bool) int {
+	if !fast {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	return c.items[k] // want `field items is accessed without mu held on every path`
+}
+
+// rlocked: a read lock on the annotated RWMutex counts as held.
+func (c *cache) rlocked(i int) string {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	return c.order[i]
+}
+
+// closure bodies start with an empty lock set even when the enclosing
+// function holds the mutex: the closure may run on another goroutine.
+func (c *cache) closureLeak(k string) func() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() int {
+		return c.items[k] // want `field items is accessed without mu held on every path`
+	}
+}
+
+func (c *cache) closureLocked(k string) func() int {
+	return func() int {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.items[k]
+	}
+}
+
+// pkgGuard: the annotation names a package-level mutex, so the lock is
+// the same object no matter the receiver.
+func (c *cache) pkgGuard() int {
+	pkgMu.Lock()
+	defer pkgMu.Unlock()
+	return c.hits
+}
+
+func (c *cache) pkgGuardMissing() int {
+	return c.hits // want `field hits is accessed without pkgMu held on every path`
+}
+
+func sharedCache() *cache { return nil }
+
+// complexBase: the analyzer cannot name the base, so it asks for a
+// named variable rather than guessing.
+func complexBase(k string) int {
+	return sharedCache().items[k] // want `too complex to verify the lock`
+}
+
+func (c *cache) justified(k string) int {
+	//lint:ignore guardedby constructor-owned: no other goroutine has the pointer yet
+	return c.items[k]
+}

@@ -1,0 +1,65 @@
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+
+	"golang.org/x/tools/go/cfg"
+)
+
+// ReachableAfter computes the part of a function that may execute
+// after the program point origin (a position inside one of g's
+// nodes): the node containing origin itself — callers filter its
+// interior by position — plus every top-level node of every block
+// reachable from the containing block's successors. If the containing
+// block is reachable from itself (origin sits in a loop), its earlier
+// nodes are included too, since a later iteration re-executes them
+// after the origin.
+//
+// The cowpublish analyzer uses this as the "after publication" region:
+// any write to a published value inside it is a correctness bug.
+func ReachableAfter(g *cfg.CFG, origin token.Pos) (containing ast.Node, after []ast.Node) {
+	var home *cfg.Block
+	homeIdx := -1
+	for _, b := range g.Blocks {
+		if !b.Live {
+			continue
+		}
+		for i, n := range b.Nodes {
+			if n.Pos() <= origin && origin <= n.End() {
+				home, homeIdx = b, i
+				break
+			}
+		}
+		if home != nil {
+			break
+		}
+	}
+	if home == nil {
+		return nil, nil
+	}
+
+	reach := make(map[*cfg.Block]bool)
+	work := append([]*cfg.Block(nil), home.Succs...)
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		if reach[b] || !b.Live {
+			continue
+		}
+		reach[b] = true
+		work = append(work, b.Succs...)
+	}
+
+	after = append(after, home.Nodes[homeIdx+1:]...)
+	for b := range reach {
+		if b == home {
+			// Loop back into the origin's own block: its earlier nodes
+			// run again after the origin (the tail was already added).
+			after = append(after, b.Nodes[:homeIdx+1]...)
+			continue
+		}
+		after = append(after, b.Nodes...)
+	}
+	return home.Nodes[homeIdx], after
+}

@@ -1,0 +1,63 @@
+package lintutil
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NamedInPkg reports the name of t's type declaration when t is a
+// named type (or an instantiation of a generic one) declared in the
+// package with import path pkgPath. Aliases are resolved first, so
+// `type P = atomic.Pointer[T]` still matches sync/atomic.
+func NamedInPkg(t types.Type, pkgPath string) (string, bool) {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// FieldObject resolves sel to the struct field it selects, or nil
+// when sel is a method selection, a package-qualified name, or
+// otherwise not a field access. Promoted fields resolve to the
+// declaring struct's field object, so every alias of one field —
+// any receiver, any pointer depth — compares equal.
+func FieldObject(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok {
+		if s.Kind() == types.FieldVal {
+			if v, ok := s.Obj().(*types.Var); ok {
+				return v
+			}
+		}
+		return nil
+	}
+	// No Selection entry: qualified identifier (pkg.X) — not a field.
+	return nil
+}
+
+// MethodOnTypeIn resolves call to a method invocation and reports the
+// receiver type's declaring package path and names. ok is false for
+// plain function calls and non-method selections.
+func MethodOnTypeIn(info *types.Info, call *ast.CallExpr, pkgPath string) (recvType, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	s, isMethod := info.Selections[sel]
+	if !isMethod || s.Kind() != types.MethodVal {
+		return "", "", false
+	}
+	recv := s.Recv()
+	if p, isPtr := types.Unalias(recv).(*types.Pointer); isPtr {
+		recv = p.Elem()
+	}
+	name, declared := NamedInPkg(recv, pkgPath)
+	if !declared {
+		return "", "", false
+	}
+	return name, s.Obj().Name(), true
+}

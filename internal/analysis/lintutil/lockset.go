@@ -1,0 +1,247 @@
+// Lock-set dataflow over go/cfg control-flow graphs.
+//
+// The guardedby analyzer needs to know, at each point of a function,
+// which mutexes are held on *every* execution path reaching that
+// point — a classic forward must-analysis. The vendored x/tools has
+// no go/ssa (the offline toolchain ships only analysis/ast/cfg/types),
+// so the engine runs directly over the ctrlflow pass's CFGs: blocks
+// hold the function's simple statements and control subexpressions in
+// execution order, which is exactly the granularity lock operations
+// and field accesses occur at.
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/cfg"
+)
+
+// LockTracker answers "is mutex M held here?" queries for one
+// function body. Lock() and RLock() on a path-addressable receiver
+// acquire; Unlock()/RUnlock() release. A deferred unlock releases at
+// function return, after every node, so it never kills the set.
+// TryLock is treated as not acquiring (its success is conditional),
+// and closures are opaque — each FuncLit gets its own tracker with an
+// empty entry set, the conservative assumption that a closure may run
+// on a goroutine that holds nothing.
+type LockTracker struct {
+	info *types.Info
+	// before[n] is the set of mutex path keys held on every path when
+	// execution reaches top-level CFG node n.
+	before map[ast.Node]map[string]bool
+	nodes  []ast.Node // all top-level nodes, for position lookup
+}
+
+// NewLockTracker runs the fixpoint over g and precomputes the held
+// set before every CFG node.
+func NewLockTracker(g *cfg.CFG, info *types.Info) *LockTracker {
+	t := &LockTracker{info: info, before: make(map[ast.Node]map[string]bool)}
+
+	n := len(g.Blocks)
+	entry := make([]map[string]bool, n) // nil = unvisited (⊤)
+	entry[0] = map[string]bool{}
+
+	// Forward must-analysis: meet is set intersection, so iterate to a
+	// (finite, decreasing) fixpoint. Lock sets are tiny; a simple
+	// round-robin worklist converges in a handful of sweeps.
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range g.Blocks {
+			in := entry[b.Index]
+			if in == nil {
+				continue // not yet reached
+			}
+			out := t.transferBlock(b, in, nil)
+			for _, s := range b.Succs {
+				cur := entry[s.Index]
+				next := intersect(cur, out)
+				if !sameSet(cur, next) {
+					entry[s.Index] = next
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Replay each reachable block once more, recording the state
+	// before every node.
+	for _, b := range g.Blocks {
+		in := entry[b.Index]
+		if in == nil {
+			continue
+		}
+		t.transferBlock(b, in, func(n ast.Node, held map[string]bool) {
+			t.before[n] = held
+			t.nodes = append(t.nodes, n)
+		})
+	}
+	return t
+}
+
+// Held reports whether the mutex named by key is held on every path
+// reaching pos. Unknown positions (nodes of unreachable blocks, or
+// positions outside the function) report false — the conservative
+// answer for a guard check.
+func (t *LockTracker) Held(pos token.Pos, key string) bool {
+	node := t.enclosingNode(pos)
+	if node == nil {
+		return false
+	}
+	held := t.before[node]
+	// Apply the node's own lock operations that complete before pos,
+	// so `mu.Lock(); use` fused into one statement still resolves.
+	held = applyOps(t.info, node, held, pos)
+	return held[key]
+}
+
+func (t *LockTracker) enclosingNode(pos token.Pos) ast.Node {
+	var best ast.Node
+	for _, n := range t.nodes {
+		if n.Pos() <= pos && pos <= n.End() {
+			// CFG nodes do not nest, but a ValueSpec and its parent
+			// GenDecl may both appear; prefer the narrower range.
+			if best == nil || (n.Pos() >= best.Pos() && n.End() <= best.End()) {
+				best = n
+			}
+		}
+	}
+	return best
+}
+
+// transferBlock applies every node of b in order to the incoming set,
+// invoking visit (when non-nil) with the state before each node.
+func (t *LockTracker) transferBlock(b *cfg.Block, in map[string]bool, visit func(ast.Node, map[string]bool)) map[string]bool {
+	cur := in
+	for _, n := range b.Nodes {
+		if visit != nil {
+			visit(n, cur)
+		}
+		cur = applyOps(t.info, n, cur, token.NoPos)
+	}
+	return cur
+}
+
+// applyOps walks one CFG node and applies its lock/unlock calls in
+// source order. When limit is set, only operations completing before
+// limit apply — used for intra-node queries. Deferred statements and
+// closure bodies are skipped: a defer runs at return, a closure on its
+// own schedule.
+func applyOps(info *types.Info, n ast.Node, held map[string]bool, limit token.Pos) map[string]bool {
+	out := held
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt, *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if limit.IsValid() && n.End() > limit {
+				return true
+			}
+			op, path := mutexOp(info, n)
+			switch op {
+			case lockOp:
+				out = withKey(out, path.Key(), true)
+			case unlockOp:
+				out = withKey(out, path.Key(), false)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+type lockOpKind int
+
+const (
+	noOp lockOpKind = iota
+	lockOp
+	unlockOp
+)
+
+// mutexOp classifies call as a sync.Mutex/RWMutex acquire or release
+// on a path-addressable receiver. Calls through non-path receivers
+// (function results, map elements) and TryLock/TryRLock are noOp.
+func mutexOp(info *types.Info, call *ast.CallExpr) (lockOpKind, AccessPath) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return noOp, AccessPath{}
+	}
+	fn, ok := info.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return noOp, AccessPath{}
+	}
+	var kind lockOpKind
+	switch fn.Name() {
+	case "Lock", "RLock":
+		kind = lockOp
+	case "Unlock", "RUnlock":
+		kind = unlockOp
+	default:
+		return noOp, AccessPath{}
+	}
+	path, ok := ParsePath(info, sel.X)
+	if !ok {
+		return noOp, AccessPath{}
+	}
+	return kind, path
+}
+
+// withKey returns a set equal to m with key held (val=true) or
+// released (val=false), copying so callers can share unmodified sets.
+func withKey(m map[string]bool, key string, val bool) map[string]bool {
+	if m[key] == val {
+		return m
+	}
+	next := make(map[string]bool, len(m)+1)
+	for k, v := range m {
+		if v {
+			next[k] = true
+		}
+	}
+	if val {
+		next[key] = true
+	} else {
+		delete(next, key)
+	}
+	return next
+}
+
+// intersect meets two must-sets; a nil set is ⊤ (everything holds).
+func intersect(a, b map[string]bool) map[string]bool {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := make(map[string]bool)
+	for k, v := range a {
+		if v && b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func sameSet(a, b map[string]bool) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	na, nb := 0, 0
+	for k, v := range a {
+		if v {
+			na++
+			if !b[k] {
+				return false
+			}
+		}
+	}
+	for _, v := range b {
+		if v {
+			nb++
+		}
+	}
+	return na == nb
+}

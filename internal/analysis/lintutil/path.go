@@ -1,0 +1,104 @@
+package lintutil
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// AccessPath is a canonical form of a simple l-value chain — `x`,
+// `x.f`, `x.f.g` — rooted at a variable. Two syntactically different
+// expressions denote the same storage when their paths are equal:
+// the root is compared by *types.Var identity (so shadowing and
+// renamed receivers are handled by the type checker, not by text),
+// and the selector chain by field name. Pointer indirections are
+// transparent — `(*p).f` and `p.f` are the same path — matching how
+// a mutex guards the storage it is embedded next to, not the syntax
+// used to reach it.
+//
+// This deliberately covers only the paths the concurrency analyzers
+// need to match (mutex receivers against guarded-field bases). Index
+// expressions, calls, and channel ops do not form paths; ParsePath
+// reports ok=false for them and callers stay conservative.
+type AccessPath struct {
+	root types.Object
+	sel  []string
+}
+
+// ParsePath resolves e to an access path, or ok=false when e is not a
+// plain variable/selector chain.
+func ParsePath(info *types.Info, e ast.Expr) (AccessPath, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.ObjectOf(e)
+		if _, ok := obj.(*types.Var); !ok {
+			return AccessPath{}, false
+		}
+		return AccessPath{root: obj}, true
+	case *ast.StarExpr:
+		return ParsePath(info, e.X)
+	case *ast.SelectorExpr:
+		// A package-qualified name (pkg.Var) roots the path at the
+		// package-level variable itself.
+		if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			if _, isPkg := info.ObjectOf(id).(*types.PkgName); isPkg {
+				obj := info.ObjectOf(e.Sel)
+				if _, ok := obj.(*types.Var); !ok {
+					return AccessPath{}, false
+				}
+				return AccessPath{root: obj}, true
+			}
+		}
+		base, ok := ParsePath(info, e.X)
+		if !ok {
+			return AccessPath{}, false
+		}
+		base.sel = append(append([]string(nil), base.sel...), e.Sel.Name)
+		return base, true
+	default:
+		return AccessPath{}, false
+	}
+}
+
+// PathOf builds a path from an already-resolved root object and a
+// selector chain — used to express "the access's base, plus the
+// annotated mutex field".
+func PathOf(root types.Object, sel ...string) AccessPath {
+	return AccessPath{root: root, sel: sel}
+}
+
+// Child returns p extended by one selector.
+func (p AccessPath) Child(name string) AccessPath {
+	return AccessPath{root: p.root, sel: append(append([]string(nil), p.sel...), name)}
+}
+
+// Valid reports whether p was produced by a successful parse.
+func (p AccessPath) Valid() bool { return p.root != nil }
+
+// Key is the canonical comparison form. Object identity is encoded
+// through the declaration position, which is unique per object within
+// one analysis pass.
+func (p AccessPath) Key() string {
+	if p.root == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(p.root.Name())
+	b.WriteByte('@')
+	b.WriteString(strconv.Itoa(int(p.root.Pos())))
+	for _, s := range p.sel {
+		b.WriteByte('.')
+		b.WriteString(s)
+	}
+	return b.String()
+}
+
+// String renders the path as the user wrote it, for diagnostics.
+func (p AccessPath) String() string {
+	if p.root == nil {
+		return "<invalid>"
+	}
+	parts := append([]string{p.root.Name()}, p.sel...)
+	return strings.Join(parts, ".")
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"xpathest/internal/datagen"
+	"xpathest/internal/pathenc"
+	"xpathest/internal/stats"
+)
+
+// TestEdgeCachePairCap pins the kernel's memoization overflow policy:
+// a (tag, tag, axis) pair space at or under maxCachePairs gets a
+// verdict bitmap of exactly the right size, one past the cap gets no
+// bitmap at all (16 MiB is the ceiling one edge may pin), and the
+// nil verdict is itself memoized so every later lookup of the huge
+// edge skips straight to direct computation without retaking mu.
+func TestEdgeCachePairCap(t *testing.T) {
+	doc := datagen.SSPlays(datagen.Config{Seed: 3, Scale: 0.01})
+	tbs := stats.Collect(doc, nil)
+	k := newKernel(tbs.Labeling, TableSource{Tables: tbs})
+
+	// The cap check only multiplies entry counts, so padded snapshots
+	// stand in for tags with huge pid lists.
+	pad := func(n int) *tagIndex {
+		return &tagIndex{entries: make([]stats.PidFreq, n)}
+	}
+
+	// 8192 * 8192 == 1<<26: exactly at the cap, still memoized.
+	atCap := k.edge(pad(8192), pad(8192), "atA", "atB", pathenc.Child)
+	if atCap == nil {
+		t.Fatal("pair space exactly at maxCachePairs was not memoized")
+	}
+	wantWords := (2*(1<<26) + 63) / 64
+	if len(atCap.words) != wantWords {
+		t.Fatalf("bitmap has %d words, want %d", len(atCap.words), wantWords)
+	}
+	if atCap.nd != 8192 {
+		t.Fatalf("bitmap nd = %d, want 8192", atCap.nd)
+	}
+
+	// 8192 * 8193 overflows the cap: no bitmap.
+	if c := k.edge(pad(8192), pad(8193), "overA", "overB", pathenc.Child); c != nil {
+		t.Fatal("pair space over maxCachePairs got a bitmap")
+	}
+
+	// The nil verdict is stored in the compat map, not recomputed: the
+	// second call must hit the snapshot (observable here as the key
+	// being present with a nil cache).
+	if c := k.edge(pad(8192), pad(8193), "overA", "overB", pathenc.Child); c != nil {
+		t.Fatal("overflowed edge changed verdict on second lookup")
+	}
+	key := compatKey{anc: "overA", desc: "overB", axis: pathenc.Child}
+	if c, ok := (*k.compat.Load())[key]; !ok || c != nil {
+		t.Fatalf("overflowed edge not memoized as nil: present=%v cache=%v", ok, c)
+	}
+
+	// An empty pair space is also uncacheable, without erroring.
+	if c := k.edge(pad(0), pad(100), "emptyA", "emptyB", pathenc.Child); c != nil {
+		t.Fatal("empty pair space got a bitmap")
+	}
+}
+
+// TestCompatibleUncachedMatchesCached pins the semantics of the
+// overflow path: verdicts computed with a nil edgeCache (the shape a
+// >2^26-pair edge produces) must equal verdicts served through a real
+// bitmap for every pair of a real document's tags.
+func TestCompatibleUncachedMatchesCached(t *testing.T) {
+	doc := datagen.SSPlays(datagen.Config{Seed: 3, Scale: 0.01})
+	tbs := stats.Collect(doc, nil)
+	k := newKernel(tbs.Labeling, TableSource{Tables: tbs})
+
+	for _, tc := range []struct {
+		anc, desc string
+		axis      pathenc.Axis
+	}{
+		{"ACT", "SCENE", pathenc.Child},
+		{"PLAY", "SPEECH", pathenc.Descendant},
+		{"SCENE", "LINE", pathenc.Descendant},
+	} {
+		anc, desc := k.tag(tc.anc), k.tag(tc.desc)
+		if len(anc.entries) == 0 || len(desc.entries) == 0 {
+			t.Fatalf("tag %s/%s missing from generated document", tc.anc, tc.desc)
+		}
+		cache := k.edge(anc, desc, tc.anc, tc.desc, tc.axis)
+		if cache == nil {
+			t.Fatalf("%s/%s: small edge unexpectedly uncached", tc.anc, tc.desc)
+		}
+		for ai := range anc.entries {
+			for di := range desc.entries {
+				ap, dp := anc.entries[ai].Pid, desc.entries[di].Pid
+				direct := k.compatible(nil, tc.anc, int32(ai), ap, tc.desc, int32(di), dp, tc.axis)
+				// Query the bitmap twice: first call fills, second must
+				// serve the memoized bit.
+				first := k.compatible(cache, tc.anc, int32(ai), ap, tc.desc, int32(di), dp, tc.axis)
+				second := k.compatible(cache, tc.anc, int32(ai), ap, tc.desc, int32(di), dp, tc.axis)
+				if direct != first || first != second {
+					t.Fatalf("%s[%d]/%s[%d] axis %v: direct=%v cached=%v recached=%v",
+						tc.anc, ai, tc.desc, di, tc.axis, direct, first, second)
+				}
+			}
+		}
+	}
+}

@@ -25,8 +25,8 @@ import (
 type planCache struct {
 	mu    sync.Mutex
 	max   int
-	ll    *list.List // front = most recently used
-	items map[string]*list.Element
+	ll    *list.List // front = most recently used; guarded by mu
+	items map[string]*list.Element // guarded by mu
 
 	hits   atomic.Int64
 	misses atomic.Int64
@@ -80,7 +80,7 @@ func (c *planCache) compile(query string) (*xpathest.Query, error) {
 // retries on its own (see estimateShared).
 type flightGroup struct {
 	mu    sync.Mutex
-	calls map[flightKey]*flightCall
+	calls map[flightKey]*flightCall // guarded by mu
 
 	shared atomic.Int64
 }

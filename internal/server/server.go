@@ -582,6 +582,7 @@ func (s *Server) Start() error {
 	s.ln = ln
 	s.lnGuard.Unlock()
 	s.started = time.Now()
+	//lint:ignore goroutinescope acceptor lifetime is the listener itself: Shutdown closes ln, which makes Serve return and the goroutine exit
 	go func() {
 		if err := s.http.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			s.cfg.Logger.Printf("server: serve: %v", err)
