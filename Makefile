@@ -10,12 +10,12 @@ GOVULNCHECK_VERSION = v1.1.4
 
 XPESTLINT = bin/xpestlint
 
-.PHONY: all build test vet lint lint-fixtures lint-audit lint-audit-check vuln race race-hot cover bench bench-json fuzz fuzz-smoke ci experiments examples clean
+.PHONY: all build test vet lint lint-fixtures lint-audit lint-audit-check vuln race race-hot cover bench bench-json fuzz fuzz-smoke difftest-smoke difftest-nightly ci experiments examples clean
 
 all: build vet lint test
 
 # What .github/workflows/ci.yml runs; keep the two in sync.
-ci: build vet lint lint-fixtures lint-audit-check race-hot race fuzz-smoke
+ci: build vet lint lint-fixtures lint-audit-check race-hot race fuzz-smoke difftest-smoke cover
 
 build:
 	$(GO) build ./...
@@ -75,12 +75,31 @@ race:
 
 # Focused -race pass over the concurrency hot paths added by the join
 # kernel and the batch API: the memoized compatibility cache, the plan
-# cache / in-flight dedup of the server, and EstimateBatch itself.
+# cache / in-flight dedup of the server, and EstimateBatch itself —
+# plus the differential harness, whose cold/warmed/batch estimator
+# comparison hammers the kernel's copy-on-write memos from concurrent
+# seed workers.
 race-hot:
-	$(GO) test -race . ./internal/core ./internal/pathenc ./internal/server
+	$(GO) test -race . ./internal/core ./internal/pathenc ./internal/server ./internal/difftest
 
+# Per-package statement coverage with checked-in floors
+# (coverage-floors.txt): cmd/covercheck fails on any package below its
+# floor, so coverage regressions show up in CI, not in review.
+COVERPROFILE ?= cover.out
 cover:
-	$(GO) test -cover ./...
+	$(GO) test -coverprofile=$(COVERPROFILE) ./...
+	$(GO) run ./cmd/covercheck -profile $(COVERPROFILE) -floors coverage-floors.txt
+
+# Differential correctness smoke (docs/TESTING.md): fixed seed range,
+# exact-evaluator oracle against four estimator paths, hard invariants,
+# shrunk repros on failure. Runs in seconds; the nightly variant
+# sweeps a much larger range.
+difftest-smoke:
+	$(GO) run ./cmd/xpestdiff -seeds 0:500 -q
+
+DIFFTEST_NIGHTLY_SEEDS ?= 0:20000
+difftest-nightly:
+	$(GO) run ./cmd/xpestdiff -seeds $(DIFFTEST_NIGHTLY_SEEDS)
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

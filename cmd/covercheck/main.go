@@ -1,0 +1,205 @@
+// Command covercheck enforces per-package statement-coverage floors.
+// It reads a merged cover profile (go test -coverprofile=... ./...)
+// and a checked-in floors file, computes each package's statement
+// coverage from the profile blocks, and fails if any listed package
+// dropped below its floor — or silently disappeared from the profile,
+// which is how deleted tests usually manifest.
+//
+//	go test -coverprofile=cover.out ./...
+//	go run ./cmd/covercheck -profile cover.out -floors coverage-floors.txt
+//
+// The floors file holds "import/path floor%" lines ('#' comments
+// allowed). Floors are a ratchet against regressions, set a few points
+// below measured coverage — raise them as coverage grows (run with
+// -print to see current numbers).
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+
+	"flag"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "covercheck: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("covercheck", flag.ContinueOnError)
+	profile := fs.String("profile", "cover.out", "merged cover profile from go test -coverprofile")
+	floors := fs.String("floors", "coverage-floors.txt", "per-package floor file")
+	print := fs.Bool("print", false, "print measured per-package coverage and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cov, err := coverageByPackage(*profile)
+	if err != nil {
+		return err
+	}
+	if *print {
+		pkgs := make([]string, 0, len(cov))
+		for p := range cov {
+			pkgs = append(pkgs, p)
+		}
+		sort.Strings(pkgs)
+		for _, p := range pkgs {
+			fmt.Fprintf(out, "%-45s %.1f\n", p, cov[p])
+		}
+		return nil
+	}
+
+	want, err := loadFloors(*floors)
+	if err != nil {
+		return err
+	}
+	var fails []string
+	for _, f := range want {
+		got, ok := cov[f.pkg]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("%s: no coverage recorded (floor %.1f%%) — tests gone or package renamed?", f.pkg, f.floor))
+			continue
+		}
+		if got+1e-9 < f.floor {
+			fails = append(fails, fmt.Sprintf("%s: coverage %.1f%% below floor %.1f%%", f.pkg, got, f.floor))
+		}
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("coverage regressions:\n  %s", strings.Join(fails, "\n  "))
+	}
+	fmt.Fprintf(out, "covercheck: %d package floors satisfied\n", len(want))
+	return nil
+}
+
+type floor struct {
+	pkg   string
+	floor float64
+}
+
+// loadFloors parses "import/path percent" lines.
+func loadFloors(path string) ([]floor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []floor
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(f)
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s line %d: want \"package floor\", got %q", path, ln, line)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || v < 0 || v > 100 {
+			return nil, fmt.Errorf("%s line %d: bad floor %q", path, ln, fields[1])
+		}
+		if seen[fields[0]] {
+			return nil, fmt.Errorf("%s line %d: duplicate package %s", path, ln, fields[0])
+		}
+		seen[fields[0]] = true
+		out = append(out, floor{pkg: fields[0], floor: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no floors listed", path)
+	}
+	return out, nil
+}
+
+// coverageByPackage computes per-package statement coverage from the
+// profile blocks. Duplicate blocks (profiles merged across test
+// binaries) are deduplicated keeping the maximum hit count.
+func coverageByPackage(profilePath string) (map[string]float64, error) {
+	f, err := os.Open(profilePath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	type block struct {
+		stmts, hits int
+	}
+	blocks := map[string]block{} // "file:range" → block
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	first := true
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if first {
+			first = false
+			if !strings.HasPrefix(line, "mode:") {
+				return nil, fmt.Errorf("%s: not a cover profile (missing mode line)", profilePath)
+			}
+			continue
+		}
+		// file.go:12.34,15.2 numStmts hitCount
+		pos := strings.LastIndexByte(line, ' ')
+		if pos < 0 {
+			return nil, fmt.Errorf("%s: malformed line %q", profilePath, line)
+		}
+		mid := strings.LastIndexByte(line[:pos], ' ')
+		if mid < 0 {
+			return nil, fmt.Errorf("%s: malformed line %q", profilePath, line)
+		}
+		key := line[:mid]
+		stmts, err1 := strconv.Atoi(line[mid+1 : pos])
+		hits, err2 := strconv.Atoi(line[pos+1:])
+		if err1 != nil || err2 != nil || stmts < 0 || hits < 0 {
+			return nil, fmt.Errorf("%s: malformed counts in %q", profilePath, line)
+		}
+		b := blocks[key]
+		if hits > b.hits {
+			b.hits = hits
+		}
+		b.stmts = stmts
+		blocks[key] = b
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	type tally struct{ total, covered int }
+	perPkg := map[string]*tally{}
+	for key, b := range blocks {
+		file := key[:strings.IndexByte(key, ':')]
+		pkg := path.Dir(file)
+		t := perPkg[pkg]
+		if t == nil {
+			t = &tally{}
+			perPkg[pkg] = t
+		}
+		t.total += b.stmts
+		if b.hits > 0 {
+			t.covered += b.stmts
+		}
+	}
+	out := make(map[string]float64, len(perPkg))
+	for pkg, t := range perPkg {
+		if t.total > 0 {
+			out[pkg] = 100 * float64(t.covered) / float64(t.total)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleProfile = `mode: set
+xpathest/internal/foo/a.go:1.1,5.2 4 1
+xpathest/internal/foo/a.go:7.1,9.2 2 0
+xpathest/internal/bar/b.go:1.1,3.2 5 3
+xpathest/internal/bar/b.go:1.1,3.2 5 0
+`
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCoverageByPackage(t *testing.T) {
+	cov, err := coverageByPackage(write(t, "p.out", sampleProfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// foo: 4 of 6 statements → 66.7%. bar: duplicate block keeps the
+	// max hit count → 5 of 5 → 100%.
+	if got := cov["xpathest/internal/foo"]; got < 66.6 || got > 66.7 {
+		t.Errorf("foo coverage = %.2f, want ~66.67", got)
+	}
+	if got := cov["xpathest/internal/bar"]; got != 100 {
+		t.Errorf("bar coverage = %.2f, want 100", got)
+	}
+}
+
+func TestCoverageByPackageRejectsGarbage(t *testing.T) {
+	if _, err := coverageByPackage(write(t, "bad.out", "not a profile\n")); err == nil {
+		t.Error("want error for missing mode line")
+	}
+	if _, err := coverageByPackage(write(t, "bad2.out", "mode: set\ngarbage\n")); err == nil {
+		t.Error("want error for malformed block line")
+	}
+}
+
+func TestLoadFloors(t *testing.T) {
+	floors, err := loadFloors(write(t, "floors.txt", `
+# comment
+xpathest/internal/foo 60
+xpathest/internal/bar 99.5
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(floors) != 2 || floors[0].pkg != "xpathest/internal/foo" || floors[1].floor != 99.5 {
+		t.Fatalf("got %+v", floors)
+	}
+	for _, bad := range []string{
+		"xpathest 12 extra\n",
+		"xpathest 120\n",
+		"xpathest abc\n",
+		"xpathest 10\nxpathest 20\n",
+		"# only comments\n",
+	} {
+		if _, err := loadFloors(write(t, "bad.txt", bad)); err == nil {
+			t.Errorf("want error for floors file %q", bad)
+		}
+	}
+}
+
+func TestRunGate(t *testing.T) {
+	profile := write(t, "p.out", sampleProfile)
+	ok := write(t, "ok.txt", "xpathest/internal/foo 60\nxpathest/internal/bar 100\n")
+	if err := run([]string{"-profile", profile, "-floors", ok}, devNull(t)); err != nil {
+		t.Errorf("floors satisfied but run failed: %v", err)
+	}
+	low := write(t, "low.txt", "xpathest/internal/foo 70\n")
+	err := run([]string{"-profile", profile, "-floors", low}, devNull(t))
+	if err == nil || !strings.Contains(err.Error(), "below floor") {
+		t.Errorf("want below-floor failure, got %v", err)
+	}
+	gone := write(t, "gone.txt", "xpathest/internal/baz 10\n")
+	err = run([]string{"-profile", profile, "-floors", gone}, devNull(t))
+	if err == nil || !strings.Contains(err.Error(), "no coverage recorded") {
+		t.Errorf("want missing-package failure, got %v", err)
+	}
+	if err := run([]string{"-profile", profile, "-print"}, devNull(t)); err != nil {
+		t.Errorf("-print failed: %v", err)
+	}
+}
+
+func devNull(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}

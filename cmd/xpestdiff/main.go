@@ -1,0 +1,127 @@
+// Command xpestdiff runs the differential correctness harness: seeded
+// random documents and queries, the exact evaluator as oracle, the
+// estimator exercised four ways (cold, warmed, batch, and through a
+// summaryio save/load roundtrip), hard invariants enforced on every
+// (query, configuration) pair, and automatic shrinking of failures to
+// minimal repros.
+//
+//	xpestdiff -seeds 0:500
+//	    sweep a seed range; exit non-zero on any invariant violation
+//
+//	xpestdiff -seeds 0:40 -inject overcount-desc
+//	    self-test: inject an artificial estimator bug and watch the
+//	    harness catch and shrink it
+//
+//	xpestdiff -seeds 0:500 -corpus internal/difftest/corpus
+//	    additionally emit each shrunk repro as a ready-to-commit
+//	    .corpus regression case
+//
+// Every failure report carries the seed that reproduces it; see
+// docs/TESTING.md for the workflow.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"xpathest/internal/difftest"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "xpestdiff: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// errViolations distinguishes "the harness found bugs" from harness
+// misuse; both exit non-zero.
+type errViolations struct{ n int }
+
+func (e errViolations) Error() string {
+	return fmt.Sprintf("%d invariant violation(s); each report above carries its seed and a shrunk repro", e.n)
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("xpestdiff", flag.ContinueOnError)
+	seeds := fs.String("seeds", "0:100", "half-open seed range START:END, one random document per seed")
+	queries := fs.Int("queries", 12, "random-query generation attempts per document")
+	relBudget := fs.Float64("rel-budget", 0, "soft mean-relative-error budget (0 = default)")
+	maxViol := fs.Int("max-violations", 10, "stop after this many violations")
+	inject := fs.String("inject", "", "inject an artificial bug: overcount-desc | skew-warm")
+	noShrink := fs.Bool("no-shrink", false, "skip shrinking failing pairs")
+	corpusDir := fs.String("corpus", "", "write each shrunk repro as a .corpus case into this directory")
+	quiet := fs.Bool("q", false, "suppress per-violation progress, print only the summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
+	start, end, err := parseSeeds(*seeds)
+	if err != nil {
+		return err
+	}
+
+	opts := difftest.Options{
+		SeedStart:     start,
+		SeedEnd:       end,
+		QueriesPerDoc: *queries,
+		RelErrBudget:  *relBudget,
+		MaxViolations: *maxViol,
+		Shrink:        !*noShrink,
+		Inject:        *inject,
+	}
+	if !*quiet {
+		opts.Log = out
+	}
+	rep, err := difftest.RunSeeds(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, rep.Summary())
+
+	if *corpusDir != "" {
+		for i, v := range rep.Shrunk {
+			c := difftest.Case{
+				Name:      fmt.Sprintf("seed%d-%s-%d", v.Seed, v.Invariant, i),
+				Comment:   fmt.Sprintf("Pins: %s. Emitted by xpestdiff from seed %d, config [%s].\n%s", v.Invariant, v.Seed, v.Config, v.Detail),
+				Invariant: v.Invariant,
+				Query:     v.Query,
+				DocXML:    v.DocXML,
+			}
+			path, err := difftest.WriteCase(*corpusDir, c)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", path)
+		}
+	}
+	if rep.Failed() {
+		return errViolations{n: len(rep.Result.Violations)}
+	}
+	return nil
+}
+
+// parseSeeds parses the START:END range syntax.
+func parseSeeds(s string) (int64, int64, error) {
+	lo, hi, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("seed range %q: want START:END", s)
+	}
+	start, err := strconv.ParseInt(lo, 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("seed range %q: %v", s, err)
+	}
+	end, err := strconv.ParseInt(hi, 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("seed range %q: %v", s, err)
+	}
+	if end <= start {
+		return 0, 0, fmt.Errorf("seed range %q: END must exceed START", s)
+	}
+	return start, end, nil
+}

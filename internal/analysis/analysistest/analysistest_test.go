@@ -1,0 +1,126 @@
+package analysistest
+
+import (
+	"go/ast"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// funcNames is a prerequisite analyzer: it returns the declared
+// function names, so selfmark exercises the Requires closure and
+// ResultOf plumbing.
+var funcNames = &analysis.Analyzer{
+	Name:       "funcnames",
+	Doc:        "collects declared function names",
+	ResultType: reflect.TypeOf([]string(nil)),
+	Run: func(pass *analysis.Pass) (interface{}, error) {
+		var names []string
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					names = append(names, fd.Name.Name)
+				}
+			}
+		}
+		return names, nil
+	},
+}
+
+// selfmark flags every function named "bad" — the testdata/src/demo
+// fixture seeds two, one per expectation quoting style.
+var selfmark = &analysis.Analyzer{
+	Name:     "selfmark",
+	Doc:      "reports functions named bad",
+	Requires: []*analysis.Analyzer{funcNames},
+	Run: func(pass *analysis.Pass) (interface{}, error) {
+		names := pass.ResultOf[funcNames].([]string)
+		if len(names) == 0 {
+			return nil, nil
+		}
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "bad" {
+					pass.Reportf(fd.Pos(), "function named bad")
+				}
+			}
+		}
+		return nil, nil
+	},
+}
+
+// TestRunMatchesWants runs the full pipeline — load, type-check,
+// Requires closure, diagnostic/expectation diff — over the demo
+// fixture, whose `// want` comments use both quoting styles.
+func TestRunMatchesWants(t *testing.T) {
+	Run(t, TestData(), selfmark, "demo")
+}
+
+// TestRunExpectClean verifies the clean fixture yields nothing.
+func TestRunExpectClean(t *testing.T) {
+	RunExpectClean(t, TestData(), selfmark, "clean")
+}
+
+// TestDiagnostics pins the raw-diagnostics path: exactly the two
+// seeded hits, in source order, ignoring `// want` matching.
+func TestDiagnostics(t *testing.T) {
+	diags := Diagnostics(t, TestData(), selfmark, "demo")
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Message != "function named bad" {
+			t.Errorf("unexpected message %q", d.Message)
+		}
+	}
+}
+
+// TestWantComments counts the demo fixture's expectations and the
+// clean fixture's absence of any.
+func TestWantComments(t *testing.T) {
+	if n := WantComments(t, TestData(), "demo"); n != 2 {
+		t.Errorf("demo want-comments = %d, want 2", n)
+	}
+	if n := WantComments(t, TestData(), "clean"); n != 0 {
+		t.Errorf("clean want-comments = %d, want 0", n)
+	}
+}
+
+// TestTestData pins the helper's contract: absolute, ends in testdata.
+func TestTestData(t *testing.T) {
+	td := TestData()
+	if !filepath.IsAbs(td) {
+		t.Errorf("TestData() = %q, want absolute", td)
+	}
+	if filepath.Base(td) != "testdata" {
+		t.Errorf("TestData() = %q, want a testdata directory", td)
+	}
+}
+
+// TestParsePatterns pins the `// want` pattern grammar: backquoted,
+// double-quoted with escapes, several per comment, and the
+// unterminated fallbacks.
+func TestParsePatterns(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"`one`", []string{"one"}},
+		{`"two"`, []string{"two"}},
+		{"`a` `b`", []string{"a", "b"}},
+		{"`a` \"b\"", []string{"a", "b"}},
+		{`"esc\"aped"`, []string{`esc"aped`}},
+		{"`unterminated", []string{"unterminated"}},
+		{`"unterminated`, []string{"unterminated"}},
+		{"", nil},
+	}
+	for _, c := range cases {
+		got := parsePatterns(c.in)
+		if strings.Join(got, "\x00") != strings.Join(c.want, "\x00") {
+			t.Errorf("parsePatterns(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

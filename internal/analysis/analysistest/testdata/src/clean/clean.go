@@ -1,0 +1,7 @@
+// Package clean has nothing for the selfmark meta-analyzer to report;
+// RunExpectClean over it exercises the silent path.
+package clean
+
+func fine() int { return 1 }
+
+var _ = fine

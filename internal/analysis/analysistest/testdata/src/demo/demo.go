@@ -1,0 +1,16 @@
+// Package demo is the analysistest harness's own fixture: the selfmark
+// meta-analyzer flags functions named "bad", so this package seeds one
+// hit per expectation style plus unmarked clean code.
+package demo
+
+import "strings"
+
+func good() string { return strings.ToUpper("ok") }
+
+func bad() {} // want `function named bad`
+
+type holder struct{ n int }
+
+func (h holder) bad() int { return h.n } // want "function named bad"
+
+var _ = good

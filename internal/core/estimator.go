@@ -98,18 +98,43 @@ func (e *Estimator) Estimate(p *xpath.Path) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	var est float64
 	switch len(tree.Edges) {
 	case 0:
-		return e.noOrder(tree, fullInclude(tree), tree.Target)
+		est, err = e.noOrder(tree, fullInclude(tree), tree.Target)
 	case 1:
+		edge := tree.Edges[0]
+		if !edge.SiblingOnly {
+			est, err = e.convertAndEstimate(tree, p, edge)
+		} else {
+			est, err = e.orderEstimate(tree, edge)
+		}
 	default:
 		return 0, fmt.Errorf("core: queries with multiple order axes are not supported: %w", guard.ErrMalformedQuery)
 	}
-	edge := tree.Edges[0]
-	if !edge.SiblingOnly {
-		return e.convertAndEstimate(tree, p, edge)
+	if err != nil {
+		return 0, err
 	}
-	return e.orderEstimate(tree, edge)
+	return e.clampToTag(tree.Target.Tag, est), nil
+}
+
+// clampToTag caps an estimate at the target tag's total frequency: a
+// query result is a set of target-tag elements, so its cardinality
+// cannot exceed the tag's population. The downward formulas respect
+// the bound by construction (they sum disjoint subsets of the tag's
+// entries, scaled by factors at most 1), but the order-axis sums of
+// Equations (3)–(5) count sibling witnesses per anchor and can
+// overshoot the population when several anchors share targets.
+func (e *Estimator) clampToTag(tag string, est float64) float64 {
+	total := 0.0
+	for _, en := range e.kern.tag(tag).entries {
+		total += en.Freq
+	}
+	if est > total {
+		e.tracef("clamp: estimate %.6g exceeds tag population %.6g, capped", est, total)
+		return total
+	}
+	return est
 }
 
 // RawJoinEstimate returns the uncorrected f_Q(n) of the target: the
@@ -411,18 +436,26 @@ func (e *Estimator) convertAndEstimate(tree *xpath.Tree, p *xpath.Path, edge xpa
 	if err != nil {
 		return 0, err
 	}
-	segs := make(map[string][]string)
+	// Deduplicate segments by key, but keep first-seen order: map
+	// iteration order would randomize the float summation below across
+	// runs, and estimates must be bit-deterministic (the differential
+	// harness compares estimator paths with Float64bits).
+	segs := make(map[string]bool)
+	var segList [][]string
 	for _, pf := range joined[m] {
 		for _, seg := range e.lab.AnchorSegment(edge.Parent.Tag, m.Tag, pf.Pid) {
-			segs[segKey(seg)] = seg
+			if k := segKey(seg); !segs[k] {
+				segs[k] = true
+				segList = append(segList, seg)
+			}
 		}
 	}
-	if len(segs) == 0 {
+	if len(segList) == 0 {
 		return 0, nil
 	}
 
 	sum := 0.0
-	for _, seg := range segs {
+	for _, seg := range segList {
 		rw := rewriteOrderStep(p, m.Step, seg)
 		e.tracef("Example 5.3 rewrite through segment %v: %s", seg, rw)
 		est, err := e.Estimate(rw)

@@ -108,10 +108,24 @@ func pathJoin(k *kernel, tree *xpath.Tree, inc includeSet) (map[*xpath.TreeNode]
 		tis = append(tis, ti)
 		total += len(ti.entries)
 	}
+	// An absolute first step — child axis off the virtual root — only
+	// matches the document root. Every encoding-table path starts with
+	// the root tag, so a mismatched tag has zero matches; a matching
+	// tag keeps its whole list (in a non-recursive document the root
+	// tag cannot reappear deeper without repeating on its own
+	// root-to-leaf path, so the list is exactly the root).
+	rootTag := ""
+	if k.lab.Table.NumPaths() > 0 {
+		rootTag = k.lab.Table.PathTags(1)[0]
+	}
 	pfSlab := make([]stats.PidFreq, 0, total)
 	idSlab := make([]int32, 0, total)
 	states := make([]nodeState, len(nodes))
 	for ni, n := range nodes {
+		if (n.Parent == nil || n.Parent.IsVRoot()) &&
+			n.Axis != xpath.Descendant && n.Tag != rootTag {
+			continue
+		}
 		start := len(pfSlab)
 		for i, e := range tis[ni].entries {
 			// Positional filters are exact corrections from the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -119,7 +120,7 @@ func (k *kernel) tag(tag string) *tagIndex {
 	if t := cur[tag]; t != nil {
 		return t
 	}
-	entries := k.src.Entries(tag)
+	entries := canonicalEntries(k.src.Entries(tag))
 	t := &tagIndex{entries: entries, local: make(map[*bitset.Bitset]int32, len(entries))}
 	for i, e := range entries {
 		t.local[e.Pid] = int32(i)
@@ -131,6 +132,29 @@ func (k *kernel) tag(tag string) *tagIndex {
 	next[tag] = t
 	k.tags.Store(&next)
 	return t
+}
+
+// canonicalEntries copies a source's (pid, frequency) list into a
+// fixed pid order. Equivalent sources disagree on list order (exact
+// tables keep insertion order, histograms sort by frequency), and the
+// estimator's float summations follow snapshot order, so without a
+// canonical order two equivalent sources could differ in the last
+// bits of an estimate — which would break the bit-determinism the
+// differential harness (and any cache keyed on estimates) relies on.
+// The copy also keeps the source's own slice unmutated.
+func canonicalEntries(src []stats.PidFreq) []stats.PidFreq {
+	keys := make([]string, len(src))
+	idx := make([]int, len(src))
+	for i, e := range src {
+		keys[i] = e.Pid.Key()
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool { return keys[idx[i]] < keys[idx[j]] })
+	entries := make([]stats.PidFreq, len(src))
+	for i, j := range idx {
+		entries[i] = src[j]
+	}
+	return entries
 }
 
 // rawFreq returns the unfiltered source frequency of a pid under this

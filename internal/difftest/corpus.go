@@ -1,0 +1,121 @@
+package difftest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Case is one regression entry of the corpus: a (document, query)
+// pair that once violated an invariant. The corpus test re-checks
+// every case under the full configuration sweep, so a fixed bug stays
+// fixed.
+type Case struct {
+	// Name is the file stem (without the .corpus extension).
+	Name string
+
+	// Comment is the free-text header: which invariant the case pins,
+	// the originating seed, and what was wrong.
+	Comment string
+
+	// Invariant is the invariant the case originally violated.
+	Invariant Invariant
+
+	// Query and DocXML are the minimized failing pair.
+	Query  string
+	DocXML string
+}
+
+// FormatCase renders a case in the corpus file format: '#' comment
+// lines followed by 'invariant:', 'query:' and 'doc:' fields.
+func FormatCase(c Case) []byte {
+	var b strings.Builder
+	for _, line := range strings.Split(strings.TrimRight(c.Comment, "\n"), "\n") {
+		b.WriteString("# ")
+		b.WriteString(line)
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "invariant: %s\n", c.Invariant)
+	fmt.Fprintf(&b, "query: %s\n", c.Query)
+	fmt.Fprintf(&b, "doc: %s\n", c.DocXML)
+	return []byte(b.String())
+}
+
+// ParseCase parses the corpus file format.
+func ParseCase(name string, data []byte) (Case, error) {
+	c := Case{Name: name}
+	var comment []string
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "#"):
+			comment = append(comment, strings.TrimSpace(strings.TrimPrefix(line, "#")))
+		case strings.HasPrefix(line, "invariant:"):
+			c.Invariant = Invariant(strings.TrimSpace(strings.TrimPrefix(line, "invariant:")))
+		case strings.HasPrefix(line, "query:"):
+			c.Query = strings.TrimSpace(strings.TrimPrefix(line, "query:"))
+		case strings.HasPrefix(line, "doc:"):
+			c.DocXML = strings.TrimSpace(strings.TrimPrefix(line, "doc:"))
+		default:
+			return c, fmt.Errorf("difftest: %s line %d: unrecognized corpus line %q", name, ln+1, line)
+		}
+	}
+	c.Comment = strings.Join(comment, "\n")
+	if c.Query == "" || c.DocXML == "" {
+		return c, fmt.Errorf("difftest: %s: corpus case missing query or doc", name)
+	}
+	return c, nil
+}
+
+// LoadCorpus reads every *.corpus file of a directory, sorted by name.
+func LoadCorpus(dir string) ([]Case, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var cases []Case
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".corpus") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		c, err := ParseCase(strings.TrimSuffix(e.Name(), ".corpus"), data)
+		if err != nil {
+			return nil, err
+		}
+		cases = append(cases, c)
+	}
+	sort.Slice(cases, func(i, j int) bool { return cases[i].Name < cases[j].Name })
+	return cases, nil
+}
+
+// WriteCase saves a case as <dir>/<name>.corpus (xpestdiff emits
+// shrunk violations this way, ready to commit) and returns the path.
+func WriteCase(dir string, c Case) (string, error) {
+	if c.Name == "" {
+		return "", fmt.Errorf("difftest: corpus case needs a name")
+	}
+	path := filepath.Join(dir, c.Name+".corpus")
+	if err := os.WriteFile(path, FormatCase(c), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// CheckCase re-runs the full oracle sweep on one corpus case and
+// returns the surviving violations (empty means the regression stays
+// fixed).
+func CheckCase(c Case) ([]Violation, error) {
+	pair, err := NewPair(c.DocXML)
+	if err != nil {
+		return nil, fmt.Errorf("difftest: corpus %s: %v", c.Name, err)
+	}
+	res := NewChecker().CheckDoc(pair, []string{c.Query})
+	return res.Violations, nil
+}

@@ -1,0 +1,79 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCorpusRegressions replays every checked-in repro under the full
+// configuration sweep. Each corpus file is a minimized (document,
+// query) pair that once violated the invariant named in its header;
+// the sweep must now be clean, so fixed estimator bugs stay fixed.
+func TestCorpusRegressions(t *testing.T) {
+	cases, err := LoadCorpus("corpus")
+	if err != nil {
+		t.Fatalf("LoadCorpus: %v", err)
+	}
+	if len(cases) < 4 {
+		t.Fatalf("corpus unexpectedly small: %d cases", len(cases))
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			if c.Comment == "" || !strings.Contains(c.Comment, string(c.Invariant)) {
+				t.Errorf("corpus comment must name the pinned invariant %q", c.Invariant)
+			}
+			viols, err := CheckCase(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range viols {
+				t.Errorf("regressed: %v", v)
+			}
+		})
+	}
+}
+
+// TestCorpusRoundtrip pins the corpus file format itself.
+func TestCorpusRoundtrip(t *testing.T) {
+	in := Case{
+		Name:      "demo",
+		Comment:   "pins tag-bound\nsecond line",
+		Invariant: InvTagBound,
+		Query:     "/a/b",
+		DocXML:    "<a><b></b></a>",
+	}
+	out, err := ParseCase("demo", FormatCase(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("roundtrip mismatch:\n got %+v\nwant %+v", out, in)
+	}
+	if _, err := ParseCase("bad", []byte("nonsense line\n")); err == nil {
+		t.Fatal("want error for malformed corpus data")
+	}
+	if _, err := ParseCase("empty", []byte("# only a comment\n")); err == nil {
+		t.Fatal("want error for missing fields")
+	}
+}
+
+// TestCorpusWrite exercises WriteCase into a temp dir and LoadCorpus
+// back out.
+func TestCorpusWrite(t *testing.T) {
+	dir := t.TempDir()
+	c := Case{Name: "w", Comment: "pins non-negative", Invariant: InvNonNegative, Query: "//a", DocXML: "<a></a>"}
+	if _, err := WriteCase(dir, c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteCase(dir, Case{}); err == nil {
+		t.Fatal("want error for unnamed case")
+	}
+	got, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != c {
+		t.Fatalf("got %+v, want [%+v]", got, c)
+	}
+}

@@ -1,0 +1,193 @@
+package difftest
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"xpathest/internal/pathenc"
+	"xpathest/internal/workload"
+)
+
+// Options configures a harness run.
+type Options struct {
+	// SeedStart and SeedEnd bound the half-open seed range
+	// [SeedStart, SeedEnd): one random document (and query batch) per
+	// seed.
+	SeedStart, SeedEnd int64
+
+	// QueriesPerDoc is the number of random-query generation attempts
+	// per document (default 12).
+	QueriesPerDoc int
+
+	// Configs is the synopsis sweep (default DefaultConfigs).
+	Configs []SummaryConfig
+
+	// RelErrBudget is the soft accuracy budget: the mean relative
+	// error of any exact-statistics config must stay below it, and
+	// lossy configs below 4× it (default 0.75). Estimation error on the
+	// adversarial random documents is naturally far above the paper's
+	// polished workloads; the budget guards against gross regressions,
+	// not paper-figure accuracy.
+	RelErrBudget float64
+
+	// MaxViolations stops the run early once reached (default 10).
+	MaxViolations int
+
+	// Shrink minimizes each failing pair before reporting (default on
+	// via RunSeeds; disable for raw speed).
+	Shrink bool
+
+	// Inject enables a simulated bug for harness self-tests.
+	Inject string
+
+	// Log receives progress and failure reports; nil discards them.
+	Log io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueriesPerDoc == 0 {
+		o.QueriesPerDoc = 12
+	}
+	if o.Configs == nil {
+		o.Configs = DefaultConfigs()
+	}
+	if o.RelErrBudget == 0 {
+		o.RelErrBudget = 0.75
+	}
+	if o.MaxViolations == 0 {
+		o.MaxViolations = 10
+	}
+	return o
+}
+
+// Report is the outcome of a harness run.
+type Report struct {
+	Seeds          int64
+	Docs           int
+	Result         Result
+	Shrunk         []Violation // minimized counterparts of Result.Violations (when Options.Shrink)
+	AccuracyAlerts []string    // soft-budget breaches (do not fail hard invariants)
+}
+
+// Failed reports whether any hard invariant was violated.
+func (r *Report) Failed() bool { return len(r.Result.Violations) > 0 }
+
+// MeanRelErr returns the mean relative error of one config, or 0 when
+// nothing was tallied.
+func (r *Report) MeanRelErr(cfg SummaryConfig) float64 {
+	if n := r.Result.RelErrN[cfg]; n > 0 {
+		return r.Result.RelErrSum[cfg] / float64(n)
+	}
+	return 0
+}
+
+// Summary renders a one-screen run summary.
+func (r *Report) Summary() string {
+	out := fmt.Sprintf("difftest: %d seeds, %d docs, %d (query,config) checks, %d estimator rejections, %d violations\n",
+		r.Seeds, r.Docs, r.Result.QueriesChecked, r.Result.EstimatorRejected, len(r.Result.Violations))
+	cfgs := make([]SummaryConfig, 0, len(r.Result.RelErrN))
+	for cfg := range r.Result.RelErrN {
+		cfgs = append(cfgs, cfg)
+	}
+	sort.Slice(cfgs, func(i, j int) bool { return cfgs[i].String() < cfgs[j].String() })
+	for _, cfg := range cfgs {
+		out += fmt.Sprintf("  [%s] mean relative error %.4f over %d positive queries\n",
+			cfg, r.MeanRelErr(cfg), r.Result.RelErrN[cfg])
+	}
+	for _, a := range r.AccuracyAlerts {
+		out += "  ACCURACY: " + a + "\n"
+	}
+	return out
+}
+
+// RunSeeds sweeps the seed range: per seed it generates one document
+// and one query batch, runs the oracle, and (on failure) shrinks each
+// violating pair to a minimal repro. The error is non-nil only for
+// harness-level problems (generation or parsing), never for invariant
+// violations — those are in the report.
+func RunSeeds(opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	chk := &Checker{Configs: opts.Configs, Inject: opts.Inject, TagBoundSlack: 1e-6}
+	rep := &Report{Seeds: opts.SeedEnd - opts.SeedStart}
+	rep.Result.RelErrSum = map[SummaryConfig]float64{}
+	rep.Result.RelErrN = map[SummaryConfig]int{}
+
+	for seed := opts.SeedStart; seed < opts.SeedEnd; seed++ {
+		pair, queries, err := GenPair(seed, opts.QueriesPerDoc)
+		if err != nil {
+			return rep, fmt.Errorf("difftest: seed %d: %v", seed, err)
+		}
+		rep.Docs++
+		res := chk.CheckDoc(pair, queries)
+		for i := range res.Violations {
+			res.Violations[i].Seed = seed
+		}
+		rep.Result.merge(res)
+
+		if len(res.Violations) > 0 && opts.Log != nil {
+			for _, v := range res.Violations {
+				fmt.Fprintf(opts.Log, "difftest: seed %d: VIOLATION %v\n", seed, v)
+			}
+		}
+		if len(res.Violations) > 0 && opts.Shrink {
+			for _, v := range res.Violations {
+				sv := ShrinkViolation(chk, v)
+				rep.Shrunk = append(rep.Shrunk, sv)
+				if opts.Log != nil {
+					fmt.Fprintf(opts.Log, "difftest: seed %d: shrunk to %d nodes, query %s\n%s\n",
+						seed, countNodes(sv.DocXML), sv.Query, sv.DocXML)
+				}
+			}
+		}
+		if len(rep.Result.Violations) >= opts.MaxViolations {
+			break
+		}
+	}
+
+	for _, cfg := range opts.Configs {
+		budget := opts.RelErrBudget
+		if !cfg.exactStats() {
+			budget *= 4
+		}
+		if n := rep.Result.RelErrN[cfg]; n > 0 {
+			if mean := rep.Result.RelErrSum[cfg] / float64(n); mean > budget {
+				rep.AccuracyAlerts = append(rep.AccuracyAlerts,
+					fmt.Sprintf("[%s] mean relative error %.4f over %d queries exceeds budget %.4f", cfg, mean, n, budget))
+			}
+		}
+	}
+	return rep, nil
+}
+
+// GenPair generates the document and query batch of one seed.
+func GenPair(seed int64, queriesPerDoc int) (*Pair, []string, error) {
+	tree := GenDoc(seed)
+	pair, err := PairFromTree(tree)
+	if err != nil {
+		return nil, nil, err
+	}
+	lab, err := pathenc.Build(pair.Tree)
+	if err != nil {
+		return nil, nil, err
+	}
+	paths := workload.Random(lab, workload.RandomConfig{
+		Seed: seed ^ 0x9e3779b9, // decorrelate from the document stream
+		Num:  queriesPerDoc,
+	})
+	queries := make([]string, 0, len(paths))
+	for _, p := range paths {
+		queries = append(queries, p.String())
+	}
+	return pair, queries, nil
+}
+
+// countNodes counts elements in a serialized document (shrink-report
+// helper; parse failures count as 0).
+func countNodes(xmlStr string) int {
+	t, err := parseTree(xmlStr)
+	if err != nil {
+		return 0
+	}
+	return t.NumElements()
+}

@@ -1,0 +1,183 @@
+package difftest
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"xpathest/internal/xpath"
+)
+
+// TestSmokeSeeds is the tier-1 differential smoke: a fixed seed range
+// must produce zero hard-invariant violations across all four
+// estimator paths and all synopsis configurations.
+func TestSmokeSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rep, err := RunSeeds(Options{SeedStart: 0, SeedEnd: 25, Shrink: true})
+	if err != nil {
+		t.Fatalf("RunSeeds: %v", err)
+	}
+	if rep.Failed() {
+		for _, v := range rep.Shrunk {
+			t.Errorf("violation (shrunk): %v\ndoc: %s", v, v.DocXML)
+		}
+		for _, v := range rep.Result.Violations {
+			t.Errorf("violation: %v", v)
+		}
+	}
+	if rep.Result.QueriesChecked == 0 {
+		t.Fatal("no queries checked")
+	}
+	t.Log(rep.Summary())
+}
+
+// TestDeterminism pins the generator and the whole run: the same seed
+// range must reproduce bit-identical documents, queries and error
+// tallies, or logged seeds would not reproduce failures.
+func TestDeterminism(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		p1, q1, err1 := GenPair(seed, 12)
+		p2, q2, err2 := GenPair(seed, 12)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("seed %d: %v / %v", seed, err1, err2)
+		}
+		if p1.XML != p2.XML {
+			t.Fatalf("seed %d: document not deterministic", seed)
+		}
+		if fmt.Sprint(q1) != fmt.Sprint(q2) {
+			t.Fatalf("seed %d: queries not deterministic:\n%v\n%v", seed, q1, q2)
+		}
+	}
+	r1, err := RunSeeds(Options{SeedStart: 0, SeedEnd: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunSeeds(Options{SeedStart: 0, SeedEnd: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Result.Violations) != len(r2.Result.Violations) ||
+		r1.Result.QueriesChecked != r2.Result.QueriesChecked {
+		t.Fatal("runs not deterministic")
+	}
+	for cfg, sum := range r1.Result.RelErrSum {
+		if r2.Result.RelErrSum[cfg] != sum {
+			t.Fatalf("[%s] relative-error tally not bit-deterministic", cfg)
+		}
+	}
+}
+
+// TestInjectedBugCaught verifies the harness actually has teeth: with
+// an artificial overcount injected into every estimator path, the run
+// must fail, and the shrinker must reduce some failing pair to a repro
+// of at most 15 document nodes and 4 query steps.
+func TestInjectedBugCaught(t *testing.T) {
+	var log bytes.Buffer
+	rep, err := RunSeeds(Options{
+		SeedStart: 0, SeedEnd: 40,
+		Inject:        InjectOvercountDesc,
+		Shrink:        true,
+		MaxViolations: 3,
+		Log:           &log,
+	})
+	if err != nil {
+		t.Fatalf("RunSeeds: %v", err)
+	}
+	if !rep.Failed() {
+		t.Fatal("injected overcount not detected")
+	}
+	if len(rep.Shrunk) == 0 {
+		t.Fatal("no shrunk repros produced")
+	}
+	best := rep.Shrunk[0]
+	for _, v := range rep.Shrunk {
+		if countNodes(v.DocXML) < countNodes(best.DocXML) {
+			best = v
+		}
+	}
+	if n := countNodes(best.DocXML); n > 15 {
+		t.Errorf("shrunk repro has %d nodes, want <= 15:\n%s", n, best.DocXML)
+	}
+	if steps := countQuerySteps(t, best.Query); steps > 4 {
+		t.Errorf("shrunk query has %d steps, want <= 4: %s", steps, best.Query)
+	}
+	if !strings.Contains(log.String(), "VIOLATION") {
+		t.Error("log missing VIOLATION lines")
+	}
+	t.Logf("shrunk repro: %s on %s", best.Query, best.DocXML)
+}
+
+// TestInjectedWarmSkewCaught injects a divergence into only the warmed
+// path and expects the paths-agree invariant specifically.
+func TestInjectedWarmSkewCaught(t *testing.T) {
+	rep, err := RunSeeds(Options{
+		SeedStart: 0, SeedEnd: 40,
+		Inject:        InjectSkewWarm,
+		MaxViolations: 1,
+	})
+	if err != nil {
+		t.Fatalf("RunSeeds: %v", err)
+	}
+	if !rep.Failed() {
+		t.Fatal("injected warm-path skew not detected")
+	}
+	for _, v := range rep.Result.Violations {
+		if v.Invariant != InvPathsAgree {
+			t.Errorf("expected %s violation, got %s: %v", InvPathsAgree, v.Invariant, v)
+		}
+	}
+}
+
+// TestParallelSeeds runs disjoint seed ranges concurrently; under
+// -race this hammers the kernel's copy-on-write memo maps through the
+// warmed/cold/batch estimator paths (wired into make race-hot).
+func TestParallelSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	fails := make([]bool, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rep, err := RunSeeds(Options{
+				SeedStart: int64(100 + 3*w), SeedEnd: int64(100 + 3*w + 3),
+			})
+			errs[w] = err
+			fails[w] = rep != nil && rep.Failed()
+		}(w)
+	}
+	wg.Wait()
+	for w := range errs {
+		if errs[w] != nil {
+			t.Errorf("worker %d: %v", w, errs[w])
+		}
+		if fails[w] {
+			t.Errorf("worker %d: violations", w)
+		}
+	}
+}
+
+// TestShrinkUnreproducible pins the shrinker's fallback: a pair that
+// does not fail is returned unchanged.
+func TestShrinkUnreproducible(t *testing.T) {
+	x, q := Shrink("<a><b/></a>", "/a/b", func(string, string) bool { return false })
+	if x != "<a><b/></a>" || q != "/a/b" {
+		t.Fatalf("got %q %q", x, q)
+	}
+}
+
+func countQuerySteps(t *testing.T, query string) int {
+	t.Helper()
+	p, err := xpath.Parse(query)
+	if err != nil {
+		t.Fatalf("parse %q: %v", query, err)
+	}
+	return len(flattenSteps(p))
+}

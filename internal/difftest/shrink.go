@@ -1,0 +1,373 @@
+package difftest
+
+import (
+	"bytes"
+	"sort"
+
+	"xpathest/internal/xmltree"
+	"xpathest/internal/xpath"
+)
+
+// ShrinkViolation minimizes the (document, query) pair of a violation
+// while the same invariant keeps failing, and returns the violation
+// rewritten to the minimal pair. The shrinker is deterministic: the
+// same input violation always reduces to the same repro.
+func ShrinkViolation(chk *Checker, v Violation) Violation {
+	fails := func(xmlStr, query string) bool {
+		return stillFails(chk, v.Invariant, v.Config, xmlStr, query)
+	}
+	xmlStr, query := Shrink(v.DocXML, v.Query, fails)
+	v.DocXML, v.Query = xmlStr, query
+	v.Detail = refreshDetail(chk, v)
+	return v
+}
+
+// refreshDetail re-runs the oracle on the shrunk pair to report the
+// minimal pair's own numbers rather than the original's.
+func refreshDetail(chk *Checker, v Violation) string {
+	pair, err := NewPair(v.DocXML)
+	if err != nil {
+		return v.Detail
+	}
+	c2 := &Checker{Configs: []SummaryConfig{v.Config}, Inject: chk.Inject, TagBoundSlack: chk.TagBoundSlack}
+	for _, nv := range c2.CheckDoc(pair, []string{v.Query}).Violations {
+		if nv.Invariant == v.Invariant {
+			return nv.Detail
+		}
+	}
+	return v.Detail
+}
+
+// stillFails re-runs the oracle on a candidate pair and reports
+// whether the given invariant still fires for it.
+func stillFails(chk *Checker, inv Invariant, cfg SummaryConfig, xmlStr, query string) bool {
+	pair, err := NewPair(xmlStr)
+	if err != nil {
+		return false
+	}
+	c2 := &Checker{Configs: []SummaryConfig{cfg}, Inject: chk.Inject, TagBoundSlack: chk.TagBoundSlack}
+	res := c2.CheckDoc(pair, []string{query})
+	for _, v := range res.Violations {
+		if v.Invariant == inv {
+			return true
+		}
+	}
+	return false
+}
+
+// Shrink greedily minimizes a failing (document, query) pair under the
+// predicate: document subtrees are dropped or hoisted, query steps and
+// predicates removed, and the tag alphabet canonicalized, until no
+// single reduction keeps the pair failing. The candidate order is
+// fixed, so shrinking is deterministic.
+func Shrink(xmlStr, query string, fails func(xmlStr, query string) bool) (string, string) {
+	if !fails(xmlStr, query) {
+		return xmlStr, query // not reproducible; return unchanged
+	}
+	for rounds := 0; rounds < 400; rounds++ {
+		if next, ok := shrinkDocOnce(xmlStr, query, fails); ok {
+			xmlStr = next
+			continue
+		}
+		if next, ok := shrinkQueryOnce(xmlStr, query, fails); ok {
+			query = next
+			continue
+		}
+		if nx, nq, ok := shrinkTagsOnce(xmlStr, query, fails); ok {
+			xmlStr, query = nx, nq
+			continue
+		}
+		break
+	}
+	return xmlStr, query
+}
+
+// shrinkDocOnce tries single-node reductions — deleting a subtree, or
+// hoisting a node's children into its place — biggest subtrees first,
+// and additionally dropping all text. Returns the first successful
+// candidate.
+func shrinkDocOnce(xmlStr, query string, fails func(string, string) bool) (string, bool) {
+	tree, err := parseTree(xmlStr)
+	if err != nil {
+		return "", false
+	}
+	type cand struct {
+		node *xmltree.Node
+		size int
+	}
+	var cands []cand
+	sizes := map[*xmltree.Node]int{}
+	var measure func(n *xmltree.Node) int
+	measure = func(n *xmltree.Node) int {
+		s := 1
+		for _, c := range n.Children {
+			s += measure(c)
+		}
+		sizes[n] = s
+		return s
+	}
+	measure(tree.Root)
+	tree.Walk(func(n *xmltree.Node) bool {
+		if n != tree.Root {
+			cands = append(cands, cand{n, sizes[n]})
+		}
+		return true
+	})
+	// Biggest subtree first; ties in document order (Ord ascending) —
+	// both deterministic.
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].size > cands[j].size })
+
+	for _, c := range cands {
+		if next, ok := rebuildWithout(tree, c.node, false); ok && fails(next, query) {
+			return next, true
+		}
+	}
+	for _, c := range cands {
+		if len(c.node.Children) == 0 {
+			continue
+		}
+		if next, ok := rebuildWithout(tree, c.node, true); ok && fails(next, query) {
+			return next, true
+		}
+	}
+	if next, ok := rebuildNoText(tree); ok && next != xmlStr && fails(next, query) {
+		return next, true
+	}
+	return "", false
+}
+
+// rebuildWithout re-serializes the tree with victim removed (hoist:
+// its children take its place).
+func rebuildWithout(tree *xmltree.Document, victim *xmltree.Node, hoist bool) (string, bool) {
+	b := xmltree.NewBuilder()
+	var emit func(n *xmltree.Node)
+	emit = func(n *xmltree.Node) {
+		if n == victim {
+			if hoist {
+				for _, c := range n.Children {
+					emit(c)
+				}
+			}
+			return
+		}
+		b.Open(n.Tag)
+		if n.Text != "" {
+			b.Text(n.Text)
+		}
+		for _, c := range n.Children {
+			emit(c)
+		}
+		b.Close()
+	}
+	if tree.Root == victim {
+		return "", false
+	}
+	emit(tree.Root)
+	return serialize(b)
+}
+
+func rebuildNoText(tree *xmltree.Document) (string, bool) {
+	b := xmltree.NewBuilder()
+	var emit func(n *xmltree.Node)
+	emit = func(n *xmltree.Node) {
+		b.Open(n.Tag)
+		for _, c := range n.Children {
+			emit(c)
+		}
+		b.Close()
+	}
+	emit(tree.Root)
+	return serialize(b)
+}
+
+func serialize(b *xmltree.Builder) (string, bool) {
+	if b.Depth() != 0 {
+		return "", false
+	}
+	var buf bytes.Buffer
+	if err := b.Document().WriteXML(&buf, false); err != nil {
+		return "", false
+	}
+	return buf.String(), true
+}
+
+func parseTree(xmlStr string) (*xmltree.Document, error) {
+	return xmltree.ParseString(xmlStr)
+}
+
+// shrinkQueryOnce tries single query reductions in a fixed order:
+// remove a predicate, remove a step, clear a positional filter, clear
+// an explicit target mark.
+func shrinkQueryOnce(xmlStr, query string, fails func(string, string) bool) (string, bool) {
+	p, err := xpath.Parse(query)
+	if err != nil {
+		return "", false
+	}
+	for _, cand := range queryCandidates(p) {
+		if cand.String() == query || len(cand.Steps) == 0 {
+			continue
+		}
+		if _, err := xpath.Parse(cand.String()); err != nil {
+			continue
+		}
+		if fails(xmlStr, cand.String()) {
+			return cand.String(), true
+		}
+	}
+	return "", false
+}
+
+// queryCandidates enumerates every single-reduction clone of p in a
+// deterministic order.
+func queryCandidates(p *xpath.Path) []*xpath.Path {
+	var out []*xpath.Path
+
+	// Remove one predicate (clone k, then drop pred j of step i in the
+	// clone's step enumeration).
+	steps := flattenSteps(p)
+	for i, s := range steps {
+		for j := range s.Preds {
+			c := p.Clone()
+			cs := flattenSteps(c)[i]
+			cs.Preds = append(cs.Preds[:j:j], cs.Preds[j+1:]...)
+			out = append(out, c)
+		}
+	}
+
+	// Remove one step from whichever sub-path holds it.
+	for i := range steps {
+		c := p.Clone()
+		if removeNthStep(c, i) {
+			out = append(out, c)
+		}
+	}
+
+	// Clear positional filters and explicit target marks.
+	for i, s := range steps {
+		if s.Pos != xpath.PosNone {
+			c := p.Clone()
+			flattenSteps(c)[i].Pos = xpath.PosNone
+			out = append(out, c)
+		}
+		if s.Target {
+			c := p.Clone()
+			flattenSteps(c)[i].Target = false
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// flattenSteps lists every step, predicates included, in a fixed
+// preorder (mirrors the clone structure index-for-index).
+func flattenSteps(p *xpath.Path) []*xpath.Step {
+	var out []*xpath.Step
+	var rec func(q *xpath.Path)
+	rec = func(q *xpath.Path) {
+		for _, s := range q.Steps {
+			out = append(out, s)
+			for _, pred := range s.Preds {
+				rec(pred)
+			}
+		}
+	}
+	rec(p)
+	return out
+}
+
+// removeNthStep deletes the n-th step (flattenSteps order) from its
+// containing path; an emptied predicate path is detached from its
+// holder. Returns false when the removal empties the outermost path.
+func removeNthStep(p *xpath.Path, n int) bool {
+	count := -1
+	var rec func(q *xpath.Path, holder *xpath.Step, predIdx int) (bool, bool)
+	// Returns (removed, pathNowEmpty).
+	rec = func(q *xpath.Path, holder *xpath.Step, predIdx int) (bool, bool) {
+		for i := 0; i < len(q.Steps); i++ {
+			s := q.Steps[i]
+			count++
+			if count == n {
+				q.Steps = append(q.Steps[:i:i], q.Steps[i+1:]...)
+				return true, len(q.Steps) == 0
+			}
+			for j := 0; j < len(s.Preds); j++ {
+				removed, empty := rec(s.Preds[j], s, j)
+				if removed {
+					if empty {
+						s.Preds = append(s.Preds[:j:j], s.Preds[j+1:]...)
+					}
+					return true, false
+				}
+			}
+		}
+		_ = holder
+		_ = predIdx
+		return false, false
+	}
+	removed, rootEmpty := rec(p, nil, -1)
+	return removed && !rootEmpty
+}
+
+// shrinkTagsOnce canonicalizes the tag alphabet: distinct document
+// tags in document order become "a", "b", "c", ... in both the
+// document and the query. One all-at-once attempt.
+func shrinkTagsOnce(xmlStr, query string, fails func(string, string) bool) (string, string, bool) {
+	tree, err := parseTree(xmlStr)
+	if err != nil {
+		return "", "", false
+	}
+	var order []string
+	seen := map[string]bool{}
+	tree.Walk(func(n *xmltree.Node) bool {
+		if !seen[n.Tag] {
+			seen[n.Tag] = true
+			order = append(order, n.Tag)
+		}
+		return true
+	})
+	mapping := map[string]string{}
+	changed := false
+	for i, t := range order {
+		nt := tagName(i)
+		mapping[t] = nt
+		if nt != t {
+			changed = true
+		}
+	}
+	if !changed {
+		return "", "", false
+	}
+
+	b := xmltree.NewBuilder()
+	var emit func(n *xmltree.Node)
+	emit = func(n *xmltree.Node) {
+		b.Open(mapping[n.Tag])
+		if n.Text != "" {
+			b.Text(n.Text)
+		}
+		for _, c := range n.Children {
+			emit(c)
+		}
+		b.Close()
+	}
+	emit(tree.Root)
+	nx, ok := serialize(b)
+	if !ok {
+		return "", "", false
+	}
+
+	p, err := xpath.Parse(query)
+	if err != nil {
+		return "", "", false
+	}
+	for _, s := range flattenSteps(p) {
+		if nt, ok := mapping[s.Tag]; ok && s.Tag != "*" {
+			s.Tag = nt
+		}
+	}
+	nq := p.String()
+	if fails(nx, nq) {
+		return nx, nq, true
+	}
+	return "", "", false
+}

@@ -1,0 +1,77 @@
+package paperfig
+
+import (
+	"testing"
+
+	"xpathest/internal/pathenc"
+	"xpathest/internal/xmltree"
+)
+
+// TestDocShape pins the Figure 1(a) tree against the counts the
+// paper's tables imply — Figure 2(a)'s PathId-Frequency rows sum to
+// 4 B (1×p8 + 3×p5), 2 C, 4 D, 3 E, 1 F under 3 A and one Root.
+func TestDocShape(t *testing.T) {
+	doc := Doc()
+	if doc.Root == nil || doc.Root.Tag != "Root" {
+		t.Fatalf("root = %+v, want Root", doc.Root)
+	}
+	want := map[string]int{"Root": 1, "A": 3, "B": 4, "C": 2, "D": 4, "E": 3, "F": 1}
+	total := 0
+	for tag, n := range want {
+		total += n
+		if got := doc.TagCount(tag); got != n {
+			t.Errorf("TagCount(%s) = %d, want %d", tag, got, n)
+		}
+	}
+	if got := doc.NumElements(); got != total {
+		t.Errorf("NumElements = %d, want %d", got, total)
+	}
+}
+
+// TestDocMatchesXML verifies the builder tree and the serialized XML
+// constant describe the same document — tests use them interchangeably.
+func TestDocMatchesXML(t *testing.T) {
+	parsed, err := xmltree.ParseString(XML)
+	if err != nil {
+		t.Fatalf("ParseString(XML): %v", err)
+	}
+	var a, b []string
+	flatten(Doc().Root, &a)
+	flatten(parsed.Root, &b)
+	if len(a) != len(b) {
+		t.Fatalf("builder doc has %d nodes, XML has %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("node %d: builder %q vs XML %q", i, a[i], b[i])
+		}
+	}
+}
+
+// TestEncodingTableFigure1b pins the four root-to-leaf paths of
+// Figure 1(b) in table order.
+func TestEncodingTableFigure1b(t *testing.T) {
+	lab, err := pathenc.Build(Doc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"Root/A/B/D", "Root/A/B/E", "Root/A/C/E", "Root/A/C/F"}
+	if got := lab.Table.NumPaths(); got != len(want) {
+		t.Fatalf("NumPaths = %d, want %d", got, len(want))
+	}
+	for i, w := range want {
+		if got := lab.Table.Path(i + 1); got != w {
+			t.Errorf("Path(%d) = %q, want %q", i+1, got, w)
+		}
+	}
+}
+
+// flatten records tags in preorder with explicit close markers, so
+// structure (not just tag multiset) is compared.
+func flatten(n *xmltree.Node, out *[]string) {
+	*out = append(*out, n.Tag)
+	for _, c := range n.Children {
+		flatten(c, out)
+	}
+	*out = append(*out, "/"+n.Tag)
+}

@@ -25,7 +25,7 @@ import (
 type planCache struct {
 	mu    sync.Mutex
 	max   int
-	ll    *list.List // front = most recently used; guarded by mu
+	ll    *list.List               // front = most recently used; guarded by mu
 	items map[string]*list.Element // guarded by mu
 
 	hits   atomic.Int64

@@ -1,0 +1,241 @@
+package workload
+
+import (
+	"math/rand"
+
+	"xpathest/internal/pathenc"
+	"xpathest/internal/xpath"
+)
+
+// RandomConfig controls Random, the unfiltered query generator of the
+// differential harness. Unlike Generate it deliberately keeps negative
+// queries (exact selectivity 0), invalid-for-estimation queries
+// (wildcard node tests, mis-anchored order axes) and every supported
+// axis and target placement: the harness wants to exercise estimator
+// edge cases and error paths, not measure average error on a polished
+// workload.
+type RandomConfig struct {
+	Seed int64
+
+	// Num is the number of generation attempts; the returned slice is
+	// deduplicated, so it is usually a little shorter.
+	Num int
+
+	// MinSteps and MaxSteps bound the size of the outermost path before
+	// mutations (predicates add more steps).
+	MinSteps int
+	MaxSteps int
+}
+
+func (c RandomConfig) withDefaults() RandomConfig {
+	if c.Num == 0 {
+		c.Num = 16
+	}
+	if c.MinSteps == 0 {
+		c.MinSteps = 1
+	}
+	if c.MaxSteps == 0 {
+		c.MaxSteps = 6
+	}
+	return c
+}
+
+// Random generates a deduplicated batch of random queries over the
+// labeling's tag alphabet. The generator is seeded and pure: the same
+// (labeling, config) pair always yields the same queries, which is what
+// lets a differential-harness failure be reproduced from its logged
+// seed alone.
+//
+// Each query starts as a subsequence of an encoding-table path (biased
+// toward positive selectivity, like Generate), then passes through
+// independent mutation stages:
+//
+//   - axis noise: child steps may become descendant steps and vice
+//     versa (the latter often makes the query negative — kept);
+//   - a branch predicate: a subsequence of another (or the same) path
+//     hung off a random step, recursively one level deep;
+//   - one order-axis step: following-sibling, preceding-sibling,
+//     following or preceding, spliced between two steps with the
+//     anchoring the standardized form of Section 5 requires — and,
+//     rarely, without it, to exercise the estimator's rejection path;
+//   - positional filters [1] / [last()] on child-axis steps;
+//   - a wildcard "*" node test (estimation rejects it, exact
+//     evaluation supports it — the harness checks the rejection is
+//     consistent across estimator paths);
+//   - target placement: the default last step, or an explicit "!" mark
+//     on any step including predicate (branch) steps.
+func Random(lab *pathenc.Labeling, cfg RandomConfig) []*xpath.Path {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tags := alphabet(lab)
+
+	var out []*xpath.Path
+	seen := map[string]bool{}
+	for i := 0; i < cfg.Num; i++ {
+		p := randomPath(rng, lab, tags, cfg, true)
+		if p == nil || len(p.Steps) == 0 {
+			continue
+		}
+		if key := p.String(); !seen[key] {
+			seen[key] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// randomPath builds one mutated path. outer enables the mutations that
+// only make sense on the outermost path (predicates, order splice,
+// explicit targets).
+func randomPath(rng *rand.Rand, lab *pathenc.Labeling, tags []string, cfg RandomConfig, outer bool) *xpath.Path {
+	size := cfg.MinSteps + rng.Intn(cfg.MaxSteps-cfg.MinSteps+1)
+	p := pathFromTable(rng, lab, size)
+	if p == nil {
+		return nil
+	}
+
+	// Axis noise: flip some axes. Child→Descendant stays positive;
+	// Descendant→Child often goes negative — both are wanted.
+	for _, s := range p.Steps {
+		if rng.Intn(6) == 0 {
+			if s.Axis == xpath.Child {
+				s.Axis = xpath.Descendant
+			} else if s.Axis == xpath.Descendant {
+				s.Axis = xpath.Child
+			}
+		}
+	}
+
+	// Rarely, replace a tag with one drawn uniformly from the alphabet
+	// (likely negative) or with the wildcard.
+	for _, s := range p.Steps {
+		if rng.Intn(12) == 0 {
+			s.Tag = tags[rng.Intn(len(tags))]
+		} else if outer && rng.Intn(24) == 0 {
+			s.Tag = "*"
+		}
+	}
+
+	// Positional filters on child-axis steps. The grammar forbids them
+	// on wildcard steps ("positional predicate requires a named tag"),
+	// so those stay bare.
+	for _, s := range p.Steps {
+		if s.Axis == xpath.Child && s.Tag != "*" && rng.Intn(10) == 0 {
+			if rng.Intn(2) == 0 {
+				s.Pos = xpath.PosFirst
+			} else {
+				s.Pos = xpath.PosLast
+			}
+		}
+	}
+
+	if !outer {
+		return p
+	}
+
+	// One branch predicate, hung off a random step; the predicate path
+	// is itself a (non-outer) random path.
+	if rng.Intn(2) == 0 {
+		pred := randomPath(rng, lab, tags, RandomConfig{
+			Seed: rng.Int63(), Num: 1, MinSteps: 1, MaxSteps: 3,
+		}.withDefaults(), false)
+		if pred != nil && len(pred.Steps) > 0 {
+			holder := p.Steps[rng.Intn(len(p.Steps))]
+			holder.Preds = append(holder.Preds, pred)
+		}
+	}
+
+	// One order-axis step. The standardized form needs the context step
+	// anchored by the child axis; comply most of the time, and leave
+	// the anchoring broken occasionally so the estimator's
+	// ErrMalformedQuery path is exercised too.
+	if rng.Intn(3) == 0 && len(p.Steps) >= 2 {
+		i := 1 + rng.Intn(len(p.Steps)-1)
+		axes := []xpath.Axis{
+			xpath.FollowingSibling, xpath.PrecedingSibling,
+			xpath.Following, xpath.Preceding,
+		}
+		p.Steps[i].Axis = axes[rng.Intn(len(axes))]
+		if rng.Intn(8) != 0 {
+			p.Steps[i-1].Axis = xpath.Child
+		}
+		// An order step cannot carry the clean sibling semantics through
+		// a positional filter; drop any that landed there.
+		p.Steps[i].Pos = xpath.PosNone
+	}
+
+	// Target placement: default (last step) half the time, otherwise an
+	// explicit mark on any step — trunk and branch (predicate)
+	// placements both arise.
+	if rng.Intn(2) == 0 {
+		all := collectSteps(p)
+		all[rng.Intn(len(all))].Target = true
+	}
+	return p
+}
+
+// alphabet collects the distinct tags of the encoding table in
+// first-appearance order (deterministic: the table's path order is
+// fixed by construction).
+func alphabet(lab *pathenc.Labeling) []string {
+	seen := map[string]bool{}
+	var out []string
+	for i := 1; i <= lab.Table.NumPaths(); i++ {
+		for _, t := range lab.Table.PathTags(i) {
+			if !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}
+
+// pathFromTable draws a random ordered subsequence of a random
+// encoding-table path, with child axes between adjacent tags and
+// descendant axes across gaps — the positive-selectivity skeleton the
+// mutations then perturb.
+func pathFromTable(rng *rand.Rand, lab *pathenc.Labeling, size int) *xpath.Path {
+	n := lab.Table.NumPaths()
+	if n == 0 {
+		return nil
+	}
+	tags := lab.Table.PathTags(1 + rng.Intn(n))
+	if size > len(tags) {
+		size = len(tags)
+	}
+	if size < 1 {
+		size = 1
+	}
+	var idx []int
+	if rng.Intn(2) == 0 {
+		start := rng.Intn(len(tags) - size + 1)
+		for i := 0; i < size; i++ {
+			idx = append(idx, start+i)
+		}
+	} else {
+		idx = rng.Perm(len(tags))[:size]
+		sortInts(idx)
+	}
+	p := &xpath.Path{}
+	prev := -2
+	for _, i := range idx {
+		axis := xpath.Descendant
+		if i == prev+1 || (len(p.Steps) == 0 && i == 0) {
+			axis = xpath.Child
+		}
+		p.Steps = append(p.Steps, &xpath.Step{Axis: axis, Tag: tags[i]})
+		prev = i
+	}
+	return p
+}
+
+// sortInts is a tiny insertion sort; idx slices are at most a dozen
+// entries, not worth pulling in package sort's interface churn here.
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"xpathest/internal/paperfig"
+	"xpathest/internal/pathenc"
+	"xpathest/internal/xpath"
+)
+
+func figLabeling(t *testing.T) *pathenc.Labeling {
+	t.Helper()
+	lab, err := pathenc.Build(paperfig.Doc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lab
+}
+
+// TestRandomDeterministic pins the reproducibility contract: the same
+// (labeling, config) pair yields the same query batch.
+func TestRandomDeterministic(t *testing.T) {
+	lab := figLabeling(t)
+	for seed := int64(0); seed < 10; seed++ {
+		a := Random(lab, RandomConfig{Seed: seed, Num: 20})
+		b := Random(lab, RandomConfig{Seed: seed, Num: 20})
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: %d vs %d queries", seed, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].String() != b[i].String() {
+				t.Fatalf("seed %d query %d: %q vs %q", seed, i, a[i], b[i])
+			}
+		}
+	}
+	if len(Random(lab, RandomConfig{Seed: 1, Num: 20})) == len(Random(lab, RandomConfig{Seed: 2, Num: 50})) {
+		t.Log("different seeds happened to agree on count; fine, but worth a look")
+	}
+}
+
+// TestRandomDeduplicated verifies the returned batch has no repeats
+// and every query parses back to itself.
+func TestRandomDeduplicated(t *testing.T) {
+	lab := figLabeling(t)
+	seen := map[string]bool{}
+	for _, p := range Random(lab, RandomConfig{Seed: 7, Num: 200}) {
+		s := p.String()
+		if seen[s] {
+			t.Errorf("duplicate query %q", s)
+		}
+		seen[s] = true
+		if _, err := xpath.Parse(s); err != nil {
+			t.Errorf("query %q does not reparse: %v", s, err)
+		}
+	}
+}
+
+// TestRandomCoverage sweeps seeds until every mutation the generator
+// advertises has appeared: all four order axes, branch predicates,
+// positional filters, wildcards, and explicit target marks. A nastier
+// generator that silently stopped emitting one of these would weaken
+// the whole differential harness.
+func TestRandomCoverage(t *testing.T) {
+	lab := figLabeling(t)
+	need := map[string]bool{
+		"folls::": false, "pres::": false, "foll::": false, "pre::": false,
+		"[": false, "*": false, "!": false, "[1]": false, "[last()]": false,
+	}
+	for seed := int64(0); seed < 200; seed++ {
+		for _, p := range Random(lab, RandomConfig{Seed: seed, Num: 20}) {
+			s := p.String()
+			for k := range need {
+				if strings.Contains(s, k) {
+					need[k] = true
+				}
+			}
+		}
+	}
+	for k, ok := range need {
+		if !ok {
+			t.Errorf("no generated query contained %q over 200 seeds", k)
+		}
+	}
+}
+
+// TestRandomStepBounds checks the outer path respects the configured
+// size band before mutations (predicates may add steps beyond it, so
+// only the lower bound is strict on the trunk).
+func TestRandomStepBounds(t *testing.T) {
+	lab := figLabeling(t)
+	cfg := RandomConfig{Seed: 3, Num: 100, MinSteps: 2, MaxSteps: 3}
+	for _, p := range Random(lab, cfg) {
+		if n := len(p.Steps); n < 1 || n > cfg.MaxSteps {
+			t.Errorf("query %q has %d trunk steps, want 1..%d", p, n, cfg.MaxSteps)
+		}
+	}
+}
+
+// TestRandomEmptyTable pins the degenerate input: a labeling with no
+// paths yields no queries rather than panicking.
+func TestRandomEmptyTable(t *testing.T) {
+	table, err := pathenc.NewTable(nil)
+	if err != nil {
+		t.Skipf("empty table rejected by construction: %v", err)
+	}
+	lab := pathenc.EstimationLabeling(table, nil)
+	if got := Random(lab, RandomConfig{Seed: 1, Num: 10}); len(got) != 0 {
+		t.Fatalf("empty labeling produced %d queries", len(got))
+	}
+}

@@ -129,6 +129,17 @@ func (d *Document) NumElements() int { return d.doc.NumElements() }
 // NumDistinctTags returns the number of distinct element names.
 func (d *Document) NumDistinctTags() int { return d.doc.NumDistinctTags() }
 
+// TagCount returns the number of elements with the given tag; the
+// wildcard "*" counts every element. It is the trivial upper bound on
+// any estimate or exact count whose target is that tag — the bound the
+// differential harness (internal/difftest) enforces on every estimate.
+func (d *Document) TagCount(tag string) int {
+	if tag == "*" {
+		return d.doc.NumElements()
+	}
+	return d.doc.TagCount(tag)
+}
+
 // NumDistinctPaths returns the number of distinct root-to-leaf tag
 // paths (the path-id width in bits).
 func (d *Document) NumDistinctPaths() int { return d.lab.Table.NumPaths() }
