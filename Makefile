@@ -10,12 +10,12 @@ GOVULNCHECK_VERSION = v1.1.4
 
 XPESTLINT = bin/xpestlint
 
-.PHONY: all build test vet lint lint-fixtures lint-audit lint-audit-check vuln race race-hot cover bench bench-json fuzz fuzz-smoke difftest-smoke difftest-nightly ci experiments examples clean
+.PHONY: all build test vet lint lint-fixtures lint-audit lint-audit-check vuln race race-hot cover bench bench-json fuzz fuzz-smoke difftest-smoke difftest-nightly chaos chaos-smoke ci experiments examples clean
 
 all: build vet lint test
 
 # What .github/workflows/ci.yml runs; keep the two in sync.
-ci: build vet lint lint-fixtures lint-audit-check race-hot race fuzz-smoke difftest-smoke cover
+ci: build vet lint lint-fixtures lint-audit-check race-hot race fuzz-smoke difftest-smoke chaos-smoke cover
 
 build:
 	$(GO) build ./...
@@ -100,6 +100,21 @@ difftest-smoke:
 DIFFTEST_NIGHTLY_SEEDS ?= 0:20000
 difftest-nightly:
 	$(GO) run ./cmd/xpestdiff -seeds $(DIFFTEST_NIGHTLY_SEEDS)
+
+# Fault-injection chaos gate (docs/OPERATIONS.md, "Resilience"): a
+# real server over a faultinject-wrapped store, hammered by concurrent
+# estimate/batch/upload/reload workers while fault profiles flap.
+# Asserts no corrupt answer is ever served (bit-identical to a
+# fault-free oracle), degradation is always explicit, the server
+# converges to ready within one reload after faults clear, and
+# goroutines drain. Race-clean by construction: always run with -race.
+CHAOS_DURATION ?= 8s
+chaos:
+	XPEST_CHAOS_DURATION=$(CHAOS_DURATION) $(GO) test -race -count=1 -v -run 'TestChaos' ./internal/chaos/
+
+# Per-commit variant: same invariants, short fault phase.
+chaos-smoke:
+	$(GO) test -race -count=1 ./internal/chaos/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

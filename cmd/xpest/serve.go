@@ -34,6 +34,15 @@ func cmdServe(args []string) error {
 	queryLen := fs.Int("max-query-len", def.MaxQueryLen, "max query length in bytes (0 = unlimited)")
 	batchQueries := fs.Int("max-batch-queries", def.MaxBatchQueries, "max queries per /estimate/batch request (0 = unlimited)")
 	planCache := fs.Int("plan-cache", 1024, "compiled-query LRU cache size")
+
+	readRetries := fs.Int("store-read-retries", 2, "extra summary read attempts before a load fails")
+	backoffBase := fs.Duration("store-backoff", 5*time.Millisecond, "base delay between summary read retries (doubles per attempt, jittered)")
+	backoffMax := fs.Duration("store-backoff-max", 100*time.Millisecond, "cap on the summary read retry delay")
+	quarantineAfter := fs.Int("quarantine-after", 3, "consecutive corrupt loads before a summary file is pulled from rotation (negative = never)")
+	breakerThreshold := fs.Int("breaker-threshold", 3, "consecutive failed reloads before a summary's circuit breaker opens")
+	breakerCooldown := fs.Duration("breaker-cooldown", 0, "wait before an open breaker allows a half-open probe (0 = probe every reload)")
+	startupRetries := fs.Int("startup-retries", 2, "extra attempts when the startup summary scan fails")
+	startupBackoff := fs.Duration("startup-backoff", 200*time.Millisecond, "delay before the first startup scan retry (doubles per attempt)")
 	fs.Parse(args)
 
 	if *dir != "" {
@@ -61,6 +70,14 @@ func cmdServe(args []string) error {
 		MaxInFlight:      *inflight,
 		SummaryDir:       *dir,
 		FallbackEstimate: *fallback,
+		StoreReadRetries: *readRetries,
+		StoreBackoffBase: *backoffBase,
+		StoreBackoffMax:  *backoffMax,
+		QuarantineAfter:  *quarantineAfter,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		StartupRetries:   *startupRetries,
+		StartupBackoff:   *startupBackoff,
 		Logger:           log.New(os.Stderr, "xpest: ", log.LstdFlags),
 	})
 	if err != nil {

@@ -1,0 +1,71 @@
+// Command xpestchaos runs the fault-injection chaos harness against an
+// in-process estimation server and reports what it observed. It exits
+// non-zero if any resilience invariant is violated (a corrupt answer
+// served, a 503 without Retry-After, failure to converge after faults
+// clear, or leaked goroutines).
+//
+// Usage:
+//
+//	xpestchaos -seed 42 -duration 30s -workers 8 -summaries 4
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"xpathest/internal/chaos"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "deterministic fault schedule seed")
+	duration := flag.Duration("duration", 10*time.Second, "fault-flapping phase length")
+	workers := flag.Int("workers", 8, "concurrent request workers")
+	summaries := flag.Int("summaries", 4, "distinct summaries to serve")
+	dir := flag.String("dir", "", "store directory (default: a fresh temp dir)")
+	quiet := flag.Bool("quiet", false, "suppress progress logging")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	storeDir := *dir
+	if storeDir == "" {
+		d, err := os.MkdirTemp("", "xpestchaos-*")
+		if err != nil {
+			log.Fatalf("xpestchaos: %v", err)
+		}
+		defer os.RemoveAll(d)
+		storeDir = d
+	}
+
+	logger := log.New(os.Stderr, "xpestchaos: ", log.Ltime)
+	if *quiet {
+		logger = nil
+	}
+	rep, err := chaos.Run(ctx, chaos.Options{
+		Seed:      *seed,
+		Duration:  *duration,
+		Workers:   *workers,
+		Summaries: *summaries,
+		Dir:       storeDir,
+		Logger:    logger,
+	})
+	if rep != nil {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if encErr := enc.Encode(rep); encErr != nil {
+			log.Fatalf("xpestchaos: encoding report: %v", encErr)
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xpestchaos: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "xpestchaos: all invariants held")
+}

@@ -71,7 +71,7 @@ var defaultScopes = map[*analysis.Analyzer]string{
 		"internal/summaryio", "internal/xmltree", "internal/stats",
 		"internal/histogram", "internal/core", "internal/eval",
 		"internal/xsketch", "internal/poshist", "internal/interval",
-		"internal/guard",
+		"internal/guard", "internal/summarystore",
 	),
 	// Context discipline binds all library code (package main exempt).
 	ctxpropagate.Analyzer: "",

@@ -8,8 +8,11 @@ import (
 
 	"xpathest/internal/core"
 	"xpathest/internal/guard"
+	"xpathest/internal/histogram"
+	"xpathest/internal/pathenc"
 	"xpathest/internal/pidtree"
 	"xpathest/internal/stats"
+	"xpathest/internal/summaryio"
 	"xpathest/internal/xmltree"
 	"xpathest/internal/xpath"
 )
@@ -200,6 +203,37 @@ func ReadSummaryContext(ctx context.Context, r io.Reader, lim Limits) (*Summary,
 	if err != nil {
 		return nil, err
 	}
+	return summaryFromDecoded(ctx, lab, ps, os)
+}
+
+// ReadSummaryFileContext loads a summary from a complete at-rest file
+// image: a Save stream, optionally sealed with the storage trailer the
+// durable store appends (summaryio.Seal). Unlike the stream-oriented
+// ReadSummaryContext, verification here is whole-file — a truncated
+// trailer, a flipped checksum bit, or trailing garbage after the
+// stream all fail with ErrCorruptSummary before any estimate can be
+// served from the bytes.
+func ReadSummaryFileContext(ctx context.Context, data []byte, lim Limits) (*Summary, error) {
+	if err := guard.CheckContext(ctx); err != nil {
+		return nil, err
+	}
+	if summaryio.HasTrailer(data) {
+		payload, err := summaryio.Unseal(data)
+		if err != nil {
+			return nil, err
+		}
+		data = payload
+	}
+	lab, ps, os, err := summaryDecodeBytes(data, lim.MaxSummaryBytes)
+	if err != nil {
+		return nil, err
+	}
+	return summaryFromDecoded(ctx, lab, ps, os)
+}
+
+// summaryFromDecoded assembles an estimation-ready Summary from the
+// decoded components, shared by the streaming and whole-file readers.
+func summaryFromDecoded(ctx context.Context, lab *pathenc.Labeling, ps *histogram.PSet, os *histogram.OSet) (*Summary, error) {
 	if err := guard.CheckContext(ctx); err != nil {
 		return nil, err
 	}

@@ -33,6 +33,16 @@ func summaryDecodeLimited(r io.Reader, maxBytes int64) (*pathenc.Labeling, *hist
 	return pathenc.EstimationLabeling(p.Table, p.Distinct), p.P, p.O, nil
 }
 
+// summaryDecodeBytes is the whole-file variant: data must hold exactly
+// one stream, with trailing bytes rejected as corruption.
+func summaryDecodeBytes(data []byte, maxBytes int64) (*pathenc.Labeling, *histogram.PSet, *histogram.OSet, error) {
+	p, err := summaryio.DecodeBytes(data, maxBytes)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return pathenc.EstimationLabeling(p.Table, p.Distinct), p.P, p.O, nil
+}
+
 // pidRefBytes mirrors the summary cost model: a path-id reference is 2
 // bytes up to 65535 distinct ids, 4 beyond.
 func pidRefBytes(numDistinct int) int {

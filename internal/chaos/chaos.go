@@ -1,0 +1,517 @@
+// Package chaos is the fault-injection harness for the estimation
+// service. It stands up a real Server over a faultinject-wrapped
+// summary store, hammers /estimate and /estimate/batch from concurrent
+// workers while fault profiles flap on and off, and checks the
+// resilience invariants the serving stack promises:
+//
+//   - no corrupt summary is ever served: every successful, non-fallback
+//     estimate is bit-identical to the fault-free oracle computed before
+//     any fault was injected;
+//   - degradation is always explicit: a response is a real estimate, a
+//     marked fallback, or a 503 with Retry-After — never a quiet wrong
+//     answer and never an unexpected status;
+//   - the server converges: after faults clear and summaries are
+//     re-published (the operator repair path), one reload brings
+//     /healthz/ready back to 200 and every estimate back to exact;
+//   - nothing leaks: goroutine counts drain back to the pre-run
+//     baseline after shutdown.
+//
+// Runs are reproducible from Options.Seed. The harness is deliberately
+// a library: `go test ./internal/chaos` (make chaos) runs it under
+// -race, and cmd/xpestchaos drives longer sessions interactively.
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xpathest"
+	"xpathest/internal/faultinject"
+	"xpathest/internal/server"
+	"xpathest/internal/summarystore"
+)
+
+// Options tunes a chaos run. Zero values take the defaults noted.
+type Options struct {
+	// Seed makes the run reproducible (default 1).
+	Seed int64
+	// Duration is the fault-flapping phase length (default 5s). The
+	// recovery phase afterwards is not counted.
+	Duration time.Duration
+	// Workers is the number of concurrent request loops (default 8).
+	Workers int
+	// Summaries is the number of distinct summaries served (default 4).
+	Summaries int
+	// Dir is the store directory (required; the caller owns cleanup).
+	Dir string
+	// Logger receives progress lines (default: silent).
+	Logger *log.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Duration <= 0 {
+		o.Duration = 5 * time.Second
+	}
+	if o.Workers <= 0 {
+		o.Workers = 8
+	}
+	if o.Summaries <= 0 {
+		o.Summaries = 4
+	}
+	if o.Logger == nil {
+		o.Logger = log.New(io.Discard, "", 0)
+	}
+	return o
+}
+
+// Report is what a chaos run observed.
+type Report struct {
+	Requests       int64 `json:"requests"`
+	Exact          int64 `json:"exact"`           // 200s checked against the oracle
+	Stale          int64 `json:"stale"`           // exact answers served stale
+	Fallback       int64 `json:"fallback"`        // explicit degraded answers
+	Unavailable    int64 `json:"unavailable"`     // 503s with Retry-After
+	Reloads        int64 `json:"reloads"`         // /reload round trips
+	Uploads        int64 `json:"uploads"`         // PUT round trips (may fail under faults)
+	FaultsInjected int64 `json:"faults_injected"` // from the injector
+	FaultWindows   int64 `json:"fault_windows"`   // profile flips to faulty
+
+	// Violations are invariant breaches, capped at 20 messages. A
+	// clean run has none.
+	Violations []string `json:"violations,omitempty"`
+}
+
+func (r *Report) violate(mu *sync.Mutex, format string, args ...any) {
+	mu.Lock()
+	if len(r.Violations) < 20 {
+		r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+	}
+	mu.Unlock()
+}
+
+// probeQueries is the fixed query set; every summary answers each.
+var probeQueries = []string{
+	"//item",
+	"//person",
+	"/site/people/person/name",
+	"//person[name]",
+	"/site//item",
+}
+
+// document builds the i-th summary's XML: same shape, different
+// cardinalities, so each summary has distinct estimates and a served
+// answer from the wrong bytes cannot masquerade as the right one.
+func document(i int) string {
+	var b strings.Builder
+	b.WriteString("<site><people>")
+	for p := 0; p < 2+i; p++ {
+		b.WriteString("<person><name>n</name><age>3</age></person>")
+	}
+	b.WriteString("</people><items>")
+	for it := 0; it < 3+2*i; it++ {
+		b.WriteString("<item><price>1</price></item>")
+	}
+	b.WriteString("</items></site>")
+	return b.String()
+}
+
+// oracle is the fault-free truth: name → query → exact estimate bits.
+type oracle map[string]map[string]uint64
+
+// Run executes one chaos session and reports what it saw. The error
+// return is for harness failures and invariant violations both — a
+// non-nil error means the run did NOT establish the invariants.
+func Run(ctx context.Context, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("chaos: Options.Dir is required")
+	}
+	rep := &Report{}
+	var repMu sync.Mutex
+
+	baseline := runtime.NumGoroutine()
+
+	// Build the summaries and the oracle before any fault exists.
+	names := make([]string, opts.Summaries)
+	sums := make([]*xpathest.Summary, opts.Summaries)
+	payloads := make([][]byte, opts.Summaries)
+	orc := oracle{}
+	for i := range names {
+		names[i] = fmt.Sprintf("s%02d", i)
+		doc, err := xpathest.ParseDocumentString(document(i))
+		if err != nil {
+			return nil, fmt.Errorf("chaos: building document %d: %w", i, err)
+		}
+		sums[i] = doc.BuildSummary(xpathest.SummaryOptions{})
+		var buf bytes.Buffer
+		if err := sums[i].Save(&buf); err != nil {
+			return nil, fmt.Errorf("chaos: encoding summary %d: %w", i, err)
+		}
+		payloads[i] = buf.Bytes()
+		orc[names[i]] = map[string]uint64{}
+		for _, q := range probeQueries {
+			v, err := sums[i].Estimate(q)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: oracle estimate %q: %w", q, err)
+			}
+			orc[names[i]][q] = math.Float64bits(v)
+		}
+	}
+
+	// The injector wraps the real store directory; the server's whole
+	// persistence path runs through it.
+	inj := faultinject.New(opts.Seed, summarystore.Dir(opts.Dir))
+	seed := &summarystore.Config{FS: summarystore.Dir(opts.Dir)}
+	seedStore, err := summarystore.Open(*seed)
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		if err := seedStore.Save(ctx, name+summarystore.Suffix, sums[i]); err != nil {
+			return nil, fmt.Errorf("chaos: seeding %s: %w", name, err)
+		}
+	}
+
+	srv, err := server.New(ctx, server.Config{
+		Addr:             "127.0.0.1:0",
+		SummaryDir:       opts.Dir,
+		StoreFS:          inj,
+		RequestTimeout:   10 * time.Second,
+		MaxInFlight:      256,
+		StoreReadRetries: 2,
+		StoreBackoffBase: 200 * time.Microsecond,
+		StoreBackoffMax:  2 * time.Millisecond,
+		QuarantineAfter:  4,
+		BreakerThreshold: 3,
+		Logger:           opts.Logger,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: server: %w", err)
+	}
+	if err := srv.Start(); err != nil {
+		return nil, fmt.Errorf("chaos: listen: %w", err)
+	}
+	base := "http://" + srv.Addr()
+	client := &http.Client{Timeout: 15 * time.Second}
+
+	runCtx, stop := context.WithTimeout(ctx, opts.Duration)
+	var wg sync.WaitGroup
+
+	// Fault flapper: alternate faulty and clean windows.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		flapRNG := rand.New(rand.NewSource(opts.Seed + 1000))
+		for runCtx.Err() == nil {
+			inj.SetProfile(faultinject.Profile{
+				OpenErr:      0.2,
+				ReadErr:      0.2,
+				ShortRead:    0.2,
+				WriteErr:     0.3,
+				SyncErr:      0.1,
+				RenameErr:    0.1,
+				ReadLatency:  200 * time.Microsecond,
+				WriteLatency: 200 * time.Microsecond,
+			})
+			atomic.AddInt64(&rep.FaultWindows, 1)
+			sleepCtx(runCtx, time.Duration(30+flapRNG.Intn(80))*time.Millisecond)
+			inj.Disable()
+			sleepCtx(runCtx, time.Duration(20+flapRNG.Intn(60))*time.Millisecond)
+		}
+		inj.Disable()
+	}()
+
+	// Reloader: drives the load state machine while faults flap.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for runCtx.Err() == nil {
+			resp, err := client.Post(base+"/reload", "application/json", nil)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				atomic.AddInt64(&rep.Reloads, 1)
+			}
+			sleepCtx(runCtx, 25*time.Millisecond)
+		}
+	}()
+
+	// Uploader: re-publishes canonical bytes through the torn-write
+	// path. Failures are expected under faults; success must repair.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		upRNG := rand.New(rand.NewSource(opts.Seed + 2000))
+		for runCtx.Err() == nil {
+			i := upRNG.Intn(len(names))
+			req, err := http.NewRequestWithContext(runCtx, http.MethodPut,
+				base+"/summaries/"+names[i], bytes.NewReader(payloads[i]))
+			if err == nil {
+				resp, err := client.Do(req)
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					atomic.AddInt64(&rep.Uploads, 1)
+				}
+			}
+			sleepCtx(runCtx, 40*time.Millisecond)
+		}
+	}()
+
+	// Estimate workers: the invariant enforcers.
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opts.Seed + int64(id)))
+			for runCtx.Err() == nil {
+				name := names[rng.Intn(len(names))]
+				if rng.Intn(4) == 0 {
+					checkBatch(runCtx, client, base, name, orc, rep, &repMu)
+				} else {
+					q := probeQueries[rng.Intn(len(probeQueries))]
+					checkEstimate(runCtx, client, base, name, q, orc, rep, &repMu)
+				}
+			}
+		}(w)
+	}
+
+	wg.Wait()
+	stop()
+	inj.Disable()
+	rep.FaultsInjected = inj.Injected()
+	opts.Logger.Printf("chaos: fault phase done: %d requests, %d exact, %d stale, %d fallback, %d unavailable, %d faults",
+		atomic.LoadInt64(&rep.Requests), atomic.LoadInt64(&rep.Exact),
+		atomic.LoadInt64(&rep.Stale), atomic.LoadInt64(&rep.Fallback),
+		atomic.LoadInt64(&rep.Unavailable), rep.FaultsInjected)
+
+	// Recovery: faults are off. Re-publish every summary (the operator
+	// repair path for quarantined or torn names), then one reload must
+	// bring the server fully ready and every estimate back to exact.
+	for i, name := range names {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+			base+"/summaries/"+name, bytes.NewReader(payloads[i]))
+		if err != nil {
+			return rep, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return rep, fmt.Errorf("chaos: repair upload %s: %w", name, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			rep.violate(&repMu, "repair upload %s: status %d with faults off", name, resp.StatusCode)
+		}
+	}
+	resp, err := client.Post(base+"/reload", "application/json", nil)
+	if err != nil {
+		return rep, fmt.Errorf("chaos: recovery reload: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		rep.violate(&repMu, "recovery reload: status %d with faults off", resp.StatusCode)
+	}
+
+	resp, err = client.Get(base + "/healthz/ready")
+	if err != nil {
+		return rep, fmt.Errorf("chaos: readiness: %w", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		rep.violate(&repMu, "not ready after one recovery reload: %d %s", resp.StatusCode, body)
+	}
+	for _, name := range names {
+		for _, q := range probeQueries {
+			st, er := fetchEstimate(ctx, client, base, name, q)
+			if er != nil {
+				rep.violate(&repMu, "recovered estimate %s %q: %v", name, q, er)
+				continue
+			}
+			if st.code != http.StatusOK || st.fallback || st.stale {
+				rep.violate(&repMu, "recovered estimate %s %q degraded: code=%d fallback=%v stale=%v",
+					name, q, st.code, st.fallback, st.stale)
+				continue
+			}
+			if math.Float64bits(st.estimate) != orc[name][q] {
+				rep.violate(&repMu, "recovered estimate %s %q = %v, oracle %v",
+					name, q, st.estimate, math.Float64frombits(orc[name][q]))
+			}
+		}
+	}
+
+	// Shutdown and drain: goroutines must return to baseline.
+	if err := srv.Shutdown(); err != nil {
+		rep.violate(&repMu, "shutdown: %v", err)
+	}
+	client.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= baseline+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			rep.violate(&repMu, "goroutines did not drain: %d now vs %d baseline", runtime.NumGoroutine(), baseline)
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	if len(rep.Violations) > 0 {
+		return rep, fmt.Errorf("chaos: %d invariant violations, first: %s", len(rep.Violations), rep.Violations[0])
+	}
+	if atomic.LoadInt64(&rep.Exact) == 0 {
+		return rep, fmt.Errorf("chaos: no exact estimates observed — the run proved nothing")
+	}
+	if rep.FaultsInjected == 0 {
+		return rep, fmt.Errorf("chaos: no faults injected — the run proved nothing")
+	}
+	return rep, nil
+}
+
+type estimateStatus struct {
+	code     int
+	estimate float64
+	fallback bool
+	stale    bool
+	kind     string
+	retry    string
+}
+
+func fetchEstimate(ctx context.Context, client *http.Client, base, name, q string) (estimateStatus, error) {
+	var st estimateStatus
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		base+"/estimate?summary="+name+"&q="+q, nil)
+	if err != nil {
+		return st, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	st.code = resp.StatusCode
+	st.retry = resp.Header.Get("Retry-After")
+	var m struct {
+		Estimate float64 `json:"estimate"`
+		Fallback bool    `json:"fallback"`
+		Stale    bool    `json:"stale"`
+		Kind     string  `json:"kind"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return st, fmt.Errorf("decoding response (status %d): %w", resp.StatusCode, err)
+	}
+	st.estimate, st.fallback, st.stale, st.kind = m.Estimate, m.Fallback, m.Stale, m.Kind
+	return st, nil
+}
+
+// checkEstimate fetches one estimate and enforces the invariants.
+func checkEstimate(ctx context.Context, client *http.Client, base, name, q string, orc oracle, rep *Report, mu *sync.Mutex) {
+	st, err := fetchEstimate(ctx, client, base, name, q)
+	if err != nil {
+		return // transport errors during shutdown windows are not the server's answer
+	}
+	atomic.AddInt64(&rep.Requests, 1)
+	switch {
+	case st.code == http.StatusOK && !st.fallback:
+		if math.Float64bits(st.estimate) != orc[name][q] {
+			rep.violate(mu, "estimate %s %q = %v (stale=%v), oracle %v — corrupt answer served",
+				name, q, st.estimate, st.stale, math.Float64frombits(orc[name][q]))
+			return
+		}
+		atomic.AddInt64(&rep.Exact, 1)
+		if st.stale {
+			atomic.AddInt64(&rep.Stale, 1)
+		}
+	case st.code == http.StatusOK && st.fallback:
+		atomic.AddInt64(&rep.Fallback, 1)
+	case st.code == http.StatusServiceUnavailable:
+		if st.kind != "unavailable" || st.retry == "" {
+			rep.violate(mu, "503 without contract: kind=%q retry-after=%q", st.kind, st.retry)
+			return
+		}
+		atomic.AddInt64(&rep.Unavailable, 1)
+	default:
+		rep.violate(mu, "unexpected status %d for %s %q (kind=%q)", st.code, name, q, st.kind)
+	}
+}
+
+// checkBatch fetches all probe queries in one batch and enforces the
+// same invariants per slot.
+func checkBatch(ctx context.Context, client *http.Client, base, name string, orc oracle, rep *Report, mu *sync.Mutex) {
+	payload, _ := json.Marshal(map[string]any{"summary": name, "queries": probeQueries})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		base+"/estimate/batch", bytes.NewReader(payload))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	atomic.AddInt64(&rep.Requests, 1)
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		atomic.AddInt64(&rep.Unavailable, 1)
+		io.Copy(io.Discard, resp.Body)
+		return
+	}
+	if resp.StatusCode != http.StatusOK {
+		rep.violate(mu, "batch status %d for %s", resp.StatusCode, name)
+		return
+	}
+	var body struct {
+		Results []struct {
+			Estimate float64 `json:"estimate"`
+			Fallback bool    `json:"fallback"`
+			Error    string  `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		rep.violate(mu, "batch decode for %s: %v", name, err)
+		return
+	}
+	if len(body.Results) != len(probeQueries) {
+		rep.violate(mu, "batch returned %d slots for %d queries", len(body.Results), len(probeQueries))
+		return
+	}
+	for i, item := range body.Results {
+		switch {
+		case item.Error != "" || item.Fallback:
+			atomic.AddInt64(&rep.Fallback, 1)
+		case math.Float64bits(item.Estimate) != orc[name][probeQueries[i]]:
+			rep.violate(mu, "batch estimate %s %q = %v, oracle %v — corrupt answer served",
+				name, probeQueries[i], item.Estimate, math.Float64frombits(orc[name][probeQueries[i]]))
+		default:
+			atomic.AddInt64(&rep.Exact, 1)
+		}
+	}
+}
+
+// sleepCtx sleeps d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}

@@ -1,0 +1,81 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestChaos is the race-clean chaos gate (`make chaos`). The default
+// duration keeps CI fast; XPEST_CHAOS_DURATION stretches it for longer
+// soak runs (make chaos sets 8s).
+func TestChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run skipped in -short mode")
+	}
+	dur := 2 * time.Second
+	if env := os.Getenv("XPEST_CHAOS_DURATION"); env != "" {
+		d, err := time.ParseDuration(env)
+		if err != nil {
+			t.Fatalf("bad XPEST_CHAOS_DURATION %q: %v", env, err)
+		}
+		dur = d
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), dur+30*time.Second)
+	defer cancel()
+
+	rep, err := Run(ctx, Options{
+		Seed:     42,
+		Duration: dur,
+		Workers:  6,
+		Dir:      t.TempDir(),
+		Logger:   log.New(testWriter{t}, "", 0),
+	})
+	if err != nil {
+		for _, v := range rep.Violations {
+			t.Errorf("violation: %s", v)
+		}
+		t.Fatalf("chaos run failed: %v", err)
+	}
+	t.Logf("chaos: %d requests, %d exact (%d stale), %d fallback, %d unavailable, %d faults over %d windows, %d reloads, %d uploads",
+		rep.Requests, rep.Exact, rep.Stale, rep.Fallback, rep.Unavailable,
+		rep.FaultsInjected, rep.FaultWindows, rep.Reloads, rep.Uploads)
+}
+
+// TestChaosSeeds runs short sessions across several seeds so a single
+// lucky schedule can't hide an invariant breach.
+func TestChaosSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run skipped in -short mode")
+	}
+	for _, seed := range []int64{7, 1234} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+			defer cancel()
+			rep, err := Run(ctx, Options{
+				Seed:      seed,
+				Duration:  700 * time.Millisecond,
+				Workers:   4,
+				Summaries: 3,
+				Dir:       t.TempDir(),
+			})
+			if err != nil {
+				for _, v := range rep.Violations {
+					t.Errorf("violation: %s", v)
+				}
+				t.Fatalf("chaos run (seed %d) failed: %v", seed, err)
+			}
+		})
+	}
+}
+
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Log(string(p))
+	return len(p), nil
+}

@@ -1,0 +1,276 @@
+// Package faultinject is a deterministic, seeded fault injector for
+// filesystem-shaped dependencies. It wraps any implementation of the
+// FS seam (the durable summary store's filesystem interface has the
+// same shape) and perturbs its operations according to a Profile:
+// injected open/read/write/sync/rename errors, short reads that
+// truncate a file mid-stream, injected latency, and torn writes that
+// cut a file short exactly as a crashed process would.
+//
+// Everything is driven by a single seeded PRNG, so a failing run is
+// reproducible from its seed; the profile swaps atomically, so a chaos
+// driver can flap faults on and off while other goroutines are mid-
+// operation. Scripted one-shot faults (FailNextWriteAfter) give tests
+// byte-exact control over where a write tears.
+//
+// The injected error is ErrInjected — deliberately a bare error, not a
+// guard sentinel: it simulates the environment (EIO, ENOSPC, a kernel
+// that lost a write), which production code must classify as transient
+// I/O, never as one of its own taxonomy's input errors.
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the error returned by every injected fault.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// FS is the filesystem seam the injector wraps. It is structurally
+// identical to the durable summary store's FS interface — only stdlib
+// types appear in the signatures, so an *Injector satisfies that
+// interface without either package importing the other.
+type FS interface {
+	Open(name string) (fs.File, error)
+	Create(name string) (io.WriteCloser, error)
+	Rename(oldname, newname string) error
+	Remove(name string) error
+	ReadDir(name string) ([]fs.DirEntry, error)
+	Sync(name string) error
+}
+
+// Profile sets the per-operation fault probabilities (each in [0,1])
+// and injected latencies. The zero Profile injects nothing.
+type Profile struct {
+	OpenErr   float64 // Open returns ErrInjected
+	ReadErr   float64 // a Read call returns ErrInjected
+	ShortRead float64 // a Read call truncates the file from here on (early EOF)
+	WriteErr  float64 // a Write call tears: partial bytes written, then ErrInjected
+	SyncErr   float64 // file or directory Sync returns ErrInjected
+	RenameErr float64 // Rename returns ErrInjected without renaming
+
+	ReadLatency  time.Duration // injected before each Read call
+	WriteLatency time.Duration // injected before each Write call
+}
+
+// Injector wraps an FS and injects faults per the active profile.
+// Safe for concurrent use.
+type Injector struct {
+	inner   FS
+	profile atomic.Pointer[Profile]
+
+	mu  sync.Mutex
+	rng *rand.Rand // guarded by mu
+
+	// tornAfter scripts the next created file: it accepts that many
+	// bytes, then every Write and Sync fails. -1 = disarmed.
+	tornAfter atomic.Int64
+
+	injected atomic.Int64 // faults injected (all kinds)
+	ops      atomic.Int64 // operations seen (Open/Read/Write/...)
+}
+
+// New wraps inner with a disarmed injector seeded for reproducibility.
+func New(seed int64, inner FS) *Injector {
+	inj := &Injector{inner: inner, rng: rand.New(rand.NewSource(seed))}
+	inj.profile.Store(&Profile{})
+	inj.tornAfter.Store(-1)
+	return inj
+}
+
+// SetProfile atomically installs a new fault profile; Profile{}
+// disables injection. In-flight operations may still complete under
+// the profile they started with — exactly the race a real fault has.
+func (i *Injector) SetProfile(p Profile) { i.profile.Store(&p) }
+
+// Disable turns all probabilistic injection off.
+func (i *Injector) Disable() { i.SetProfile(Profile{}) }
+
+// FailNextWriteAfter arms a one-shot torn write: the next file opened
+// via Create accepts exactly n bytes, then every further Write (and
+// Sync) fails with ErrInjected — the write is torn at byte n, as if
+// the process died there.
+func (i *Injector) FailNextWriteAfter(n int) { i.tornAfter.Store(int64(n)) }
+
+// Injected returns the number of faults injected so far.
+func (i *Injector) Injected() int64 { return i.injected.Load() }
+
+// Ops returns the number of filesystem operations observed.
+func (i *Injector) Ops() int64 { return i.ops.Load() }
+
+// hit draws one Bernoulli trial at probability p.
+func (i *Injector) hit(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	i.mu.Lock()
+	v := i.rng.Float64()
+	i.mu.Unlock()
+	if v < p {
+		i.injected.Add(1)
+		return true
+	}
+	return false
+}
+
+func (i *Injector) Open(name string) (fs.File, error) {
+	i.ops.Add(1)
+	p := i.profile.Load()
+	if i.hit(p.OpenErr) {
+		return nil, ErrInjected
+	}
+	f, err := i.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, inj: i, truncAt: -1}, nil
+}
+
+func (i *Injector) Create(name string) (io.WriteCloser, error) {
+	i.ops.Add(1)
+	w, err := i.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	fw := &faultWriter{w: w, inj: i, tornAt: -1}
+	if n := i.tornAfter.Swap(-1); n >= 0 {
+		fw.tornAt = n
+		i.injected.Add(1)
+	}
+	return fw, nil
+}
+
+func (i *Injector) Rename(oldname, newname string) error {
+	i.ops.Add(1)
+	if i.hit(i.profile.Load().RenameErr) {
+		return ErrInjected
+	}
+	return i.inner.Rename(oldname, newname)
+}
+
+func (i *Injector) Remove(name string) error {
+	i.ops.Add(1)
+	return i.inner.Remove(name)
+}
+
+func (i *Injector) ReadDir(name string) ([]fs.DirEntry, error) {
+	i.ops.Add(1)
+	return i.inner.ReadDir(name)
+}
+
+func (i *Injector) Sync(name string) error {
+	i.ops.Add(1)
+	if i.hit(i.profile.Load().SyncErr) {
+		return ErrInjected
+	}
+	return i.inner.Sync(name)
+}
+
+// faultFile perturbs reads from one open file.
+type faultFile struct {
+	f        fs.File
+	inj      *Injector
+	consumed int64
+	truncAt  int64 // once ≥ 0, the file "ends" there; -1 = intact
+}
+
+func (ff *faultFile) Stat() (fs.FileInfo, error) { return ff.f.Stat() }
+func (ff *faultFile) Close() error               { return ff.f.Close() }
+
+func (ff *faultFile) Read(b []byte) (int, error) {
+	ff.inj.ops.Add(1)
+	p := ff.inj.profile.Load()
+	if p.ReadLatency > 0 {
+		time.Sleep(p.ReadLatency)
+	}
+	if ff.truncAt >= 0 && ff.consumed >= ff.truncAt {
+		return 0, io.EOF
+	}
+	if ff.inj.hit(p.ReadErr) {
+		return 0, ErrInjected
+	}
+	if ff.truncAt < 0 && ff.inj.hit(p.ShortRead) && len(b) > 0 {
+		// Truncate the file partway through this read: serve a short
+		// prefix, then EOF forever — a torn file image, not an error.
+		ff.inj.mu.Lock()
+		cut := ff.inj.rng.Intn(len(b))
+		ff.inj.mu.Unlock()
+		ff.truncAt = ff.consumed + int64(cut)
+	}
+	if ff.truncAt >= 0 {
+		if room := ff.truncAt - ff.consumed; int64(len(b)) > room {
+			b = b[:room]
+		}
+		if len(b) == 0 {
+			return 0, io.EOF
+		}
+	}
+	n, err := ff.f.Read(b)
+	ff.consumed += int64(n)
+	return n, err
+}
+
+// faultWriter perturbs writes to one file being created.
+type faultWriter struct {
+	w       io.WriteCloser
+	inj     *Injector
+	written int64
+	tornAt  int64 // scripted tear point; -1 = none scripted
+	dead    bool  // a tear happened; everything fails from here
+}
+
+func (fw *faultWriter) Write(b []byte) (int, error) {
+	fw.inj.ops.Add(1)
+	p := fw.inj.profile.Load()
+	if p.WriteLatency > 0 {
+		time.Sleep(p.WriteLatency)
+	}
+	if fw.dead {
+		return 0, ErrInjected
+	}
+	// A scripted tear cuts at an exact byte offset; a probabilistic
+	// tear cuts at a random point inside this write.
+	cut := int64(-1)
+	if fw.tornAt >= 0 && fw.written+int64(len(b)) > fw.tornAt {
+		cut = fw.tornAt - fw.written
+	} else if fw.inj.hit(p.WriteErr) && len(b) > 0 {
+		fw.inj.mu.Lock()
+		cut = int64(fw.inj.rng.Intn(len(b)))
+		fw.inj.mu.Unlock()
+	}
+	if cut >= 0 {
+		fw.dead = true
+		n, _ := fw.w.Write(b[:cut])
+		fw.written += int64(n)
+		return n, ErrInjected
+	}
+	n, err := fw.w.Write(b)
+	fw.written += int64(n)
+	return n, err
+}
+
+func (fw *faultWriter) Sync() error {
+	fw.inj.ops.Add(1)
+	if fw.dead || fw.inj.hit(fw.inj.profile.Load().SyncErr) {
+		return ErrInjected
+	}
+	if s, ok := fw.w.(interface{ Sync() error }); ok {
+		return s.Sync()
+	}
+	return nil
+}
+
+func (fw *faultWriter) Close() error {
+	// Close always reaches the inner file so descriptors never leak,
+	// but a torn writer still reports the failure.
+	err := fw.w.Close()
+	if fw.dead {
+		return ErrInjected
+	}
+	return err
+}

@@ -1,0 +1,287 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// osFS is the minimal real-filesystem backend the tests wrap; the
+// production equivalent lives in the summary store.
+type osFS struct{ dir string }
+
+func (o osFS) Open(name string) (fs.File, error) { return os.Open(filepath.Join(o.dir, name)) }
+func (o osFS) Create(name string) (io.WriteCloser, error) {
+	return os.Create(filepath.Join(o.dir, name))
+}
+func (o osFS) Rename(oldname, newname string) error {
+	return os.Rename(filepath.Join(o.dir, oldname), filepath.Join(o.dir, newname))
+}
+func (o osFS) Remove(name string) error { return os.Remove(filepath.Join(o.dir, name)) }
+func (o osFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	return os.ReadDir(filepath.Join(o.dir, name))
+}
+func (o osFS) Sync(name string) error {
+	f, err := os.Open(filepath.Join(o.dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+func newTestFS(t *testing.T) (*Injector, osFS) {
+	t.Helper()
+	base := osFS{dir: t.TempDir()}
+	return New(1, base), base
+}
+
+func writeFile(t *testing.T, fsys FS, name string, data []byte) {
+	t.Helper()
+	w, err := fsys.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readFile(fsys FS, name string) ([]byte, error) {
+	f, err := fsys.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// TestPassthrough: a disarmed injector is a faithful proxy.
+func TestPassthrough(t *testing.T) {
+	inj, _ := newTestFS(t)
+	payload := bytes.Repeat([]byte("xpath"), 100)
+	writeFile(t, inj, "a.bin", payload)
+	got, err := readFile(inj, "a.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("round trip mismatch: %d bytes vs %d", len(got), len(payload))
+	}
+	if err := inj.Rename("a.bin", "b.bin"); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := inj.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "b.bin" {
+		t.Fatalf("unexpected dir listing %v", ents)
+	}
+	if err := inj.Sync("b.bin"); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Remove("b.bin"); err != nil {
+		t.Fatal(err)
+	}
+	if n := inj.Injected(); n != 0 {
+		t.Fatalf("disarmed injector injected %d faults", n)
+	}
+	if inj.Ops() == 0 {
+		t.Fatal("operations not counted")
+	}
+}
+
+// TestDeterministic: the same seed and workload inject the same faults
+// at the same points — the property that makes chaos runs replayable.
+func TestDeterministic(t *testing.T) {
+	run := func(seed int64) []string {
+		base := osFS{dir: t.TempDir()}
+		inj := New(seed, base)
+		writeFile(t, inj, "a.bin", bytes.Repeat([]byte{7}, 4096))
+		inj.SetProfile(Profile{OpenErr: 0.3, ReadErr: 0.3, ShortRead: 0.3})
+		var trace []string
+		for i := 0; i < 50; i++ {
+			got, err := readFile(inj, "a.bin")
+			switch {
+			case errors.Is(err, ErrInjected):
+				trace = append(trace, "err")
+			case err != nil:
+				t.Fatalf("unexpected error class: %v", err)
+			case len(got) != 4096:
+				trace = append(trace, "short")
+			default:
+				trace = append(trace, "ok")
+			}
+		}
+		return trace
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at op %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault traces")
+	}
+}
+
+// TestShortRead: a short-read fault serves a strict prefix then EOF —
+// a torn file image, never an error and never extra bytes.
+func TestShortRead(t *testing.T) {
+	inj, _ := newTestFS(t)
+	payload := bytes.Repeat([]byte{0xAB}, 8192)
+	writeFile(t, inj, "a.bin", payload)
+	inj.SetProfile(Profile{ShortRead: 1})
+	got, err := readFile(inj, "a.bin")
+	if err != nil {
+		t.Fatalf("short read must surface as EOF, got %v", err)
+	}
+	if len(got) >= len(payload) {
+		t.Fatalf("short read served %d of %d bytes", len(got), len(payload))
+	}
+	if !bytes.Equal(got, payload[:len(got)]) {
+		t.Fatal("short read is not a prefix of the file")
+	}
+}
+
+// TestScriptedTornWrite: FailNextWriteAfter cuts at the exact byte and
+// poisons the handle, including across multiple Write calls.
+func TestScriptedTornWrite(t *testing.T) {
+	inj, base := newTestFS(t)
+	inj.FailNextWriteAfter(10)
+	w, err := inj.Create("torn.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := w.Write(bytes.Repeat([]byte{1}, 8))
+	if n != 8 || err != nil {
+		t.Fatalf("write before tear: n=%d err=%v", n, err)
+	}
+	n, err = w.Write(bytes.Repeat([]byte{2}, 8))
+	if n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("tearing write: n=%d err=%v, want n=2 ErrInjected", n, err)
+	}
+	if _, err := w.Write([]byte{3}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write after tear: %v", err)
+	}
+	if s, ok := w.(interface{ Sync() error }); !ok {
+		t.Fatal("fault writer lost Sync")
+	} else if err := s.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync after tear: %v", err)
+	}
+	if err := w.Close(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("close after tear: %v", err)
+	}
+	got, err := readFile(base, "torn.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("torn file holds %d bytes, want exactly 10", len(got))
+	}
+	// One-shot: the next Create is clean.
+	writeFile(t, inj, "ok.bin", []byte("fine"))
+	if got, err := readFile(base, "ok.bin"); err != nil || string(got) != "fine" {
+		t.Fatalf("create after tear: %q %v", got, err)
+	}
+}
+
+// TestInjectedErrors: each probability-1 knob fires with ErrInjected.
+func TestInjectedErrors(t *testing.T) {
+	inj, _ := newTestFS(t)
+	writeFile(t, inj, "a.bin", []byte("payload"))
+
+	inj.SetProfile(Profile{OpenErr: 1})
+	if _, err := inj.Open("a.bin"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("open: %v", err)
+	}
+
+	inj.SetProfile(Profile{ReadErr: 1})
+	if _, err := readFile(inj, "a.bin"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read: %v", err)
+	}
+
+	inj.SetProfile(Profile{RenameErr: 1})
+	if err := inj.Rename("a.bin", "b.bin"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename: %v", err)
+	}
+	inj.Disable()
+	if _, err := readFile(inj, "a.bin"); err != nil {
+		t.Fatalf("rename must not have moved the file: %v", err)
+	}
+
+	inj.SetProfile(Profile{SyncErr: 1})
+	if err := inj.Sync("a.bin"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync: %v", err)
+	}
+
+	inj.SetProfile(Profile{WriteErr: 1})
+	w, err := inj.Create("c.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("data")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write: %v", err)
+	}
+	w.Close()
+
+	if inj.Injected() == 0 {
+		t.Fatal("fault counter did not advance")
+	}
+}
+
+// TestLatency: injected read latency is observable.
+func TestLatency(t *testing.T) {
+	inj, _ := newTestFS(t)
+	writeFile(t, inj, "a.bin", []byte("x"))
+	inj.SetProfile(Profile{ReadLatency: 20 * time.Millisecond})
+	start := time.Now()
+	if _, err := readFile(inj, "a.bin"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("read returned in %v, latency not injected", d)
+	}
+}
+
+// TestConcurrentFlap: readers race profile swaps; run under -race.
+func TestConcurrentFlap(t *testing.T) {
+	inj, _ := newTestFS(t)
+	writeFile(t, inj, "a.bin", bytes.Repeat([]byte{9}, 1024))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			inj.SetProfile(Profile{ReadErr: 0.5, ShortRead: 0.5})
+			inj.SetProfile(Profile{})
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		got, err := readFile(inj, "a.bin")
+		if err != nil && !errors.Is(err, ErrInjected) {
+			t.Fatalf("unexpected error class: %v", err)
+		}
+		if err == nil && len(got) > 1024 {
+			t.Fatalf("read returned %d bytes from a 1024-byte file", len(got))
+		}
+	}
+	<-done
+}

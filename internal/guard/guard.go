@@ -21,6 +21,9 @@
 //     side, not hostile input;
 //   - ErrCanceled: the caller's context was canceled or its deadline
 //     expired before the operation completed;
+//   - ErrUnavailable: the operation cannot be served *right now* —
+//     overload shedding, an open load circuit breaker — but is expected
+//     to succeed if retried after a short wait;
 //   - ErrInternal: a recovered panic or a broken internal invariant —
 //     an actual bug, never the input's fault.
 package guard
@@ -30,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"time"
 )
 
 // Sentinel errors of the taxonomy. They are compared with errors.Is;
@@ -41,8 +45,32 @@ var (
 	ErrMalformedDocument = errors.New("malformed document")
 	ErrInvalidArgument   = errors.New("invalid argument")
 	ErrCanceled          = errors.New("operation canceled")
+	ErrUnavailable       = errors.New("temporarily unavailable")
 	ErrInternal          = errors.New("internal error")
 )
+
+// UnavailableError is a transient refusal to serve: the server is
+// shedding load or a load circuit breaker is open. It wraps
+// ErrUnavailable and carries the retry hint HTTP layers surface as a
+// Retry-After header.
+type UnavailableError struct {
+	What       string        // what is unavailable, e.g. "summary plays"
+	RetryAfter time.Duration // suggested wait before retrying (0 = caller's choice)
+}
+
+func (e *UnavailableError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("%s: retry after %s: %v", e.What, e.RetryAfter, ErrUnavailable)
+	}
+	return fmt.Sprintf("%s: %v", e.What, ErrUnavailable)
+}
+
+func (e *UnavailableError) Unwrap() error { return ErrUnavailable }
+
+// Unavailable builds an *UnavailableError.
+func Unavailable(what string, retryAfter time.Duration) error {
+	return &UnavailableError{What: what, RetryAfter: retryAfter}
+}
 
 // Limits bounds the resources one untrusted input may consume. The
 // zero value means "unlimited" for every dimension, preserving the

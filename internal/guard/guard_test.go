@@ -3,7 +3,9 @@ package guard
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
+	"time"
 )
 
 func TestZeroLimitsAreUnlimited(t *testing.T) {
@@ -89,5 +91,33 @@ func TestSafeRecoversPanics(t *testing.T) {
 	sentinel := errors.New("x")
 	if err := Safe("err", func() error { return sentinel }); err != sentinel {
 		t.Errorf("error passthrough: %v", err)
+	}
+}
+
+func TestUnavailableError(t *testing.T) {
+	err := Unavailable("summary plays", 3*time.Second)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("got %v, want ErrUnavailable", err)
+	}
+	var ue *UnavailableError
+	if !errors.As(err, &ue) {
+		t.Fatalf("got %T, want *UnavailableError", err)
+	}
+	if ue.RetryAfter != 3*time.Second || ue.What != "summary plays" {
+		t.Errorf("unavailable error fields: %+v", ue)
+	}
+	if !strings.Contains(err.Error(), "retry after") {
+		t.Errorf("error text misses retry hint: %v", err)
+	}
+	// Without a hint the message stays terse.
+	terse := Unavailable("overloaded", 0)
+	if strings.Contains(terse.Error(), "retry after") {
+		t.Errorf("zero hint leaked into text: %v", terse)
+	}
+	// Unavailable is transient, never one of the bad-input sentinels.
+	for _, s := range []error{ErrCorruptSummary, ErrMalformedQuery, ErrInternal, ErrLimitExceeded} {
+		if errors.Is(err, s) {
+			t.Errorf("ErrUnavailable must not wrap %v", s)
+		}
 	}
 }

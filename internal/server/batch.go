@@ -205,8 +205,10 @@ func (s *Server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.batchQueries.Add(int64(len(req.Queries)))
 
+	// Stale entries carry a last-good summary — they estimate normally
+	// (same proven bytes); only a name with nothing loadable degrades.
 	e, ok := s.reg.get(req.Summary)
-	degraded := !ok || e.loadErr != nil
+	degraded := !ok || e.sum == nil
 	reason := ""
 	if degraded {
 		reason = "summary not loaded"

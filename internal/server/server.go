@@ -13,6 +13,15 @@
 //     torments in-flight estimates, and a summary that fails to load
 //     degrades that name to low-confidence fallback estimates instead
 //     of taking the endpoint down;
+//   - summaries persist through the durable summarystore (atomic
+//     writes, checksummed reads, retry with backoff, quarantine), and
+//     the load state machine serves the last-good version when a reload
+//     fails (stale-serving) — a reload can freeze the served view but
+//     never blank it;
+//   - a per-name circuit breaker stops reloads from hammering a
+//     persistently failing file; /healthz/live and /healthz/ready split
+//     liveness from readiness so orchestrators see degradation without
+//     killing a process that is still serving;
 //   - shutdown is graceful: on context cancellation the listener closes
 //     immediately and in-flight requests drain up to DrainTimeout.
 package server
@@ -26,8 +35,8 @@ import (
 	"net"
 	"net/http"
 	"os"
-	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -35,6 +44,7 @@ import (
 
 	"xpathest"
 	"xpathest/internal/guard"
+	"xpathest/internal/summarystore"
 )
 
 // Config tunes the service. The zero value of each field falls back to
@@ -66,6 +76,29 @@ type Config struct {
 	EnablePanicRoute bool
 	// Logger receives operational messages (default log.Default()).
 	Logger *log.Logger
+
+	// StoreFS overrides the summary store's filesystem — tests and the
+	// chaos harness plug a faultinject.Injector here. When set, the
+	// store is active even if SummaryDir is empty.
+	StoreFS summarystore.FS
+	// StoreReadRetries / StoreBackoffBase / StoreBackoffMax /
+	// QuarantineAfter forward to summarystore.Config (see its docs for
+	// defaults).
+	StoreReadRetries int
+	StoreBackoffBase time.Duration
+	StoreBackoffMax  time.Duration
+	QuarantineAfter  int
+	// BreakerThreshold is the number of consecutive failed loads after
+	// which a name's circuit breaker opens (default 3).
+	BreakerThreshold int
+	// BreakerCooldown suppresses half-open probes for this long after
+	// the breaker opens. The default 0 probes on every reload.
+	BreakerCooldown time.Duration
+	// StartupRetries is how many times the initial summary load retries
+	// a listing failure before New gives up (default 2); the delay
+	// doubles from StartupBackoff (default 200ms).
+	StartupRetries int
+	StartupBackoff time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -93,16 +126,31 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = log.Default()
 	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.StartupRetries < 0 {
+		c.StartupRetries = 0
+	} else if c.StartupRetries == 0 {
+		c.StartupRetries = 2
+	}
+	if c.StartupBackoff <= 0 {
+		c.StartupBackoff = 200 * time.Millisecond
+	}
 	return c
 }
 
 // entry is one named summary in the registry. A load failure is kept —
 // not dropped — so /estimate can degrade gracefully and /summaries can
-// report why the name is unhealthy.
+// report why the name is unhealthy. When a reload fails for a name
+// that loaded before, the entry carries the last-good summary forward
+// with stale set: estimates keep answering from the proven bytes while
+// the failure stays visible. Entries are immutable after publication.
 type entry struct {
 	sum     *xpathest.Summary
 	loadErr error
 	loaded  time.Time
+	stale   bool
 }
 
 // registry is the atomically-swappable name→summary map. Readers grab
@@ -161,26 +209,39 @@ type Server struct {
 	ln      net.Listener // nil until Start; guarded by lnGuard
 	lnGuard sync.Mutex
 
+	store    *summarystore.Store // nil when no store is configured
+	breakers *breakerSet
+	// reloadMu serializes load-state-machine passes; registry swaps
+	// stay atomic for readers.
+	reloadMu    sync.Mutex
+	startupDone atomic.Bool
+
 	started      time.Time
 	requests     atomic.Int64
 	panics       atomic.Int64
 	shed         atomic.Int64
 	batches      atomic.Int64
 	batchQueries atomic.Int64
+	reloads      atomic.Int64
+	unavailable  atomic.Int64
 }
 
-// New builds a Server and, if cfg.SummaryDir is set, loads the *.xpsum
-// files found there under ctx — canceling it aborts the initial load.
-// Load failures do not fail construction — the affected names serve
-// fallback estimates and the failure is visible in GET /summaries.
+// New builds a Server and, if a summary store is configured
+// (cfg.SummaryDir or cfg.StoreFS), loads the *.xpsum files found there
+// under ctx — canceling it aborts the initial load. Per-name load
+// failures do not fail construction — the affected names serve
+// fallback estimates and the failure is visible in GET /summaries. A
+// store listing failure (the disk itself misbehaving) retries
+// cfg.StartupRetries times with doubling backoff before New gives up.
 func New(ctx context.Context, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:    cfg,
-		reg:    newRegistry(),
-		sem:    make(chan struct{}, cfg.MaxInFlight),
-		plans:  newPlanCache(cfg.PlanCacheSize),
-		flight: newFlightGroup(),
+		cfg:      cfg,
+		reg:      newRegistry(),
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		plans:    newPlanCache(cfg.PlanCacheSize),
+		flight:   newFlightGroup(),
+		breakers: newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown),
 	}
 	s.mux = http.NewServeMux()
 	s.routes()
@@ -189,16 +250,61 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 		Handler:           s.middleware(s.mux),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	if cfg.SummaryDir != "" {
-		if err := s.reload(ctx); err != nil {
+	if cfg.SummaryDir != "" || cfg.StoreFS != nil {
+		fsys := cfg.StoreFS
+		if fsys == nil {
+			fsys = summarystore.Dir(cfg.SummaryDir)
+		}
+		store, err := summarystore.Open(summarystore.Config{
+			FS:              fsys,
+			Limits:          cfg.Limits,
+			ReadRetries:     cfg.StoreReadRetries,
+			BackoffBase:     cfg.StoreBackoffBase,
+			BackoffMax:      cfg.StoreBackoffMax,
+			QuarantineAfter: cfg.QuarantineAfter,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
+		if err := s.startupLoad(ctx); err != nil {
 			return nil, err
 		}
 	}
+	s.startupDone.Store(true)
 	return s, nil
+}
+
+// startupLoad runs the initial reload, retrying listing failures with
+// doubling backoff. Per-name failures are not retried here beyond what
+// the store already does — the running server's reloads and breakers
+// own that from now on.
+func (s *Server) startupLoad(ctx context.Context) error {
+	delay := s.cfg.StartupBackoff
+	for attempt := 0; ; attempt++ {
+		_, err := s.reload(ctx)
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, guard.ErrCanceled) || attempt >= s.cfg.StartupRetries {
+			return err
+		}
+		s.cfg.Logger.Printf("server: startup load attempt %d failed, retrying in %s: %v", attempt+1, delay, err)
+		t := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return guard.CheckContext(ctx)
+		case <-t.C:
+		}
+		delay *= 2
+	}
 }
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /healthz/live", s.handleHealthzLive)
+	s.mux.HandleFunc("GET /healthz/ready", s.handleHealthzReady)
 	s.mux.HandleFunc("/estimate", s.handleEstimate)
 	s.mux.HandleFunc("POST /estimate/batch", s.handleEstimateBatch)
 	s.mux.HandleFunc("GET /summaries", s.handleList)
@@ -225,16 +331,18 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 				writeError(w, &guard.PanicError{Op: r.URL.Path, Value: rec})
 			}
 		}()
-		select {
-		case s.sem <- struct{}{}:
-			defer func() { <-s.sem }()
-		default:
-			s.shed.Add(1)
-			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-				"error": "server at capacity", "kind": "overloaded",
-			})
-			return
+		// Liveness must answer even at capacity: an orchestrator probing
+		// /healthz/live during a load spike must not conclude the
+		// process is dead and kill a server that is merely busy.
+		if r.URL.Path != "/healthz/live" {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			default:
+				s.shed.Add(1)
+				writeError(w, guard.Unavailable("server at capacity", time.Second))
+				return
+			}
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
@@ -261,6 +369,8 @@ func statusFor(err error) (int, string) {
 		return http.StatusBadRequest, "invalid_argument"
 	case errors.Is(err, guard.ErrLimitExceeded):
 		return http.StatusRequestEntityTooLarge, "limit_exceeded"
+	case errors.Is(err, guard.ErrUnavailable):
+		return http.StatusServiceUnavailable, "unavailable"
 	case errors.Is(err, guard.ErrCanceled),
 		errors.Is(err, context.DeadlineExceeded),
 		errors.Is(err, context.Canceled),
@@ -273,6 +383,13 @@ func statusFor(err error) (int, string) {
 
 func writeError(w http.ResponseWriter, err error) {
 	code, kind := statusFor(err)
+	var unavail *guard.UnavailableError
+	if errors.As(err, &unavail) && unavail.RetryAfter > 0 {
+		// Ceil to whole seconds; Retry-After: 0 would invite an
+		// immediate retry storm.
+		secs := (unavail.RetryAfter + time.Second - 1) / time.Second
+		w.Header().Set("Retry-After", strconv.FormatInt(int64(secs), 10))
+	}
 	msg := err.Error()
 	if code == http.StatusInternalServerError {
 		// Internal detail (including panic stacks) stays in the log.
@@ -295,21 +412,61 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 			healthy++
 		}
 	}
+	st := s.resilience()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":             "ok",
-		"uptime_seconds":     int(time.Since(s.started).Seconds()),
-		"summaries":          len(snap),
-		"summaries_healthy":  healthy,
-		"requests_total":     s.requests.Load(),
-		"requests_shed":      s.shed.Load(),
-		"panics_recovered":   s.panics.Load(),
-		"max_in_flight":      s.cfg.MaxInFlight,
-		"request_timeout_ms": s.cfg.RequestTimeout.Milliseconds(),
-		"batch_requests":     s.batches.Load(),
-		"batch_queries":      s.batchQueries.Load(),
-		"plan_cache_hits":    s.plans.hits.Load(),
-		"plan_cache_misses":  s.plans.misses.Load(),
-		"dedup_shared":       s.flight.shared.Load(),
+		"status":                "ok",
+		"uptime_seconds":        int(time.Since(s.started).Seconds()),
+		"summaries":             len(snap),
+		"summaries_healthy":     healthy,
+		"summaries_stale":       st.stale,
+		"summaries_failed":      st.failed,
+		"summaries_quarantined": st.quarantined,
+		"breakers_open":         st.breakersOpen,
+		"reloads":               s.reloads.Load(),
+		"requests_total":        s.requests.Load(),
+		"requests_shed":         s.shed.Load(),
+		"requests_unavailable":  s.unavailable.Load(),
+		"panics_recovered":      s.panics.Load(),
+		"max_in_flight":         s.cfg.MaxInFlight,
+		"request_timeout_ms":    s.cfg.RequestTimeout.Milliseconds(),
+		"batch_requests":        s.batches.Load(),
+		"batch_queries":         s.batchQueries.Load(),
+		"plan_cache_hits":       s.plans.hits.Load(),
+		"plan_cache_misses":     s.plans.misses.Load(),
+		"dedup_shared":          s.flight.shared.Load(),
+	})
+}
+
+// handleHealthzLive is pure liveness: the process is up and the
+// handler stack works. It says nothing about summaries — a fully
+// degraded server is still alive and must not be restarted into a
+// crash loop that serves nothing at all.
+func (s *Server) handleHealthzLive(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "alive"})
+}
+
+// handleHealthzReady is readiness: 200 only when startup finished and
+// every non-quarantined summary is fresh (no failures, no stale
+// serving, no open breakers). Quarantined names are reported but do
+// not block — they need an operator, and the rest of the store serves
+// correctly. The body carries the counters either way, so an operator
+// sees why the server is not ready without grepping logs.
+func (s *Server) handleHealthzReady(w http.ResponseWriter, _ *http.Request) {
+	ready, st := s.ready()
+	code := http.StatusOK
+	status := "ready"
+	if !ready {
+		code = http.StatusServiceUnavailable
+		status = "degraded"
+	}
+	writeJSON(w, code, map[string]any{
+		"status":                status,
+		"startup_done":          s.startupDone.Load(),
+		"summaries_ok":          st.ok,
+		"summaries_stale":       st.stale,
+		"summaries_failed":      st.failed,
+		"summaries_quarantined": st.quarantined,
+		"breakers_open":         st.breakersOpen,
 	})
 }
 
@@ -322,6 +479,7 @@ type estimateResponse struct {
 	Estimate   float64 `json:"estimate"`
 	Confidence string  `json:"confidence"`
 	Fallback   bool    `json:"fallback"`
+	Stale      bool    `json:"stale,omitempty"`
 	Reason     string  `json:"reason,omitempty"`
 }
 
@@ -351,7 +509,15 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	e, ok := s.reg.get(name)
-	if !ok || e.loadErr != nil {
+	if !ok || e.sum == nil {
+		// No last-good summary to serve. If the breaker is open the
+		// name is known-broken and actively cooling down — tell the
+		// client to come back rather than hand out fallback guesses.
+		if ok && s.breakers.isOpen(name) {
+			s.unavailable.Add(1)
+			writeError(w, guard.Unavailable("summary "+name, s.retryAfter()))
+			return
+		}
 		reason := "summary not loaded"
 		if ok {
 			reason = fmt.Sprintf("summary failed to load: %v", e.loadErr)
@@ -376,6 +542,10 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		Query:      canonical,
 		Estimate:   v,
 		Confidence: "normal",
+		// Stale marks answers served from the last good version while
+		// the current on-disk file is failing — same proven bytes, so
+		// the value itself is as trustworthy as before the fault.
+		Stale: e.stale,
 	})
 }
 
@@ -391,7 +561,14 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 	for name, e := range snap {
 		it := item{Name: name, Status: "ok", Loaded: e.loaded.UTC().Format(time.RFC3339)}
 		if e.loadErr != nil {
-			it.Status = "failed"
+			switch {
+			case errors.Is(e.loadErr, summarystore.ErrQuarantined):
+				it.Status = "quarantined"
+			case e.stale:
+				it.Status = "stale"
+			default:
+				it.Status = "failed"
+			}
 			it.Error = e.loadErr.Error()
 		}
 		items = append(items, it)
@@ -432,8 +609,8 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	if s.cfg.SummaryDir != "" {
-		if err := s.persist(name, sum); err != nil {
+	if s.store != nil {
+		if err := s.persist(r.Context(), name, sum); err != nil {
 			writeError(w, err)
 			return
 		}
@@ -442,23 +619,16 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"summary": name, "status": "loaded"})
 }
 
-func (s *Server) persist(name string, sum *xpathest.Summary) error {
-	path := filepath.Join(s.cfg.SummaryDir, name+".xpsum")
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
+// persist writes the summary through the durable store (atomic write,
+// checksum trailer). A successful write is the repair path for a
+// quarantined or breaker-open name: the store clears its quarantine
+// and the breaker closes, so the next reload probes the fresh file.
+func (s *Server) persist(ctx context.Context, name string, sum *xpathest.Summary) error {
+	if err := s.store.Save(ctx, name+summarystore.Suffix, sum); err != nil {
 		return err
 	}
-	if err := sum.Save(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	s.breakers.clear(name)
+	return nil
 }
 
 func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
@@ -482,8 +652,8 @@ func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	if s.cfg.SummaryDir != "" {
-		if err := s.persist(name, sum); err != nil {
+	if s.store != nil {
+		if err := s.persist(r.Context(), name, sum); err != nil {
 			writeError(w, err)
 			return
 		}
@@ -495,55 +665,30 @@ func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleReload runs one pass of the load state machine and reports
+// what it did per name: loaded, stale-serving, quarantined, breaker
+// suppressed, or failed with a classified reason (corrupt vs io vs
+// quarantined) — an operator diagnosing a sick store should not need
+// to correlate log lines.
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
-	if s.cfg.SummaryDir == "" {
+	if s.store == nil {
 		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "no summary directory configured", "kind": "bad_request"})
 		return
 	}
-	if err := s.reload(r.Context()); err != nil {
+	rep, err := s.reload(r.Context())
+	if err != nil {
 		writeError(w, err)
 		return
 	}
-	snap := s.reg.snapshot()
-	failed := []string{}
-	for name, e := range snap {
-		if e.loadErr != nil {
-			failed = append(failed, name)
-		}
-	}
-	sort.Strings(failed)
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status": "reloaded", "summaries": len(snap), "failed": failed,
+		"status":       "reloaded",
+		"summaries":    len(s.reg.snapshot()),
+		"loaded":       rep.Loaded,
+		"stale":        rep.Stale,
+		"quarantined":  rep.Quarantined,
+		"breaker_open": rep.BreakerOpen,
+		"failed":       rep.Failed,
 	})
-}
-
-// reload builds a fresh registry map from SummaryDir and swaps it in
-// atomically. A file that fails to load is recorded as a failed entry
-// — visible in /summaries, served as fallback by /estimate — rather
-// than aborting the whole reload.
-func (s *Server) reload(ctx context.Context) error {
-	matches, err := filepath.Glob(filepath.Join(s.cfg.SummaryDir, "*.xpsum"))
-	if err != nil {
-		return err
-	}
-	next := make(map[string]*entry, len(matches))
-	for _, path := range matches {
-		name := strings.TrimSuffix(filepath.Base(path), ".xpsum")
-		e := &entry{loaded: time.Now()}
-		f, err := os.Open(path)
-		if err != nil {
-			e.loadErr = err
-		} else {
-			e.sum, e.loadErr = xpathest.ReadSummaryContext(ctx, f, s.cfg.Limits)
-			f.Close()
-		}
-		if e.loadErr != nil {
-			s.cfg.Logger.Printf("server: summary %q failed to load: %v", name, e.loadErr)
-		}
-		next[name] = e
-	}
-	s.reg.replace(next)
-	return nil
 }
 
 func maxSummaryBytes(l guard.Limits) int64 {

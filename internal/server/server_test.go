@@ -367,8 +367,15 @@ func TestLoadShedding(t *testing.T) {
 	if code != http.StatusServiceUnavailable {
 		t.Fatalf("expected shed 503, got %d %v", code, m)
 	}
-	if m["kind"] != "overloaded" {
+	if m["kind"] != "unavailable" {
 		t.Fatalf("shed response kind: %v", m)
+	}
+
+	// Liveness is exempt from admission control: at capacity the
+	// process must still prove it is alive, or the orchestrator kills
+	// a server that is merely busy.
+	if code, m := get(t, base+"/healthz/live"); code != http.StatusOK {
+		t.Fatalf("/healthz/live shed at capacity: %d %v", code, m)
 	}
 
 	pw.Write([]byte("</root>"))

@@ -72,9 +72,49 @@ func TestDecodeCorruptStreams(t *testing.T) {
 		{"payload byte flipped", flipPayload},
 		{"truncated inside checksum", good[:len(good)-2]},
 	}
-	for _, c := range cases {
+	// The same hostile shapes, wrapped in the storage trailer and run
+	// through the store's read sequence (Unseal, then Decode): the
+	// trailer must not launder a corrupt payload into acceptance.
+	sealed := Seal(good)
+	tornTrailer := sealed[:len(sealed)-TrailerSize/2]
+	crcFlip := bytes.Clone(sealed)
+	crcFlip[len(crcFlip)-TrailerSize+8] ^= 0x01
+	sealedFlip := Seal(flipPayload) // trailer consistent, stream checksum is not
+	trailerCases := append(cases,
+		struct {
+			name string
+			data []byte
+		}{"sealed: truncated trailer", tornTrailer},
+		struct {
+			name string
+			data []byte
+		}{"sealed: flipped CRC32C bit", crcFlip},
+		struct {
+			name string
+			data []byte
+		}{"sealed: trailing garbage", append(bytes.Clone(sealed), 0xDE, 0xAD)},
+		struct {
+			name string
+			data []byte
+		}{"sealed: corrupt stream inside valid trailer", sealedFlip},
+	)
+	for _, c := range trailerCases {
 		t.Run(c.name, func(t *testing.T) {
-			p, err := Decode(bytes.NewReader(c.data))
+			data := c.data
+			if HasTrailer(data) {
+				payload, err := Unseal(data)
+				if err != nil {
+					if !errors.Is(err, guard.ErrCorruptSummary) {
+						t.Fatalf("unseal error %v does not wrap guard.ErrCorruptSummary", err)
+					}
+					return
+				}
+				data = payload
+			}
+			// The store's read path is whole-file: leftover bytes after a
+			// successful decode are corruption (a legacy stream with junk
+			// appended), not padding to ignore.
+			p, err := DecodeBytes(data, 0)
 			if err == nil {
 				t.Fatalf("decode accepted corrupt stream (payload %v)", p)
 			}
@@ -82,6 +122,23 @@ func TestDecodeCorruptStreams(t *testing.T) {
 				t.Fatalf("error %v does not wrap guard.ErrCorruptSummary", err)
 			}
 		})
+	}
+}
+
+// TestDecodeBytesStrict: DecodeBytes accepts exactly the genuine
+// stream and rejects the same stream with a single byte appended,
+// while plain Decode (stream semantics) accepts both.
+func TestDecodeBytesStrict(t *testing.T) {
+	good := genuineStream(t)
+	if _, err := DecodeBytes(good, 0); err != nil {
+		t.Fatalf("genuine stream rejected: %v", err)
+	}
+	padded := append(bytes.Clone(good), 0x00)
+	if _, err := DecodeBytes(padded, 0); !errors.Is(err, guard.ErrCorruptSummary) {
+		t.Fatalf("trailing byte not rejected: %v", err)
+	}
+	if _, err := Decode(bytes.NewReader(padded)); err != nil {
+		t.Fatalf("stream decode must tolerate trailing bytes: %v", err)
 	}
 }
 

@@ -62,7 +62,33 @@ func FuzzDecode(f *testing.F) {
 		}
 	}
 
+	// Storage-trailer seeds: the sealed genuine file, a truncated
+	// trailer, a flipped CRC32C bit, flipped payload under an intact
+	// trailer, and trailing garbage after the trailer — the torn-write
+	// shapes the durable store must reject before decoding.
+	sealed := Seal(buf.Bytes())
+	f.Add(bytes.Clone(sealed))
+	f.Add(bytes.Clone(sealed[:len(sealed)-1]))
+	f.Add(bytes.Clone(sealed[:len(sealed)-TrailerSize/2]))
+	flipCRC := bytes.Clone(sealed)
+	flipCRC[len(flipCRC)-TrailerSize+8] ^= 0x01
+	f.Add(flipCRC)
+	flipBody := bytes.Clone(sealed)
+	flipBody[len(flipBody)/2] ^= 0x10
+	f.Add(flipBody)
+	f.Add(append(bytes.Clone(sealed), 'j', 'u', 'n', 'k'))
+
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// Mirror the store's read path: strip and verify a storage
+		// trailer when one is present, then decode. Unseal must never
+		// panic, and a stream it rejects is never decoded.
+		if HasTrailer(data) {
+			payload, err := Unseal(data)
+			if err != nil {
+				return
+			}
+			data = payload
+		}
 		payload, err := Decode(bytes.NewReader(data))
 		if err != nil {
 			return

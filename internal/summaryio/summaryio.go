@@ -39,6 +39,7 @@ package summaryio
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -174,16 +175,41 @@ func Decode(r io.Reader) (*Payload, error) {
 // fails with an error wrapping guard.ErrLimitExceeded — checked before
 // the corresponding allocation, never after.
 func DecodeLimited(r io.Reader, maxBytes int64) (*Payload, error) {
+	p, _, err := decodeCounted(r, maxBytes)
+	return p, err
+}
+
+// DecodeBytes decodes a summary stream that must occupy data exactly:
+// trailing bytes after the stream's own checksum are corruption, not
+// padding. This is the whole-file contract of the durable store —
+// Decode's stream semantics (stop after one summary, leave the rest)
+// would silently accept a file with garbage appended.
+func DecodeBytes(data []byte, maxBytes int64) (*Payload, error) {
+	p, consumed, err := decodeCounted(bytes.NewReader(data), maxBytes)
+	if err != nil {
+		return nil, err
+	}
+	if rest := int64(len(data)) - consumed; rest != 0 {
+		return nil, fmt.Errorf("summaryio: %d trailing bytes after the summary stream: %w", rest, guard.ErrCorruptSummary)
+	}
+	return p, nil
+}
+
+// decodeCounted runs the decoder and reports how many bytes of r the
+// stream occupied (payload plus the 4-byte checksum).
+func decodeCounted(r io.Reader, maxBytes int64) (*Payload, int64, error) {
 	crc := crc32.NewIEEE()
 	d := &decoder{r: bufio.NewReader(r), crc: crc, budget: maxBytes}
 	p, err := decodePayload(d, crc)
 	if err != nil {
 		if errors.Is(err, guard.ErrLimitExceeded) || errors.Is(err, guard.ErrCorruptSummary) {
-			return nil, err
+			return nil, 0, err
 		}
-		return nil, fmt.Errorf("%v: %w", err, guard.ErrCorruptSummary)
+		return nil, 0, fmt.Errorf("%v: %w", err, guard.ErrCorruptSummary)
 	}
-	return p, nil
+	// d.consumed counts every byte read through the budget gate; the
+	// trailing checksum is read past it, directly off the reader.
+	return p, d.consumed + 4, nil
 }
 
 func decodePayload(d *decoder, crc hash.Hash32) (*Payload, error) {

@@ -1,0 +1,91 @@
+// Storage trailer: the at-rest framing the durable summary store
+// (internal/summarystore) appends to every file it writes.
+//
+// The stream checksum of Encode protects the *payload*; it cannot
+// detect a torn write that truncates the file before the stream even
+// reaches its own trailer length field, and verifying it requires a
+// full decode. The storage trailer fixes both: a fixed-size record at
+// the end of the file carrying the payload length and a CRC32C of the
+// payload, so a reader can reject a torn, truncated, or bit-flipped
+// file with one cheap pass before any decoding happens.
+//
+// Layout, appended after the Encode stream:
+//
+//	u64 payload length (little-endian)
+//	u32 CRC32C (Castagnoli) of the payload
+//	4-byte magic "XPTL"
+//
+// Files without the trailer (written by pre-store tooling, or by
+// Summary.Save directly) are still readable: HasTrailer distinguishes
+// the two formats with a probability of misclassification below 2^-96
+// (magic and length must both lie consistently).
+
+package summaryio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"xpathest/internal/guard"
+)
+
+const (
+	// TrailerSize is the byte length of the storage trailer.
+	TrailerSize = 8 + 4 + 4
+
+	trailerMagic = "XPTL"
+)
+
+// castagnoli is the CRC32C table; hardware-accelerated on amd64/arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Seal returns payload with the storage trailer appended. The payload
+// slice is not modified.
+func Seal(payload []byte) []byte {
+	out := make([]byte, len(payload)+TrailerSize)
+	copy(out, payload)
+	t := out[len(payload):]
+	binary.LittleEndian.PutUint64(t[0:8], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(t[8:12], crc32.Checksum(payload, castagnoli))
+	copy(t[12:16], trailerMagic)
+	return out
+}
+
+// HasTrailer reports whether data ends in a structurally consistent
+// storage trailer: the magic is present and the recorded length
+// matches the bytes preceding the trailer. It does NOT verify the
+// checksum — that is Unseal's job — so a torn or bit-flipped payload
+// under an intact trailer still answers true here and fails there.
+func HasTrailer(data []byte) bool {
+	if len(data) < TrailerSize {
+		return false
+	}
+	t := data[len(data)-TrailerSize:]
+	if string(t[12:16]) != trailerMagic {
+		return false
+	}
+	return binary.LittleEndian.Uint64(t[0:8]) == uint64(len(data)-TrailerSize)
+}
+
+// Unseal verifies the storage trailer of data and returns the payload
+// with the trailer stripped. Every failure — missing or truncated
+// trailer, length mismatch, checksum mismatch — wraps
+// guard.ErrCorruptSummary. The returned slice aliases data.
+func Unseal(data []byte) ([]byte, error) {
+	if len(data) < TrailerSize {
+		return nil, fmt.Errorf("summaryio: %d bytes cannot hold a %d-byte storage trailer: %w", len(data), TrailerSize, guard.ErrCorruptSummary)
+	}
+	t := data[len(data)-TrailerSize:]
+	if string(t[12:16]) != trailerMagic {
+		return nil, fmt.Errorf("summaryio: bad storage trailer magic %q: %w", t[12:16], guard.ErrCorruptSummary)
+	}
+	payload := data[:len(data)-TrailerSize]
+	if got := binary.LittleEndian.Uint64(t[0:8]); got != uint64(len(payload)) {
+		return nil, fmt.Errorf("summaryio: trailer records %d payload bytes, file holds %d (torn write?): %w", got, len(payload), guard.ErrCorruptSummary)
+	}
+	if want, got := binary.LittleEndian.Uint32(t[8:12]), crc32.Checksum(payload, castagnoli); got != want {
+		return nil, fmt.Errorf("summaryio: storage checksum mismatch (want %08x, got %08x): %w", want, got, guard.ErrCorruptSummary)
+	}
+	return payload, nil
+}

@@ -1,0 +1,110 @@
+package summaryio
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"xpathest/internal/guard"
+)
+
+func TestSealUnsealRoundTrip(t *testing.T) {
+	good := genuineStream(t)
+	sealed := Seal(good)
+	if len(sealed) != len(good)+TrailerSize {
+		t.Fatalf("sealed length %d, want %d", len(sealed), len(good)+TrailerSize)
+	}
+	if !HasTrailer(sealed) {
+		t.Fatal("sealed stream not recognized")
+	}
+	payload, err := Unseal(sealed)
+	if err != nil {
+		t.Fatalf("unseal: %v", err)
+	}
+	if !bytes.Equal(payload, good) {
+		t.Fatal("unsealed payload differs from original")
+	}
+	// And the payload still decodes.
+	if _, err := Decode(bytes.NewReader(payload)); err != nil {
+		t.Fatalf("decode after unseal: %v", err)
+	}
+	// An empty payload seals and unseals too (the decoder rejects it
+	// later for its own reasons).
+	if p, err := Unseal(Seal(nil)); err != nil || len(p) != 0 {
+		t.Fatalf("empty payload roundtrip: %v %v", p, err)
+	}
+}
+
+// TestHasTrailerLegacy: raw Encode streams (no storage trailer) are
+// not misclassified, so the store can keep reading pre-trailer files.
+func TestHasTrailerLegacy(t *testing.T) {
+	good := genuineStream(t)
+	if HasTrailer(good) {
+		t.Fatal("legacy stream misread as trailed")
+	}
+	if HasTrailer(nil) || HasTrailer([]byte("XPTL")) {
+		t.Fatal("tiny inputs misread as trailed")
+	}
+}
+
+// TestUnsealCorrupt is the trailer's corrupt-input table: truncations
+// inside the trailer, flipped CRC bits, flipped payload bits, length
+// mismatches, and trailing garbage all wrap guard.ErrCorruptSummary.
+func TestUnsealCorrupt(t *testing.T) {
+	sealed := Seal(genuineStream(t))
+
+	flipCRC := bytes.Clone(sealed)
+	flipCRC[len(flipCRC)-TrailerSize+8] ^= 0x01 // low bit of the CRC32C field
+
+	flipPayload := bytes.Clone(sealed)
+	flipPayload[len(flipPayload)/2] ^= 0x80
+
+	flipMagic := bytes.Clone(sealed)
+	flipMagic[len(flipMagic)-1] ^= 0xFF
+
+	shortLen := bytes.Clone(sealed)
+	shortLen[len(shortLen)-TrailerSize] ^= 0x05 // length field no longer matches
+
+	torn := bytes.Clone(sealed[:len(sealed)-TrailerSize-7]) // payload cut, trailer gone
+
+	garbage := append(bytes.Clone(sealed), []byte("junkjunkjunk")...)
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"shorter than trailer", sealed[:TrailerSize-1]},
+		{"truncated inside trailer", sealed[:len(sealed)-1]},
+		{"truncated to magic only", sealed[len(sealed)-4:]},
+		{"flipped CRC bit", flipCRC},
+		{"flipped payload bit", flipPayload},
+		{"flipped magic byte", flipMagic},
+		{"length mismatch", shortLen},
+		{"torn write", torn},
+		{"trailing garbage", garbage},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p, err := Unseal(c.data)
+			if err == nil {
+				t.Fatalf("unseal accepted corrupt input (%d payload bytes)", len(p))
+			}
+			if !errors.Is(err, guard.ErrCorruptSummary) {
+				t.Fatalf("error %v does not wrap guard.ErrCorruptSummary", err)
+			}
+		})
+	}
+}
+
+// TestUnsealTruncatedEverywhere cuts a sealed file at every length:
+// no prefix may unseal successfully, mirroring the decoder's own
+// truncation sweep.
+func TestUnsealTruncatedEverywhere(t *testing.T) {
+	sealed := Seal(genuineStream(t))
+	for n := 0; n < len(sealed); n++ {
+		if _, err := Unseal(sealed[:n]); !errors.Is(err, guard.ErrCorruptSummary) {
+			t.Fatalf("truncation at %d/%d: got %v, want ErrCorruptSummary", n, len(sealed), err)
+		}
+	}
+}

@@ -1,0 +1,463 @@
+// Package summarystore is the durable persistence layer for serialized
+// summaries. It wraps the summaryio wire format with the guarantees the
+// serving layer needs to survive a hostile disk:
+//
+//   - atomic writes: a summary lands as temp file + fsync + rename +
+//     directory fsync, so a crash mid-write leaves either the previous
+//     file or an ignorable *.tmp — never a half-written summary under
+//     the served name;
+//   - checksummed reads: every file carries the summaryio storage
+//     trailer (payload length + CRC32C); the trailer is verified on
+//     every load before a single estimate can be served from the bytes.
+//     Legacy files without a trailer are still readable — the stream's
+//     own checksum covers them;
+//   - bounded retry: transient read failures (and corruption, which a
+//     torn read is indistinguishable from) retry with exponential
+//     backoff plus jitter before the load is declared failed;
+//   - quarantine: a file that fails verification on several consecutive
+//     loads is renamed to *.quarantine and skipped, so one rotten file
+//     cannot wedge every reload while the operator investigates.
+//
+// The filesystem is reached only through the FS seam, which
+// faultinject.Injector satisfies structurally — the chaos harness and
+// the torn-write tests drive exactly the code that runs in production.
+package summarystore
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"xpathest"
+	"xpathest/internal/guard"
+	"xpathest/internal/summaryio"
+)
+
+// Suffix is the filename suffix of a stored summary.
+const Suffix = ".xpsum"
+
+// quarantineSuffix marks a file pulled out of rotation.
+const quarantineSuffix = ".quarantine"
+
+// tmpSuffix marks an in-progress atomic write.
+const tmpSuffix = ".tmp"
+
+// ErrQuarantined reports that a summary has been pulled out of
+// rotation after repeated verification failures. ClassifyError checks
+// it before guard.ErrCorruptSummary, so a quarantined name reports as
+// "quarantined", not merely "corrupt".
+var ErrQuarantined = errors.New("summarystore: summary quarantined")
+
+// FS is the filesystem seam. Method signatures use only stdlib types,
+// so faultinject.Injector satisfies it structurally without an import
+// in either direction. All names are relative to the store root.
+type FS interface {
+	Open(name string) (fs.File, error)
+	Create(name string) (io.WriteCloser, error)
+	Rename(oldname, newname string) error
+	Remove(name string) error
+	ReadDir(name string) ([]fs.DirEntry, error)
+	Sync(name string) error
+}
+
+// dirFS is the production FS: a directory on the real filesystem.
+type dirFS struct{ root string }
+
+// Dir returns an FS rooted at the given directory.
+func Dir(root string) FS { return dirFS{root: root} }
+
+func (d dirFS) join(name string) string { return filepath.Join(d.root, name) }
+
+func (d dirFS) Open(name string) (fs.File, error) { return os.Open(d.join(name)) }
+
+func (d dirFS) Create(name string) (io.WriteCloser, error) { return os.Create(d.join(name)) }
+
+func (d dirFS) Rename(oldname, newname string) error {
+	return os.Rename(d.join(oldname), d.join(newname))
+}
+
+func (d dirFS) Remove(name string) error { return os.Remove(d.join(name)) }
+
+func (d dirFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(d.join(name)) }
+
+// Sync fsyncs the named file, or the store directory for ".".
+func (d dirFS) Sync(name string) error {
+	f, err := os.Open(d.join(name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// Kind classifies a load outcome for operator-facing reporting.
+type Kind string
+
+const (
+	KindOK          Kind = "ok"
+	KindCorrupt     Kind = "corrupt"
+	KindIO          Kind = "io"
+	KindQuarantined Kind = "quarantined"
+)
+
+// ClassifyError maps a Load error to its reporting kind.
+func ClassifyError(err error) Kind {
+	switch {
+	case err == nil:
+		return KindOK
+	case errors.Is(err, ErrQuarantined):
+		return KindQuarantined
+	case errors.Is(err, guard.ErrCorruptSummary):
+		return KindCorrupt
+	default:
+		return KindIO
+	}
+}
+
+// Config tunes a Store. The zero value of each field falls back to the
+// documented default.
+type Config struct {
+	// FS is the backing filesystem. Required.
+	FS FS
+	// Limits bounds decode-time resource use (DefaultLimits if zero).
+	Limits xpathest.Limits
+	// ReadRetries is the number of retries after a failed read attempt
+	// inside one Load call (default 2, so 3 attempts total). Both I/O
+	// errors and verification failures retry: a fault-torn read is
+	// indistinguishable from corruption at rest, and only repetition
+	// tells them apart.
+	ReadRetries int
+	// BackoffBase is the first retry delay (default 5ms); each retry
+	// doubles it up to BackoffMax (default 100ms), with up to 50%
+	// random jitter added to decorrelate concurrent retriers.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// QuarantineAfter is the number of consecutive failed Load calls
+	// (exhausting their internal retries with a corruption-class error)
+	// after which the file is renamed to *.quarantine and skipped
+	// (default 3; negative disables quarantine). I/O-class failures
+	// never count toward quarantine.
+	QuarantineAfter int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Limits == (xpathest.Limits{}) {
+		c.Limits = xpathest.DefaultLimits()
+	}
+	if c.ReadRetries == 0 {
+		c.ReadRetries = 2
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 5 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 100 * time.Millisecond
+	}
+	if c.QuarantineAfter == 0 {
+		c.QuarantineAfter = 3
+	}
+	return c
+}
+
+// Result is the outcome of loading one stored summary.
+type Result struct {
+	Name    string // base filename, e.g. "orders.xpsum"
+	Summary *xpathest.Summary
+	Err     error
+	Kind    Kind
+}
+
+// Store reads and writes summaries durably. Safe for concurrent use.
+type Store struct {
+	cfg Config
+
+	mu          sync.Mutex
+	streaks     map[string]int  // guarded by mu — consecutive corruption-class Load failures per name
+	quarantined map[string]bool // guarded by mu — names pulled from rotation
+}
+
+// Open returns a Store over cfg.FS.
+func Open(cfg Config) (*Store, error) {
+	if cfg.FS == nil {
+		return nil, fmt.Errorf("summarystore: Config.FS is required: %w", guard.ErrInvalidArgument)
+	}
+	return &Store{
+		cfg:         cfg.withDefaults(),
+		streaks:     make(map[string]int),
+		quarantined: make(map[string]bool),
+	}, nil
+}
+
+// validName accepts exactly the base filenames the store manages:
+// "<stem>.xpsum" with no separators or relative components.
+func validName(name string) error {
+	if !strings.HasSuffix(name, Suffix) || len(name) == len(Suffix) ||
+		name != filepath.Base(name) || !fs.ValidPath(name) {
+		return fmt.Errorf("summarystore: invalid summary name %q: %w", name, guard.ErrInvalidArgument)
+	}
+	return nil
+}
+
+// Save writes the summary under name atomically: temp file, fsync,
+// rename over the final name, directory fsync. On any failure the
+// final name is untouched (still holding the previous version, if
+// any) and the temp file is best-effort removed. The payload is sealed
+// with the storage trailer, so every future read is checksum-verified.
+// A successful Save clears the name's quarantine state: re-publishing
+// a good summary is how an operator (or the chaos harness) repairs a
+// quarantined name.
+func (s *Store) Save(ctx context.Context, name string, sum *xpathest.Summary) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	if err := guard.CheckContext(ctx); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := sum.Save(&buf); err != nil {
+		return err
+	}
+	sealed := summaryio.Seal(buf.Bytes())
+
+	tmp := name + tmpSuffix
+	w, err := s.cfg.FS.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("summarystore: create %s: %w", tmp, err)
+	}
+	if _, err := w.Write(sealed); err != nil {
+		w.Close()
+		s.cfg.FS.Remove(tmp)
+		return fmt.Errorf("summarystore: write %s: %w", tmp, err)
+	}
+	if f, ok := w.(interface{ Sync() error }); ok {
+		if err := f.Sync(); err != nil {
+			w.Close()
+			s.cfg.FS.Remove(tmp)
+			return fmt.Errorf("summarystore: fsync %s: %w", tmp, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		s.cfg.FS.Remove(tmp)
+		return fmt.Errorf("summarystore: close %s: %w", tmp, err)
+	}
+	if err := s.cfg.FS.Rename(tmp, name); err != nil {
+		s.cfg.FS.Remove(tmp)
+		return fmt.Errorf("summarystore: rename %s: %w", tmp, err)
+	}
+	// Make the rename durable. A failure here is reported, but the
+	// file is already readable under its final name.
+	if err := s.cfg.FS.Sync("."); err != nil {
+		return fmt.Errorf("summarystore: sync dir after %s: %w", name, err)
+	}
+	s.mu.Lock()
+	delete(s.streaks, name)
+	delete(s.quarantined, name)
+	s.mu.Unlock()
+	return nil
+}
+
+// Load reads, verifies and decodes the named summary. Read attempts
+// retry with exponential backoff + jitter; if every attempt fails with
+// a corruption-class error often enough across consecutive Load calls,
+// the file is quarantined and subsequent Loads fail fast with
+// ErrQuarantined.
+func (s *Store) Load(ctx context.Context, name string) (*xpathest.Summary, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	isolated := s.quarantined[name]
+	s.mu.Unlock()
+	if isolated {
+		return nil, fmt.Errorf("summarystore: %s: %w", name, ErrQuarantined)
+	}
+
+	var lastErr error
+	for attempt := 0; attempt <= s.cfg.ReadRetries; attempt++ {
+		if attempt > 0 {
+			if err := s.backoff(ctx, attempt); err != nil {
+				return nil, err
+			}
+		}
+		sum, err := s.loadOnce(ctx, name)
+		if err == nil {
+			s.mu.Lock()
+			delete(s.streaks, name)
+			s.mu.Unlock()
+			return sum, nil
+		}
+		if errors.Is(err, guard.ErrCanceled) {
+			return nil, err
+		}
+		lastErr = err
+	}
+
+	if errors.Is(lastErr, guard.ErrCorruptSummary) && s.noteCorrupt(name) {
+		return nil, fmt.Errorf("summarystore: %s pulled from rotation after repeated corruption (%v): %w",
+			name, lastErr, ErrQuarantined)
+	}
+	return nil, lastErr
+}
+
+// loadOnce is one read + verify + decode attempt.
+func (s *Store) loadOnce(ctx context.Context, name string) (*xpathest.Summary, error) {
+	if err := guard.CheckContext(ctx); err != nil {
+		return nil, err
+	}
+	f, err := s.cfg.FS.Open(name)
+	if err != nil {
+		return nil, fmt.Errorf("summarystore: open %s: %w", name, err)
+	}
+	data, err := io.ReadAll(io.LimitReader(f, s.cfg.Limits.MaxSummaryBytes+summaryio.TrailerSize+1))
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("summarystore: read %s: %w", name, err)
+	}
+	sum, err := xpathest.ReadSummaryFileContext(ctx, data, s.cfg.Limits)
+	if err != nil {
+		return nil, fmt.Errorf("summarystore: verify %s: %w", name, err)
+	}
+	return sum, nil
+}
+
+// noteCorrupt advances the name's corruption streak and quarantines
+// the file once the streak reaches the threshold, reporting whether it
+// tripped.
+func (s *Store) noteCorrupt(name string) bool {
+	s.mu.Lock()
+	s.streaks[name]++
+	trip := s.cfg.QuarantineAfter > 0 && s.streaks[name] >= s.cfg.QuarantineAfter
+	s.mu.Unlock()
+	if !trip {
+		return false
+	}
+	// The rename itself can fail (the disk is the thing misbehaving);
+	// keep the streak so the next failing Load tries again.
+	if err := s.cfg.FS.Rename(name, name+quarantineSuffix); err != nil {
+		return false
+	}
+	s.mu.Lock()
+	s.quarantined[name] = true
+	delete(s.streaks, name)
+	s.mu.Unlock()
+	return true
+}
+
+// backoff sleeps for the attempt's delay (exponential from
+// BackoffBase, capped at BackoffMax, up to 50% jitter), honoring ctx.
+func (s *Store) backoff(ctx context.Context, attempt int) error {
+	d := s.cfg.BackoffBase << (attempt - 1)
+	if d > s.cfg.BackoffMax || d <= 0 {
+		d = s.cfg.BackoffMax
+	}
+	d += time.Duration(rand.Int63n(int64(d)/2 + 1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return guard.CheckContext(ctx)
+	case <-t.C:
+		return nil
+	}
+}
+
+// NameInfo describes one stored summary name. Quarantined names exist
+// only as *.quarantine files (or are isolated in memory); they are
+// listed so reloads keep reporting the condition, but must not be
+// loaded.
+type NameInfo struct {
+	Name        string // live filename, e.g. "orders.xpsum"
+	Quarantined bool
+}
+
+// List enumerates the store's summaries, sorted by name. Temp files
+// from writes the process did not survive are swept as a side effect —
+// the rename never happened, so they are garbage by construction.
+func (s *Store) List(ctx context.Context) ([]NameInfo, error) {
+	if err := guard.CheckContext(ctx); err != nil {
+		return nil, err
+	}
+	entries, err := s.cfg.FS.ReadDir(".")
+	if err != nil {
+		return nil, fmt.Errorf("summarystore: list: %w", err)
+	}
+	live := make(map[string]bool)
+	quarantinedOnDisk := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		n := e.Name()
+		switch {
+		case strings.HasSuffix(n, tmpSuffix):
+			s.cfg.FS.Remove(n)
+		case strings.HasSuffix(n, Suffix+quarantineSuffix):
+			quarantinedOnDisk[strings.TrimSuffix(n, quarantineSuffix)] = true
+		case strings.HasSuffix(n, Suffix):
+			live[n] = true
+		}
+	}
+	infos := make([]NameInfo, 0, len(live)+len(quarantinedOnDisk))
+	for n := range live {
+		infos = append(infos, NameInfo{Name: n})
+	}
+	for n := range quarantinedOnDisk {
+		if !live[n] { // a live copy means the name was repaired
+			infos = append(infos, NameInfo{Name: n, Quarantined: true})
+		}
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos, nil
+}
+
+// QuarantinedError returns the error a quarantined name reports.
+func QuarantinedError(name string) error {
+	return fmt.Errorf("summarystore: %s: %w", name, ErrQuarantined)
+}
+
+// LoadAll loads every *.xpsum in the store, sorted by name.
+// Quarantined files are reported (Kind == KindQuarantined) but not
+// decoded. The error return is for listing failures only; per-name
+// failures land in the Results.
+func (s *Store) LoadAll(ctx context.Context) ([]Result, error) {
+	infos, err := s.List(ctx)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]Result, 0, len(infos))
+	for _, info := range infos {
+		if info.Quarantined {
+			results = append(results, Result{Name: info.Name, Err: QuarantinedError(info.Name), Kind: KindQuarantined})
+			continue
+		}
+		sum, err := s.Load(ctx, info.Name)
+		results = append(results, Result{Name: info.Name, Summary: sum, Err: err, Kind: ClassifyError(err)})
+		if errors.Is(err, guard.ErrCanceled) {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// Quarantined returns the names currently pulled from rotation by this
+// Store instance, sorted.
+func (s *Store) Quarantined() []string {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.quarantined))
+	for n := range s.quarantined {
+		names = append(names, n)
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,356 @@
+package summarystore
+
+import (
+	"context"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"xpathest"
+	"xpathest/internal/faultinject"
+	"xpathest/internal/guard"
+)
+
+const testDoc = `<site><people><person><name>n</name></person><person><name>m</name></person></people><items><item/><item/><item/></items></site>`
+
+func buildSummary(t testing.TB) *xpathest.Summary {
+	t.Helper()
+	doc, err := xpathest.ParseDocumentString(testDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc.BuildSummary(xpathest.SummaryOptions{})
+}
+
+// fastConfig keeps retry delays negligible so failing tests stay fast.
+func fastConfig(fsys FS) Config {
+	return Config{
+		FS:          fsys,
+		ReadRetries: 2,
+		BackoffBase: time.Microsecond,
+		BackoffMax:  10 * time.Microsecond,
+	}
+}
+
+func openStore(t *testing.T, fsys FS) *Store {
+	t.Helper()
+	st, err := Open(fastConfig(fsys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// estimate returns the summary's estimate for a fixed probe query.
+func estimate(t *testing.T, sum *xpathest.Summary) float64 {
+	t.Helper()
+	v, err := sum.Estimate("/site/people/person/name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestSaveLoadRoundTrip: a saved summary loads back and estimates
+// bit-identically.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, Dir(dir))
+	ctx := context.Background()
+	sum := buildSummary(t)
+	if err := st.Save(ctx, "site.xpsum", sum); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Load(ctx, "site.xpsum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, have := estimate(t, sum), estimate(t, got)
+	if math.Float64bits(want) != math.Float64bits(have) {
+		t.Fatalf("estimate drifted across persistence: %v vs %v", want, have)
+	}
+	// The at-rest file is sealed with the storage trailer.
+	data, err := os.ReadFile(filepath.Join(dir, "site.xpsum"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 16 || string(data[len(data)-4:]) != "XPTL" {
+		t.Fatal("saved file is missing the storage trailer")
+	}
+	// No temp droppings.
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("unexpected files after save: %v", ents)
+	}
+}
+
+// TestLegacyFileLoads: a pre-trailer file (raw Save stream) still
+// loads — the stream checksum covers it.
+func TestLegacyFileLoads(t *testing.T) {
+	dir := t.TempDir()
+	sum := buildSummary(t)
+	f, err := os.Create(filepath.Join(dir, "legacy.xpsum"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sum.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	st := openStore(t, Dir(dir))
+	got, err := st.Load(context.Background(), "legacy.xpsum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if estimate(t, got) != estimate(t, sum) {
+		t.Fatal("legacy load changed the estimate")
+	}
+}
+
+// TestInvalidNames: traversal and non-summary names are rejected as
+// invalid arguments, not attempted against the filesystem.
+func TestInvalidNames(t *testing.T) {
+	st := openStore(t, Dir(t.TempDir()))
+	ctx := context.Background()
+	for _, name := range []string{
+		"", ".xpsum", "noext", "../evil.xpsum", "a/b.xpsum", "./c.xpsum",
+	} {
+		if _, err := st.Load(ctx, name); !errors.Is(err, guard.ErrInvalidArgument) {
+			t.Errorf("Load(%q) = %v, want ErrInvalidArgument", name, err)
+		}
+		if err := st.Save(ctx, name, buildSummary(t)); !errors.Is(err, guard.ErrInvalidArgument) {
+			t.Errorf("Save(%q) = %v, want ErrInvalidArgument", name, err)
+		}
+	}
+}
+
+// TestTornWriteNeverServed is the kill-the-process test: a write torn
+// at EVERY byte offset must leave either the previous version (loads
+// and estimates exactly as before) or no readable file — never a
+// readable-but-wrong summary.
+func TestTornWriteNeverServed(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultinject.New(7, Dir(dir))
+	st := openStore(t, inj)
+	ctx := context.Background()
+
+	v1 := buildSummary(t)
+	if err := st.Save(ctx, "site.xpsum", v1); err != nil {
+		t.Fatal(err)
+	}
+	want := estimate(t, v1)
+
+	// Measure the sealed payload size by saving to a scratch name.
+	if err := st.Save(ctx, "probe.xpsum", v1); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(filepath.Join(dir, "probe.xpsum"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := int(fi.Size())
+	if err := os.Remove(filepath.Join(dir, "probe.xpsum")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear at every offset, including 0 (nothing written) and size-1
+	// (all but the last byte). Stride 1 keeps this exhaustive; the
+	// files are small.
+	for cut := 0; cut < size; cut++ {
+		inj.FailNextWriteAfter(cut)
+		if err := st.Save(ctx, "site.xpsum", v1); !errors.Is(err, faultinject.ErrInjected) {
+			t.Fatalf("cut=%d: torn save reported %v, want ErrInjected", cut, err)
+		}
+		got, err := st.Load(ctx, "site.xpsum")
+		if err != nil {
+			t.Fatalf("cut=%d: previous version unreadable after torn write: %v", cut, err)
+		}
+		if have := estimate(t, got); math.Float64bits(have) != math.Float64bits(want) {
+			t.Fatalf("cut=%d: estimate drifted after torn write: %v vs %v", cut, have, want)
+		}
+	}
+	// The torn temp files must not accumulate under served names.
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if e.Name() != "site.xpsum" && !strings.HasSuffix(e.Name(), tmpSuffix) {
+			t.Fatalf("unexpected file after torn writes: %s", e.Name())
+		}
+	}
+}
+
+// TestTornWriteNoPrior: torn first write of a name leaves nothing
+// readable — Load fails, it does not fabricate a summary.
+func TestTornWriteNoPrior(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultinject.New(7, Dir(dir))
+	st := openStore(t, inj)
+	ctx := context.Background()
+	inj.FailNextWriteAfter(40)
+	if err := st.Save(ctx, "fresh.xpsum", buildSummary(t)); err == nil {
+		t.Fatal("torn save reported success")
+	}
+	if _, err := st.Load(ctx, "fresh.xpsum"); err == nil {
+		t.Fatal("load served a summary from a torn first write")
+	}
+}
+
+// TestRetryRecoversTransientFaults: with fault probability well below
+// certainty, the internal retries ride through injected read errors.
+func TestRetryRecoversTransientFaults(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultinject.New(3, Dir(dir))
+	cfg := fastConfig(inj)
+	cfg.ReadRetries = 8
+	st, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	sum := buildSummary(t)
+	if err := st.Save(ctx, "site.xpsum", sum); err != nil {
+		t.Fatal(err)
+	}
+	inj.SetProfile(faultinject.Profile{OpenErr: 0.3, ReadErr: 0.3})
+	ok := 0
+	for i := 0; i < 20; i++ {
+		if _, err := st.Load(ctx, "site.xpsum"); err == nil {
+			ok++
+		}
+	}
+	if ok < 15 {
+		t.Fatalf("only %d/20 loads survived transient faults with retries", ok)
+	}
+	// I/O failures must never trip quarantine.
+	if q := st.Quarantined(); len(q) != 0 {
+		t.Fatalf("transient I/O faults quarantined %v", q)
+	}
+}
+
+// TestQuarantine: persistent corruption trips quarantine after the
+// configured number of consecutive failed loads; the file is renamed
+// and later loads fail fast; a fresh Save repairs the name.
+func TestQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(Config{FS: Dir(dir), ReadRetries: 1,
+		BackoffBase: time.Microsecond, BackoffMax: time.Microsecond, QuarantineAfter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	sum := buildSummary(t)
+	if err := st.Save(ctx, "site.xpsum", sum); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the file at rest.
+	path := filepath.Join(dir, "site.xpsum")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := st.Load(ctx, "site.xpsum"); !errors.Is(err, guard.ErrCorruptSummary) {
+		t.Fatalf("first load: %v, want ErrCorruptSummary", err)
+	}
+	if q := st.Quarantined(); len(q) != 0 {
+		t.Fatalf("quarantined after one failure: %v", q)
+	}
+	// The tripping load reports the quarantine itself, so the caller
+	// sees the custody transfer in the same call that caused it.
+	if _, err := st.Load(ctx, "site.xpsum"); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("second load: %v, want ErrQuarantined", err)
+	}
+	if q := st.Quarantined(); len(q) != 1 || q[0] != "site.xpsum" {
+		t.Fatalf("quarantine did not trip: %v", q)
+	}
+	if _, err := os.Stat(path + quarantineSuffix); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt file still live: %v", err)
+	}
+	if _, err := st.Load(ctx, "site.xpsum"); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("post-quarantine load: %v, want ErrQuarantined", err)
+	}
+	if k := ClassifyError(os.ErrPermission); k != KindIO {
+		t.Fatalf("ClassifyError(opaque) = %v", k)
+	}
+
+	// Repair: a fresh Save under the same name clears quarantine.
+	if err := st.Save(ctx, "site.xpsum", sum); err != nil {
+		t.Fatal(err)
+	}
+	if q := st.Quarantined(); len(q) != 0 {
+		t.Fatalf("save did not clear quarantine: %v", q)
+	}
+	if _, err := st.Load(ctx, "site.xpsum"); err != nil {
+		t.Fatalf("load after repair: %v", err)
+	}
+}
+
+// TestLoadAll: mixed directory — good files load, corrupt files
+// report corrupt, quarantined files (from a previous process) report
+// quarantined, temp droppings are swept.
+func TestLoadAll(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, Dir(dir))
+	ctx := context.Background()
+	sum := buildSummary(t)
+	if err := st.Save(ctx, "good.xpsum", sum); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bad.xpsum"), []byte("XPSUMgarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "old.xpsum.quarantine"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "crash.xpsum.tmp"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	results, err := st.LoadAll(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]Kind{}
+	for _, r := range results {
+		kinds[r.Name] = r.Kind
+	}
+	want := map[string]Kind{
+		"good.xpsum": KindOK, "bad.xpsum": KindCorrupt, "old.xpsum": KindQuarantined,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("results %v, want %v", kinds, want)
+	}
+	for n, k := range want {
+		if kinds[n] != k {
+			t.Errorf("%s: kind %v, want %v", n, kinds[n], k)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "crash.xpsum.tmp")); !os.IsNotExist(err) {
+		t.Fatal("temp dropping not swept")
+	}
+}
+
+// TestLoadCanceled: a canceled context aborts the retry loop promptly
+// with ErrCanceled.
+func TestLoadCanceled(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, Dir(dir))
+	sum := buildSummary(t)
+	if err := st.Save(context.Background(), "site.xpsum", sum); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := st.Load(ctx, "site.xpsum"); !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("canceled load: %v", err)
+	}
+}
