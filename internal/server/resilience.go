@@ -110,7 +110,7 @@ func (b *breakerSet) retain(seen map[string]bool) {
 
 // loadFailure is the operator-facing reason one name failed to load.
 type loadFailure struct {
-	Kind  string `json:"kind"` // "corrupt" | "io" | "quarantined"
+	Kind  string `json:"kind"` // "corrupt" | "io" | "limit" | "quarantined"
 	Error string `json:"error"`
 }
 

@@ -36,6 +36,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"xpathest"
@@ -107,6 +108,7 @@ const (
 	KindOK          Kind = "ok"
 	KindCorrupt     Kind = "corrupt"
 	KindIO          Kind = "io"
+	KindLimit       Kind = "limit"
 	KindQuarantined Kind = "quarantined"
 )
 
@@ -119,6 +121,8 @@ func ClassifyError(err error) Kind {
 		return KindQuarantined
 	case errors.Is(err, guard.ErrCorruptSummary):
 		return KindCorrupt
+	case errors.Is(err, guard.ErrLimitExceeded):
+		return KindLimit
 	default:
 		return KindIO
 	}
@@ -129,7 +133,10 @@ func ClassifyError(err error) Kind {
 type Config struct {
 	// FS is the backing filesystem. Required.
 	FS FS
-	// Limits bounds decode-time resource use (DefaultLimits if zero).
+	// Limits bounds decode-time resource use. A wholly zero struct
+	// falls back to DefaultLimits; individual zero fields keep their
+	// documented per-field meaning of "unlimited" (so an operator's
+	// explicit -max-summary-bytes=0 stays unlimited).
 	Limits xpathest.Limits
 	// ReadRetries is the number of retries after a failed read attempt
 	// inside one Load call (default 2, so 3 attempts total). Both I/O
@@ -184,7 +191,13 @@ type Store struct {
 	mu          sync.Mutex
 	streaks     map[string]int  // guarded by mu — consecutive corruption-class Load failures per name
 	quarantined map[string]bool // guarded by mu — names pulled from rotation
+	inflight    map[string]bool // guarded by mu — temp filenames of Saves in progress
 }
+
+// tmpSeq distinguishes the temp files of concurrent Save calls within
+// this process; the pid in the temp name distinguishes processes that
+// share a store directory.
+var tmpSeq atomic.Uint64
 
 // Open returns a Store over cfg.FS.
 func Open(cfg Config) (*Store, error) {
@@ -195,6 +208,7 @@ func Open(cfg Config) (*Store, error) {
 		cfg:         cfg.withDefaults(),
 		streaks:     make(map[string]int),
 		quarantined: make(map[string]bool),
+		inflight:    make(map[string]bool),
 	}, nil
 }
 
@@ -229,7 +243,20 @@ func (s *Store) Save(ctx context.Context, name string, sum *xpathest.Summary) er
 	}
 	sealed := summaryio.Seal(buf.Bytes())
 
-	tmp := name + tmpSuffix
+	// Each Save writes its own temp file, so concurrent writers for the
+	// same name never interleave into one image — whichever rename runs
+	// last publishes a complete summary. The name is registered so
+	// List's sweep of crashed-write droppings skips files still being
+	// written by this store.
+	tmp := fmt.Sprintf("%s.%d-%d%s", name, os.Getpid(), tmpSeq.Add(1), tmpSuffix)
+	s.mu.Lock()
+	s.inflight[tmp] = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.inflight, tmp)
+		s.mu.Unlock()
+	}()
 	w, err := s.cfg.FS.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("summarystore: create %s: %w", tmp, err)
@@ -296,7 +323,10 @@ func (s *Store) Load(ctx context.Context, name string) (*xpathest.Summary, error
 			s.mu.Unlock()
 			return sum, nil
 		}
-		if errors.Is(err, guard.ErrCanceled) {
+		// Cancellation and an over-limit file are deterministic — no
+		// retry can change them, and neither is the disk's fault, so
+		// they must not advance the quarantine streak either.
+		if errors.Is(err, guard.ErrCanceled) || errors.Is(err, guard.ErrLimitExceeded) {
 			return nil, err
 		}
 		lastErr = err
@@ -318,10 +348,25 @@ func (s *Store) loadOnce(ctx context.Context, name string) (*xpathest.Summary, e
 	if err != nil {
 		return nil, fmt.Errorf("summarystore: open %s: %w", name, err)
 	}
-	data, err := io.ReadAll(io.LimitReader(f, s.cfg.Limits.MaxSummaryBytes+summaryio.TrailerSize+1))
+	// MaxSummaryBytes <= 0 means unlimited, as documented on
+	// guard.Limits and the -max-summary-bytes flag. When bounded, read
+	// one byte past payload+trailer so an over-limit file is detected
+	// as such instead of being truncated into a trailer mismatch —
+	// oversized-but-intact must report ErrLimitExceeded, not disk rot.
+	var fileCap int64
+	r := io.Reader(f)
+	if max := s.cfg.Limits.MaxSummaryBytes; max > 0 {
+		fileCap = max + summaryio.TrailerSize
+		r = io.LimitReader(f, fileCap+1)
+	}
+	data, err := io.ReadAll(r)
 	f.Close()
 	if err != nil {
 		return nil, fmt.Errorf("summarystore: read %s: %w", name, err)
+	}
+	if fileCap > 0 && int64(len(data)) > fileCap {
+		return nil, fmt.Errorf("summarystore: %s: %w", name,
+			guard.Exceeded("summary file bytes", fileCap, int64(len(data))))
 	}
 	sum, err := xpathest.ReadSummaryFileContext(ctx, data, s.cfg.Limits)
 	if err != nil {
@@ -400,7 +445,15 @@ func (s *Store) List(ctx context.Context) ([]NameInfo, error) {
 		n := e.Name()
 		switch {
 		case strings.HasSuffix(n, tmpSuffix):
-			s.cfg.FS.Remove(n)
+			// Sweep only droppings of writes this store is not still
+			// performing — a concurrent Save's temp file must survive
+			// until its rename.
+			s.mu.Lock()
+			busy := s.inflight[n]
+			s.mu.Unlock()
+			if !busy {
+				s.cfg.FS.Remove(n)
+			}
 		case strings.HasSuffix(n, Suffix+quarantineSuffix):
 			quarantinedOnDisk[strings.TrimSuffix(n, quarantineSuffix)] = true
 		case strings.HasSuffix(n, Suffix):

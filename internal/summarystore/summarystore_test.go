@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -336,6 +337,142 @@ func TestLoadAll(t *testing.T) {
 	}
 	if _, err := os.Stat(filepath.Join(dir, "crash.xpsum.tmp")); !os.IsNotExist(err) {
 		t.Fatal("temp dropping not swept")
+	}
+}
+
+// TestZeroMaxSummaryBytesUnlimited: MaxSummaryBytes==0 means
+// "unlimited" (the -max-summary-bytes flag documents it that way) even
+// when other Limits fields are set, so the whole-struct default does
+// not kick in. A regression here capped every read at 17 bytes and
+// quarantined perfectly good files.
+func TestZeroMaxSummaryBytesUnlimited(t *testing.T) {
+	dir := t.TempDir()
+	cfg := fastConfig(Dir(dir))
+	cfg.Limits = xpathest.Limits{MaxDepth: 512} // non-zero struct, zero MaxSummaryBytes
+	st, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	sum := buildSummary(t)
+	if err := st.Save(ctx, "site.xpsum", sum); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Load(ctx, "site.xpsum")
+	if err != nil {
+		t.Fatalf("load with unlimited summary bytes: %v", err)
+	}
+	if estimate(t, got) != estimate(t, sum) {
+		t.Fatal("estimate drifted")
+	}
+	if q := st.Quarantined(); len(q) != 0 {
+		t.Fatalf("unlimited load quarantined %v", q)
+	}
+}
+
+// TestOversizedFileReportsLimit: a valid summary larger than
+// MaxSummaryBytes fails with ErrLimitExceeded — an operator limit
+// problem, not disk rot — and never advances the quarantine streak no
+// matter how often it is retried.
+func TestOversizedFileReportsLimit(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, Dir(dir))
+	ctx := context.Background()
+	sum := buildSummary(t)
+	if err := st.Save(ctx, "big.xpsum", sum); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := fastConfig(Dir(dir))
+	cfg.Limits = xpathest.Limits{MaxSummaryBytes: 8}
+	tight, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ { // well past QuarantineAfter
+		_, err := tight.Load(ctx, "big.xpsum")
+		if !errors.Is(err, guard.ErrLimitExceeded) {
+			t.Fatalf("load %d: %v, want ErrLimitExceeded", i, err)
+		}
+		if errors.Is(err, guard.ErrCorruptSummary) {
+			t.Fatalf("load %d: oversized file misreported as corrupt: %v", i, err)
+		}
+		if k := ClassifyError(err); k != KindLimit {
+			t.Fatalf("load %d: kind %v, want KindLimit", i, k)
+		}
+	}
+	if q := tight.Quarantined(); len(q) != 0 {
+		t.Fatalf("oversized file quarantined: %v", q)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "big.xpsum")); err != nil {
+		t.Fatalf("oversized file no longer live: %v", err)
+	}
+}
+
+// TestConcurrentSaveAndList: List's temp-file sweep must never unlink
+// the temp file of an in-flight Save, and concurrent Saves of the same
+// name must each publish a complete image (unique temp names). Run
+// with -race this also vouches for the documented concurrency safety.
+func TestConcurrentSaveAndList(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, Dir(dir))
+	ctx := context.Background()
+	sum := buildSummary(t)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 128)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := st.Save(ctx, "site.xpsum", sum); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	lister := make(chan struct{})
+	go func() {
+		defer close(lister)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				if _, err := st.List(ctx); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	<-lister
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent save/list: %v", err)
+	}
+
+	got, err := st.Load(ctx, "site.xpsum")
+	if err != nil {
+		t.Fatalf("load after concurrent saves: %v", err)
+	}
+	if estimate(t, got) != estimate(t, sum) {
+		t.Fatal("estimate drifted after concurrent saves")
+	}
+	// Every Save renamed its own temp file; nothing left to sweep.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.Name() != "site.xpsum" {
+			t.Errorf("dropping after concurrent saves: %s", e.Name())
+		}
 	}
 }
 
