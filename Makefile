@@ -10,12 +10,13 @@ GOVULNCHECK_VERSION = v1.1.4
 
 XPESTLINT = bin/xpestlint
 
-.PHONY: all build test vet lint lint-fixtures lint-audit lint-audit-check vuln race race-hot cover bench bench-json fuzz fuzz-smoke difftest-smoke difftest-nightly chaos chaos-smoke ci experiments examples clean
+.PHONY: all build test vet lint lint-budget lint-fixtures lint-audit lint-audit-check vuln race race-hot cover bench bench-json fuzz fuzz-smoke difftest-smoke difftest-nightly chaos chaos-smoke ci experiments examples clean
 
 all: build vet lint test
 
 # What .github/workflows/ci.yml runs; keep the two in sync.
-ci: build vet lint lint-fixtures lint-audit-check race-hot race fuzz-smoke difftest-smoke chaos-smoke cover
+# lint-budget runs the same vet invocation as lint, timed.
+ci: build vet lint-budget lint-fixtures lint-audit-check race-hot race fuzz-smoke difftest-smoke chaos-smoke cover
 
 build:
 	$(GO) build ./...
@@ -35,6 +36,24 @@ $(XPESTLINT): FORCE
 	$(GO) build -o $(XPESTLINT) ./cmd/xpestlint
 
 FORCE:
+
+# Wall-clock budget for the full lint suite. The interprocedural
+# determinism analyzers do real dataflow work, so this guards against
+# an analyzer (or a future fixpoint bug) regressing into pathological
+# cost. Fully cold full-suite baseline at the time of writing (empty
+# build cache, the worst case CI hits): ~30s on a dev machine; the
+# budget is 2× that. A warm go-vet cache makes reruns near-instant, so
+# the budget only bites on the cold path.
+LINT_BUDGET_SECONDS ?= 60
+lint-budget: $(XPESTLINT)
+	@start=$$(date +%s); \
+	$(GO) vet -vettool=$(CURDIR)/$(XPESTLINT) ./... || exit 1; \
+	end=$$(date +%s); took=$$((end - start)); \
+	echo "lint wall clock: $${took}s (budget: $(LINT_BUDGET_SECONDS)s)"; \
+	if [ $$took -gt $(LINT_BUDGET_SECONDS) ]; then \
+		echo "lint exceeded its wall-clock budget: $${took}s > $(LINT_BUDGET_SECONDS)s"; \
+		exit 1; \
+	fi
 
 # Self-test of the analyzer suite: each analyzer's unit tests plus the
 # fixtures meta-test, which fails if any analyzer stops firing on its

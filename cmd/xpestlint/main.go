@@ -1,8 +1,9 @@
 // Command xpestlint is the project's static analysis gate. It bundles
 // the repo-specific analyzers — the policy suite (panicpolicy,
-// errtaxonomy, ctxpropagate, allocbudget) and the CFG-based
-// concurrency suite (atomicfield, cowpublish, guardedby,
-// goroutinescope) — with the standard vet suite, and runs in two
+// errtaxonomy, ctxpropagate, allocbudget), the CFG-based concurrency
+// suite (atomicfield, cowpublish, guardedby, goroutinescope), and the
+// interprocedural determinism/purity suite (maporder, floatdet,
+// purity, errhttpmap) — with the standard vet suite, and runs in two
 // modes:
 //
 //	xpestlint ./...                     # standalone: re-execs go vet -vettool=itself
@@ -50,10 +51,14 @@ import (
 	"xpathest/internal/analysis/atomicfield"
 	"xpathest/internal/analysis/cowpublish"
 	"xpathest/internal/analysis/ctxpropagate"
+	"xpathest/internal/analysis/errhttpmap"
 	"xpathest/internal/analysis/errtaxonomy"
+	"xpathest/internal/analysis/floatdet"
 	"xpathest/internal/analysis/goroutinescope"
 	"xpathest/internal/analysis/guardedby"
+	"xpathest/internal/analysis/maporder"
 	"xpathest/internal/analysis/panicpolicy"
+	"xpathest/internal/analysis/purity"
 )
 
 // Default scopes for the repo-specific analyzers. These encode which
@@ -84,6 +89,29 @@ var defaultScopes = map[*analysis.Analyzer]string{
 	cowpublish.Analyzer:     "",
 	guardedby.Analyzer:      "",
 	goroutinescope.Analyzer: "",
+	// Map-iteration order feeding float accumulation or serialized
+	// output breaks the bit-for-bit estimate invariant anywhere — the
+	// server's JSON responses as much as the kernel.
+	maporder.Analyzer: "",
+	// The narrow float-reduction check binds the estimator and summary
+	// packages, where difftest's four-path Float64bits identity reigns.
+	floatdet.Analyzer: join(
+		"internal/core", "internal/stats", "internal/histogram",
+		"internal/poshist", "internal/xsketch",
+	),
+	// Estimates are functions of summary and query only: no clock,
+	// global rand, or environment in estimate/summary-build code.
+	// Server, chaos, and cmd stay out of scope — they own those reads.
+	purity.Analyzer: "xpathest," + join(
+		"internal/core", "internal/stats", "internal/histogram",
+		"internal/poshist", "internal/xsketch", "internal/pathenc",
+		"internal/pidtree", "internal/summaryio", "internal/xmltree",
+		"internal/xpath", "internal/interval", "internal/eval",
+		"internal/bitset",
+	),
+	// Every guard sentinel needs exactly one HTTP mapping arm in the
+	// server's statusFor.
+	errhttpmap.Analyzer: join("internal/server"),
 }
 
 func join(pkgs ...string) string {
@@ -103,6 +131,10 @@ func suite() []*analysis.Analyzer {
 		cowpublish.Analyzer,
 		guardedby.Analyzer,
 		goroutinescope.Analyzer,
+		maporder.Analyzer,
+		floatdet.Analyzer,
+		purity.Analyzer,
+		errhttpmap.Analyzer,
 	}
 	for _, a := range custom {
 		if scope, ok := defaultScopes[a]; ok && scope != "" {

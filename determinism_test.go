@@ -1,0 +1,55 @@
+package xpathest
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// TestSummaryRoundTripBitForBit pins the estimate invariant end to
+// end: serializing a summary twice yields identical bytes, and loading
+// it back and estimating the same query twice yields bitwise-identical
+// floats. Go randomizes map iteration order per range statement, so
+// two in-process runs exercise different orders — any map-order float
+// reduction or unsorted serialization in the pipeline diverges here.
+func TestSummaryRoundTripBitForBit(t *testing.T) {
+	queries := []string{
+		"//book/title", "//chapter//para", "//book[/chapter/title]/appendix",
+		"/library//para", "//chapter[/para]/title!",
+	}
+	doc := mustDoc(t, bookXML)
+
+	var bufA, bufB bytes.Buffer
+	if err := doc.BuildSummary(SummaryOptions{}).Save(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.BuildSummary(SummaryOptions{}).Save(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Fatalf("two BuildSummary+Save runs differ: %d vs %d bytes", bufA.Len(), bufB.Len())
+	}
+
+	sumA, err := ReadSummary(bytes.NewReader(bufA.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumB, err := ReadSummary(bytes.NewReader(bufA.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		va, err := sumA.Estimate(q)
+		if err != nil {
+			t.Fatalf("Estimate(%s): %v", q, err)
+		}
+		vb, err := sumB.Estimate(q)
+		if err != nil {
+			t.Fatalf("Estimate(%s): %v", q, err)
+		}
+		if math.Float64bits(va) != math.Float64bits(vb) {
+			t.Errorf("%s: %v (%#x) vs %v (%#x): estimate depends on map iteration order",
+				q, va, math.Float64bits(va), vb, math.Float64bits(vb))
+		}
+	}
+}

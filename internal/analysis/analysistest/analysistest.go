@@ -40,7 +40,7 @@ import (
 func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
 	for _, pkg := range pkgs {
-		runPkg(t, filepath.Join(dir, "src", pkg), pkg, a)
+		runPkg(t, dir, pkg, a)
 	}
 }
 
@@ -50,7 +50,7 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
 func RunExpectClean(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
 	for _, pkg := range pkgs {
-		diags := collect(t, filepath.Join(dir, "src", pkg), pkg, a)
+		diags := collect(t, dir, pkg, a)
 		for _, d := range diags {
 			t.Errorf("%s: analyzer fired despite being out of scope: %s", pkg, d.Message)
 		}
@@ -64,7 +64,7 @@ func RunExpectClean(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...stri
 // seeded violations left" from "all expectations satisfied".
 func Diagnostics(t *testing.T, dir string, a *analysis.Analyzer, pkg string) []analysis.Diagnostic {
 	t.Helper()
-	return collect(t, filepath.Join(dir, "src", pkg), pkg, a)
+	return collect(t, dir, pkg, a)
 }
 
 // WantComments counts the `// want` expectation comments in one
@@ -105,35 +105,79 @@ func TestData() string {
 	return testdata
 }
 
-func runPkg(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) {
+func runPkg(t *testing.T, testdata, pkgPath string, a *analysis.Analyzer) {
 	t.Helper()
-	fset, files, diags := load(t, dir, pkgPath, a)
+	fset, files, diags := load(t, testdata, pkgPath, a)
 	checkExpectations(t, fset, files, pkgPath, diags)
 }
 
-func collect(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) []analysis.Diagnostic {
+func collect(t *testing.T, testdata, pkgPath string, a *analysis.Analyzer) []analysis.Diagnostic {
 	t.Helper()
-	_, _, diags := load(t, dir, pkgPath, a)
+	_, _, diags := load(t, testdata, pkgPath, a)
 	return diags
 }
 
-func load(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) (*token.FileSet, []*ast.File, []analysis.Diagnostic) {
-	t.Helper()
-	fset := token.NewFileSet()
-	var files []*ast.File
+// localImporter resolves imports first against the testdata src tree
+// (so fixtures can depend on sibling fixture packages, e.g. a stub
+// xpathest/internal/guard), then falls back to compiling the standard
+// library from GOROOT source. Dependency packages get no Info — only
+// the package under test is analyzed.
+type localImporter struct {
+	srcRoot string
+	fset    *token.FileSet
+	std     types.Importer
+	memo    map[string]*types.Package
+}
+
+func (im *localImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := im.memo[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(im.srcRoot, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		return im.std.Import(path)
+	}
+	files, err := parseDir(im.fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	conf := types.Config{Importer: im}
+	pkg, err := conf.Check(path, im.fset, files, nil)
+	if err != nil {
+		return nil, err
+	}
+	im.memo[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses every .go file directly inside dir.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		t.Fatalf("%s: %v", pkgPath, err)
+		return nil, err
 	}
+	var files []*ast.File
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
 			continue
 		}
 		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
 		if err != nil {
-			t.Fatalf("%s: %v", pkgPath, err)
+			return nil, err
 		}
 		files = append(files, f)
+	}
+	return files, nil
+}
+
+func load(t *testing.T, testdata, pkgPath string, a *analysis.Analyzer) (*token.FileSet, []*ast.File, []analysis.Diagnostic) {
+	t.Helper()
+	srcRoot := filepath.Join(testdata, "src")
+	dir := filepath.Join(srcRoot, filepath.FromSlash(pkgPath))
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		t.Fatalf("%s: %v", pkgPath, err)
 	}
 	if len(files) == 0 {
 		t.Fatalf("%s: no Go files in %s", pkgPath, dir)
@@ -149,10 +193,16 @@ func load(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) (*token.FileS
 		Instances:  make(map[*ast.Ident]types.Instance),
 	}
 	conf := types.Config{
-		// The source importer compiles stdlib dependencies from
-		// GOROOT source: slower than export data, but works with no
+		// Imports resolve against the testdata tree first (sibling
+		// fixture packages), then the standard library compiled from
+		// GOROOT source — slower than export data, but works with no
 		// pre-built pkg cache and no network.
-		Importer: importer.ForCompiler(fset, "source", nil),
+		Importer: &localImporter{
+			srcRoot: srcRoot,
+			fset:    fset,
+			std:     importer.ForCompiler(fset, "source", nil),
+			memo:    make(map[string]*types.Package),
+		},
 	}
 	pkg, err := conf.Check(pkgPath, fset, files, info)
 	if err != nil {

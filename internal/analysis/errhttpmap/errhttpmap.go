@@ -1,0 +1,180 @@
+// Package errhttpmap closes the guard-taxonomy loop at the HTTP
+// boundary: every exported error sentinel the guard package declares
+// must have a mapping arm (an errors.Is test) in the server's
+// status-mapping function, and no sentinel may be tested twice (the
+// second arm is unreachable). PR 2 introduced the taxonomy, PR 6 grew
+// ErrUnavailable and the limit/quarantine kinds by hand — from this PR
+// on, adding a sentinel without teaching the HTTP layer its status is
+// a lint failure, not a latent 500.
+//
+// The sentinel inventory is read from the compiled guard package
+// (exported package-level `Err*` variables of type error), so the
+// check tracks the taxonomy automatically. Sentinels that are
+// deliberately left to the default arm are listed in -errhttpmap.exempt
+// (by default ErrInternal, which maps to 500 via the switch default).
+package errhttpmap
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"xpathest/internal/analysis/lintutil"
+)
+
+const name = "errhttpmap"
+
+// Flag-bound configuration; see init.
+var (
+	scope    string
+	guardpkg string
+	mapfunc  string
+	exempt   string
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc:  "check every guard error sentinel has exactly one HTTP status mapping arm",
+	Run:  run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&scope, "scope", "", "comma-separated import paths to check (empty = every package)")
+	Analyzer.Flags.StringVar(&guardpkg, "guardpkg", "xpathest/internal/guard", "import path of the sentinel-declaring package")
+	Analyzer.Flags.StringVar(&mapfunc, "mapfunc", "statusFor", "name of the status-mapping function")
+	Analyzer.Flags.StringVar(&exempt, "exempt", "ErrInternal", "comma-separated sentinels deliberately handled by the default arm")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !lintutil.InScope(scope, pass.Pkg.Path()) {
+		return nil, nil
+	}
+	guard := importedPackage(pass.Pkg, guardpkg)
+	if guard == nil {
+		// A scoped package that never imports guard has no mapping
+		// duty (e.g. a helper-only package).
+		return nil, nil
+	}
+	sentinels := sentinelsOf(guard)
+	if len(sentinels) == 0 {
+		return nil, nil
+	}
+
+	decl := findMapFunc(pass)
+	if decl == nil {
+		if len(pass.Files) > 0 && !lintutil.Suppressed(pass, pass.Files[0].Pos(), name) {
+			pass.Reportf(pass.Files[0].Pos(), "package imports %s but declares no %s mapping function; every sentinel needs an HTTP status", guardpkg, mapfunc)
+		}
+		return nil, nil
+	}
+
+	exempted := make(map[string]bool)
+	for _, e := range strings.Split(exempt, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			exempted[e] = true
+		}
+	}
+
+	covered := make(map[string]bool)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !lintutil.IsPkgFunc(pass, call, "errors", "Is") || len(call.Args) != 2 {
+			return true
+		}
+		s := sentinelRef(pass.TypesInfo, call.Args[1], guard)
+		if s == "" {
+			return true
+		}
+		if covered[s] {
+			if !lintutil.Suppressed(pass, call.Pos(), name) {
+				pass.Reportf(call.Pos(), "duplicate mapping arm for %s.%s: the switch already tested it, so this arm is unreachable", guard.Name(), s)
+			}
+			return true
+		}
+		covered[s] = true
+		return true
+	})
+
+	var missing []string
+	for _, s := range sentinels {
+		if !covered[s] && !exempted[s] {
+			missing = append(missing, s)
+		}
+	}
+	if len(missing) > 0 && !lintutil.Suppressed(pass, decl.Pos(), name) {
+		pass.Reportf(decl.Pos(), "%s has no mapping arm for guard sentinel(s) %s; map them or list them in -errhttpmap.exempt", mapfunc, strings.Join(missing, ", "))
+	}
+	return nil, nil
+}
+
+// importedPackage finds path among pkg's direct imports.
+func importedPackage(pkg *types.Package, path string) *types.Package {
+	for _, imp := range pkg.Imports() {
+		if imp.Path() == path {
+			return imp
+		}
+	}
+	return nil
+}
+
+// sentinelsOf lists the exported package-level Err* variables of type
+// error, sorted for deterministic diagnostics.
+func sentinelsOf(pkg *types.Package) []string {
+	errType := types.Universe.Lookup("error").Type()
+	var out []string
+	for _, nm := range pkg.Scope().Names() {
+		if !strings.HasPrefix(nm, "Err") {
+			continue
+		}
+		v, ok := pkg.Scope().Lookup(nm).(*types.Var)
+		if !ok || !types.AssignableTo(v.Type(), errType) {
+			continue
+		}
+		out = append(out, nm)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// findMapFunc locates the mapping function's declaration, skipping
+// test files (a test double must not satisfy the production duty).
+func findMapFunc(pass *analysis.Pass) *ast.FuncDecl {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || fd.Name.Name != mapfunc || fd.Body == nil {
+				continue
+			}
+			if lintutil.InTestFile(pass, fd.Pos()) {
+				continue
+			}
+			return fd
+		}
+	}
+	return nil
+}
+
+// sentinelRef resolves e to the name of a sentinel variable declared
+// in guard, or "".
+func sentinelRef(info *types.Info, e ast.Expr, guard *types.Package) string {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		id = e.Sel
+	case *ast.Ident:
+		id = e
+	default:
+		return ""
+	}
+	obj, ok := info.Uses[id].(*types.Var)
+	if !ok || obj.Pkg() != guard {
+		return ""
+	}
+	return obj.Name()
+}

@@ -1,0 +1,20 @@
+package errhttpmap_test
+
+import (
+	"testing"
+
+	"xpathest/internal/analysis/analysistest"
+	"xpathest/internal/analysis/errhttpmap"
+)
+
+func TestErrHTTPMap(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), errhttpmap.Analyzer, "a", "b", "c")
+}
+
+func TestScope(t *testing.T) {
+	if err := errhttpmap.Analyzer.Flags.Set("scope", "some/other/pkg"); err != nil {
+		t.Fatal(err)
+	}
+	defer errhttpmap.Analyzer.Flags.Set("scope", "")
+	analysistest.RunExpectClean(t, analysistest.TestData(), errhttpmap.Analyzer, "a", "c")
+}

@@ -1,0 +1,24 @@
+// Package a seeds errhttpmap's positive cases: a mapping function
+// that misses one sentinel (ErrGamma) and tests another twice
+// (ErrBeta — the second arm is unreachable). ErrInternal is exempt by
+// default: the switch default maps it to 500.
+package a
+
+import (
+	"errors"
+
+	"xpathest/internal/guard"
+)
+
+func statusFor(err error) (int, string) { // want `statusFor has no mapping arm for guard sentinel\(s\) ErrGamma`
+	switch {
+	case errors.Is(err, guard.ErrAlpha):
+		return 400, "alpha"
+	case errors.Is(err, guard.ErrBeta):
+		return 413, "beta"
+	case errors.Is(err, guard.ErrBeta): // want `duplicate mapping arm for guard\.ErrBeta`
+		return 409, "beta again"
+	default:
+		return 500, "internal"
+	}
+}

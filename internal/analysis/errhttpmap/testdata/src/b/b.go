@@ -1,0 +1,22 @@
+// Package b is the negative case: every non-exempt sentinel has
+// exactly one arm, so the analyzer stays silent.
+package b
+
+import (
+	"errors"
+
+	"xpathest/internal/guard"
+)
+
+func statusFor(err error) (int, string) {
+	switch {
+	case errors.Is(err, guard.ErrAlpha):
+		return 400, "alpha"
+	case errors.Is(err, guard.ErrBeta):
+		return 413, "beta"
+	case errors.Is(err, guard.ErrGamma):
+		return 404, "gamma"
+	default:
+		return 500, "internal"
+	}
+}

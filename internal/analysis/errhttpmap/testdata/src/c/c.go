@@ -1,0 +1,14 @@
+package c // want `package imports xpathest/internal/guard but declares no statusFor mapping function`
+
+// Package c imports guard but declares no mapping function at all —
+// an HTTP boundary that would 500 every classified failure.
+
+import (
+	"errors"
+
+	"xpathest/internal/guard"
+)
+
+func isAlpha(err error) bool {
+	return errors.Is(err, guard.ErrAlpha)
+}

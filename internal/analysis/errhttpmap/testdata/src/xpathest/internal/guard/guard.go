@@ -1,0 +1,13 @@
+// Package guard is a fixture stub of the real guard taxonomy: the
+// analyzer reads the sentinel inventory from the compiled package, so
+// the fixture only needs the shape — exported Err* error variables.
+package guard
+
+import "errors"
+
+var (
+	ErrAlpha    = errors.New("alpha")
+	ErrBeta     = errors.New("beta")
+	ErrGamma    = errors.New("gamma")
+	ErrInternal = errors.New("internal error")
+)

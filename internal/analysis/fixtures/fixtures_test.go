@@ -19,10 +19,14 @@ import (
 	"xpathest/internal/analysis/atomicfield"
 	"xpathest/internal/analysis/cowpublish"
 	"xpathest/internal/analysis/ctxpropagate"
+	"xpathest/internal/analysis/errhttpmap"
 	"xpathest/internal/analysis/errtaxonomy"
+	"xpathest/internal/analysis/floatdet"
 	"xpathest/internal/analysis/goroutinescope"
 	"xpathest/internal/analysis/guardedby"
+	"xpathest/internal/analysis/maporder"
 	"xpathest/internal/analysis/panicpolicy"
+	"xpathest/internal/analysis/purity"
 )
 
 // fixtureFloors lists every repo-specific analyzer with the minimum
@@ -42,6 +46,13 @@ var fixtureFloors = []struct {
 	{cowpublish.Analyzer, 3},
 	{guardedby.Analyzer, 5},
 	{goroutinescope.Analyzer, 3},
+	// The determinism suite's floors pin its two flagship cases — the
+	// pre-fix canonicalEntries pattern and the unsorted-map JSON
+	// response — plus headroom from the other seeded sinks.
+	{maporder.Analyzer, 4},
+	{floatdet.Analyzer, 4},
+	{purity.Analyzer, 4},
+	{errhttpmap.Analyzer, 2},
 }
 
 func TestSeededViolationsStillReported(t *testing.T) {

@@ -1,0 +1,205 @@
+// Package floatdet is the narrow, estimator-focused determinism check:
+// in the summary/estimate packages, any floating-point reduction whose
+// iteration source is a map range (or sync.Map.Range) is a diagnostic,
+// full stop — no taint flow required. The paper's estimation formulas
+// are deterministic functions of the summary; float addition is
+// commutative but not associative, so three or more rounded partial
+// sums in runtime-randomized map order diverge at the bit level, which
+// is exactly what the difftest four-path Float64bits invariant rejects.
+//
+// Deterministically ordered sources are fine and not flagged: slices,
+// arrays, channels, integer ranges, and the canonical
+// collect-keys/sort/iterate pattern. A reduction is a compound
+// arithmetic assignment (+=, -=, *=, /=, or x = x + v) with a
+// non-constant operand whose accumulator outlives the loop body —
+// per-iteration locals and constant deltas (counters) are order-
+// independent and stay clean. Suppress a deliberately order-
+// insensitive reduction with //lint:ignore floatdet <reason>.
+package floatdet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"xpathest/internal/analysis/lintutil"
+)
+
+const name = "floatdet"
+
+// scope is bound by init to the -floatdet.scope flag.
+var scope string
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "flag floating-point reductions iterating in map order inside estimator/summary packages",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&scope, "scope", "", "comma-separated import paths to check (empty = every package)")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !lintutil.InScope(scope, pass.Pkg.Path()) {
+		return nil, nil
+	}
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	// Nested map ranges both contain the same reduction statement;
+	// reported dedups so it is flagged once.
+	reported := make(map[token.Pos]bool)
+	nodeFilter := []ast.Node{(*ast.RangeStmt)(nil), (*ast.CallExpr)(nil)}
+	insp.Preorder(nodeFilter, func(n ast.Node) {
+		if lintutil.InTestFile(pass, n.Pos()) {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			t := pass.TypesInfo.TypeOf(n.X)
+			if t == nil {
+				return
+			}
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				var keyObj types.Object
+				if id, ok := n.Key.(*ast.Ident); ok {
+					keyObj = pass.TypesInfo.ObjectOf(id)
+				}
+				checkBody(pass, n.Body, reported, keyObj)
+			}
+		case *ast.CallExpr:
+			// sync.Map.Range visits entries in unspecified order, same
+			// as a map range.
+			recvType, method, ok := lintutil.MethodOnTypeIn(pass.TypesInfo, n, "sync")
+			if ok && recvType == "Map" && method == "Range" && len(n.Args) == 1 {
+				if lit, isLit := ast.Unparen(n.Args[0]).(*ast.FuncLit); isLit {
+					checkBody(pass, lit.Body, reported, nil)
+				}
+			}
+		}
+	})
+	return nil, nil
+}
+
+// reductionOps are the compound assignments that fold a value into an
+// accumulator arithmetically.
+var reductionOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true,
+	token.MUL_ASSIGN: true, token.QUO_ASSIGN: true,
+}
+
+// checkBody reports every float reduction in body whose accumulator is
+// declared outside it (a cross-iteration accumulator: the partial sums
+// depend on visit order). keyObj is the checked range's own key
+// variable: dst[keyObj] op= v is the merge idiom — every key visited
+// once, one contribution per entry — and is exempt relative to THIS
+// range (an enclosing map range checks the same statement with its own
+// key and still flags nested misuse).
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt, reported map[token.Pos]bool, keyObj types.Object) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if reported[as.Pos()] {
+			return true
+		}
+		if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		lhs, rhs := as.Lhs[0], as.Rhs[0]
+		switch {
+		case reductionOps[as.Tok]:
+		case as.Tok == token.ASSIGN && selfReference(pass.TypesInfo, lhs, rhs):
+		default:
+			return true
+		}
+		if !isFloat(pass.TypesInfo.TypeOf(lhs)) || isConst(pass.TypesInfo, rhs) {
+			return true
+		}
+		if accumulatorOf(pass.TypesInfo, lhs, body) == nil {
+			return true
+		}
+		if keyObj != nil && indexedBy(pass.TypesInfo, lhs, keyObj) {
+			return true
+		}
+		reported[as.Pos()] = true
+		if !lintutil.Suppressed(pass, as.Pos(), name) {
+			pass.Reportf(as.Pos(), "floating-point reduction iterates in map order, so rounding differs between runs; iterate a slice or sorted keys instead")
+		}
+		return true
+	})
+}
+
+// accumulatorOf resolves the root object the reduction folds into, but
+// only when it is declared outside body — a per-iteration local resets
+// every pass and carries no cross-iteration order dependence.
+func accumulatorOf(info *types.Info, lhs ast.Expr, body *ast.BlockStmt) types.Object {
+	e := ast.Unparen(lhs)
+	if ix, ok := e.(*ast.IndexExpr); ok {
+		e = ix.X // out[k] += v accumulates into out
+	}
+	p, ok := lintutil.ParsePath(info, e)
+	if !ok {
+		return nil
+	}
+	obj := p.Root()
+	if obj == nil || (obj.Pos() >= body.Pos() && obj.Pos() < body.End()) {
+		return nil
+	}
+	return obj
+}
+
+// indexedBy reports whether lhs is an index expression whose index is
+// exactly the variable obj.
+func indexedBy(info *types.Info, lhs ast.Expr, obj types.Object) bool {
+	ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(ix.Index).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return info.ObjectOf(id) == obj
+}
+
+// selfReference reports the spelled-out reduction x = x + e.
+func selfReference(info *types.Info, lhs, rhs ast.Expr) bool {
+	p, ok := lintutil.ParsePath(info, lhs)
+	if !ok {
+		return false
+	}
+	bin, ok := ast.Unparen(rhs).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch bin.Op {
+	case token.ADD, token.SUB, token.MUL, token.QUO:
+	default:
+		return false
+	}
+	for _, op := range []ast.Expr{bin.X, bin.Y} {
+		if q, ok := lintutil.ParsePath(info, op); ok && q.Key() == p.Key() {
+			return true
+		}
+	}
+	return false
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}

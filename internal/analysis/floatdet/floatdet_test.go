@@ -1,0 +1,20 @@
+package floatdet_test
+
+import (
+	"testing"
+
+	"xpathest/internal/analysis/analysistest"
+	"xpathest/internal/analysis/floatdet"
+)
+
+func TestFloatDet(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), floatdet.Analyzer, "a")
+}
+
+func TestScope(t *testing.T) {
+	if err := floatdet.Analyzer.Flags.Set("scope", "some/other/pkg"); err != nil {
+		t.Fatal(err)
+	}
+	defer floatdet.Analyzer.Flags.Set("scope", "")
+	analysistest.RunExpectClean(t, analysistest.TestData(), floatdet.Analyzer, "a")
+}

@@ -1,0 +1,129 @@
+// Package a seeds floatdet's positive and negative cases: float
+// reductions whose iteration source is a map are flagged; slices,
+// sorted keys, constant deltas, integer accumulators, and
+// per-iteration locals stay clean.
+package a
+
+import (
+	"sort"
+	"sync"
+)
+
+// sum is the plain offender.
+func sum(m map[string]float64) float64 {
+	t := 0.0
+	for _, v := range m {
+		t += v // want `floating-point reduction iterates in map order`
+	}
+	return t
+}
+
+// spelled is the x = x + v form of the same reduction.
+func spelled(m map[string]float64) float64 {
+	t := 0.0
+	for _, v := range m {
+		t = t + v // want `floating-point reduction iterates in map order`
+	}
+	return t
+}
+
+// product: multiplication rounds per step just like addition.
+func product(m map[string]float64) float64 {
+	p := 1.0
+	for _, v := range m {
+		p *= v // want `floating-point reduction iterates in map order`
+	}
+	return p
+}
+
+// grouped accumulates into map entries; each entry's rounded partial
+// sums still depend on the inner visit order.
+func grouped(m map[string]map[string]float64, out map[string]float64) {
+	for k, inner := range m {
+		for k2, v := range inner {
+			out[k+k2] += v // want `floating-point reduction iterates in map order`
+		}
+	}
+}
+
+// syncSum reduces over a sync.Map visit.
+func syncSum(sm *sync.Map) float64 {
+	t := 0.0
+	sm.Range(func(k, v any) bool {
+		t += v.(float64) // want `floating-point reduction iterates in map order`
+		return true
+	})
+	return t
+}
+
+// sliceSum iterates a deterministically ordered source: clean.
+func sliceSum(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// sortedSum is the canonical collect/sort/reduce pattern: clean.
+func sortedSum(m map[string]float64) float64 {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	t := 0.0
+	for _, k := range ks {
+		t += m[k]
+	}
+	return t
+}
+
+// orderFree: constant deltas and integer accumulation are
+// order-independent; a per-iteration local resets every pass.
+func orderFree(m map[string][]float64) (float64, int, []float64) {
+	n := 0.0
+	total := 0
+	var avgs []float64
+	for _, xs := range m {
+		n += 1
+		total += len(xs)
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		avgs = append(avgs, s/float64(len(xs)))
+	}
+	return n, total, avgs
+}
+
+// merge folds one source map into a destination keyed by the range's
+// own key: each key is visited exactly once, so each dst entry gets
+// exactly one contribution and the visit order cannot matter. Clean.
+func merge(dst, src map[string]float64) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}
+
+// mergeNested looks like merge but the inner key recurs across outer
+// iterations, so dst entries take multiple contributions in outer-map
+// order: flagged (by the outer range's visit).
+func mergeNested(dst map[string]float64, srcs map[string]map[string]float64) {
+	for _, src := range srcs {
+		for k, v := range src {
+			dst[k] += v // want `floating-point reduction iterates in map order`
+		}
+	}
+}
+
+// suppressed: a deliberately order-insensitive reduction with the
+// mandatory reason.
+func suppressed(m map[string]float64) float64 {
+	t := 0.0
+	for _, v := range m {
+		//lint:ignore floatdet tolerance test only compares within epsilon
+		t += v
+	}
+	return t
+}

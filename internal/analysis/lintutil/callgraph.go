@@ -1,0 +1,113 @@
+package lintutil
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// CallSite is one resolved call expression inside a declared function.
+// Caller is the enclosing declaration (call sites inside function
+// literals are attributed to the declaration the literal lexically
+// lives in — the literal runs with the declaration's data flow, which
+// is the granularity the taint summaries need). Callee is the resolved
+// static callee; calls through function-typed variables, interface
+// methods without a concrete receiver, and builtins have no site here.
+type CallSite struct {
+	Call   *ast.CallExpr
+	Caller *types.Func
+	Callee *types.Func
+}
+
+// CallGraph is a package-local call graph over go/types call sites:
+// every function and method declared in the package, with the resolved
+// calls between them (edges into other packages are kept too, so
+// callers can consult cross-package knowledge like known-unordered
+// stdlib sources). The vendored x/tools ships no go/ssa, so this graph
+// — like the CFG layer of the concurrency analyzers — is built
+// directly from the AST and the type checker; see
+// docs/STATIC_ANALYSIS.md for the substitution note.
+type CallGraph struct {
+	// Decls maps every function declared in the package (with a body)
+	// to its declaration, including methods.
+	Decls map[*types.Func]*ast.FuncDecl
+	// CalleesOf lists the resolved call sites made from each declared
+	// function, in source order.
+	CalleesOf map[*types.Func][]CallSite
+	// CallersOf is the inverse edge set, restricted to callees declared
+	// in this package.
+	CallersOf map[*types.Func][]CallSite
+}
+
+// BuildCallGraph constructs the package-local call graph for files.
+func BuildCallGraph(files []*ast.File, info *types.Info) *CallGraph {
+	g := &CallGraph{
+		Decls:     make(map[*types.Func]*ast.FuncDecl),
+		CalleesOf: make(map[*types.Func][]CallSite),
+		CallersOf: make(map[*types.Func][]CallSite),
+	}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[decl.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			g.Decls[fn] = decl
+		}
+	}
+	for fn, decl := range g.Decls {
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := StaticCallee(info, call)
+			if callee == nil {
+				return true
+			}
+			site := CallSite{Call: call, Caller: fn, Callee: callee}
+			g.CalleesOf[fn] = append(g.CalleesOf[fn], site)
+			if _, local := g.Decls[callee]; local {
+				g.CallersOf[callee] = append(g.CallersOf[callee], site)
+			}
+			return true
+		})
+	}
+	return g
+}
+
+// Functions returns the declared functions in a deterministic order
+// (by declaration position), so fixpoint iteration — and any
+// diagnostics derived from it — never depends on map iteration order.
+// An analyzer suite whose own output wandered between runs could not
+// credibly enforce a determinism invariant.
+func (g *CallGraph) Functions() []*types.Func {
+	fns := make([]*types.Func, 0, len(g.Decls))
+	for fn := range g.Decls {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Pos() < fns[j].Pos() })
+	return fns
+}
+
+// StaticCallee resolves the statically-known called function or method
+// of call, or nil for builtins, type conversions, and dynamic calls.
+// Unlike CalleeFunc it needs no *analysis.Pass, so the dataflow layer
+// can run outside an analyzer context (unit tests, fixpoints).
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,6 +1,15 @@
 package lintutil
 
-import "testing"
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
 
 func TestInScope(t *testing.T) {
 	cases := []struct {
@@ -18,5 +27,183 @@ func TestInScope(t *testing.T) {
 		if got := InScope(c.scope, c.pkg); got != c.want {
 			t.Errorf("InScope(%q, %q) = %v, want %v", c.scope, c.pkg, got, c.want)
 		}
+	}
+}
+
+const helperSrc = `package p
+
+import (
+	"fmt"
+	"os"
+)
+
+func show(n int) {
+	//lint:ignore demo unit test reason
+	fmt.Println(n)
+	fmt.Println(n + 1)
+}
+
+func noReason(n int) {
+	//lint:ignore demo
+	fmt.Println(n)
+}
+
+func tail(n int) {
+	fmt.Println(n) //lint:ignore demo,other same-line directive
+}
+
+func mk() []int { return make([]int, 0) }
+
+func paths(x struct{ f struct{ g int } }) {
+	_ = x.f.g
+	_ = os.Args
+}
+`
+
+// buildPass type-checks src under the given filename and wraps the
+// result in the minimal analysis.Pass the lintutil helpers consume.
+func buildPass(t *testing.T, filename, src string) (*analysis.Pass, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatal(err)
+	}
+	return &analysis.Pass{Fset: fset, Files: []*ast.File{f}, TypesInfo: info}, f
+}
+
+// callsIn returns every call expression in declaration order.
+func callsIn(f *ast.File) []*ast.CallExpr {
+	var calls []*ast.CallExpr
+	ast.Inspect(f, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			calls = append(calls, c)
+		}
+		return true
+	})
+	return calls
+}
+
+func TestSuppressed(t *testing.T) {
+	pass, f := buildPass(t, "p.go", helperSrc)
+	calls := callsIn(f)
+	// Call order: show's two Println, noReason's Println, tail's
+	// Println, mk's make.
+	cases := []struct {
+		idx  int
+		name string
+		want bool
+	}{
+		{0, "demo", true},  // directive on the preceding line
+		{1, "demo", false}, // one line too far
+		{2, "demo", false}, // no reason: directive is inert
+		{3, "demo", true},  // same-line directive
+		{3, "other", true}, // second name in the comma list
+		{3, "absent", false},
+	}
+	for _, c := range cases {
+		if got := Suppressed(pass, calls[c.idx].Pos(), c.name); got != c.want {
+			t.Errorf("Suppressed(call %d, %q) = %v, want %v", c.idx, c.name, got, c.want)
+		}
+	}
+	if Suppressed(pass, token.Pos(1<<30), "demo") {
+		t.Error("Suppressed with a position outside every file should be false")
+	}
+}
+
+func TestCalleeHelpers(t *testing.T) {
+	pass, f := buildPass(t, "p.go", helperSrc)
+	calls := callsIn(f)
+	println0, mk := calls[0], calls[4]
+
+	fn := CalleeFunc(pass, println0)
+	if fn == nil || fn.Name() != "Println" {
+		t.Fatalf("CalleeFunc(fmt.Println call) = %v", fn)
+	}
+	if !IsPkgFunc(pass, println0, "fmt", "Println") {
+		t.Error("IsPkgFunc(fmt.Println) = false")
+	}
+	if IsPkgFunc(pass, println0, "fmt", "Printf") {
+		t.Error("IsPkgFunc matched the wrong name")
+	}
+	if CalleeFunc(pass, mk) != nil {
+		t.Error("CalleeFunc(make call) should be nil for builtins")
+	}
+	if !IsBuiltin(pass, mk, "make") {
+		t.Error("IsBuiltin(make) = false")
+	}
+	if IsBuiltin(pass, mk, "append") {
+		t.Error("IsBuiltin matched the wrong builtin name")
+	}
+	if IsPkgFunc(pass, mk, "fmt", "Println") {
+		t.Error("IsPkgFunc matched a builtin call")
+	}
+}
+
+func TestInTestFile(t *testing.T) {
+	pass, f := buildPass(t, "p_test.go", helperSrc)
+	if !InTestFile(pass, f.Pos()) {
+		t.Error("InTestFile in p_test.go = false")
+	}
+	pass, f = buildPass(t, "p.go", helperSrc)
+	if InTestFile(pass, f.Pos()) {
+		t.Error("InTestFile in p.go = true")
+	}
+}
+
+func TestAccessPathHelpers(t *testing.T) {
+	pass, f := buildPass(t, "p.go", helperSrc)
+	// paths() contains `_ = x.f.g` and `_ = os.Args`.
+	var sels []ast.Expr
+	ast.Inspect(f, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+			if _, isSel := as.Rhs[0].(*ast.SelectorExpr); isSel {
+				sels = append(sels, as.Rhs[0])
+			}
+		}
+		return true
+	})
+	if len(sels) != 2 {
+		t.Fatalf("found %d selector assignments, want 2", len(sels))
+	}
+
+	p, ok := ParsePath(pass.TypesInfo, sels[0])
+	if !ok || !p.Valid() {
+		t.Fatalf("ParsePath(x.f.g) failed")
+	}
+	if p.String() != "x.f.g" {
+		t.Errorf("String() = %q, want x.f.g", p.String())
+	}
+	if p.Root() == nil || p.Root().Name() != "x" {
+		t.Errorf("Root() = %v, want x", p.Root())
+	}
+	child := p.Child("h")
+	if child.String() != "x.f.g.h" {
+		t.Errorf("Child() = %q, want x.f.g.h", child.String())
+	}
+	if PathOf(p.Root(), "f").Key() == p.Key() {
+		t.Error("distinct selector chains must have distinct keys")
+	}
+
+	// Package-qualified variable roots at the package-level object.
+	q, ok := ParsePath(pass.TypesInfo, sels[1])
+	if !ok || q.Root() == nil || q.Root().Name() != "Args" {
+		t.Errorf("ParsePath(os.Args) = %v, %v", q, ok)
+	}
+
+	var invalid AccessPath
+	if invalid.Valid() || invalid.Root() != nil || invalid.Key() != "" || invalid.String() != "<invalid>" {
+		t.Errorf("zero AccessPath: Valid=%v Root=%v Key=%q String=%q",
+			invalid.Valid(), invalid.Root(), invalid.Key(), invalid.String())
 	}
 }

@@ -76,6 +76,11 @@ func (p AccessPath) Child(name string) AccessPath {
 // Valid reports whether p was produced by a successful parse.
 func (p AccessPath) Valid() bool { return p.root != nil }
 
+// Root is the object the path starts at (nil for invalid paths) —
+// the handle analyzers use to ask declaration-site questions, like
+// whether an accumulator outlives a loop body.
+func (p AccessPath) Root() types.Object { return p.root }
+
 // Key is the canonical comparison form. Object identity is encoded
 // through the declaration position, which is unique per object within
 // one analysis pass.

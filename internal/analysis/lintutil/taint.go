@@ -1,0 +1,693 @@
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the order-taint dataflow layer shared by the
+// determinism analyzers (maporder, floatdet): a per-function forward
+// taint walk over the AST in source order, plus fixpoint-propagated
+// per-function summaries over the package-local call graph. "Taint"
+// here means *map-iteration-order dependence*: a value is tainted when
+// its content or order derives from ranging over a Go map (or
+// sync.Map.Range), whose order is deliberately randomized by the
+// runtime. Tainted data flowing into an order-sensitive sink — float
+// accumulation, serialized output — makes the result differ between
+// runs, which is exactly the class of bug the difftest bit-identity
+// invariant exists to catch dynamically.
+//
+// The walk is a deliberate approximation, tuned for this codebase:
+//
+//   - statements are processed in source order, twice, so loop-carried
+//     taint reaches uses earlier in the loop body on the second pass;
+//   - a canonical sort (sort.Slice, slices.Sort, ...) of a collection
+//     clears its taint from that point on — sorted data no longer
+//     carries map order;
+//   - order-insensitive derivations stay clean: len/cap, comparisons,
+//     and constant-delta accumulation (x++ / x += 2: the partial sums
+//     are the same whatever order the iterations fire in);
+//   - calls are resolved through OrderSummary, so taint flows through
+//     one level of calls in either direction (unordered returns, and
+//     parameters that reach a sink or a result inside the callee).
+
+// SinkKind classifies the order-sensitive sinks the walker detects.
+type SinkKind int
+
+const (
+	// SinkFloatAccum is a floating-point reduction (+=, *=, -=, /=, or
+	// x = x + e) whose right-hand side carries map-ordered data: float
+	// rounding makes the result depend on summation order.
+	SinkFloatAccum SinkKind = iota
+	// SinkEmit is map-ordered data reaching serialized or written
+	// output: fmt.Fprint*/Print*, json encoding, binary.Write, an
+	// io.Writer-shaped Write/WriteString, or a hash update — the emitted
+	// bytes differ between runs.
+	SinkEmit
+	// SinkCall is map-ordered data passed to a same-package function
+	// whose summary says that parameter reaches a sink inside it.
+	SinkCall
+)
+
+// OrderSummary is the interprocedural contract of one declared
+// function, computed by OrderSummaries: what a caller needs to know
+// without re-walking the body.
+type OrderSummary struct {
+	// ReturnsUnordered reports that some result carries map-ordered
+	// data even when every argument is clean (the function ranges over
+	// a map — its own or a parameter's — and returns the harvest
+	// unsorted).
+	ReturnsUnordered bool
+	// ParamToResult[i] reports that taint on parameter i reaches some
+	// result (identity/filter/transform helpers).
+	ParamToResult []bool
+	// ParamToSink[i] reports that parameter i reaches an
+	// order-sensitive sink inside the body (sum helpers, emit helpers).
+	ParamToSink []bool
+}
+
+func (s *OrderSummary) equal(o *OrderSummary) bool {
+	if s.ReturnsUnordered != o.ReturnsUnordered || len(s.ParamToResult) != len(o.ParamToResult) {
+		return false
+	}
+	for i := range s.ParamToResult {
+		if s.ParamToResult[i] != o.ParamToResult[i] || s.ParamToSink[i] != o.ParamToSink[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// OrderSummaries fixpoint-computes the OrderSummary of every function
+// declared in cg. Summaries start empty (nothing tainted) and only
+// grow, so iteration converges; the bound is a safety net against a
+// pathological clear/taint oscillation, not an expected exit.
+func OrderSummaries(info *types.Info, cg *CallGraph) map[*types.Func]*OrderSummary {
+	sums := make(map[*types.Func]*OrderSummary, len(cg.Decls))
+	fns := cg.Functions()
+	for _, fn := range fns {
+		np := fn.Type().(*types.Signature).Params().Len()
+		sums[fn] = &OrderSummary{ParamToResult: make([]bool, np), ParamToSink: make([]bool, np)}
+	}
+	lookup := func(f *types.Func) *OrderSummary { return sums[f] }
+	for iter := 0; iter < 10; iter++ {
+		changed := false
+		for _, fn := range fns {
+			decl := cg.Decls[fn]
+			old := sums[fn]
+			next := &OrderSummary{
+				ParamToResult: append([]bool(nil), old.ParamToResult...),
+				ParamToSink:   append([]bool(nil), old.ParamToSink...),
+			}
+			// Own-sources run: does the body mint unordered data that
+			// escapes through a result?
+			next.ReturnsUnordered = old.ReturnsUnordered ||
+				AnalyzeOrderFlow(info, decl, nil, true, lookup, nil)
+			// Per-parameter runs with local sources off: only the seeded
+			// parameter carries taint, so whatever reaches a result or a
+			// sink is attributable to it.
+			for i := range next.ParamToResult {
+				seed := make([]bool, len(next.ParamToResult))
+				seed[i] = true
+				hitSink := false
+				rt := AnalyzeOrderFlow(info, decl, seed, false, lookup, func(SinkKind, ast.Node) { hitSink = true })
+				next.ParamToResult[i] = next.ParamToResult[i] || rt
+				next.ParamToSink[i] = next.ParamToSink[i] || hitSink
+			}
+			if !next.equal(old) {
+				sums[fn] = next
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return sums
+}
+
+// AnalyzeOrderFlow walks one function body tracking map-order taint.
+// seedParams marks parameters assumed tainted on entry (nil = none);
+// sources controls whether local unordered sources (map ranges,
+// unordered-returning callees, maps.Keys) mint taint — summary
+// attribution runs turn them off. lookup resolves same-package callee
+// summaries (nil results are treated as unknown clean callees). onSink
+// fires once per syntactic sink reached by tainted data, on the second
+// of the two walk passes. The return value reports whether any result
+// value was tainted at a return site.
+func AnalyzeOrderFlow(info *types.Info, decl *ast.FuncDecl, seedParams []bool, sources bool, lookup func(*types.Func) *OrderSummary, onSink func(SinkKind, ast.Node)) bool {
+	w := &orderFlow{
+		info:    info,
+		sources: sources,
+		lookup:  lookup,
+		tainted: make(map[string]bool),
+	}
+	// Seed parameters and record named results for bare returns.
+	var params []*ast.Ident
+	if decl.Type.Params != nil {
+		for _, f := range decl.Type.Params.List {
+			params = append(params, f.Names...)
+		}
+	}
+	for i, id := range params {
+		if i < len(seedParams) && seedParams[i] {
+			if obj := info.ObjectOf(id); obj != nil {
+				w.tainted[PathOf(obj).Key()] = true
+			}
+		}
+	}
+	if decl.Type.Results != nil {
+		for _, f := range decl.Type.Results.List {
+			for _, id := range f.Names {
+				if obj := info.ObjectOf(id); obj != nil {
+					w.results = append(w.results, obj)
+				}
+			}
+		}
+	}
+	// Two passes: the first populates loop-carried taint, the second
+	// reports. Clears re-apply in order on each pass, so a sort between
+	// source and sink suppresses in both.
+	w.stmt(decl.Body)
+	w.onSink = onSink
+	w.stmt(decl.Body)
+	return w.returnsTainted
+}
+
+// orderFlow is the walker state for one AnalyzeOrderFlow invocation.
+type orderFlow struct {
+	info    *types.Info
+	sources bool
+	lookup  func(*types.Func) *OrderSummary
+	onSink  func(SinkKind, ast.Node) // nil on the first pass
+	tainted map[string]bool
+	results []types.Object
+	// mapKeys stacks the key variables of the enclosing map ranges,
+	// innermost last (nil for keyless/anonymous keys); see
+	// distinctIndex.
+	mapKeys        []types.Object
+	returnsTainted bool
+}
+
+func (w *orderFlow) sink(kind SinkKind, n ast.Node) {
+	if w.onSink != nil {
+		w.onSink(kind, n)
+	}
+}
+
+func (w *orderFlow) taintObj(obj types.Object, on bool) {
+	if obj == nil {
+		return
+	}
+	key := PathOf(obj).Key()
+	if on {
+		w.tainted[key] = true
+	} else {
+		delete(w.tainted, key)
+	}
+}
+
+// setExpr records taint for an assignment target. Paths are set or
+// cleared (an untainted overwrite launders the variable — that is the
+// point of flow sensitivity); container element writes (m[k] = v,
+// s.f[i] = v) taint the container and never clear it, since other
+// elements may still carry order.
+func (w *orderFlow) setExpr(lhs ast.Expr, on bool) {
+	lhs = ast.Unparen(lhs)
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	if p, ok := ParsePath(w.info, lhs); ok {
+		if on {
+			w.tainted[p.Key()] = true
+		} else {
+			delete(w.tainted, p.Key())
+		}
+		return
+	}
+	if !on {
+		return
+	}
+	switch lhs := lhs.(type) {
+	case *ast.IndexExpr:
+		// m[k] = tainted does NOT taint a map: whatever order the
+		// writes happened in, the resulting map content is the same.
+		// s[i] = tainted does taint a slice: positions record order.
+		if _, isMap := typeUnder(w.info.TypeOf(lhs.X)).(*types.Map); isMap {
+			return
+		}
+		if p, ok := ParsePath(w.info, lhs.X); ok {
+			w.tainted[p.Key()] = true
+		}
+	case *ast.StarExpr:
+		w.setExpr(lhs.X, on)
+	}
+}
+
+func (w *orderFlow) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			w.stmt(st)
+		}
+	case *ast.ExprStmt:
+		w.expr(s.X)
+	case *ast.AssignStmt:
+		w.assign(s)
+	case *ast.IncDecStmt:
+		// Constant delta: order-independent, never a sink.
+		w.expr(s.X)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					on := false
+					if i < len(vs.Values) {
+						on = w.expr(vs.Values[i])
+					} else if len(vs.Values) == 1 {
+						on = w.expr(vs.Values[0])
+					}
+					w.taintObj(w.info.ObjectOf(name), on)
+				}
+			}
+		}
+	case *ast.IfStmt:
+		w.stmt(s.Init)
+		w.expr(s.Cond)
+		w.stmt(s.Body)
+		w.stmt(s.Else)
+	case *ast.ForStmt:
+		w.stmt(s.Init)
+		if s.Cond != nil {
+			w.expr(s.Cond)
+		}
+		w.stmt(s.Post)
+		w.stmt(s.Body)
+	case *ast.RangeStmt:
+		w.rangeStmt(s)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init)
+		if s.Tag != nil {
+			w.expr(s.Tag)
+		}
+		w.stmt(s.Body)
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init)
+		w.stmt(s.Assign)
+		w.stmt(s.Body)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			w.expr(e)
+		}
+		for _, st := range s.Body {
+			w.stmt(st)
+		}
+	case *ast.SelectStmt:
+		w.stmt(s.Body)
+	case *ast.CommClause:
+		w.stmt(s.Comm)
+		for _, st := range s.Body {
+			w.stmt(st)
+		}
+	case *ast.SendStmt:
+		w.expr(s.Chan)
+		w.expr(s.Value)
+	case *ast.ReturnStmt:
+		if len(s.Results) == 0 {
+			for _, obj := range w.results {
+				if w.tainted[PathOf(obj).Key()] {
+					w.returnsTainted = true
+				}
+			}
+			return
+		}
+		for _, e := range s.Results {
+			if w.expr(e) {
+				w.returnsTainted = true
+			}
+		}
+	case *ast.DeferStmt:
+		w.expr(s.Call)
+	case *ast.GoStmt:
+		w.expr(s.Call)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	}
+}
+
+// arithAssignOps are the compound assignments that form arithmetic
+// reductions.
+var arithAssignOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true,
+	token.MUL_ASSIGN: true, token.QUO_ASSIGN: true,
+}
+
+func (w *orderFlow) assign(s *ast.AssignStmt) {
+	if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+		// Compound assignment (x op= e). Never clears: the old value is
+		// folded in. Integer reductions (+=, |=, ...) are commutative and
+		// associative, so their result is order-independent and the
+		// accumulator stays clean; float reductions round per step and
+		// are the flagship sink; everything else (string concat, ...)
+		// carries the taint forward.
+		rhsTainted := len(s.Rhs) == 1 && w.expr(s.Rhs[0])
+		if rhsTainted {
+			lhsType := w.info.TypeOf(s.Lhs[0])
+			if arithAssignOps[s.Tok] && isFloat(lhsType) && !w.isConst(s.Rhs[0]) && !w.distinctIndex(s.Lhs[0]) {
+				w.sink(SinkFloatAccum, s)
+			}
+			if !isInteger(lhsType) {
+				w.setExpr(s.Lhs[0], true)
+			}
+		}
+		return
+	}
+	taints := make([]bool, len(s.Rhs))
+	for i, r := range s.Rhs {
+		taints[i] = w.expr(r)
+	}
+	if len(s.Lhs) == len(s.Rhs) {
+		for i, l := range s.Lhs {
+			self := w.selfReference(l, s.Rhs[i])
+			// x = x + tainted on a float is the spelled-out reduction.
+			if taints[i] && self && isFloat(w.info.TypeOf(l)) && !w.isConst(s.Rhs[i]) {
+				w.sink(SinkFloatAccum, s)
+			}
+			if self && isInteger(w.info.TypeOf(l)) {
+				continue // integer accumulation: order-independent, keep state
+			}
+			w.setExpr(l, taints[i])
+		}
+		return
+	}
+	// Multi-value rhs (call, type assert, map read): every target
+	// shares the single rhs's taint.
+	for _, l := range s.Lhs {
+		w.setExpr(l, taints[0])
+	}
+}
+
+// distinctIndex recognizes the merge idiom: dst[k] op= v inside a
+// single map range whose key is exactly k. Every key is visited once,
+// so each dst entry receives exactly one contribution and the
+// per-entry sum cannot depend on iteration order. The exemption only
+// holds under exactly one enclosing unordered loop — with nested map
+// ranges the same inner key can recur across outer iterations, and the
+// accumulation order becomes the outer map's.
+func (w *orderFlow) distinctIndex(lhs ast.Expr) bool {
+	if len(w.mapKeys) != 1 || w.mapKeys[0] == nil {
+		return false
+	}
+	ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(ix.Index).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return w.info.ObjectOf(id) == w.mapKeys[0]
+}
+
+// selfReference reports whether rhs is an arithmetic expression with
+// lhs itself as an operand (x = x + e).
+func (w *orderFlow) selfReference(lhs ast.Expr, rhs ast.Expr) bool {
+	p, ok := ParsePath(w.info, lhs)
+	if !ok {
+		return false
+	}
+	bin, ok := ast.Unparen(rhs).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	for _, op := range []ast.Expr{bin.X, bin.Y} {
+		if q, ok := ParsePath(w.info, op); ok && q.Key() == p.Key() {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *orderFlow) rangeStmt(s *ast.RangeStmt) {
+	xTainted := w.expr(s.X)
+	_, isMap := typeUnder(w.info.TypeOf(s.X)).(*types.Map)
+	on := xTainted || (isMap && w.sources)
+	if s.Key != nil {
+		// Only map keys carry order; slice/array indices are 0..n-1
+		// whatever the element order.
+		w.setExpr(s.Key, on && isMap)
+	}
+	if s.Value != nil {
+		w.setExpr(s.Value, on)
+	}
+	if isMap {
+		var keyObj types.Object
+		if id, ok := s.Key.(*ast.Ident); ok {
+			keyObj = w.info.ObjectOf(id)
+		}
+		w.mapKeys = append(w.mapKeys, keyObj)
+		w.stmt(s.Body)
+		w.mapKeys = w.mapKeys[:len(w.mapKeys)-1]
+		return
+	}
+	w.stmt(s.Body)
+}
+
+func (w *orderFlow) expr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case nil:
+		return false
+	case *ast.Ident:
+		if p, ok := ParsePath(w.info, e); ok {
+			return w.tainted[p.Key()]
+		}
+		return false
+	case *ast.ParenExpr:
+		return w.expr(e.X)
+	case *ast.SelectorExpr:
+		if p, ok := ParsePath(w.info, e); ok && w.tainted[p.Key()] {
+			return true
+		}
+		return w.expr(e.X)
+	case *ast.StarExpr:
+		return w.expr(e.X)
+	case *ast.UnaryExpr:
+		return w.expr(e.X)
+	case *ast.BinaryExpr:
+		l := w.expr(e.X)
+		r := w.expr(e.Y)
+		switch e.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ, token.LAND, token.LOR:
+			// Comparisons collapse to a bool; the order information is
+			// gone (ties under argmax are out of this model's scope).
+			return false
+		}
+		return l || r
+	case *ast.IndexExpr:
+		w.expr(e.Index)
+		return w.expr(e.X)
+	case *ast.SliceExpr:
+		return w.expr(e.X)
+	case *ast.TypeAssertExpr:
+		return w.expr(e.X)
+	case *ast.CompositeLit:
+		tainted := false
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if w.expr(el) {
+				tainted = true
+			}
+		}
+		return tainted
+	case *ast.FuncLit:
+		// The literal shares this frame's taint set (captures), so its
+		// body is walked inline; its own parameters start clean.
+		w.stmt(e.Body)
+		return false
+	case *ast.CallExpr:
+		return w.call(e)
+	default:
+		return false
+	}
+}
+
+// sortClearers are the in-place canonical sorts that launder their
+// first argument's map-order taint.
+var sortClearers = map[string]map[string]bool{
+	"sort":   {"Slice": true, "SliceStable": true, "Sort": true, "Stable": true, "Strings": true, "Ints": true, "Float64s": true},
+	"slices": {"Sort": true, "SortFunc": true, "SortStableFunc": true},
+}
+
+// unorderedSources are package functions whose results carry map
+// iteration order by construction.
+var unorderedSources = map[string]map[string]bool{
+	"maps":                  {"Keys": true, "Values": true},
+	"golang.org/x/exp/maps": {"Keys": true, "Values": true},
+}
+
+// emitSinkFuncs are package functions that serialize or write their
+// (variadic or fixed) arguments.
+var emitSinkFuncs = map[string]map[string]bool{
+	"fmt":             {"Fprint": true, "Fprintf": true, "Fprintln": true, "Print": true, "Printf": true, "Println": true},
+	"encoding/json":   {"Marshal": true, "MarshalIndent": true},
+	"encoding/binary": {"Write": true},
+}
+
+func (w *orderFlow) call(c *ast.CallExpr) bool {
+	// Type conversions carry their operand's taint.
+	if tv, ok := w.info.Types[c.Fun]; ok && tv.IsType() {
+		if len(c.Args) == 1 {
+			return w.expr(c.Args[0])
+		}
+		return false
+	}
+	// Builtins.
+	if id, ok := ast.Unparen(c.Fun).(*ast.Ident); ok {
+		if _, isB := w.info.Uses[id].(*types.Builtin); isB {
+			switch id.Name {
+			case "append":
+				tainted := false
+				for _, a := range c.Args {
+					if w.expr(a) {
+						tainted = true
+					}
+				}
+				return tainted
+			case "len", "cap", "min", "max":
+				for _, a := range c.Args {
+					w.expr(a)
+				}
+				return false
+			case "copy":
+				if len(c.Args) == 2 && w.expr(c.Args[1]) {
+					w.setExpr(c.Args[0], true)
+				}
+				return false
+			default:
+				for _, a := range c.Args {
+					w.expr(a)
+				}
+				return false
+			}
+		}
+	}
+
+	callee := StaticCallee(w.info, c)
+
+	// Canonical sorts clear their argument — walk the comparator for
+	// completeness, then launder.
+	if callee != nil && callee.Pkg() != nil {
+		pkg, name := callee.Pkg().Path(), callee.Name()
+		if sortClearers[pkg][name] && len(c.Args) > 0 {
+			for _, a := range c.Args[1:] {
+				w.expr(a)
+			}
+			w.setExpr(c.Args[0], false)
+			return false
+		}
+		if unorderedSources[pkg][name] {
+			for _, a := range c.Args {
+				w.expr(a)
+			}
+			return w.sources
+		}
+	}
+
+	// sync.Map.Range seeds its callback's parameters: the visit order
+	// is as unordered as a map range.
+	if recvType, method, ok := MethodOnTypeIn(w.info, c, "sync"); ok && recvType == "Map" && method == "Range" && len(c.Args) == 1 {
+		if lit, isLit := ast.Unparen(c.Args[0]).(*ast.FuncLit); isLit {
+			if w.sources && lit.Type.Params != nil {
+				for _, f := range lit.Type.Params.List {
+					for _, id := range f.Names {
+						w.taintObj(w.info.ObjectOf(id), true)
+					}
+				}
+			}
+			w.stmt(lit.Body)
+			return false
+		}
+	}
+
+	// Evaluate arguments once; everything below needs their taint.
+	argT := make([]bool, len(c.Args))
+	anyTainted := false
+	for i, a := range c.Args {
+		argT[i] = w.expr(a)
+		anyTainted = anyTainted || argT[i]
+	}
+
+	if anyTainted {
+		if callee != nil && callee.Pkg() != nil && emitSinkFuncs[callee.Pkg().Path()][callee.Name()] {
+			w.sink(SinkEmit, c)
+		} else if sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr); ok {
+			// Method sinks: an Encoder's Encode, or a Write/WriteString
+			// in the io.Writer shape (covers hash updates too).
+			if s, isM := w.info.Selections[sel]; isM && s.Kind() == types.MethodVal {
+				switch s.Obj().Name() {
+				case "Encode", "Write", "WriteString":
+					w.sink(SinkEmit, c)
+				}
+			}
+		}
+	}
+
+	// Same-package callee: consult its summary.
+	if callee != nil && w.lookup != nil {
+		if sm := w.lookup(callee); sm != nil {
+			tainted := sm.ReturnsUnordered && w.sources
+			for i := range argT {
+				if i < len(sm.ParamToResult) && argT[i] && sm.ParamToResult[i] {
+					tainted = true
+				}
+				if i < len(sm.ParamToSink) && argT[i] && sm.ParamToSink[i] {
+					w.sink(SinkCall, c)
+				}
+			}
+			if tainted {
+				return true
+			}
+		}
+	}
+
+	// A method called on a tainted receiver yields tainted data
+	// (String(), Bytes(), iterators over the tainted collection).
+	if sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr); ok {
+		if s, isM := w.info.Selections[sel]; isM && s.Kind() == types.MethodVal {
+			if w.expr(sel.X) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (w *orderFlow) isConst(e ast.Expr) bool {
+	tv, ok := w.info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := typeUnder(t).(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isInteger(t types.Type) bool {
+	b, ok := typeUnder(t).(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func typeUnder(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}

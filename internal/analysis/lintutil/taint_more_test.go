@@ -1,0 +1,202 @@
+package lintutil
+
+import (
+	"go/ast"
+	"go/types"
+	"testing"
+)
+
+// taintMoreSrc exercises the statement and expression arms the core
+// fixture does not reach: declarations with initializers, composite
+// literals, conversions, slice/index/star/unary expressions, copy,
+// select/send, labeled loops, defer/go, type switches, the merge
+// idiom, and the slices.Sort clearer.
+const taintMoreSrc = `package p
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"slices"
+	"strings"
+)
+
+// mergeIdiom: dst[k] += v under a single map range whose key is k —
+// every key visited once, order-independent, exempt.
+func mergeIdiom(dst, src map[string]float64) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}
+
+// mergeNested: the inner key recurs across outer iterations, so dst
+// entries accumulate in the outer map's order — a real sink.
+func mergeNested(dst map[string]float64, srcs map[string]map[string]float64) {
+	for _, src := range srcs {
+		for k, v := range src {
+			dst[k] += v
+		}
+	}
+}
+
+// variants: every compound arithmetic reduction op, plus string
+// concatenation (carries taint but is not a float sink).
+func variants(m map[string]float64) (float64, float64, string) {
+	p, q, s := 1.0, 100.0, ""
+	for k, v := range m {
+		p *= v
+		q -= v
+		s += k
+	}
+	return p, q, s
+}
+
+// multi: multi-value map reads and an early tainted return.
+func multi(m map[string]int) (string, bool) {
+	for k := range m {
+		v, ok := m[k]
+		if ok && v > 0 {
+			return k, true
+		}
+	}
+	return "", false
+}
+
+// typeSwitch emits a map-range value out of a type switch clause.
+func typeSwitch(m map[string]any, w io.Writer) {
+	for _, v := range m {
+		switch v.(type) {
+		case string:
+			fmt.Fprintln(w, v)
+		}
+	}
+}
+
+// plumbing threads taint through declarations, composite literals,
+// indexing, slicing, conversion, copy, pointers, sends, a labeled
+// loop with select, and finally defer/go emit sinks.
+func plumbing(m map[string]int, w io.Writer, ch chan []string, ch2 chan string) int {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	var dup []string = ks
+	pair := [][]string{dup}
+	first := pair[0]
+	sub := first[:1]
+	conv := []string(sub)
+	cp := make([]string, len(conv))
+	copy(cp, conv)
+	ptr := &cp
+	ch <- *ptr
+	n := 0
+loop:
+	for i := 0; i < 1; i++ {
+		n++
+		select {
+		case v := <-ch2:
+			fmt.Fprintln(w, v)
+		default:
+			break loop
+		}
+	}
+	defer fmt.Fprintln(w, cp)
+	go fmt.Fprintln(w, cp)
+	return n
+}
+
+// sliceSorted launders through the slices package clearer.
+func sliceSorted(m map[string]int, w io.Writer) {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	slices.Sort(ks)
+	fmt.Fprintln(w, ks)
+}
+
+// marshal serializes an unordered key list.
+func marshal(m map[string]int) ([]byte, error) {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return json.Marshal(ks)
+}
+
+// writeOut hits the method-shaped emit sink (WriteString).
+func writeOut(w io.Writer, m map[string]int) {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k)
+	}
+	_, _ = w.Write([]byte(b.String()))
+}
+`
+
+func buildTaintMore(t *testing.T) (*CallGraph, map[*types.Func]*OrderSummary, *types.Info) {
+	t.Helper()
+	_, info, _, f := buildFuncs(t, taintMoreSrc)
+	cg := BuildCallGraph([]*ast.File{f}, info)
+	return cg, OrderSummaries(info, cg), info
+}
+
+func TestMergeIdiomSummaries(t *testing.T) {
+	cg, sums, _ := buildTaintMore(t)
+	cases := []struct {
+		fn               string
+		returnsUnordered bool
+		paramToSink      []bool
+	}{
+		{"mergeIdiom", false, []bool{false, false}},
+		{"mergeNested", false, []bool{false, true}},
+		{"variants", true, []bool{true}},
+		{"multi", true, []bool{false}},
+	}
+	for _, c := range cases {
+		sm := sums[fnByName(t, cg, c.fn)]
+		if sm == nil {
+			t.Errorf("%s: no summary", c.fn)
+			continue
+		}
+		if sm.ReturnsUnordered != c.returnsUnordered {
+			t.Errorf("%s: ReturnsUnordered = %v, want %v", c.fn, sm.ReturnsUnordered, c.returnsUnordered)
+		}
+		for i := range c.paramToSink {
+			if sm.ParamToSink[i] != c.paramToSink[i] {
+				t.Errorf("%s: ParamToSink[%d] = %v, want %v", c.fn, i, sm.ParamToSink[i], c.paramToSink[i])
+			}
+		}
+	}
+}
+
+func TestOrderFlowConstructs(t *testing.T) {
+	cg, sums, info := buildTaintMore(t)
+	cases := []struct {
+		fn   string
+		want map[SinkKind]int
+	}{
+		{"mergeIdiom", map[SinkKind]int{}},
+		{"mergeNested", map[SinkKind]int{SinkFloatAccum: 1}},
+		{"variants", map[SinkKind]int{SinkFloatAccum: 2}},
+		{"multi", map[SinkKind]int{}},
+		{"typeSwitch", map[SinkKind]int{SinkEmit: 1}},
+		{"plumbing", map[SinkKind]int{SinkEmit: 2}},
+		{"sliceSorted", map[SinkKind]int{}},
+		{"marshal", map[SinkKind]int{SinkEmit: 1}},
+		{"writeOut", map[SinkKind]int{SinkEmit: 1}},
+	}
+	for _, c := range cases {
+		got := sinksIn(t, cg, sums, info, c.fn)
+		for kind, n := range c.want {
+			if got[kind] != n {
+				t.Errorf("%s: %d sinks of kind %d, want %d", c.fn, got[kind], kind, n)
+			}
+		}
+		for kind, n := range got {
+			if c.want[kind] == 0 && n > 0 {
+				t.Errorf("%s: unexpected sink kind %d (%d hits)", c.fn, kind, n)
+			}
+		}
+	}
+}

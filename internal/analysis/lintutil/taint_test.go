@@ -1,0 +1,291 @@
+package lintutil
+
+import (
+	"go/ast"
+	"go/types"
+	"testing"
+)
+
+const taintSrc = `package p
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// keysOf harvests map keys unsorted: unordered result.
+func keysOf(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// sortedKeys sorts before returning: the taint is cleared.
+func sortedKeys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// ident passes its parameter through to its result.
+func ident(s []string) []string {
+	return s
+}
+
+// sum accumulates floats from its parameter: param 0 reaches both a
+// sink and the result.
+func sum(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// totalDirect is the bug pattern: float accumulation in map order.
+func totalDirect(m map[string]float64) float64 {
+	t := 0.0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// totalFixed is the canonical fix: sort the keys, then accumulate.
+func totalFixed(m map[string]float64) float64 {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	t := 0.0
+	for _, k := range ks {
+		t += m[k]
+	}
+	return t
+}
+
+// totalViaHelper reaches sum's accumulator through the call.
+func totalViaHelper(m map[string]float64) float64 {
+	var vals []float64
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	return sum(vals)
+}
+
+// emit writes map keys in iteration order.
+func emit(w io.Writer, m map[string]int) {
+	for k := range m {
+		fmt.Fprintln(w, k)
+	}
+}
+
+// countAndLens: constant deltas and len() are order-independent.
+func countAndLens(m map[string][]int) (float64, int) {
+	n := 0.0
+	t := 0
+	for _, v := range m {
+		n += 1
+		t += len(v)
+	}
+	return n, t
+}
+
+// intSum: integer accumulation is order-independent, so the result is
+// clean even though the values came from a map.
+func intSum(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// viaSpelledOut uses the x = x + e form.
+func viaSpelledOut(m map[string]float64) float64 {
+	t := 0.0
+	for _, v := range m {
+		t = t + v
+	}
+	return t
+}
+
+// syncRange visits a sync.Map in unspecified order.
+func syncRange(sm *sync.Map, w io.Writer) {
+	sm.Range(func(k, v any) bool {
+		fmt.Fprintln(w, k, v)
+		return true
+	})
+}
+
+// laundered: the helper's unordered result is sorted by the caller
+// before accumulation.
+func laundered(m map[string]float64) float64 {
+	ks := keysOf(map[string]int{})
+	sort.Strings(ks)
+	t := 0.0
+	for range ks {
+		t += 1.5 // constant: no sink either way
+	}
+	return t
+}
+`
+
+// buildTaint type-checks taintSrc once for all taint-layer tests.
+func buildTaint(t *testing.T) (*CallGraph, map[*types.Func]*OrderSummary, *types.Info, *ast.File) {
+	t.Helper()
+	_, info, _, f := buildFuncs(t, taintSrc)
+	cg := BuildCallGraph([]*ast.File{f}, info)
+	return cg, OrderSummaries(info, cg), info, f
+}
+
+func fnByName(t *testing.T, cg *CallGraph, name string) *types.Func {
+	t.Helper()
+	for fn, decl := range cg.Decls {
+		if decl.Name.Name == name {
+			return fn
+		}
+	}
+	t.Fatalf("no function %s in call graph", name)
+	return nil
+}
+
+func TestCallGraph(t *testing.T) {
+	cg, _, _, _ := buildTaint(t)
+	if got := len(cg.Decls); got != 13 {
+		t.Errorf("Decls: got %d functions, want 13", got)
+	}
+
+	caller := fnByName(t, cg, "totalViaHelper")
+	callee := fnByName(t, cg, "sum")
+	found := false
+	for _, site := range cg.CalleesOf[caller] {
+		if site.Callee == callee {
+			found = true
+			if site.Caller != caller {
+				t.Errorf("call site caller = %v, want totalViaHelper", site.Caller)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no totalViaHelper -> sum edge in CalleesOf")
+	}
+	found = false
+	for _, site := range cg.CallersOf[callee] {
+		if site.Caller == caller {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no totalViaHelper -> sum edge in CallersOf")
+	}
+
+	// Functions() is sorted by declaration position.
+	fns := cg.Functions()
+	for i := 1; i < len(fns); i++ {
+		if fns[i-1].Pos() >= fns[i].Pos() {
+			t.Errorf("Functions() not sorted by position at index %d", i)
+		}
+	}
+}
+
+func TestOrderSummaries(t *testing.T) {
+	cg, sums, _, _ := buildTaint(t)
+	cases := []struct {
+		fn               string
+		returnsUnordered bool
+		paramToResult    []bool
+		paramToSink      []bool
+	}{
+		// A seeded (tainted) map parameter propagates through range, so
+		// ParamToResult/ParamToSink are conservatively true wherever the
+		// map's own content reaches a result or reduction — the
+		// ReturnsUnordered column is what distinguishes the fixed
+		// patterns from the buggy ones.
+		{"keysOf", true, []bool{true}, []bool{false}},
+		{"sortedKeys", false, []bool{false}, []bool{false}},
+		{"ident", false, []bool{true}, []bool{false}},
+		{"sum", false, []bool{true}, []bool{true}},
+		{"totalDirect", true, []bool{true}, []bool{true}},
+		{"totalFixed", false, []bool{true}, []bool{true}},
+		{"totalViaHelper", true, []bool{true}, []bool{true}},
+		{"intSum", false, []bool{false}, []bool{false}},
+		{"countAndLens", false, []bool{false}, []bool{false}},
+	}
+	for _, c := range cases {
+		sm := sums[fnByName(t, cg, c.fn)]
+		if sm == nil {
+			t.Errorf("%s: no summary", c.fn)
+			continue
+		}
+		if sm.ReturnsUnordered != c.returnsUnordered {
+			t.Errorf("%s: ReturnsUnordered = %v, want %v", c.fn, sm.ReturnsUnordered, c.returnsUnordered)
+		}
+		for i := range c.paramToResult {
+			if sm.ParamToResult[i] != c.paramToResult[i] {
+				t.Errorf("%s: ParamToResult[%d] = %v, want %v", c.fn, i, sm.ParamToResult[i], c.paramToResult[i])
+			}
+			if sm.ParamToSink[i] != c.paramToSink[i] {
+				t.Errorf("%s: ParamToSink[%d] = %v, want %v", c.fn, i, sm.ParamToSink[i], c.paramToSink[i])
+			}
+		}
+	}
+}
+
+// sinksIn runs the reporting pass over one function and returns the
+// sink kinds hit, deduplicated by position.
+func sinksIn(t *testing.T, cg *CallGraph, sums map[*types.Func]*OrderSummary, info *types.Info, name string) map[SinkKind]int {
+	t.Helper()
+	decl := cg.Decls[fnByName(t, cg, name)]
+	lookup := func(f *types.Func) *OrderSummary { return sums[f] }
+	got := make(map[SinkKind]int)
+	seen := make(map[string]bool)
+	AnalyzeOrderFlow(info, decl, nil, true, lookup, func(k SinkKind, n ast.Node) {
+		key := string(rune(k)) + ":" + string(rune(n.Pos()))
+		if !seen[key] {
+			seen[key] = true
+			got[k]++
+		}
+	})
+	return got
+}
+
+func TestAnalyzeOrderFlowSinks(t *testing.T) {
+	cg, sums, info, _ := buildTaint(t)
+	cases := []struct {
+		fn   string
+		want map[SinkKind]int
+	}{
+		{"totalDirect", map[SinkKind]int{SinkFloatAccum: 1}},
+		{"totalFixed", map[SinkKind]int{}},
+		{"totalViaHelper", map[SinkKind]int{SinkCall: 1}},
+		{"emit", map[SinkKind]int{SinkEmit: 1}},
+		{"viaSpelledOut", map[SinkKind]int{SinkFloatAccum: 1}},
+		{"syncRange", map[SinkKind]int{SinkEmit: 1}},
+		{"countAndLens", map[SinkKind]int{}},
+		{"intSum", map[SinkKind]int{}},
+		{"laundered", map[SinkKind]int{}},
+		{"sortedKeys", map[SinkKind]int{}},
+	}
+	for _, c := range cases {
+		got := sinksIn(t, cg, sums, info, c.fn)
+		for kind, n := range c.want {
+			if got[kind] != n {
+				t.Errorf("%s: %d sinks of kind %d, want %d", c.fn, got[kind], kind, n)
+			}
+		}
+		for kind, n := range got {
+			if c.want[kind] == 0 && n > 0 {
+				t.Errorf("%s: unexpected sink kind %d (%d hits)", c.fn, kind, n)
+			}
+		}
+	}
+}

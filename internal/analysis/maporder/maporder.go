@@ -1,0 +1,81 @@
+// Package maporder is the static twin of difftest's bit-identity
+// invariant: it taints every value whose content or order derives from
+// ranging a Go map (or sync.Map.Range) — the runtime deliberately
+// randomizes that order — and flags flows into order-sensitive sinks:
+//
+//   - floating-point accumulation (+=, *=, x = x + v): float addition
+//     rounds per step, so partial sums in different orders produce
+//     different bits — the exact canonicalEntries bug difftest caught
+//     dynamically in PR 5;
+//   - serialized or written output (fmt.Fprint*, json encoding,
+//     io.Writer Write/WriteString, hash updates, binary.Write): the
+//     emitted bytes differ between runs;
+//   - calls into same-package helpers that do either, resolved through
+//     fixpoint-propagated taint summaries over the package-local call
+//     graph, so a reduction hidden one call away is still caught.
+//
+// A dominating canonical sort clears the taint: collect the keys or
+// entries, sort.Slice/slices.Sort them, then reduce or emit — the
+// canonicalEntries pattern. Integer accumulation, len/cap, constant
+// deltas, and comparisons stay clean (their results are
+// order-independent). Suppress a deliberate order-insensitive use with
+// //lint:ignore maporder <reason>.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"xpathest/internal/analysis/lintutil"
+)
+
+const name = "maporder"
+
+// scope is bound by init to the -maporder.scope flag.
+var scope string
+
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc:  "flag map-iteration-order-dependent flows into float accumulation or serialized output",
+	Run:  run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&scope, "scope", "", "comma-separated import paths to check (empty = every package)")
+}
+
+var sinkMessages = map[lintutil.SinkKind]string{
+	lintutil.SinkFloatAccum: "float accumulation in map iteration order gives run-dependent rounding; collect and sort the keys or entries first (the canonicalEntries pattern)",
+	lintutil.SinkEmit:       "map-iteration-ordered data reaches serialized output, so the bytes differ between runs; emit a canonically sorted copy",
+	lintutil.SinkCall:       "map-iteration-ordered data is passed to a function that accumulates or emits it; sort before the call",
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !lintutil.InScope(scope, pass.Pkg.Path()) {
+		return nil, nil
+	}
+	cg := lintutil.BuildCallGraph(pass.Files, pass.TypesInfo)
+	sums := lintutil.OrderSummaries(pass.TypesInfo, cg)
+	lookup := func(f *types.Func) *lintutil.OrderSummary { return sums[f] }
+	for _, fn := range cg.Functions() {
+		decl := cg.Decls[fn]
+		if lintutil.InTestFile(pass, decl.Pos()) {
+			continue
+		}
+		seen := make(map[token.Pos]bool)
+		lintutil.AnalyzeOrderFlow(pass.TypesInfo, decl, nil, true, lookup, func(kind lintutil.SinkKind, n ast.Node) {
+			if seen[n.Pos()] {
+				return
+			}
+			seen[n.Pos()] = true
+			if lintutil.Suppressed(pass, n.Pos(), name) {
+				return
+			}
+			pass.Reportf(n.Pos(), "%s", sinkMessages[kind])
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,158 @@
+// Package a seeds maporder's positive and negative cases. The first
+// function is the pre-fix PR 5 canonicalEntries pattern — the bug the
+// difftest harness caught dynamically and this analyzer now catches
+// statically.
+package a
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+type pid struct{ doc, node int }
+
+// estimatePreFix is the canonicalEntries bug: partial products summed
+// in map iteration order, so the rounded total differs between runs.
+func estimatePreFix(counts, weights map[pid]float64) float64 {
+	total := 0.0
+	for p, c := range counts {
+		total += c * weights[p] // want `float accumulation in map iteration order`
+	}
+	return total
+}
+
+// estimateFixed is the canonical fix: collect, sort, then reduce.
+func estimateFixed(counts, weights map[pid]float64) float64 {
+	type entry struct {
+		p pid
+		c float64
+	}
+	entries := make([]entry, 0, len(counts))
+	for p, c := range counts {
+		entries = append(entries, entry{p, c})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].p.doc != entries[j].p.doc {
+			return entries[i].p.doc < entries[j].p.doc
+		}
+		return entries[i].p.node < entries[j].p.node
+	})
+	total := 0.0
+	for _, e := range entries {
+		total += e.c * weights[e.p]
+	}
+	return total
+}
+
+// listNames is the unsorted-map JSON response: the emitted bytes
+// change between runs.
+func listNames(w io.Writer, reg map[string]int) {
+	var names []string
+	for name := range reg {
+		names = append(names, name)
+	}
+	_ = json.NewEncoder(w).Encode(names) // want `map-iteration-ordered data reaches serialized output`
+}
+
+// listNamesSorted is the byte-stable version.
+func listNamesSorted(w io.Writer, reg map[string]int) {
+	var names []string
+	for name := range reg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	_ = json.NewEncoder(w).Encode(names)
+}
+
+// dump prints in iteration order.
+func dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `map-iteration-ordered data reaches serialized output`
+	}
+}
+
+// sumvals is an accumulation helper; clean on its own.
+func sumvals(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// throughHelper reaches sumvals' float reduction one call away: the
+// interprocedural summary flags the call site.
+func throughHelper(m map[string]float64) float64 {
+	var vals []float64
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	return sumvals(vals) // want `passed to a function that accumulates or emits it`
+}
+
+// keys is an unordered-returning helper.
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// reportKeys emits a helper's unordered result: flagged at the emit.
+func reportKeys(w io.Writer, m map[string]int) {
+	ks := keys(m)
+	fmt.Fprintln(w, ks) // want `map-iteration-ordered data reaches serialized output`
+}
+
+// reportKeysSorted launders the helper's result before emitting.
+func reportKeysSorted(w io.Writer, m map[string]int) {
+	ks := keys(m)
+	sort.Strings(ks)
+	fmt.Fprintln(w, ks)
+}
+
+// orderFree shows the order-independent derivations that stay clean:
+// integer accumulation, constant deltas, len.
+func orderFree(m map[string][]int) (int, float64, int) {
+	total := 0
+	count := 0.0
+	longest := 0
+	for _, v := range m {
+		total += len(v)
+		count += 1
+		if len(v) > longest {
+			longest = len(v)
+		}
+	}
+	return total, count, longest
+}
+
+// mergeIdiom folds src into dst keyed by the range's own key: each key
+// is visited exactly once, so every dst entry receives exactly one
+// contribution and iteration order cannot change the result. Clean.
+func mergeIdiom(dst, src map[string]float64) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}
+
+// syncDump visits a sync.Map in unspecified order.
+func syncDump(w io.Writer, sm *sync.Map) {
+	sm.Range(func(k, v any) bool {
+		fmt.Fprintln(w, k, v) // want `map-iteration-ordered data reaches serialized output`
+		return true
+	})
+}
+
+// suppressed shows the escape hatch: a deliberate, order-irrelevant
+// debug dump with a mandatory reason.
+func suppressed(w io.Writer, m map[string]int) {
+	for k := range m {
+		//lint:ignore maporder debug dump, order irrelevant by design
+		fmt.Fprintln(w, k)
+	}
+}

@@ -1,0 +1,94 @@
+// Package purity keeps the estimator and summary-build packages
+// referentially transparent: an estimate must be a function of the
+// summary and the query, nothing else. Inside the scoped packages it
+// flags
+//
+//   - wall-clock reads (time.Now, time.Since, time.Until): estimates
+//     must not vary with when they are computed;
+//   - the global math/rand (and math/rand/v2) convenience functions:
+//     they draw from shared, unseeded state, so results are
+//     irreproducible — randomness enters only as an injected, seeded
+//     *rand.Rand (the faultinject/difftest pattern; rand.New and the
+//     source constructors are therefore allowed);
+//   - environment and host reads (os.Getenv, os.Hostname, ...):
+//     estimates must not vary between machines.
+//
+// Server, chaos, and cmd packages legitimately read clocks and
+// environments and are kept out of scope by the scope flag. Suppress a
+// deliberate use with //lint:ignore purity <reason>.
+package purity
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"xpathest/internal/analysis/lintutil"
+)
+
+const name = "purity"
+
+// scope is bound by init to the -purity.scope flag.
+var scope string
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "flag wall-clock, global-rand, and environment reads in estimate/summary-build code",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func init() {
+	Analyzer.Flags.StringVar(&scope, "scope", "", "comma-separated import paths to check (empty = every package)")
+}
+
+// clockFuncs and envFuncs are the ambient-state reads banned in
+// estimator code.
+var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+var envFuncs = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true,
+	"Hostname": true, "Getpid": true, "Getwd": true, "UserHomeDir": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !lintutil.InScope(scope, pass.Pkg.Path()) {
+		return nil, nil
+	}
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	insp.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		if lintutil.InTestFile(pass, call.Pos()) {
+			return
+		}
+		fn := lintutil.CalleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil {
+			return
+		}
+		// Package-level functions only; methods on injected values
+		// (e.g. (*rand.Rand).Float64) are the sanctioned pattern.
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return
+		}
+		pkg, fname := fn.Pkg().Path(), fn.Name()
+		var msg string
+		switch {
+		case pkg == "time" && clockFuncs[fname]:
+			msg = "wall-clock read makes estimates time-dependent; take the clock as an injected dependency"
+		case (pkg == "math/rand" || pkg == "math/rand/v2") && !strings.HasPrefix(fname, "New"):
+			msg = "global math/rand draws from shared unseeded state; inject a seeded *rand.Rand instead"
+		case pkg == "os" && envFuncs[fname]:
+			msg = "environment/host read makes estimates machine-dependent; plumb configuration in explicitly"
+		default:
+			return
+		}
+		if !lintutil.Suppressed(pass, call.Pos(), name) {
+			pass.Reportf(call.Pos(), "%s.%s in estimator code: %s", pkg, fname, msg)
+		}
+	})
+	return nil, nil
+}

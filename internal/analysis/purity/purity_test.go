@@ -1,0 +1,20 @@
+package purity_test
+
+import (
+	"testing"
+
+	"xpathest/internal/analysis/analysistest"
+	"xpathest/internal/analysis/purity"
+)
+
+func TestPurity(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), purity.Analyzer, "a")
+}
+
+func TestScope(t *testing.T) {
+	if err := purity.Analyzer.Flags.Set("scope", "some/other/pkg"); err != nil {
+		t.Fatal(err)
+	}
+	defer purity.Analyzer.Flags.Set("scope", "")
+	analysistest.RunExpectClean(t, analysistest.TestData(), purity.Analyzer, "a")
+}

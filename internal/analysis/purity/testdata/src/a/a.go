@@ -1,0 +1,60 @@
+// Package a seeds purity's positive and negative cases: ambient-state
+// reads (clock, global rand, environment) are flagged; injected seeded
+// randomness and plumbed configuration are the sanctioned patterns.
+package a
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"os"
+	"time"
+)
+
+// stamp reads the wall clock.
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now in estimator code`
+}
+
+// age reads the clock through the Since helper.
+func age(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since in estimator code`
+}
+
+// jitter draws from the shared global generator.
+func jitter() float64 {
+	return rand.Float64() // want `math/rand\.Float64 in estimator code`
+}
+
+// pick draws from the v2 global generator.
+func pick(n int) int {
+	return randv2.IntN(n) // want `math/rand/v2\.IntN in estimator code`
+}
+
+// fromEnv makes the estimate machine-dependent.
+func fromEnv() string {
+	return os.Getenv("XPEST_MODE") // want `os\.Getenv in estimator code`
+}
+
+// whoami reads host identity.
+func whoami() (string, error) {
+	return os.Hostname() // want `os\.Hostname in estimator code`
+}
+
+// seeded is the sanctioned pattern: randomness injected as a seeded
+// source; rand.New and the source constructors are allowed, and
+// methods on the injected generator are too.
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// injected takes the clock as a dependency instead of reading it.
+func injected(now func() time.Time) int64 {
+	return now().UnixNano()
+}
+
+// suppressed: a deliberate ambient read with the mandatory reason.
+func suppressed() int64 {
+	//lint:ignore purity build stamp only, never feeds an estimate
+	return time.Now().Unix()
+}

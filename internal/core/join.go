@@ -94,11 +94,18 @@ func pathJoin(k *kernel, tree *xpath.Tree, inc includeSet) (map[*xpath.TreeNode]
 	// backing slab for all (pid, frequency) lists — the lists only
 	// shrink after this point, so disjoint sub-slices of a single
 	// allocation never interfere.
+	// Iterate tree.Nodes filtered by inc rather than the inc map itself:
+	// the dense node ids (and with them the worklist processing order)
+	// are then a deterministic function of the query, not of map
+	// iteration order.
 	nodes := make([]*xpath.TreeNode, 0, len(inc))
 	tis := make([]*tagIndex, 0, len(inc))
 	idx := make(map[*xpath.TreeNode]int32, len(inc))
 	total := 0
-	for n := range inc {
+	for _, n := range tree.Nodes {
+		if !inc[n] {
+			continue
+		}
 		if n.Tag == "*" {
 			return nil, fmt.Errorf("core: wildcard node tests are not estimable: %w", guard.ErrMalformedQuery)
 		}

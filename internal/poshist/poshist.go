@@ -23,6 +23,7 @@ package poshist
 
 import (
 	"fmt"
+	"sort"
 
 	"xpathest/internal/guard"
 	"xpathest/internal/interval"
@@ -256,12 +257,12 @@ func (h *Histogram) count(f frontier, st *xpath.Step, steps []*xpath.Step, i int
 				return f.total(), nil
 			}
 			total := 0.0
-			for key, v := range f {
+			for _, key := range f.keys() {
 				sub, err := h.countFromCell(st.Tag, key, targetPred.Steps, target)
 				if err != nil {
 					return 0, err
 				}
-				total += v * sub
+				total += f[key] * sub
 			}
 			return total, nil
 		}
@@ -308,11 +309,16 @@ func (h *Histogram) propagate(f frontier, fromTag string, st *xpath.Step) (front
 	if fromGrid == nil || toGrid == nil {
 		return out, nil
 	}
-	for bKey, b := range toGrid.cells {
-		// Expected number of frontier ancestors per b element.
+	aKeys := f.keys()
+	for _, bKey := range sortedCellKeys(toGrid.cells) {
+		b := toGrid.cells[bKey]
+		// Expected number of frontier ancestors per b element, summed
+		// in ascending cell-key order so the rounded partial sums are
+		// identical run to run.
 		m := 0.0
-		for aKey, v := range f {
+		for _, aKey := range aKeys {
 			a := fromGrid.cells[aKey]
+			v := f[aKey]
 			if a == nil || v == 0 {
 				continue
 			}
@@ -350,10 +356,34 @@ func (h *Histogram) expectedMatches(fromTag string, key int, steps []*xpath.Step
 	return f.total(), nil
 }
 
+// sortedCellKeys returns a grid's non-empty cell keys in ascending
+// order, so walks over a tag grid visit cells deterministically.
+func sortedCellKeys(cells map[int]*cellStat) []int {
+	ks := make([]int, 0, len(cells))
+	for k := range cells {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
+// keys returns f's cell keys in ascending order. Every float reduction
+// over a frontier iterates this slice instead of the map: float
+// addition is not associative, so summing in runtime-randomized map
+// order would break the bit-for-bit estimate invariant difftest pins.
+func (f frontier) keys() []int {
+	ks := make([]int, 0, len(f))
+	for k := range f {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
 func (f frontier) total() float64 {
 	t := 0.0
-	for _, v := range f {
-		t += v
+	for _, k := range f.keys() {
+		t += f[k]
 	}
 	return t
 }

@@ -1,0 +1,63 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// rawBody fetches a URL and returns the exact response bytes — the
+// determinism tests compare serialized output, not decoded values.
+func rawBody(t *testing.T, method, url string) []byte {
+	t.Helper()
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s %s: status %d", method, url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestResponsesByteIdentical pins the serialized-output half of the
+// determinism invariant: two consecutive /summaries responses and two
+// consecutive /reload reports over an unchanged store must be
+// byte-for-byte identical. Registry snapshots and reload reports are
+// built from maps, so any name list emitted in map iteration order
+// flips between requests and fails here.
+func TestResponsesByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	good := summaryBytes(t)
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if err := os.WriteFile(filepath.Join(dir, n+".xpsum"), good, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := startServer(t, fastStore(Config{SummaryDir: dir}))
+	base := "http://" + s.Addr()
+
+	list1 := rawBody(t, "GET", base+"/summaries")
+	list2 := rawBody(t, "GET", base+"/summaries")
+	if !bytes.Equal(list1, list2) {
+		t.Errorf("/summaries not byte-identical across runs:\n%s\nvs\n%s", list1, list2)
+	}
+
+	reload1 := rawBody(t, "POST", base+"/reload")
+	reload2 := rawBody(t, "POST", base+"/reload")
+	if !bytes.Equal(reload1, reload2) {
+		t.Errorf("/reload not byte-identical across runs:\n%s\nvs\n%s", reload1, reload2)
+	}
+}

@@ -135,6 +135,17 @@ func newReloadReport() reloadReport {
 	}
 }
 
+// normalize sorts every name list so the serialized report is
+// byte-identical between runs regardless of how the store enumerated
+// the directory. (Failed is a map; encoding/json already emits its
+// keys sorted.)
+func (r *reloadReport) normalize() {
+	sort.Strings(r.Loaded)
+	sort.Strings(r.Stale)
+	sort.Strings(r.Quarantined)
+	sort.Strings(r.BreakerOpen)
+}
+
 // reload runs the load state machine over the store and swaps the
 // resulting registry in atomically. Per-name outcomes:
 //
@@ -231,6 +242,7 @@ func (s *Server) reload(ctx context.Context) (reloadReport, error) {
 
 	s.breakers.retain(seen)
 	s.reg.replace(next)
+	rep.normalize()
 	return rep, nil
 }
 

@@ -1,0 +1,46 @@
+package xsketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"xpathest/internal/xpath"
+)
+
+// TestEstimateBitForBitDeterministic is the regression test for the
+// sorted-iteration fixes in skew scoring and frontier propagation:
+// building the synopsis twice from the same document and estimating
+// the same queries must produce bitwise-identical floats. Go
+// randomizes map iteration order per range statement, so two
+// in-process runs exercise different orders — any map-order float
+// reduction left in the build or estimate path diverges here.
+func TestEstimateBitForBitDeterministic(t *testing.T) {
+	queries := []string{
+		"//a", "//a/b", "//a//b", "//a[/b]/c", "/r//a", "//r/a[/b][/c]",
+		"//a[/b/c!]", "//c//d",
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		doc := randomDoc(rng, 2+rng.Intn(120))
+		for _, budget := range []int{0, 512} {
+			a := Build(doc, budget)
+			b := Build(doc, budget)
+			for _, q := range queries {
+				p := xpath.MustParse(q)
+				va, errA := a.Estimate(p)
+				vb, errB := b.Estimate(p)
+				if (errA == nil) != (errB == nil) {
+					t.Fatalf("seed %d budget %d %s: errors differ: %v vs %v", seed, budget, q, errA, errB)
+				}
+				if errA != nil {
+					continue
+				}
+				if math.Float64bits(va) != math.Float64bits(vb) {
+					t.Errorf("seed %d budget %d %s: %v (%#x) vs %v (%#x): estimate depends on map iteration order",
+						seed, budget, q, va, math.Float64bits(va), vb, math.Float64bits(vb))
+				}
+			}
+		}
+	}
+}

@@ -177,10 +177,19 @@ func skew(g *gnode, groupOf map[*xmltree.Node]*gnode) float64 {
 			per[cg][i]++
 		}
 	}
+	// Child groups in id order: the variance total is a float sum, and
+	// the skew score feeds the split choice, so summation order must
+	// not depend on map iteration — a tie broken differently between
+	// runs would yield structurally different synopses.
+	cgs := make([]*gnode, 0, len(per))
+	for cg := range per {
+		cgs = append(cgs, cg)
+	}
+	sort.Slice(cgs, func(i, j int) bool { return gid(cgs[i]) < gid(cgs[j]) })
 	total := 0.0
-	for _, fan := range per {
+	for _, cg := range cgs {
 		var sum, sumSq float64
-		for _, f := range fan {
+		for _, f := range per[cg] {
 			sum += f
 			sumSq += f * f
 		}
@@ -400,21 +409,53 @@ func (s *Synopsis) applyPredsAndContinue(f frontier, st *xpath.Step, steps []*xp
 	}
 	// Target inside targetPred: expected bindings per instance.
 	total := 0.0
-	for g, v := range f {
+	for _, g := range f.keys() {
 		sub, err := s.count(frontier{g: 1}, targetPred.Steps, target)
 		if err != nil {
 			return nil, err
 		}
-		total += v * sub
+		total += f[g] * sub
 	}
 	return resolvedValue(total), nil
 }
 
+// keys returns f's groups sorted by synopsis node id (the resolved-
+// value nil key first). Every float reduction over a frontier iterates
+// this slice instead of the map, so partial sums round identically run
+// to run — the same bit-for-bit invariant difftest pins dynamically.
+func (f frontier) keys() []*gnode {
+	ks := make([]*gnode, 0, len(f))
+	for g := range f {
+		ks = append(ks, g)
+	}
+	sort.Slice(ks, func(i, j int) bool { return gid(ks[i]) < gid(ks[j]) })
+	return ks
+}
+
+func gid(g *gnode) int {
+	if g == nil {
+		return -1
+	}
+	return g.id
+}
+
+// sortedChildren returns g's child groups in id order, for the same
+// reason frontier.keys exists: child contributions accumulate into
+// shared frontier entries and mass totals.
+func sortedChildren(g *gnode) []*gnode {
+	cs := make([]*gnode, 0, len(g.children))
+	for c := range g.children {
+		cs = append(cs, c)
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i].id < cs[j].id })
+	return cs
+}
+
 func (f frontier) total() float64 {
 	t := 0.0
-	for g, v := range f {
+	for _, g := range f.keys() {
 		if g != nil {
-			t += v
+			t += f[g]
 		}
 	}
 	return t
@@ -447,14 +488,18 @@ func (s *Synopsis) expectedMatches(g *gnode, steps []*xpath.Step) (float64, erro
 func (s *Synopsis) propagate(f frontier, axis xpath.Axis, tag string) (frontier, error) {
 	switch axis {
 	case xpath.Child:
+		// Distinct parent groups can contribute to the same child
+		// group, so out[c] is a float accumulation: iterate both maps
+		// in id order.
 		out := frontier{}
-		for g, v := range f {
+		for _, g := range f.keys() {
+			v := f[g]
 			if g == nil || v == 0 {
 				continue
 			}
-			for c, cnt := range g.children {
+			for _, c := range sortedChildren(g) {
 				if matchTag(c.tag, tag) {
-					out[c] += v * cnt / g.count
+					out[c] += v * g.children[c] / g.count
 				}
 			}
 		}
@@ -465,19 +510,20 @@ func (s *Synopsis) propagate(f frontier, axis xpath.Axis, tag string) (frontier,
 		for d := 0; d < s.maxDepth; d++ {
 			next := frontier{}
 			mass := 0.0
-			for g, v := range cur {
+			for _, g := range cur.keys() {
+				v := cur[g]
 				if g == nil || v == 0 {
 					continue
 				}
-				for c, cnt := range g.children {
-					w := v * cnt / g.count
+				for _, c := range sortedChildren(g) {
+					w := v * g.children[c] / g.count
 					next[c] += w
 					mass += w
 				}
 			}
-			for c, v := range next {
+			for _, c := range next.keys() {
 				if matchTag(c.tag, tag) {
-					out[c] += v
+					out[c] += next[c]
 				}
 			}
 			if mass < 1e-9 {
