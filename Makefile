@@ -10,7 +10,7 @@ GOVULNCHECK_VERSION = v1.1.4
 
 XPESTLINT = bin/xpestlint
 
-.PHONY: all build test vet lint lint-budget lint-fixtures lint-audit lint-audit-check vuln race race-hot cover bench bench-json fuzz fuzz-smoke difftest-smoke difftest-nightly chaos chaos-smoke ci experiments examples clean
+.PHONY: all build test vet lint lint-budget lint-fixtures lint-audit lint-audit-check vuln race race-hot cover bench bench-json bench-check fuzz fuzz-smoke difftest-smoke difftest-nightly chaos chaos-smoke ci experiments examples clean
 
 all: build vet lint test
 
@@ -93,11 +93,13 @@ race:
 	$(GO) test -race ./...
 
 # Focused -race pass over the concurrency hot paths added by the join
-# kernel and the batch API: the memoized compatibility cache, the plan
-# cache / in-flight dedup of the server, and EstimateBatch itself —
-# plus the differential harness, whose cold/warmed/batch estimator
-# comparison hammers the kernel's copy-on-write memos from concurrent
-# seed workers.
+# kernel and the batch API: the columnar snapshot and witness arena of
+# the kernel, the plan cache / in-flight dedup of the server, the
+# estimate result cache (TestEstimateCacheHammer in the root package
+# drives concurrent Get/Put/EstimateQuery across epochs and scopes),
+# and EstimateBatch itself — plus the differential harness, whose
+# cold/warmed/batch/cached estimator comparison hammers the kernel's
+# copy-on-write publication from concurrent seed workers.
 race-hot:
 	$(GO) test -race . ./internal/core ./internal/pathenc ./internal/server ./internal/difftest
 
@@ -110,7 +112,7 @@ cover:
 	$(GO) run ./cmd/covercheck -profile $(COVERPROFILE) -floors coverage-floors.txt
 
 # Differential correctness smoke (docs/TESTING.md): fixed seed range,
-# exact-evaluator oracle against four estimator paths, hard invariants,
+# exact-evaluator oracle against five estimator paths, hard invariants,
 # shrunk repros on failure. Runs in seconds; the nightly variant
 # sweeps a much larger range.
 difftest-smoke:
@@ -154,6 +156,20 @@ bench-json:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
 	$(GO) test -run XXX -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) ./... > bench.txt
 	bin/benchjson -label $(BENCH_LABEL) $(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE),) -in bench.txt -out $(BENCH_OUT)
+
+# Benchmark regression gate: re-run the kernel-critical benchmarks and
+# fail on a >BENCH_MAX_REGRESS_PCT% ns/op regression against the
+# committed BENCH_PR8.json artifact (its "after" run is the baseline).
+# Timings are machine-relative — after a hardware change, regenerate
+# the artifact (docs/PERFORMANCE.md, "Regenerating the baseline")
+# instead of chasing a budget measured elsewhere.
+BENCH_CHECK_BASELINE  ?= BENCH_PR8.json
+BENCH_MAX_REGRESS_PCT ?= 15
+BENCH_CHECK_BENCHES   ?= PathJoin,EdgeCompatible,EstimateBatch,EstimateCached
+bench-check:
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	$(GO) test -run XXX -bench 'BenchmarkPathJoin$$|BenchmarkEdgeCompatible$$|BenchmarkEstimateBatch$$|BenchmarkEstimateCached$$' -benchmem -benchtime 0.3s . ./internal/core ./internal/pathenc > bench-check.txt
+	bin/benchjson -check -label check -baseline $(BENCH_CHECK_BASELINE) -max-regress-pct $(BENCH_MAX_REGRESS_PCT) -benches $(BENCH_CHECK_BENCHES) -in bench-check.txt -out bench-check.json
 
 # Per-commit fuzz smoke: every fuzz target for a short, bounded burst.
 # Not a substitute for long fuzzing — it catches harness rot (targets

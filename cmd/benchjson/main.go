@@ -9,7 +9,12 @@
 // The tool is strict about shape and lenient about timings: it exits
 // non-zero when the input contains no benchmark lines or a line that
 // looks like a benchmark but does not parse (so CI catches a broken
-// harness), while the numbers themselves are reported, not judged.
+// harness), while the numbers themselves are reported, not judged —
+// unless -check is given, in which case any compared benchmark whose
+// ns/op regressed by more than -max-regress-pct against the baseline
+// fails the run:
+//
+//	benchjson -check -baseline BENCH_PR8.json -benches PathJoin,EstimateBatch < bench.txt
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -175,12 +181,55 @@ func compare(before, after []Bench) ([]Delta, error) {
 
 func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }
 
+// checkRegressions returns one failure line per compared benchmark
+// whose ns/op grew by more than maxPct percent over the baseline.
+// When only is non-empty it names the benchmarks under the gate
+// (bare names, "Benchmark" prefix optional); naming a benchmark the
+// comparison does not contain is itself a failure — a gate that
+// silently checks nothing is worse than no gate.
+func checkRegressions(deltas []Delta, maxPct float64, only []string) []string {
+	gated := make(map[string]bool, len(only))
+	for _, n := range only {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if !strings.HasPrefix(n, "Benchmark") {
+			n = "Benchmark" + n
+		}
+		gated[n] = true
+	}
+	var fails []string
+	for _, d := range deltas {
+		if len(gated) > 0 && !gated[d.Name] {
+			continue
+		}
+		delete(gated, d.Name)
+		if d.NsBefore > 0 && d.NsAfter > d.NsBefore*(1+maxPct/100) {
+			fails = append(fails, fmt.Sprintf(
+				"%s regressed %.1f%%: %.4g -> %.4g ns/op (limit %g%%)",
+				d.Name, 100*(d.NsAfter-d.NsBefore)/d.NsBefore, d.NsBefore, d.NsAfter, maxPct))
+		}
+	}
+	for n := range gated {
+		fails = append(fails, fmt.Sprintf("%s is gated but missing from the comparison (not in baseline or not in this run)", n))
+	}
+	sort.Strings(fails)
+	return fails
+}
+
 func main() {
 	label := flag.String("label", "run", "label for this run")
 	in := flag.String("in", "", "benchmark output file (default stdin)")
 	out := flag.String("out", "", "JSON output file (default stdout)")
 	baseline := flag.String("baseline", "", "baseline JSON (a prior benchjson run) to compare against")
+	check := flag.Bool("check", false, "exit non-zero when a compared benchmark's ns/op regressed more than -max-regress-pct (requires -baseline)")
+	maxRegress := flag.Float64("max-regress-pct", 15, "ns/op regression tolerance for -check, in percent")
+	gate := flag.String("benches", "", "comma-separated benchmark names the -check gate covers (default: every compared benchmark)")
 	flag.Parse()
+	if *check && *baseline == "" {
+		fatal(fmt.Errorf("-check requires -baseline"))
+	}
 
 	src := io.Reader(os.Stdin)
 	if *in != "" {
@@ -224,10 +273,21 @@ func main() {
 	data = append(data, '\n')
 	if *out == "" {
 		os.Stdout.Write(data)
-		return
-	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fatal(err)
+	}
+	if *check {
+		var only []string
+		if *gate != "" {
+			only = strings.Split(*gate, ",")
+		}
+		if fails := checkRegressions(rep.Comparison, *maxRegress, only); len(fails) > 0 {
+			for _, f := range fails {
+				fmt.Fprintln(os.Stderr, "benchjson: check:", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: check: %d benchmarks within %g%% of baseline\n", len(rep.Comparison), *maxRegress)
 	}
 }
 

@@ -90,3 +90,39 @@ func TestCompareToleratesLegacyBaseline(t *testing.T) {
 		t.Fatalf("got %d deltas, want 1", len(deltas))
 	}
 }
+
+func TestCheckRegressions(t *testing.T) {
+	deltas := []Delta{
+		{Name: "BenchmarkPathJoin", NsBefore: 1000, NsAfter: 1100},      // +10%: within a 15% gate
+		{Name: "BenchmarkEstimateBatch", NsBefore: 1000, NsAfter: 1200}, // +20%: over it
+		{Name: "BenchmarkEdgeCompatible", NsBefore: 100, NsAfter: 50},   // faster
+	}
+
+	if fails := checkRegressions(deltas, 15, nil); len(fails) != 1 ||
+		!strings.Contains(fails[0], "BenchmarkEstimateBatch") {
+		t.Fatalf("ungated check = %v, want one EstimateBatch failure", fails)
+	}
+
+	// A tighter tolerance trips the 10% regression too.
+	if fails := checkRegressions(deltas, 5, nil); len(fails) != 2 {
+		t.Fatalf("5%% check = %v, want two failures", fails)
+	}
+
+	// Gating to a clean benchmark passes; the "Benchmark" prefix is
+	// optional in the gate list.
+	if fails := checkRegressions(deltas, 15, []string{"PathJoin", "EdgeCompatible"}); len(fails) != 0 {
+		t.Fatalf("gated check = %v, want none", fails)
+	}
+
+	// Gating a benchmark the comparison lacks is a failure in itself.
+	fails := checkRegressions(deltas, 15, []string{"PathJoin", "Vanished"})
+	if len(fails) != 1 || !strings.Contains(fails[0], "BenchmarkVanished") ||
+		!strings.Contains(fails[0], "missing") {
+		t.Fatalf("missing-gate check = %v, want one missing-benchmark failure", fails)
+	}
+
+	// A zero baseline cannot regress (division guard).
+	if fails := checkRegressions([]Delta{{Name: "BenchmarkNew", NsBefore: 0, NsAfter: 50}}, 15, nil); len(fails) != 0 {
+		t.Fatalf("zero-baseline check = %v, want none", fails)
+	}
+}

@@ -34,6 +34,7 @@ func cmdServe(args []string) error {
 	queryLen := fs.Int("max-query-len", def.MaxQueryLen, "max query length in bytes (0 = unlimited)")
 	batchQueries := fs.Int("max-batch-queries", def.MaxBatchQueries, "max queries per /estimate/batch request (0 = unlimited)")
 	planCache := fs.Int("plan-cache", 1024, "compiled-query LRU cache size")
+	resultCache := fs.Int64("result-cache-bytes", 4<<20, "byte budget for the epoch-keyed estimate result cache (negative = disabled)")
 
 	readRetries := fs.Int("store-read-retries", 2, "extra summary read attempts before a load fails")
 	backoffBase := fs.Duration("store-backoff", 5*time.Millisecond, "base delay between summary read retries (doubles per attempt, jittered)")
@@ -65,6 +66,7 @@ func cmdServe(args []string) error {
 			MaxBatchQueries:  *batchQueries,
 		},
 		PlanCacheSize:    *planCache,
+		ResultCacheBytes: *resultCache,
 		RequestTimeout:   *timeout,
 		DrainTimeout:     *drain,
 		MaxInFlight:      *inflight,

@@ -80,8 +80,15 @@ var defaultScopes = map[*analysis.Analyzer]string{
 	),
 	// Context discipline binds all library code (package main exempt).
 	ctxpropagate.Analyzer: "",
-	// Allocation budgets are a summary-decoder invariant.
-	allocbudget.Analyzer: join("internal/summaryio"),
+	// Allocation budgets bind the summary decoder and the columnar
+	// kernel's arena builders (internal/core, internal/stats,
+	// internal/bitset): both turn length-prefixed or entry-counted
+	// input into slab allocations and must size them against a checked
+	// budget, not a raw count.
+	allocbudget.Analyzer: join(
+		"internal/summaryio", "internal/core", "internal/stats",
+		"internal/bitset",
+	),
 	// The concurrency suite binds everywhere: the lock-free kernel and
 	// the server share the same publication and locking protocols, and
 	// an unguarded access anywhere can reach shared state.

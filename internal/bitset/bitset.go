@@ -245,6 +245,106 @@ func (b *Bitset) FirstOne() int {
 	return 0
 }
 
+// AppendWords appends b's backing words to dst and returns the
+// extended slice. Words are in ascending index order (position 1 lives
+// in the most significant bit of the first appended word), so rows of
+// equal-width bitsets appended back to back form a columnar arena with
+// a fixed word stride of (width+63)/64. The appended words are copies;
+// mutating dst never aliases b.
+func (b *Bitset) AppendWords(dst []uint64) []uint64 {
+	return append(dst, b.words...)
+}
+
+// The *Words functions below evaluate the Section 2 containment test
+// ((anc & desc) == desc) directly over such an arena: a row is the
+// stride words starting at its offset, and candidate rows are named by
+// their row index (offset = index * stride). They are the inner loop
+// of the estimator's path join — branch-light sequential sweeps over
+// contiguous memory, with a single-word fast path for the common case
+// of documents with at most 64 distinct root-to-leaf paths.
+
+// ContainsWords reports whether the row at aOff contains-or-equals the
+// row at bOff: (a & b) == b word-wise over stride words.
+func ContainsWords(arena []uint64, aOff, bOff, stride int) bool {
+	a := arena[aOff : aOff+stride]
+	b := arena[bOff : bOff+stride : bOff+stride]
+	for i, w := range b {
+		if a[i]&w != w {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsAnyWords reports whether the row at aOff contains-or-equals
+// at least one of the rows idxs (each at idx*stride). This is the
+// ancestor-side pruning sweep of the path join: does this ancestor pid
+// contain any surviving descendant pid?
+func ContainsAnyWords(arena []uint64, aOff, stride int, idxs []int32) bool {
+	if stride == 1 {
+		a := arena[aOff]
+		for _, idx := range idxs {
+			w := arena[idx]
+			if a&w == w {
+				return true
+			}
+		}
+		return false
+	}
+	for _, idx := range idxs {
+		if ContainsWords(arena, aOff, int(idx)*stride, stride) {
+			return true
+		}
+	}
+	return false
+}
+
+// AnyContainsWords reports whether at least one of the rows idxs
+// contains-or-equals the row at bOff — the descendant-side pruning
+// sweep: is any surviving ancestor pid above this descendant pid?
+func AnyContainsWords(arena []uint64, bOff, stride int, idxs []int32) bool {
+	if stride == 1 {
+		b := arena[bOff]
+		for _, idx := range idxs {
+			if arena[idx]&b == b {
+				return true
+			}
+		}
+		return false
+	}
+	for _, idx := range idxs {
+		if ContainsWords(arena, int(idx)*stride, bOff, stride) {
+			return true
+		}
+	}
+	return false
+}
+
+// SumContainedWords is the fused contains+accumulate sweep: it sums
+// freqs[k] over every k whose row idxs[k] is contained in the row at
+// aOff, accumulating in slice order (k ascending) so callers that keep
+// idxs in a canonical order get a bit-deterministic float sum.
+// freqs is parallel to idxs (freqs[k] weighs row idxs[k]).
+func SumContainedWords(arena []uint64, aOff, stride int, idxs []int32, freqs []float64) float64 {
+	sum := 0.0
+	if stride == 1 {
+		a := arena[aOff]
+		for k, idx := range idxs {
+			w := arena[idx]
+			if a&w == w {
+				sum += freqs[k]
+			}
+		}
+		return sum
+	}
+	for k, idx := range idxs {
+		if ContainsWords(arena, aOff, int(idx)*stride, stride) {
+			sum += freqs[k]
+		}
+	}
+	return sum
+}
+
 // String renders the bit sequence as a string of '0' and '1', leftmost
 // position first, exactly as printed in the paper's figures.
 func (b *Bitset) String() string {

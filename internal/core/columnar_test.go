@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"xpathest/internal/datagen"
+	"xpathest/internal/pathenc"
+	"xpathest/internal/stats"
+)
+
+// TestArenaCapPolicy pins the snapshot's sparse-fallback threshold:
+// an entries×stride product at the 128 MiB arena budget stays dense,
+// one word over falls back to pointer containment. (The product is
+// checked directly — materializing a 16M-word arena in a unit test
+// would pin the memory the cap exists to avoid.)
+func TestArenaCapPolicy(t *testing.T) {
+	if overArenaCap(maxArenaWords, 1) {
+		t.Fatal("arena exactly at cap fell back to sparse")
+	}
+	if !overArenaCap(maxArenaWords+1, 1) {
+		t.Fatal("arena one word over cap stayed dense")
+	}
+	if !overArenaCap(maxArenaWords/2+1, 2) {
+		t.Fatal("stride not multiplied into the cap check")
+	}
+}
+
+// sparseClone deep-copies a dense snapshot into its sparse shape: same
+// columns, no word arena. The containment sweeps must behave
+// identically through the *Bitset fallback.
+func sparseClone(s *snapshot) *snapshot {
+	c := *s
+	cols := *s.cols
+	cols.Words = nil
+	c.cols = &cols
+	c.sparse = true
+	return &c
+}
+
+// TestColumnarMatchesReference is the old-vs-new equivalence property
+// test: over seeded random documents, every (ancestor entry,
+// descendant entry, axis) verdict reachable through the columnar
+// snapshot — arena-row containment plus the memoized witness bit —
+// must equal the labeling's direct EdgeCompatible, and the sparse
+// fallback must agree with the dense arena. rawFreq must return
+// exactly the source frequency for present pids and 0 otherwise.
+func TestColumnarMatchesReference(t *testing.T) {
+	for _, seed := range []int64{1, 3, 17} {
+		doc := datagen.SSPlays(datagen.Config{Seed: seed, Scale: 0.01})
+		tbs := stats.Collect(doc, nil)
+		src := TableSource{Tables: tbs}
+		k := newKernel(tbs.Labeling, src)
+		snap := k.snapshot()
+		if snap.sparse {
+			t.Fatalf("seed %d: small document built a sparse snapshot", seed)
+		}
+		sp := sparseClone(snap)
+
+		tags := src.Tags()
+		for _, ancTag := range tags {
+			for _, descTag := range tags {
+				aID, dID := snap.tagID[ancTag], snap.tagID[descTag]
+				aSpan, dSpan := snap.spans[aID], snap.spans[dID]
+				for _, axis := range []pathenc.Axis{pathenc.Child, pathenc.Descendant} {
+					wit := k.witness(snap, aID, dID, axis)
+					for ai := aSpan.base; ai < aSpan.base+aSpan.n; ai++ {
+						for di := dSpan.base; di < dSpan.base+dSpan.n; di++ {
+							want := tbs.Labeling.EdgeCompatible(
+								ancTag, snap.cols.Pids[ai], descTag, snap.cols.Pids[di], axis)
+							got := witnessBit(wit, di-dSpan.base) && snap.containsAny(ai, []int32{di})
+							if got != want {
+								t.Fatalf("seed %d %s/%s axis %v entry %d/%d: columnar %v, reference %v",
+									seed, ancTag, descTag, axis, ai, di, got, want)
+							}
+							if s := witnessBit(wit, di-dSpan.base) && sp.containsAny(ai, []int32{di}); s != want {
+								t.Fatalf("seed %d %s/%s: sparse verdict %v, reference %v", seed, ancTag, descTag, s, want)
+							}
+							if d, s := snap.anyContains([]int32{ai}, di), sp.anyContains([]int32{ai}, di); d != s {
+								t.Fatalf("seed %d %s/%s: anyContains dense %v, sparse %v", seed, ancTag, descTag, d, s)
+							}
+						}
+					}
+				}
+			}
+		}
+
+		for _, tag := range tags {
+			for _, e := range src.Entries(tag) {
+				if got := snap.rawFreq(tag, e.Pid); got != e.Freq {
+					t.Fatalf("seed %d rawFreq(%s) = %v, want %v", seed, tag, got, e.Freq)
+				}
+			}
+		}
+		if snap.rawFreq("NOSUCHTAG", snap.cols.Pids[0]) != 0 {
+			t.Fatalf("seed %d: rawFreq of unknown tag not 0", seed)
+		}
+	}
+}
+
+// TestColumnarTotalsMatchEntries pins tagTotal against a straight
+// entry-order summation of the source lists — the exact float the old
+// per-clamp loop produced.
+func TestColumnarTotalsMatchEntries(t *testing.T) {
+	doc := datagen.SSPlays(datagen.Config{Seed: 7, Scale: 0.01})
+	tbs := stats.Collect(doc, nil)
+	src := TableSource{Tables: tbs}
+	snap := newKernel(tbs.Labeling, src).snapshot()
+	for _, tag := range src.Tags() {
+		want := 0.0
+		for _, e := range canonicalEntries(src.Entries(tag)) {
+			want += e.Freq
+		}
+		if got := snap.tagTotal(tag); got != want {
+			t.Fatalf("tagTotal(%s) = %v, want %v", tag, got, want)
+		}
+	}
+	if snap.tagTotal("NOSUCHTAG") != 0 {
+		t.Fatal("tagTotal of unknown tag not 0")
+	}
+}

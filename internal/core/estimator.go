@@ -94,7 +94,7 @@ func (e *Estimator) EstimateString(query string) (float64, error) {
 // order-axis step (the standardized Q⃗ = q1[/q2/folls::q3] and its
 // preceding/following variants).
 func (e *Estimator) Estimate(p *xpath.Path) (float64, error) {
-	tree, err := xpath.BuildTree(p)
+	tree, err := e.kern.tree(p)
 	if err != nil {
 		return 0, err
 	}
@@ -126,10 +126,7 @@ func (e *Estimator) Estimate(p *xpath.Path) (float64, error) {
 // Equations (3)–(5) count sibling witnesses per anchor and can
 // overshoot the population when several anchors share targets.
 func (e *Estimator) clampToTag(tag string, est float64) float64 {
-	total := 0.0
-	for _, en := range e.kern.tag(tag).entries {
-		total += en.Freq
-	}
+	total := e.kern.snapshot().tagTotal(tag)
 	if est > total {
 		e.tracef("clamp: estimate %.6g exceeds tag population %.6g, capped", est, total)
 		return total
@@ -144,15 +141,15 @@ func (e *Estimator) clampToTag(tag string, est float64) float64 {
 // over-estimate that Example 4.3 illustrates. Exposed for ablation
 // studies of the branch correction.
 func (e *Estimator) RawJoinEstimate(p *xpath.Path) (float64, error) {
-	tree, err := xpath.BuildTree(p)
+	tree, err := e.kern.tree(p)
 	if err != nil {
 		return 0, err
 	}
-	joined, err := pathJoin(e.kern, tree, fullInclude(tree))
+	joined, err := pathJoin(e.kern, tree, nil)
 	if err != nil {
 		return 0, err
 	}
-	return sumFreq(joined[tree.Target]), nil
+	return sumFreq(joined.pf(tree.Target)), nil
 }
 
 // SurvivingPids runs the path join on the full query and returns, per
@@ -164,21 +161,22 @@ func (e *Estimator) RawJoinEstimate(p *xpath.Path) (float64, error) {
 // bitsets are the interned instances from the statistics source, so
 // callers holding interned document labels can compare by pointer.
 func (e *Estimator) SurvivingPids(p *xpath.Path) (map[*xpath.Step][]*bitset.Bitset, error) {
-	tree, err := xpath.BuildTree(p)
+	tree, err := e.kern.tree(p)
 	if err != nil {
 		return nil, err
 	}
-	joined, err := pathJoin(e.kern, tree, fullInclude(tree))
+	joined, err := pathJoin(e.kern, tree, nil)
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[*xpath.Step][]*bitset.Bitset, len(joined))
-	for n, list := range joined {
+	out := make(map[*xpath.Step][]*bitset.Bitset, len(joined.nodes))
+	for i := range joined.nodes {
+		n, st := joined.nodes[i].n, joined.nodes[i].st
 		if n.Step == nil {
 			continue
 		}
-		pids := make([]*bitset.Bitset, len(list))
-		for i, pf := range list {
+		pids := make([]*bitset.Bitset, len(st.pf))
+		for i, pf := range st.pf {
 			pids[i] = pf.Pid
 		}
 		out[n.Step] = pids
@@ -196,7 +194,7 @@ func (e *Estimator) noOrder(tree *xpath.Tree, inc includeSet, target *xpath.Tree
 	}
 	base := 0.0
 	if trunkSafe(target, inc) {
-		base = sumFreq(joined[target])
+		base = sumFreq(joined.pf(target))
 		e.tracef("target %s is in the trunk part: f_Q(%s) = %.4g (Theorem 4.1)", target.Tag, target.Tag, base)
 	} else {
 		// Equation (2): Q′ keeps only the target's root chain and its
@@ -207,9 +205,9 @@ func (e *Estimator) noOrder(tree *xpath.Tree, inc includeSet, target *xpath.Tree
 			return 0, err
 		}
 		ni := deepestTrunkNode(target, inc)
-		fQprimeN := sumFreq(joinedQ[target])
-		fQprimeNi := sumFreq(joinedQ[ni])
-		fQNi := sumFreq(joined[ni])
+		fQprimeN := sumFreq(joinedQ.pf(target))
+		fQprimeNi := sumFreq(joinedQ.pf(ni))
+		fQNi := sumFreq(joined.pf(ni))
 		if fQprimeNi == 0 {
 			e.tracef("target %s in a branch part: f_Q'(%s) = 0, estimate 0", target.Tag, ni.Tag)
 			return 0, nil
@@ -230,17 +228,20 @@ func (e *Estimator) noOrder(tree *xpath.Tree, inc includeSet, target *xpath.Tree
 // are already exact in its joined frequencies, and filters on other
 // branches cannot change pure existence (a first-of-tag sibling exists
 // iff any same-tag sibling does), so only ancestors need the factor.
-func (e *Estimator) posAncestorFactor(joined map[*xpath.TreeNode][]stats.PidFreq, inc includeSet, target *xpath.TreeNode) float64 {
+func (e *Estimator) posAncestorFactor(joined joinResult, inc includeSet, target *xpath.TreeNode) float64 {
+	snap := e.kern.snapshot()
 	factor := 1.0
 	for a := target.Parent; a != nil && !a.IsVRoot(); a = a.Parent {
 		if !inc[a] || a.Step == nil || a.Step.Pos == xpath.PosNone {
 			continue
 		}
-		ti := e.kern.tag(a.Tag)
+		st := joined.state(a)
 		var filtered, unfiltered float64
-		for _, pf := range joined[a] {
-			filtered += pf.Freq
-			unfiltered += ti.rawFreq(pf.Pid)
+		for i := range st.pf {
+			filtered += st.pf[i].Freq
+			// The parallel ids point straight at the snapshot rows, so
+			// the unfiltered (raw) frequency is a column read.
+			unfiltered += snap.cols.Freqs[st.ids[i]]
 		}
 		if unfiltered > 0 {
 			factor *= filtered / unfiltered
@@ -352,7 +353,7 @@ func (e *Estimator) siblingEstimate(tree *xpath.Tree, inc includeSet, edge xpath
 		return 0, err
 	}
 	sOrder := 0.0
-	for _, pf := range joinedSimpl[sib] {
+	for _, pf := range joinedSimpl.pf(sib) {
 		sOrder += e.src.OrderCount(sib.Tag, region, pf.Pid, other.Tag)
 	}
 	if sOrder == 0 {
@@ -432,7 +433,7 @@ func (e *Estimator) convertAndEstimate(tree *xpath.Tree, p *xpath.Path, edge xpa
 		return 0, fmt.Errorf("core: preceding/following cannot be anchored at the document root: %w", guard.ErrMalformedQuery)
 	}
 
-	joined, err := pathJoin(e.kern, tree, fullInclude(tree))
+	joined, err := pathJoin(e.kern, tree, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -442,7 +443,7 @@ func (e *Estimator) convertAndEstimate(tree *xpath.Tree, p *xpath.Path, edge xpa
 	// harness compares estimator paths with Float64bits).
 	segs := make(map[string]bool)
 	var segList [][]string
-	for _, pf := range joined[m] {
+	for _, pf := range joined.pf(m) {
 		for _, seg := range e.lab.AnchorSegment(edge.Parent.Tag, m.Tag, pf.Pid) {
 			if k := segKey(seg); !segs[k] {
 				segs[k] = true

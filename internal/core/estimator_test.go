@@ -69,7 +69,7 @@ func TestExample41PathJoin(t *testing.T) {
 	}
 	for _, n := range tree.Nodes {
 		got := map[string]float64{}
-		for _, pf := range joined[n] {
+		for _, pf := range joined.pf(n) {
 			got[pf.Pid.String()] = pf.Freq
 		}
 		w := want[n.Tag]

@@ -66,14 +66,49 @@ func strictDescendantOf(n, anc *xpath.TreeNode) bool {
 }
 
 // nodeState is one query node's surviving entries during the join:
-// the (pid, frequency) list plus, in parallel, each entry's tag-local
-// dense id (its position in the kernel's tag snapshot), which indexes
-// the memoized compatibility bitmaps. Both slices are pruned in
+// the (pid, frequency) list plus, in parallel, each entry's global
+// index in the kernel's columnar snapshot — the row offsets the
+// word-parallel containment sweeps read. Both slices are pruned in
 // lockstep, in place — filtering preserves order, so the final list
-// is always a subsequence of the tag snapshot.
+// is always a subsequence of the snapshot's canonical entry order.
 type nodeState struct {
 	pf  []stats.PidFreq
 	ids []int32
+}
+
+// jnode pairs a query node with its join state (and, during setup, its
+// snapshot span and dense tag id, -1 when the tag has no entries). One
+// slice of these replaces the old parallel slices plus node-pointer
+// index map: query trees are a handful of nodes, so identity lookups
+// are a linear scan, and the whole bookkeeping is one allocation —
+// with the tag resolved once per node instead of once per use.
+type jnode struct {
+	n   *xpath.TreeNode
+	tid int32
+	sp  span
+	st  nodeState
+}
+
+// joinResult holds the surviving lists of one path join, indexed by
+// query node.
+type joinResult struct {
+	nodes []jnode
+}
+
+// state returns n's surviving entries (zero state when n was not
+// included — matching the old map's missing-key behavior).
+func (r joinResult) state(n *xpath.TreeNode) nodeState {
+	for i := range r.nodes {
+		if r.nodes[i].n == n {
+			return r.nodes[i].st
+		}
+	}
+	return nodeState{}
+}
+
+// pf returns n's surviving (pid, frequency) list.
+func (r joinResult) pf(n *xpath.TreeNode) []stats.PidFreq {
+	return r.state(n).pf
 }
 
 // pathJoin runs the path id join of Section 4 over the included nodes:
@@ -89,31 +124,42 @@ type nodeState struct {
 // processing order — the surviving lists (and hence all downstream
 // float sums, taken in list order) are identical to those of a full
 // round-robin sweep.
-func pathJoin(k *kernel, tree *xpath.Tree, inc includeSet) (map[*xpath.TreeNode][]stats.PidFreq, error) {
-	// Resolve every included node's tag snapshot once and size one
-	// backing slab for all (pid, frequency) lists — the lists only
-	// shrink after this point, so disjoint sub-slices of a single
-	// allocation never interfere.
+//
+// EdgeCompatible factors as containment(ancPid, descPid) &&
+// PathWitness(descPid) with the witness independent of the ancestor
+// pid, so each edge's child list is pruned by the memoized witness
+// bitmap once, up front; both worklist directions then reduce to pure
+// word containment over snapshot arena rows — sequential reads over
+// contiguous memory with no map lookups, memo probes, or atomics.
+func pathJoin(k *kernel, tree *xpath.Tree, inc includeSet) (joinResult, error) {
+	snap := k.snapshot()
+
+	// Resolve every included node's tag span once and size one backing
+	// slab for all (pid, frequency) lists — the lists only shrink after
+	// this point, so disjoint sub-slices of a single allocation never
+	// interfere. A nil inc means every node (the common whole-query
+	// join, spared the include-map allocation).
 	// Iterate tree.Nodes filtered by inc rather than the inc map itself:
 	// the dense node ids (and with them the worklist processing order)
 	// are then a deterministic function of the query, not of map
 	// iteration order.
-	nodes := make([]*xpath.TreeNode, 0, len(inc))
-	tis := make([]*tagIndex, 0, len(inc))
-	idx := make(map[*xpath.TreeNode]int32, len(inc))
+	js := make([]jnode, 0, len(tree.Nodes))
 	total := 0
 	for _, n := range tree.Nodes {
-		if !inc[n] {
+		if inc != nil && !inc[n] {
 			continue
 		}
 		if n.Tag == "*" {
-			return nil, fmt.Errorf("core: wildcard node tests are not estimable: %w", guard.ErrMalformedQuery)
+			return joinResult{}, fmt.Errorf("core: wildcard node tests are not estimable: %w", guard.ErrMalformedQuery)
 		}
-		ti := k.tag(n.Tag)
-		idx[n] = int32(len(nodes))
-		nodes = append(nodes, n)
-		tis = append(tis, ti)
-		total += len(ti.entries)
+		tid := int32(-1)
+		var sp span
+		if id, ok := snap.tagID[n.Tag]; ok {
+			tid = id
+			sp = snap.spans[id]
+		}
+		js = append(js, jnode{n: n, tid: tid, sp: sp})
+		total += int(sp.n)
 	}
 	// An absolute first step — child axis off the virtual root — only
 	// matches the document root. Every encoding-table path starts with
@@ -121,20 +167,19 @@ func pathJoin(k *kernel, tree *xpath.Tree, inc includeSet) (map[*xpath.TreeNode]
 	// tag keeps its whole list (in a non-recursive document the root
 	// tag cannot reappear deeper without repeating on its own
 	// root-to-leaf path, so the list is exactly the root).
-	rootTag := ""
-	if k.lab.Table.NumPaths() > 0 {
-		rootTag = k.lab.Table.PathTags(1)[0]
-	}
+	rootTag := k.rootTag
 	pfSlab := make([]stats.PidFreq, 0, total)
 	idSlab := make([]int32, 0, total)
-	states := make([]nodeState, len(nodes))
-	for ni, n := range nodes {
+	for ni := range js {
+		n := js[ni].n
 		if (n.Parent == nil || n.Parent.IsVRoot()) &&
 			n.Axis != xpath.Descendant && n.Tag != rootTag {
 			continue
 		}
 		start := len(pfSlab)
-		for i, e := range tis[ni].entries {
+		sp := js[ni].sp
+		for g := sp.base; g < sp.base+sp.n; g++ {
+			e := stats.PidFreq{Pid: snap.cols.Pids[g], Freq: snap.cols.Freqs[g]}
 			// Positional filters are exact corrections from the
 			// path-order statistics: an element is first (last) among
 			// its same-tag siblings iff it has no preceding (following)
@@ -150,47 +195,80 @@ func pathJoin(k *kernel, tree *xpath.Tree, inc includeSet) (map[*xpath.TreeNode]
 			}
 			if e.Freq > 0 {
 				pfSlab = append(pfSlab, e)
-				idSlab = append(idSlab, int32(i))
+				idSlab = append(idSlab, g)
 			}
 		}
 		end := len(pfSlab)
-		states[ni] = nodeState{pf: pfSlab[start:end:end], ids: idSlab[start:end:end]}
+		js[ni].st = nodeState{pf: pfSlab[start:end:end], ids: idSlab[start:end:end]}
 	}
 
-	// Collect the (parent, child) pairs among included nodes, resolving
-	// each edge's memo cache once, and index edges by incident node
-	// (CSR layout over node indices).
+	// Collect the (parent, child) pairs among included nodes and index
+	// edges by incident node (CSR layout over node indices). While
+	// collecting, prune each child list by its edge's witness bitmap:
+	// a child entry whose pid carries no axis-compatible (parent tag,
+	// child tag) occurrence on any of its paths can never survive, and
+	// dropping it here makes every later sweep containment-only.
 	type edge struct {
-		p, c  int32
-		axis  pathenc.Axis
-		cache *edgeCache
+		p, c int32
 	}
-	edges := make([]edge, 0, len(nodes))
-	for ni, n := range nodes {
+	edges := make([]edge, 0, len(js))
+	for ni := range js {
+		n := js[ni].n
 		p := n.Parent
 		if p == nil || p.IsVRoot() {
 			continue
 		}
-		pi, ok := idx[p]
-		if !ok {
+		pi := int32(-1)
+		for i := range js {
+			if js[i].n == p {
+				pi = int32(i)
+				break
+			}
+		}
+		if pi < 0 {
 			continue
 		}
-		ax := treeAxis(n)
-		edges = append(edges, edge{
-			p: pi, c: int32(ni), axis: ax,
-			cache: k.edge(tis[pi], tis[ni], p.Tag, n.Tag, ax),
-		})
+		edges = append(edges, edge{p: pi, c: int32(ni)})
+		cs := &js[ni].st
+		if js[pi].tid < 0 || js[ni].tid < 0 || len(cs.pf) == 0 {
+			// A tag with no entries empties its own (and, through the
+			// fixpoint, its neighbors') lists without a witness.
+			continue
+		}
+		wit := k.witness(snap, js[pi].tid, js[ni].tid, treeAxis(n))
+		cbase := js[ni].sp.base
+		w := 0
+		for j := range cs.pf {
+			if witnessBit(wit, cs.ids[j]-cbase) {
+				cs.pf[w] = cs.pf[j]
+				cs.ids[w] = cs.ids[j]
+				w++
+			}
+		}
+		cs.pf = cs.pf[:w]
+		cs.ids = cs.ids[:w]
 	}
-	off := make([]int32, len(nodes)+1)
+
+	// CSR incidence index plus worklist state, all carved from one int32
+	// slab: off (n+1 prefix sums), incSlab (2E edge refs), pos (n fill
+	// cursors), work (2E+1 initial queue capacity), inWork (E flags).
+	// Every region is capacity-capped so a queue append past its region
+	// reallocates instead of bleeding into the next.
+	nn, ne := len(js), len(edges)
+	slab := make([]int32, 2*nn+5*ne+2)
+	off := slab[0 : nn+1 : nn+1]
+	incSlab := slab[nn+1 : nn+1+2*ne : nn+1+2*ne]
+	pos := slab[nn+1+2*ne : 2*nn+1+2*ne : 2*nn+1+2*ne]
+	workBuf := slab[2*nn+1+2*ne : 2*nn+2+4*ne : 2*nn+2+4*ne]
+	inWork := slab[2*nn+2+4*ne:]
 	for _, e := range edges {
 		off[e.p+1]++
 		off[e.c+1]++
 	}
-	for i := 1; i <= len(nodes); i++ {
+	for i := 1; i <= nn; i++ {
 		off[i] += off[i-1]
 	}
-	incSlab := make([]int32, off[len(nodes)])
-	pos := append([]int32(nil), off[:len(nodes)]...)
+	copy(pos, off[:nn])
 	for ei, e := range edges {
 		incSlab[pos[e.p]] = int32(ei)
 		pos[e.p]++
@@ -198,45 +276,31 @@ func pathJoin(k *kernel, tree *xpath.Tree, inc includeSet) (map[*xpath.TreeNode]
 		pos[e.c]++
 	}
 
-	work := make([]int32, len(edges), 2*len(edges)+1)
-	inWork := make([]bool, len(edges))
+	work := workBuf[:ne]
 	for i := range edges {
 		work[i] = int32(i)
-		inWork[i] = true
+		inWork[i] = 1
 	}
-	// enqueue schedules the edges incident to n, minus except (pass -1
-	// to schedule all): after processing an edge, the edge itself is
+	// Re-enqueue policy: after processing an edge, the edge itself is
 	// already consistent with a parent-side shrink (the child side was
-	// pruned against the shrunken parent list), but a child-side shrink
-	// invalidates the parent side, which was pruned against the
-	// pre-shrink child list — so child shrinks re-enqueue everything.
-	enqueue := func(ni int32, except int32) {
-		for _, ei := range incSlab[off[ni]:off[ni+1]] {
-			if ei != except && !inWork[ei] {
-				inWork[ei] = true
-				work = append(work, ei)
-			}
-		}
-	}
+	// pruned against the shrunken parent list), so a parent shrink
+	// skips the current edge; a child-side shrink invalidates the
+	// parent side, which was pruned against the pre-shrink child list —
+	// so child shrinks re-enqueue every incident edge.
 	for len(work) > 0 {
 		ei := work[0]
 		work = work[1:]
-		inWork[ei] = false
+		inWork[ei] = 0
 		e := &edges[ei]
-		ps, cs := &states[e.p], &states[e.c]
-		pn, cn := nodes[e.p], nodes[e.c]
+		ps, cs := &js[e.p].st, &js[e.c].st
 
-		// Prune the parent side against the child list.
+		// Prune the parent side against the child list: keep ancestors
+		// whose arena row contains at least one surviving child row.
+		// (Witness bits were folded into the child list up front, so
+		// containment alone is the full verdict.)
 		w := 0
 		for i := range ps.pf {
-			ok := false
-			for j := range cs.pf {
-				if k.compatible(e.cache, pn.Tag, ps.ids[i], ps.pf[i].Pid, cn.Tag, cs.ids[j], cs.pf[j].Pid, e.axis) {
-					ok = true
-					break
-				}
-			}
-			if ok {
+			if snap.containsAny(ps.ids[i], cs.ids) {
 				ps.pf[w] = ps.pf[i]
 				ps.ids[w] = ps.ids[i]
 				w++
@@ -245,20 +309,18 @@ func pathJoin(k *kernel, tree *xpath.Tree, inc includeSet) (map[*xpath.TreeNode]
 		if w != len(ps.pf) {
 			ps.pf = ps.pf[:w]
 			ps.ids = ps.ids[:w]
-			enqueue(e.p, ei)
+			for _, e2 := range incSlab[off[e.p]:off[e.p+1]] {
+				if e2 != ei && inWork[e2] == 0 {
+					inWork[e2] = 1
+					work = append(work, e2)
+				}
+			}
 		}
 
 		// Prune the child side against the (possibly shrunken) parent.
 		w = 0
 		for j := range cs.pf {
-			ok := false
-			for i := range ps.pf {
-				if k.compatible(e.cache, pn.Tag, ps.ids[i], ps.pf[i].Pid, cn.Tag, cs.ids[j], cs.pf[j].Pid, e.axis) {
-					ok = true
-					break
-				}
-			}
-			if ok {
+			if snap.anyContains(ps.ids, cs.ids[j]) {
 				cs.pf[w] = cs.pf[j]
 				cs.ids[w] = cs.ids[j]
 				w++
@@ -267,15 +329,16 @@ func pathJoin(k *kernel, tree *xpath.Tree, inc includeSet) (map[*xpath.TreeNode]
 		if w != len(cs.pf) {
 			cs.pf = cs.pf[:w]
 			cs.ids = cs.ids[:w]
-			enqueue(e.c, -1)
+			for _, e2 := range incSlab[off[e.c]:off[e.c+1]] {
+				if inWork[e2] == 0 {
+					inWork[e2] = 1
+					work = append(work, e2)
+				}
+			}
 		}
 	}
 
-	lists := make(map[*xpath.TreeNode][]stats.PidFreq, len(nodes))
-	for ni, n := range nodes {
-		lists[n] = states[ni].pf
-	}
-	return lists, nil
+	return joinResult{nodes: js}, nil
 }
 
 // treeAxis maps a query-tree node's axis to the pathenc axis.

@@ -22,6 +22,11 @@ type Source interface {
 	// empty when the tag does not occur.
 	Entries(tag string) []stats.PidFreq
 
+	// Tags returns every tag with entries, sorted. The kernel's
+	// columnar snapshot enumerates it once to lay out all (pid,
+	// frequency) lists in one arena.
+	Tags() []string
+
 	// OrderCount returns g(pid, sibTag) from the tag's path-order
 	// summary in the given region: the number of tag elements labeled
 	// pid with at least one sibling sibTag after them (Before region)
@@ -38,6 +43,11 @@ type TableSource struct {
 // Entries implements Source.
 func (s TableSource) Entries(tag string) []stats.PidFreq {
 	return s.Tables.Freq.Entries(tag)
+}
+
+// Tags implements Source.
+func (s TableSource) Tags() []string {
+	return s.Tables.Freq.Tags()
 }
 
 // OrderCount implements Source.
@@ -58,6 +68,11 @@ type HistogramSource struct {
 // Entries implements Source.
 func (s HistogramSource) Entries(tag string) []stats.PidFreq {
 	return s.P.Entries(tag)
+}
+
+// Tags implements Source.
+func (s HistogramSource) Tags() []string {
+	return s.P.Tags()
 }
 
 // OrderCount implements Source.

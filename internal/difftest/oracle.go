@@ -49,10 +49,11 @@ func DefaultConfigs() []SummaryConfig {
 type Invariant string
 
 const (
-	// InvPathsAgree: the four estimator paths — cold kernel, warmed
-	// kernel, EstimateBatch, and a summary serialized through summaryio
-	// and read back — return bit-identical values (or identical
-	// errors). Estimation is a pure function of (summary, query).
+	// InvPathsAgree: the five estimator paths — cold kernel, warmed
+	// kernel, EstimateBatch, a summary serialized through summaryio and
+	// read back, and the epoch-keyed result cache's hit path — return
+	// bit-identical values (or identical errors). Estimation is a pure
+	// function of (summary, query).
 	InvPathsAgree Invariant = "paths-agree"
 
 	// InvNonNegative: every estimate is a finite value ≥ 0.
@@ -135,7 +136,7 @@ const (
 	// InjectNone is normal operation.
 	InjectNone = ""
 	// InjectOvercountDesc adds 1 to every estimate of a query with a
-	// descendant step — a simulated join-kernel overcount. All four
+	// descendant step — a simulated join-kernel overcount. All five
 	// paths are affected identically, so exactness and the tag bound
 	// catch it, not path agreement.
 	InjectOvercountDesc = "overcount-desc"
@@ -292,6 +293,12 @@ func (c *Checker) CheckDoc(p *Pair, queries []string) Result {
 
 		batch := warm.EstimateBatch(queries)
 
+		// The cached path serves every query through the result cache's
+		// hit path: populate via the warmed summary, then re-read. The
+		// compared value is exactly what a second client would be served
+		// from cache.
+		cache := xpathest.NewEstimateCache(1 << 20)
+
 		for i, q := range queries {
 			res.QueriesChecked++
 
@@ -310,8 +317,20 @@ func (c *Checker) CheckDoc(p *Pair, queries []string) Result {
 				paths["roundtrip"] = c.perturb("roundtrip", q, estimate{rv, rerr})
 			}
 
+			var cached estimate
+			if qc, cerr := xpathest.CompileQuery(q); cerr != nil {
+				cached = estimate{0, cerr}
+			} else if _, err := cache.EstimateQuery(1, "difftest", warm, qc); err != nil {
+				cached = estimate{0, err}
+			} else if hv, ok := cache.Get(1, "difftest", qc); !ok {
+				cached = estimate{0, fmt.Errorf("result cache dropped a just-stored estimate")}
+			} else {
+				cached = estimate{hv, nil}
+			}
+			paths["cached"] = c.perturb("cached", q, cached)
+
 			ref := paths["cold"]
-			for _, name := range []string{"warm", "batch", "roundtrip"} {
+			for _, name := range []string{"warm", "batch", "roundtrip", "cached"} {
 				if !sameOutcome(ref, paths[name]) {
 					res.Violations = append(res.Violations, Violation{
 						Invariant: InvPathsAgree, Config: cfg, Query: q, DocXML: p.XML,

@@ -378,9 +378,19 @@ func (a Axis) String() string {
 //     compatible distance (adjacent for Child), resolved from the
 //     encoding table as in Examples 2.2 and 2.3.
 func (l *Labeling) EdgeCompatible(ancTag string, ancPid *bitset.Bitset, descTag string, descPid *bitset.Bitset, axis Axis) bool {
-	if !ancPid.ContainsOrEqual(descPid) {
-		return false
-	}
+	return ancPid.ContainsOrEqual(descPid) &&
+		l.PathWitness(ancTag, descTag, descPid, axis)
+}
+
+// PathWitness is the witness half of EdgeCompatible, factored out
+// because it does not depend on the ancestor's pid at all: whether
+// some root-to-leaf path of descPid carries ancTag above descTag at an
+// axis-compatible distance is a function of (ancTag, descTag, axis,
+// descPid) only. The estimator's kernel exploits this to memoize one
+// witness bit per descendant pid instead of one verdict per (ancestor,
+// descendant) pid pair, leaving pure bit containment in its inner
+// loop.
+func (l *Labeling) PathWitness(ancTag, descTag string, descPid *bitset.Bitset, axis Axis) bool {
 	// A tag missing from the table occurs on no path, so no witness
 	// can exist.
 	t := l.Table
@@ -392,12 +402,11 @@ func (l *Labeling) EdgeCompatible(ancTag string, ancPid *bitset.Bitset, descTag 
 	if !ok {
 		return false
 	}
-	// Both tags occur on every path of descPid (the descendant sits on
-	// all of them; the ancestor spans a superset). Scan those paths
-	// for a witness — the interned-tag form of TagRelationship, with
-	// the tag-id lookups hoisted out of the per-path loop. ForEachOne
-	// keeps the test allocation-free; it runs inside the path join's
-	// innermost loop.
+	// In EdgeCompatible both tags occur on every path of descPid (the
+	// descendant sits on all of them; the ancestor spans a superset).
+	// Scan those paths for a witness — the interned-tag form of
+	// TagRelationship, with the tag-id lookups hoisted out of the
+	// per-path loop. ForEachOne keeps the test allocation-free.
 	found := false
 	descPid.ForEachOne(func(enc int) bool {
 		ids := t.pathTagIDs[enc-1]

@@ -128,17 +128,28 @@ func (g *flightGroup) do(ctx context.Context, key flightKey, fn func() (float64,
 	return c.v, false, c.err
 }
 
-// estimateShared estimates one compiled query through the dedup
-// group. A shared result that failed with ErrCanceled reflects the
-// *leader's* deadline, not ours — if our context is still live the
-// query is retried once directly, so one slow client cannot poison
-// identical queries from healthy ones.
-func (s *Server) estimateShared(ctx context.Context, sum *xpathest.Summary, q *xpathest.Query) (float64, error) {
+// estimateShared estimates one compiled query through, in order: the
+// epoch-keyed result cache (finished estimates survive across
+// requests until the registry republishes), then the dedup group (one
+// leader per in-flight (summary, query)). A shared result that failed
+// with ErrCanceled reflects the *leader's* deadline, not ours — if our
+// context is still live the query is retried once directly, so one
+// slow client cannot poison identical queries from healthy ones. Only
+// successful estimates are cached; the epoch must have been read
+// before the summary was fetched from the registry (see
+// registry.epoch).
+func (s *Server) estimateShared(ctx context.Context, epoch uint64, name string, sum *xpathest.Summary, q *xpathest.Query) (float64, error) {
+	if v, ok := s.results.Get(epoch, name, q); ok {
+		return v, nil
+	}
 	v, shared, err := s.flight.do(ctx, flightKey{sum: sum, query: q.String()}, func() (float64, error) {
 		return sum.EstimateQueryContext(ctx, q)
 	})
 	if shared && err != nil && errors.Is(err, guard.ErrCanceled) && guard.CheckContext(ctx) == nil {
-		return sum.EstimateQueryContext(ctx, q)
+		v, err = sum.EstimateQueryContext(ctx, q)
+	}
+	if err == nil {
+		s.results.Put(epoch, name, q, v)
 	}
 	return v, err
 }
@@ -207,6 +218,7 @@ func (s *Server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 
 	// Stale entries carry a last-good summary — they estimate normally
 	// (same proven bytes); only a name with nothing loadable degrades.
+	epoch := s.reg.epoch()
 	e, ok := s.reg.get(req.Summary)
 	degraded := !ok || e.sum == nil
 	reason := ""
@@ -266,7 +278,7 @@ func (s *Server) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 			out.item = item
 			return
 		}
-		v, err := s.estimateShared(ctx, e.sum, q)
+		v, err := s.estimateShared(ctx, epoch, req.Summary, e.sum, q)
 		if err != nil {
 			fail(err)
 			out.item = item

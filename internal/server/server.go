@@ -70,6 +70,11 @@ type Config struct {
 	// PlanCacheSize caps the LRU cache of compiled query plans shared
 	// by /estimate/batch (default 1024 entries).
 	PlanCacheSize int
+	// ResultCacheBytes bounds the finished-estimate cache shared by
+	// /estimate and /estimate/batch (default 4 MiB; negative disables
+	// it). Entries are keyed by the registry epoch, so any summary
+	// upload, summarize, or reload invalidates them wholesale.
+	ResultCacheBytes int64
 	// EnablePanicRoute registers POST /debug/panic, which panics inside
 	// the handler. Tests use it to prove panic isolation; production
 	// configs leave it off.
@@ -123,6 +128,9 @@ func (c Config) withDefaults() Config {
 	if c.PlanCacheSize <= 0 {
 		c.PlanCacheSize = 1024
 	}
+	if c.ResultCacheBytes == 0 {
+		c.ResultCacheBytes = 4 << 20
+	}
 	if c.Logger == nil {
 		c.Logger = log.Default()
 	}
@@ -158,6 +166,10 @@ type entry struct {
 // and swap it in, so estimates never see a half-updated view.
 type registry struct {
 	m atomic.Pointer[map[string]*entry]
+	// ep counts map publications: every set/replace bumps it after the
+	// new map is visible. The result cache keys on it, so a bump
+	// orphans every cached estimate taken from the previous view.
+	ep atomic.Uint64
 	// mu serializes writers only (upload, summarize, reload).
 	mu sync.Mutex
 }
@@ -174,6 +186,13 @@ func (r *registry) get(name string) (*entry, bool) {
 	return e, ok
 }
 
+// epoch returns the current publication count. Readers that cache an
+// estimate must read the epoch BEFORE get: if a swap lands in between,
+// the value computed from the newer entry is cached under the older
+// epoch — an unreachable key after the swap, so at worst a wasted
+// slot, never a stale serve.
+func (r *registry) epoch() uint64 { return r.ep.Load() }
+
 func (r *registry) snapshot() map[string]*entry { return *r.m.Load() }
 
 // set installs one entry, copying the current map.
@@ -187,6 +206,7 @@ func (r *registry) set(name string, e *entry) {
 	}
 	next[name] = e
 	r.m.Store(&next)
+	r.ep.Add(1)
 }
 
 // replace swaps the whole map.
@@ -194,17 +214,19 @@ func (r *registry) replace(next map[string]*entry) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.m.Store(&next)
+	r.ep.Add(1)
 }
 
 // Server is the estimation service.
 type Server struct {
-	cfg    Config
-	reg    *registry
-	sem    chan struct{}
-	mux    *http.ServeMux
-	http   *http.Server
-	plans  *planCache
-	flight *flightGroup
+	cfg     Config
+	reg     *registry
+	sem     chan struct{}
+	mux     *http.ServeMux
+	http    *http.Server
+	plans   *planCache
+	flight  *flightGroup
+	results *xpathest.EstimateCache // nil when ResultCacheBytes < 0
 
 	ln      net.Listener // nil until Start; guarded by lnGuard
 	lnGuard sync.Mutex
@@ -242,6 +264,9 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 		plans:    newPlanCache(cfg.PlanCacheSize),
 		flight:   newFlightGroup(),
 		breakers: newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown),
+	}
+	if cfg.ResultCacheBytes > 0 {
+		s.results = xpathest.NewEstimateCache(cfg.ResultCacheBytes)
 	}
 	s.mux = http.NewServeMux()
 	s.routes()
@@ -413,27 +438,31 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	st := s.resilience()
+	rcHits, rcMisses, rcEvictions := s.results.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":                "ok",
-		"uptime_seconds":        int(time.Since(s.started).Seconds()),
-		"summaries":             len(snap),
-		"summaries_healthy":     healthy,
-		"summaries_stale":       st.stale,
-		"summaries_failed":      st.failed,
-		"summaries_quarantined": st.quarantined,
-		"breakers_open":         st.breakersOpen,
-		"reloads":               s.reloads.Load(),
-		"requests_total":        s.requests.Load(),
-		"requests_shed":         s.shed.Load(),
-		"requests_unavailable":  s.unavailable.Load(),
-		"panics_recovered":      s.panics.Load(),
-		"max_in_flight":         s.cfg.MaxInFlight,
-		"request_timeout_ms":    s.cfg.RequestTimeout.Milliseconds(),
-		"batch_requests":        s.batches.Load(),
-		"batch_queries":         s.batchQueries.Load(),
-		"plan_cache_hits":       s.plans.hits.Load(),
-		"plan_cache_misses":     s.plans.misses.Load(),
-		"dedup_shared":          s.flight.shared.Load(),
+		"status":                 "ok",
+		"uptime_seconds":         int(time.Since(s.started).Seconds()),
+		"summaries":              len(snap),
+		"summaries_healthy":      healthy,
+		"summaries_stale":        st.stale,
+		"summaries_failed":       st.failed,
+		"summaries_quarantined":  st.quarantined,
+		"breakers_open":          st.breakersOpen,
+		"reloads":                s.reloads.Load(),
+		"requests_total":         s.requests.Load(),
+		"requests_shed":          s.shed.Load(),
+		"requests_unavailable":   s.unavailable.Load(),
+		"panics_recovered":       s.panics.Load(),
+		"max_in_flight":          s.cfg.MaxInFlight,
+		"request_timeout_ms":     s.cfg.RequestTimeout.Milliseconds(),
+		"batch_requests":         s.batches.Load(),
+		"batch_queries":          s.batchQueries.Load(),
+		"plan_cache_hits":        s.plans.hits.Load(),
+		"plan_cache_misses":      s.plans.misses.Load(),
+		"dedup_shared":           s.flight.shared.Load(),
+		"result_cache_hits":      rcHits,
+		"result_cache_misses":    rcMisses,
+		"result_cache_evictions": rcEvictions,
 	})
 }
 
@@ -501,13 +530,17 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// A malformed query is the client's fault regardless of summary
-	// health — validate before the fallback decision so degradation
-	// never masks bad queries.
-	canonical, err := xpathest.ParseQuery(q)
+	// health — compile before the fallback decision so degradation
+	// never masks bad queries. Compiling (rather than just parsing)
+	// routes /estimate through the same plan cache, dedup group, and
+	// result cache as /estimate/batch.
+	qq, err := s.plans.compile(q)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
+	canonical := qq.String()
+	epoch := s.reg.epoch()
 	e, ok := s.reg.get(name)
 	if !ok || e.sum == nil {
 		// No last-good summary to serve. If the breaker is open the
@@ -532,7 +565,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	v, err := e.sum.EstimateContext(r.Context(), q)
+	v, err := s.estimateShared(r.Context(), epoch, name, e.sum, qq)
 	if err != nil {
 		writeError(w, err)
 		return

@@ -1,0 +1,56 @@
+package stats
+
+import (
+	"fmt"
+
+	"xpathest/internal/bitset"
+)
+
+// Columns is a struct-of-arrays view over (pid, frequency) entries:
+// every appended pid's bit-words land back to back in one shared
+// Words arena at a fixed stride, with the frequency and the interned
+// pid pointer in parallel columns. The estimator's join kernel builds
+// one Columns per summary snapshot so its containment sweeps read
+// contiguous cache-resident memory instead of chasing *Bitset
+// pointers; entry k's row is Words[k*Stride : (k+1)*Stride].
+type Columns struct {
+	// Stride is the fixed word count per pid row.
+	Stride int
+	// Words is the shared pid-bit arena, len = Len()*Stride.
+	Words []uint64
+	// Freqs is the frequency column, parallel to the rows.
+	Freqs []float64
+	// Pids keeps the interned pid of each row, for identity lookups
+	// and for callers that still need the pointer form.
+	Pids []*bitset.Bitset
+}
+
+// NewColumns returns an empty Columns for pids of the given width,
+// preallocating room for n entries. All appended pids must have
+// exactly this width.
+func NewColumns(width, n int) *Columns {
+	stride := (width + 63) / 64
+	return &Columns{
+		Stride: stride,
+		Words:  make([]uint64, 0, n*stride),
+		Freqs:  make([]float64, 0, n),
+		Pids:   make([]*bitset.Bitset, 0, n),
+	}
+}
+
+// Append adds one entry's row to every column. The pid's width must
+// match the width the Columns was created for — rows of unequal
+// stride would silently misalign every later offset, so a mismatch
+// panics (a programming error, like bitset's own width checks).
+func (c *Columns) Append(e PidFreq) {
+	before := len(c.Words)
+	c.Words = e.Pid.AppendWords(c.Words)
+	if len(c.Words)-before != c.Stride {
+		panic(fmt.Sprintf("stats: pid of %d words appended to columns of stride %d", len(c.Words)-before, c.Stride))
+	}
+	c.Freqs = append(c.Freqs, e.Freq)
+	c.Pids = append(c.Pids, e.Pid)
+}
+
+// Len returns the number of appended entries.
+func (c *Columns) Len() int { return len(c.Pids) }

@@ -1,0 +1,41 @@
+package stats
+
+import (
+	"testing"
+
+	"xpathest/internal/bitset"
+)
+
+func TestColumnsLayout(t *testing.T) {
+	p1 := bitset.MustFromString("10000000000000000000000000000000000000000000000000000000000000001") // width 65 → stride 2
+	p2 := bitset.MustFromString("01000000000000000000000000000000000000000000000000000000000000000")
+	c := NewColumns(p1.Width(), 2)
+	if c.Stride != 2 {
+		t.Fatalf("stride %d, want 2", c.Stride)
+	}
+	c.Append(PidFreq{Pid: p1, Freq: 3})
+	c.Append(PidFreq{Pid: p2, Freq: 5})
+	if c.Len() != 2 || len(c.Words) != 4 {
+		t.Fatalf("len %d words %d, want 2 entries / 4 words", c.Len(), len(c.Words))
+	}
+	if c.Freqs[0] != 3 || c.Freqs[1] != 5 || c.Pids[0] != p1 || c.Pids[1] != p2 {
+		t.Fatal("parallel columns misaligned")
+	}
+	// Row 0 must contain itself and not row 1, straight over offsets.
+	if !bitset.ContainsWords(c.Words, 0, 0, c.Stride) {
+		t.Fatal("row 0 does not contain itself")
+	}
+	if bitset.ContainsWords(c.Words, 0, c.Stride, c.Stride) {
+		t.Fatal("row 0 claims to contain row 1")
+	}
+}
+
+func TestColumnsWidthMismatchPanics(t *testing.T) {
+	c := NewColumns(64, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("appending a wider pid did not panic")
+		}
+	}()
+	c.Append(PidFreq{Pid: bitset.New(65), Freq: 1})
+}

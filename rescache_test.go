@@ -1,0 +1,172 @@
+package xpathest
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+func cacheFixture(t testing.TB) (*Summary, *Query) {
+	t.Helper()
+	d, err := ParseDocumentString(bookXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := CompileQuery("//book/chapter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.BuildSummary(SummaryOptions{}), q
+}
+
+func TestEstimateCacheHitMissEpoch(t *testing.T) {
+	sum, q := cacheFixture(t)
+	c := NewEstimateCache(1 << 20)
+
+	if _, ok := c.Get(1, "s", q); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	want, err := sum.EstimateQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.EstimateQuery(1, "s", sum, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(v) != math.Float64bits(want) {
+		t.Fatalf("first EstimateQuery = %v, want %v", v, want)
+	}
+	v2, ok := c.Get(1, "s", q)
+	if !ok || math.Float64bits(v2) != math.Float64bits(want) {
+		t.Fatalf("hit = (%v, %v), want (%v, true)", v2, ok, want)
+	}
+
+	// A new epoch must not see the old entry; a different scope either.
+	if _, ok := c.Get(2, "s", q); ok {
+		t.Fatal("epoch bump still served the old entry")
+	}
+	if _, ok := c.Get(1, "other", q); ok {
+		t.Fatal("different scope shared an entry")
+	}
+
+	hits, misses, _ := c.Stats()
+	if hits != 1 || misses != 4 {
+		t.Fatalf("stats = %d hits / %d misses, want 1/4", hits, misses)
+	}
+}
+
+func TestEstimateCacheEviction(t *testing.T) {
+	_, q := cacheFixture(t)
+	// Budget for roughly three entries; inserting many must evict from
+	// the LRU tail and keep the byte accounting consistent.
+	c := NewEstimateCache(3 * (resEntryOverhead + 40))
+	for i := 0; i < 32; i++ {
+		c.Put(1, fmt.Sprintf("scope-%02d", i), q, float64(i))
+	}
+	if _, _, ev := c.Stats(); ev == 0 {
+		t.Fatal("no evictions under a 3-entry budget")
+	}
+	if c.used > c.budget {
+		t.Fatalf("used %d bytes over budget %d after eviction", c.used, c.budget)
+	}
+	// The most recent insert must have survived.
+	if _, ok := c.Get(1, "scope-31", q); !ok {
+		t.Fatal("most recent entry was evicted")
+	}
+
+	// A budget below one entry still admits exactly the latest entry.
+	tiny := NewEstimateCache(1)
+	tiny.Put(1, "a", q, 1)
+	tiny.Put(1, "b", q, 2)
+	if tiny.ll.Len() != 1 {
+		t.Fatalf("tiny cache holds %d entries, want 1", tiny.ll.Len())
+	}
+}
+
+func TestEstimateCacheNilSafe(t *testing.T) {
+	sum, q := cacheFixture(t)
+	var c *EstimateCache
+	if _, ok := c.Get(1, "s", q); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.Put(1, "s", q, 1)
+	want, err := sum.EstimateQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.EstimateQuery(1, "s", sum, q)
+	if err != nil || math.Float64bits(v) != math.Float64bits(want) {
+		t.Fatalf("nil EstimateQuery = (%v, %v), want (%v, nil)", v, err, want)
+	}
+	if h, m, e := c.Stats(); h != 0 || m != 0 || e != 0 {
+		t.Fatal("nil cache reported nonzero stats")
+	}
+}
+
+// TestEstimateCacheHammer drives concurrent mixed Get/Put/EstimateQuery
+// traffic across epochs and scopes under a small budget, so the race
+// detector sees the LRU mutation paths and every hit is checked for
+// bit-equality against direct estimation.
+func TestEstimateCacheHammer(t *testing.T) {
+	sum, _ := cacheFixture(t)
+	queries := []string{"//book/chapter", "//book", "//library//title", "//book[/chapter]/appendix"}
+	qs := make([]*Query, len(queries))
+	want := make([]float64, len(queries))
+	for i, raw := range queries {
+		q, err := CompileQuery(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := sum.EstimateQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs[i], want[i] = q, v
+	}
+
+	c := NewEstimateCache(2 * (resEntryOverhead + 64))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				qi := (g + i) % len(qs)
+				epoch := uint64(i % 3)
+				scope := "s"
+				if g%2 == 0 {
+					scope = "t"
+				}
+				v, err := c.EstimateQuery(epoch, scope, sum, qs[qi])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if math.Float64bits(v) != math.Float64bits(want[qi]) {
+					t.Errorf("q%d epoch %d: got %v, want %v", qi, epoch, v, want[qi])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// BenchmarkEstimateCached measures the result-cache hit path: the cost
+// of serving an already-computed estimate.
+func BenchmarkEstimateCached(b *testing.B) {
+	sum, q := cacheFixture(b)
+	c := NewEstimateCache(1 << 20)
+	if _, err := c.EstimateQuery(1, "bench", sum, q); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(1, "bench", q); !ok {
+			b.Fatal("cache miss on hit path")
+		}
+	}
+}
