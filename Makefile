@@ -10,13 +10,16 @@ GOVULNCHECK_VERSION = v1.1.4
 
 XPESTLINT = bin/xpestlint
 
-.PHONY: all build test vet lint lint-budget lint-fixtures lint-audit lint-audit-check vuln race race-hot cover bench bench-json bench-check fuzz fuzz-smoke difftest-smoke difftest-nightly chaos chaos-smoke ci experiments examples clean
+.PHONY: all build test vet lint lint-budget lint-fixtures lint-audit lint-audit-check perfgate vuln race race-hot cover bench bench-json bench-check fuzz fuzz-smoke difftest-smoke difftest-nightly chaos chaos-smoke ci experiments examples clean
 
 all: build vet lint test
 
 # What .github/workflows/ci.yml runs; keep the two in sync.
-# lint-budget runs the same vet invocation as lint, timed.
-ci: build vet lint-budget lint-fixtures lint-audit-check race-hot race fuzz-smoke difftest-smoke chaos-smoke cover
+# lint-budget runs the same vet invocation as lint, timed. A separate
+# `vet` step would be redundant: xpestlint bundles the standard vet
+# suite, so the lint steps already run it (make vet stays for local
+# use).
+ci: build lint-budget lint-fixtures lint-audit-check perfgate race-hot race fuzz-smoke difftest-smoke chaos-smoke cover
 
 build:
 	$(GO) build ./...
@@ -55,6 +58,26 @@ lint-budget: $(XPESTLINT)
 		exit 1; \
 	fi
 
+# Compiler-diagnostic performance gate (docs/STATIC_ANALYSIS.md,
+# "Performance invariants"): build the hot packages with -m=2 and
+# check_bce debugging and diff the diagnostics against the pins in
+# perf-manifest.txt — deinlined hot helpers, newly escaping
+# parameters, and bounds checks back inside arena loops fail here at
+# build time, before they cost ns/op in bench-check. Budgeted like
+# lint-budget: the go build cache replays diagnostics, so a warm run
+# is milliseconds and the budget only bites on the cold path.
+PERFGATE_BUDGET_SECONDS ?= 60
+perfgate:
+	$(GO) build -o bin/perfgate ./cmd/perfgate
+	@start=$$(date +%s); \
+	bin/perfgate -manifest perf-manifest.txt || exit 1; \
+	end=$$(date +%s); took=$$((end - start)); \
+	echo "perfgate wall clock: $${took}s (budget: $(PERFGATE_BUDGET_SECONDS)s)"; \
+	if [ $$took -gt $(PERFGATE_BUDGET_SECONDS) ]; then \
+		echo "perfgate exceeded its wall-clock budget: $${took}s > $(PERFGATE_BUDGET_SECONDS)s"; \
+		exit 1; \
+	fi
+
 # Self-test of the analyzer suite: each analyzer's unit tests plus the
 # fixtures meta-test, which fails if any analyzer stops firing on its
 # own seeded violations (agreement with `// want` comments alone is
@@ -68,10 +91,18 @@ lint-fixtures:
 # inventory makes suppression growth visible in diffs instead of
 # scattered across the tree. The analyzers enforce that each directive
 # carries a reason, so the audit lines are self-explanatory.
+# //perf:exempt directives (perfgate's escape hatch) are swept into a
+# trailing perf-ignores section of the same inventory, excluding
+# cmd/perfgate itself (its source and fixtures mention the directive).
 lint-audit:
 	@grep -rno '//lint:ignore.*' --include='*.go' \
-		--exclude-dir=vendor --exclude-dir=testdata --exclude-dir=analysis . \
+		--exclude-dir=vendor --exclude-dir=testdata --exclude-dir=analysis \
+		--exclude-dir=perfgate . \
 		| sed 's|^\./||' | LC_ALL=C sort > lint-ignores.txt
+	@echo "# perf-ignores" >> lint-ignores.txt
+	@grep -rno '//perf:exempt.*' --include='*.go' \
+		--exclude-dir=vendor --exclude-dir=testdata --exclude-dir=perfgate . \
+		| sed 's|^\./||' | LC_ALL=C sort >> lint-ignores.txt || true
 	@cat lint-ignores.txt
 
 # CI drift gate: lint-ignores.txt must match the tree. A failure means
@@ -159,16 +190,19 @@ bench-json:
 
 # Benchmark regression gate: re-run the kernel-critical benchmarks and
 # fail on a >BENCH_MAX_REGRESS_PCT% ns/op regression against the
-# committed BENCH_PR8.json artifact (its "after" run is the baseline).
-# Timings are machine-relative — after a hardware change, regenerate
-# the artifact (docs/PERFORMANCE.md, "Regenerating the baseline")
-# instead of chasing a budget measured elsewhere.
-BENCH_CHECK_BASELINE  ?= BENCH_PR8.json
+# committed BENCH_PR9.json artifact (its "after" run is the baseline).
+# The gated list names the same hot set perf-manifest.txt pins, so a
+# deinlining caught by `make perfgate` and a ns/op regression caught
+# here point at the same functions. Timings are machine-relative —
+# after a hardware change, regenerate the artifact
+# (docs/PERFORMANCE.md, "Regenerating the baseline") instead of
+# chasing a budget measured elsewhere.
+BENCH_CHECK_BASELINE  ?= BENCH_PR9.json
 BENCH_MAX_REGRESS_PCT ?= 15
-BENCH_CHECK_BENCHES   ?= PathJoin,EdgeCompatible,EstimateBatch,EstimateCached
+BENCH_CHECK_BENCHES   ?= PathJoin,EdgeCompatible,EstimateBatch,EstimateCached,ContainsWords,ContainsAnyWords,ContainsOrEqual
 bench-check:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
-	$(GO) test -run XXX -bench 'BenchmarkPathJoin$$|BenchmarkEdgeCompatible$$|BenchmarkEstimateBatch$$|BenchmarkEstimateCached$$' -benchmem -benchtime 0.3s . ./internal/core ./internal/pathenc > bench-check.txt
+	$(GO) test -run XXX -bench 'BenchmarkPathJoin$$|BenchmarkEdgeCompatible$$|BenchmarkEstimateBatch$$|BenchmarkEstimateCached$$|BenchmarkContainsWords$$|BenchmarkContainsAnyWords$$|BenchmarkContainsOrEqual$$' -benchmem -benchtime 0.3s . ./internal/core ./internal/pathenc ./internal/bitset > bench-check.txt
 	bin/benchjson -check -label check -baseline $(BENCH_CHECK_BASELINE) -max-regress-pct $(BENCH_MAX_REGRESS_PCT) -benches $(BENCH_CHECK_BENCHES) -in bench-check.txt -out bench-check.json
 
 # Per-commit fuzz smoke: every fuzz target for a short, bounded burst.

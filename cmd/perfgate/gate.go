@@ -1,0 +1,400 @@
+// Manifest parsing, compiler-diagnostic parsing, and the property
+// checks — the pure core of perfgate, exercised hermetically by the
+// golden-fixture tests. main.go owns the impure rim (running go
+// build, reading the module path).
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// exemptDirective marks a function whose manifest entry is
+// intentionally not enforced, mirroring //lint:ignore. The reason is
+// mandatory; lint-audit sweeps these into lint-ignores.txt.
+const exemptDirective = "//perf:exempt"
+
+// entry is one pinned function and the properties that must hold for
+// it. BCE is a ceiling on bounds checks inside the function's loops
+// (-1 when unchecked): several hot functions legitimately keep a
+// couple of checks in sparse fallback paths, and the compiler
+// attributes an inlined callee's checks to the call site, so a strict
+// boolean "clean" would pin nothing useful.
+type entry struct {
+	Name     string
+	Inline   bool
+	NoEscape bool
+	BCE      int
+	Line     int // manifest line, for error messages
+}
+
+// pkgManifest is the pinned set for one import path.
+type pkgManifest struct {
+	Path    string
+	Entries []entry
+}
+
+// parseManifest reads the perf-manifest format:
+//
+//	# comment
+//	[import/path]
+//	funcName inline noescape bce<=2
+//
+// Function names use the compiler's own spelling: F, T.m, (*T).m.
+func parseManifest(src string) ([]pkgManifest, error) {
+	var pkgs []pkgManifest
+	seen := map[string]map[string]bool{}
+	for i, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		lineNo := i + 1
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "[") {
+			if !strings.HasSuffix(line, "]") {
+				return nil, fmt.Errorf("manifest line %d: unterminated package header %q", lineNo, line)
+			}
+			path := strings.TrimSpace(line[1 : len(line)-1])
+			if path == "" {
+				return nil, fmt.Errorf("manifest line %d: empty package header", lineNo)
+			}
+			pkgs = append(pkgs, pkgManifest{Path: path})
+			if seen[path] == nil {
+				seen[path] = map[string]bool{}
+			}
+			continue
+		}
+		if len(pkgs) == 0 {
+			return nil, fmt.Errorf("manifest line %d: function entry before any [package] header", lineNo)
+		}
+		fields := strings.Fields(line)
+		e := entry{Name: fields[0], BCE: -1, Line: lineNo}
+		if len(fields) == 1 {
+			return nil, fmt.Errorf("manifest line %d: %s pins no properties", lineNo, e.Name)
+		}
+		for _, p := range fields[1:] {
+			switch {
+			case p == "inline":
+				e.Inline = true
+			case p == "noescape":
+				e.NoEscape = true
+			case strings.HasPrefix(p, "bce<="):
+				n, err := strconv.Atoi(p[len("bce<="):])
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("manifest line %d: bad bounds-check ceiling %q", lineNo, p)
+				}
+				e.BCE = n
+			default:
+				return nil, fmt.Errorf("manifest line %d: unknown property %q (want inline, noescape, or bce<=N)", lineNo, p)
+			}
+		}
+		cur := &pkgs[len(pkgs)-1]
+		if seen[cur.Path][e.Name] {
+			return nil, fmt.Errorf("manifest line %d: duplicate entry %s in [%s]", lineNo, e.Name, cur.Path)
+		}
+		seen[cur.Path][e.Name] = true
+		cur.Entries = append(cur.Entries, e)
+	}
+	return pkgs, nil
+}
+
+// funcInfo is what the source scan knows about one declared function:
+// where it lives, where its loops are, and whether it is exempt.
+type funcInfo struct {
+	Name       string // compiler spelling
+	File       string // base name, the unit diagnostics are matched on
+	Start, End int
+	Loops      [][2]int // line spans of loop bodies, conditions included
+	Exempt     string   // //perf:exempt reason, "" when none
+}
+
+// collectFuncs parses the non-test Go files of dir and indexes every
+// function declaration by its compiler-style name. A reasonless
+// //perf:exempt is an error, same as a reasonless //lint:ignore.
+func collectFuncs(dir string) (map[string]funcInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	funcs := make(map[string]funcInfo)
+	for _, de := range entries {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			info := funcInfo{
+				Name:  compilerName(fn),
+				File:  name,
+				Start: fset.Position(fn.Pos()).Line,
+				End:   fset.Position(fn.End()).Line,
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				var body *ast.BlockStmt
+				switch n := n.(type) {
+				case *ast.ForStmt:
+					body = n.Body
+				case *ast.RangeStmt:
+					body = n.Body
+				default:
+					return true
+				}
+				info.Loops = append(info.Loops, [2]int{
+					fset.Position(body.Pos()).Line,
+					fset.Position(body.End()).Line,
+				})
+				return true
+			})
+			if fn.Doc != nil {
+				for _, c := range fn.Doc.List {
+					if !strings.HasPrefix(c.Text, exemptDirective) {
+						continue
+					}
+					reason := strings.TrimSpace(strings.TrimPrefix(c.Text, exemptDirective))
+					if reason == "" {
+						return nil, fmt.Errorf("%s:%d: %s needs a reason: %q",
+							name, fset.Position(c.Pos()).Line, exemptDirective, c.Text)
+					}
+					info.Exempt = reason
+				}
+			}
+			funcs[info.Name] = info
+		}
+	}
+	return funcs, nil
+}
+
+// compilerName renders a declaration the way -m=2 diagnostics name it:
+// F, T.m, (*T).m.
+func compilerName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		if id, ok := star.X.(*ast.Ident); ok {
+			return "(*" + id.Name + ")." + fn.Name.Name
+		}
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fn.Name.Name
+	}
+	return fn.Name.Name // generic receivers do not occur in the hot packages
+}
+
+// lineDiag is one location-attributed diagnostic: a heap escape or a
+// bounds check, matched to functions by file base name and line.
+type lineDiag struct {
+	File string
+	Line int
+	Msg  string
+}
+
+// diagnostics is the parsed -m=2 / check_bce output for one package.
+type diagnostics struct {
+	CanInline    map[string]bool
+	CannotInline map[string]string // name -> compiler's reason
+	Escapes      []lineDiag        // moved to heap / parameter leaks to {heap}
+	Bounds       []lineDiag        // Found IsInBounds / IsSliceInBounds
+	Total        int               // all recognized diagnostic lines
+}
+
+// parseDiagnostics classifies raw compiler output. Lines that are not
+// pos-prefixed diagnostics (build noise, package banners) are skipped.
+func parseDiagnostics(out string) diagnostics {
+	d := diagnostics{
+		CanInline:    map[string]bool{},
+		CannotInline: map[string]string{},
+	}
+	for _, raw := range strings.Split(out, "\n") {
+		file, line, msg, ok := splitPosLine(raw)
+		if !ok {
+			continue
+		}
+		d.Total++
+		switch {
+		case strings.HasPrefix(msg, "can inline "):
+			name := strings.TrimPrefix(msg, "can inline ")
+			if i := strings.Index(name, " with cost "); i >= 0 {
+				name = name[:i]
+			}
+			d.CanInline[name] = true
+		case strings.HasPrefix(msg, "cannot inline "):
+			rest := strings.TrimPrefix(msg, "cannot inline ")
+			name, reason, found := strings.Cut(rest, ": ")
+			if !found {
+				name, reason = rest, "no reason given"
+			}
+			d.CannotInline[name] = reason
+		case strings.HasPrefix(msg, "moved to heap: "),
+			strings.HasPrefix(msg, "parameter ") && strings.Contains(msg, " leaks to {heap}"):
+			d.Escapes = append(d.Escapes, lineDiag{file, line, msg})
+		case msg == "Found IsInBounds" || msg == "Found IsSliceInBounds":
+			d.Bounds = append(d.Bounds, lineDiag{file, line, msg})
+		}
+	}
+	return d
+}
+
+// splitPosLine splits "path/file.go:line:col: message" and reduces the
+// path to its base name.
+func splitPosLine(raw string) (file string, line int, msg string, ok bool) {
+	raw = strings.TrimSpace(raw)
+	// path : line : col : msg — find ".go:" to survive colons in paths.
+	i := strings.Index(raw, ".go:")
+	if i < 0 {
+		return "", 0, "", false
+	}
+	file = filepath.Base(raw[:i+3])
+	rest := raw[i+4:]
+	parts := strings.SplitN(rest, ":", 3)
+	if len(parts) != 3 {
+		return "", 0, "", false
+	}
+	line, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return "", 0, "", false
+	}
+	if _, err := strconv.Atoi(parts[1]); err != nil {
+		return "", 0, "", false
+	}
+	return file, line, strings.TrimSpace(parts[2]), true
+}
+
+// observed is the compiler's answer for one pinned function, the
+// "got" side of the diff.
+type observed struct {
+	Inlinable    bool
+	InlineReason string // why not, when not
+	InlineKnown  bool   // an inline diagnostic was seen at all
+	EscapeLines  []lineDiag
+	LoopBounds   []lineDiag
+}
+
+// observe gathers the diagnostics attributable to fn.
+func observe(fn funcInfo, d diagnostics) observed {
+	o := observed{}
+	if d.CanInline[fn.Name] {
+		o.Inlinable, o.InlineKnown = true, true
+	} else if reason, ok := d.CannotInline[fn.Name]; ok {
+		o.InlineReason, o.InlineKnown = reason, true
+	}
+	inSpan := func(l lineDiag) bool {
+		return l.File == fn.File && fn.Start <= l.Line && l.Line <= fn.End
+	}
+	for _, l := range d.Escapes {
+		if inSpan(l) {
+			o.EscapeLines = append(o.EscapeLines, l)
+		}
+	}
+	for _, l := range d.Bounds {
+		if !inSpan(l) {
+			continue
+		}
+		for _, span := range fn.Loops {
+			if span[0] <= l.Line && l.Line <= span[1] {
+				o.LoopBounds = append(o.LoopBounds, l)
+				break
+			}
+		}
+	}
+	return o
+}
+
+// check diffs one package's manifest against the compiler's
+// diagnostics and returns human-readable problems, one per violated
+// property. Exempt functions are skipped wholesale; a pinned function
+// the compiler never mentioned fails loudly, the way benchjson -check
+// fails on a gated benchmark missing from a run.
+func check(m pkgManifest, funcs map[string]funcInfo, d diagnostics) []string {
+	var problems []string
+	fail := func(e entry, format string, args ...interface{}) {
+		problems = append(problems,
+			fmt.Sprintf("%s: %s:\n    %s", m.Path, e.Name, fmt.Sprintf(format, args...)))
+	}
+	if d.Total == 0 {
+		return []string{fmt.Sprintf("%s: compiler produced no diagnostics — was the package built with -m=2 -d=ssa/check_bce/debug=1?", m.Path)}
+	}
+	for _, e := range m.Entries {
+		fn, ok := funcs[e.Name]
+		if !ok {
+			fail(e, "pinned in the manifest (line %d) but not declared in the package sources — update perf-manifest.txt", e.Line)
+			continue
+		}
+		if fn.Exempt != "" {
+			continue
+		}
+		o := observe(fn, d)
+		if e.Inline {
+			switch {
+			case !o.InlineKnown:
+				fail(e, "want: inline\n     got: no inline diagnostic from the compiler for this function — gated function missing from the build output")
+			case !o.Inlinable:
+				fail(e, "want: inline\n     got: cannot inline: %s", o.InlineReason)
+			}
+		}
+		if e.NoEscape && len(o.EscapeLines) > 0 {
+			fail(e, "want: noescape (params and locals stay on the stack)\n     got: %s", renderLines(o.EscapeLines))
+		}
+		if e.BCE >= 0 && len(o.LoopBounds) > e.BCE {
+			fail(e, "want: bce<=%d (bounds checks inside loops)\n     got: %d at %s", e.BCE, len(o.LoopBounds), renderLines(o.LoopBounds))
+		}
+	}
+	return problems
+}
+
+// describe renders the observed properties of every manifest entry —
+// the tool's answer to "what should the manifest say now?" after an
+// intentional change.
+func describe(m pkgManifest, funcs map[string]funcInfo, d diagnostics) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s]\n", m.Path)
+	for _, e := range m.Entries {
+		fn, ok := funcs[e.Name]
+		if !ok {
+			fmt.Fprintf(&b, "  %s: not declared in package\n", e.Name)
+			continue
+		}
+		o := observe(fn, d)
+		inline := "no"
+		if o.Inlinable {
+			inline = "yes"
+		} else if o.InlineKnown {
+			inline = "no (" + o.InlineReason + ")"
+		} else {
+			inline = "unknown"
+		}
+		exempt := ""
+		if fn.Exempt != "" {
+			exempt = " exempt(" + fn.Exempt + ")"
+		}
+		fmt.Fprintf(&b, "  %s: inline=%s escapes=%d loop-bounds-checks=%d%s\n",
+			e.Name, inline, len(o.EscapeLines), len(o.LoopBounds), exempt)
+	}
+	return b.String()
+}
+
+func renderLines(ls []lineDiag) string {
+	parts := make([]string, len(ls))
+	for i, l := range ls {
+		parts[i] = fmt.Sprintf("%s:%d (%s)", l.File, l.Line, l.Msg)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,248 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// hotpkgManifest pins the fixture package the way perf-manifest.txt
+// pins the real hot set.
+const hotpkgManifest = `
+# golden fixture pins
+[xpathest/cmd/perfgate/testdata/hotpkg]
+fastPath          inline noescape bce<=0
+(*table).slowPath inline bce<=1
+exempted          inline noescape bce<=0
+`
+
+func fixtureDiags(t *testing.T, name string) diagnostics {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return parseDiagnostics(string(raw))
+}
+
+func fixtureSetup(t *testing.T) (pkgManifest, map[string]funcInfo) {
+	t.Helper()
+	pkgs, err := parseManifest(hotpkgManifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	funcs, err := collectFuncs(filepath.Join("testdata", "hotpkg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkgs[0], funcs
+}
+
+func TestParseManifest(t *testing.T) {
+	pkgs, err := parseManifest(`
+# comment
+[a/b]
+F inline
+(*T).m noescape bce<=3
+[c/d]
+G bce<=0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 || pkgs[0].Path != "a/b" || pkgs[1].Path != "c/d" {
+		t.Fatalf("packages parsed wrong: %+v", pkgs)
+	}
+	m := pkgs[0].Entries[1]
+	if m.Name != "(*T).m" || m.Inline || !m.NoEscape || m.BCE != 3 {
+		t.Errorf("(*T).m parsed wrong: %+v", m)
+	}
+	if f := pkgs[0].Entries[0]; !f.Inline || f.NoEscape || f.BCE != -1 {
+		t.Errorf("F parsed wrong: %+v", f)
+	}
+}
+
+func TestParseManifestErrors(t *testing.T) {
+	cases := []struct{ src, wantErr string }{
+		{"F inline\n", "before any [package] header"},
+		{"[a/b]\nF sparkle\n", "unknown property"},
+		{"[a/b]\nF bce<=x\n", "bad bounds-check ceiling"},
+		{"[a/b]\nF bce<=-1\n", "bad bounds-check ceiling"},
+		{"[a/b\nF inline\n", "unterminated package header"},
+		{"[a/b]\nF\n", "pins no properties"},
+		{"[a/b]\nF inline\nF noescape\n", "duplicate entry"},
+		{"[]\n", "empty package header"},
+	}
+	for _, c := range cases {
+		if _, err := parseManifest(c.src); err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("parseManifest(%q) error = %v, want containing %q", c.src, err, c.wantErr)
+		}
+	}
+}
+
+func TestParseDiagnostics(t *testing.T) {
+	d := fixtureDiags(t, "diags_good.txt")
+	if !d.CanInline["fastPath"] || !d.CanInline["(*table).slowPath"] || !d.CanInline["exempted"] {
+		t.Errorf("can-inline set wrong: %+v", d.CanInline)
+	}
+	if len(d.CannotInline) != 0 {
+		t.Errorf("unexpected cannot-inline entries: %+v", d.CannotInline)
+	}
+	// "does not escape", "escapes to heap" (allocation), and flow-trace
+	// noise must NOT count as param/local escapes.
+	if len(d.Escapes) != 0 {
+		t.Errorf("escapes = %+v, want none in the clean fixture", d.Escapes)
+	}
+	if len(d.Bounds) != 2 {
+		t.Errorf("bounds = %+v, want the clamp check and slowPath's row check", d.Bounds)
+	}
+	if d.Total == 0 {
+		t.Error("Total = 0: pos-line recognition is broken")
+	}
+
+	r := fixtureDiags(t, "diags_regressed.txt")
+	if reason, ok := r.CannotInline["fastPath"]; !ok || !strings.Contains(reason, "cost 161") {
+		t.Errorf("cannot-inline reason not captured: %v %q", ok, reason)
+	}
+	if len(r.Escapes) != 2 {
+		t.Errorf("regressed escapes = %+v, want the leaked parameter and the moved accumulator", r.Escapes)
+	}
+	if len(r.Bounds) != 4 {
+		t.Errorf("regressed bounds = %+v, want 4", r.Bounds)
+	}
+}
+
+func TestCollectFuncs(t *testing.T) {
+	_, funcs := fixtureSetup(t)
+	fp, ok := funcs["fastPath"]
+	if !ok {
+		t.Fatalf("fastPath not collected: %v", funcs)
+	}
+	if fp.File != "hot.go" || fp.Start != 15 || len(fp.Loops) != 1 {
+		t.Errorf("fastPath info wrong: %+v", fp)
+	}
+	// The prologue clamp line must sit outside the loop span, or the
+	// flagship bce<=0 pins would be unsatisfiable.
+	if loop := fp.Loops[0]; loop[0] <= 16 {
+		t.Errorf("fastPath loop span %v swallows the clamp line", loop)
+	}
+	if sp, ok := funcs["(*table).slowPath"]; !ok || sp.Exempt != "" {
+		t.Errorf("(*table).slowPath info wrong: %+v (ok=%v)", sp, ok)
+	}
+	if ex := funcs["exempted"]; !strings.Contains(ex.Exempt, "cold path") {
+		t.Errorf("exempt reason not captured: %+v", ex)
+	}
+}
+
+func TestCollectFuncsReasonlessExempt(t *testing.T) {
+	_, err := collectFuncs(filepath.Join("testdata", "badexempt"))
+	if err == nil || !strings.Contains(err.Error(), "needs a reason") {
+		t.Errorf("reasonless //perf:exempt error = %v, want mandatory-reason failure", err)
+	}
+}
+
+func TestCheckCleanFixture(t *testing.T) {
+	m, funcs := fixtureSetup(t)
+	if problems := check(m, funcs, fixtureDiags(t, "diags_good.txt")); len(problems) != 0 {
+		t.Errorf("clean fixture produced problems:\n%s", strings.Join(problems, "\n"))
+	}
+}
+
+// TestCheckRegressedFixture is the acceptance case: a deinlined hot
+// function, an escaping parameter, and a bounds check back inside a
+// pinned loop must all fail the gate — while the exempted function's
+// deinlining is swallowed by its //perf:exempt.
+func TestCheckRegressedFixture(t *testing.T) {
+	m, funcs := fixtureSetup(t)
+	problems := check(m, funcs, fixtureDiags(t, "diags_regressed.txt"))
+	joined := strings.Join(problems, "\n")
+	for _, want := range []string{
+		"fastPath:\n    want: inline\n     got: cannot inline: function too complex: cost 161",
+		"want: noescape",
+		"moved to heap: s",
+		"want: bce<=0",
+		"want: bce<=1",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("problems missing %q:\n%s", want, joined)
+		}
+	}
+	if strings.Contains(joined, "exempted") {
+		t.Errorf("exempted function was reported despite //perf:exempt:\n%s", joined)
+	}
+	if len(problems) != 4 {
+		t.Errorf("got %d problems, want 4 (inline, noescape, bce fastPath, bce slowPath):\n%s", len(problems), joined)
+	}
+}
+
+// TestCheckMissingFunction mirrors benchjson -check: a pinned function
+// the compiler output never mentions must fail, not silently pass.
+func TestCheckMissingFunction(t *testing.T) {
+	m, funcs := fixtureSetup(t)
+	d := fixtureDiags(t, "diags_good.txt")
+	delete(d.CanInline, "fastPath")
+	problems := check(m, funcs, d)
+	joined := strings.Join(problems, "\n")
+	if !strings.Contains(joined, "gated function missing from the build output") {
+		t.Errorf("missing inline diagnostic not reported:\n%s", joined)
+	}
+}
+
+func TestCheckUnknownPinnedFunction(t *testing.T) {
+	m, funcs := fixtureSetup(t)
+	m.Entries = append(m.Entries, entry{Name: "vanished", Inline: true, BCE: -1, Line: 99})
+	joined := strings.Join(check(m, funcs, fixtureDiags(t, "diags_good.txt")), "\n")
+	if !strings.Contains(joined, "vanished") || !strings.Contains(joined, "not declared in the package sources") {
+		t.Errorf("unknown pinned function not reported:\n%s", joined)
+	}
+}
+
+func TestCheckNoDiagnostics(t *testing.T) {
+	m, funcs := fixtureSetup(t)
+	problems := check(m, funcs, parseDiagnostics(""))
+	if len(problems) != 1 || !strings.Contains(problems[0], "no diagnostics") {
+		t.Errorf("empty compiler output must fail the whole package, got: %v", problems)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	m, funcs := fixtureSetup(t)
+	out := describe(m, funcs, fixtureDiags(t, "diags_good.txt"))
+	for _, want := range []string{
+		"[xpathest/cmd/perfgate/testdata/hotpkg]",
+		"fastPath: inline=yes escapes=0 loop-bounds-checks=0",
+		"(*table).slowPath: inline=yes escapes=0 loop-bounds-checks=1",
+		"exempt(cold path",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("describe output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSplitPosLine(t *testing.T) {
+	cases := []struct {
+		raw  string
+		file string
+		line int
+		msg  string
+		ok   bool
+	}{
+		{"./hot.go:15:6: can inline fastPath", "hot.go", 15, "can inline fastPath", true},
+		{"internal/core/kernel.go:304:14: Found IsInBounds", "kernel.go", 304, "Found IsInBounds", true},
+		{"# xpathest/internal/core", "", 0, "", false},
+		{"", "", 0, "", false},
+		{"hot.go:xx:6: nope", "", 0, "", false},
+	}
+	for _, c := range cases {
+		file, line, msg, ok := splitPosLine(c.raw)
+		if ok != c.ok || file != c.file || line != c.line || msg != c.msg {
+			t.Errorf("splitPosLine(%q) = (%q,%d,%q,%v), want (%q,%d,%q,%v)",
+				c.raw, file, line, msg, ok, c.file, c.line, c.msg, c.ok)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Command perfgate pins the compiler-level performance facts the
+// columnar kernel's benchmarks rest on. benchjson -check catches a
+// regression after it has cost ns/op; perfgate catches the usual
+// *causes* at build time: a hot helper silently deinlined by a
+// refactor that pushed it over the inlining budget, a parameter that
+// started escaping to the heap, a containment inner loop that regained
+// bounds checks.
+//
+// It compiles each package named in perf-manifest.txt with
+//
+//	-gcflags='<pkg>=-m=2 -d=ssa/check_bce/debug=1'
+//
+// parses the diagnostics, and diffs them against the manifest's
+// per-function pins ({inline, noescape, bce<=N}; see the manifest for
+// the format). The go build cache replays compiler diagnostics on
+// cached rebuilds, so a hot run costs milliseconds.
+//
+//	perfgate             # check, exit 1 on any violated pin
+//	perfgate -describe   # print observed properties (for manifest updates)
+//
+// A `//perf:exempt <reason>` directive on the function declaration
+// skips its pins, mirroring //lint:ignore; lint-audit sweeps the
+// directives into lint-ignores.txt so exemption growth shows in diffs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	manifestPath := flag.String("manifest", "perf-manifest.txt", "path to the performance manifest")
+	describeMode := flag.Bool("describe", false, "print observed properties of each pinned function instead of checking")
+	flag.Parse()
+	os.Exit(run(*manifestPath, *describeMode, os.Stdout, os.Stderr))
+}
+
+func run(manifestPath string, describeMode bool, stdout, stderr *os.File) int {
+	src, err := os.ReadFile(manifestPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "perfgate: %v\n", err)
+		return 2
+	}
+	pkgs, err := parseManifest(string(src))
+	if err != nil {
+		fmt.Fprintf(stderr, "perfgate: %v\n", err)
+		return 2
+	}
+	if len(pkgs) == 0 {
+		fmt.Fprintf(stderr, "perfgate: %s pins nothing\n", manifestPath)
+		return 2
+	}
+	module, err := modulePath()
+	if err != nil {
+		fmt.Fprintf(stderr, "perfgate: %v\n", err)
+		return 2
+	}
+
+	var problems []string
+	for _, m := range pkgs {
+		dir, ok := strings.CutPrefix(m.Path, module+"/")
+		if !ok {
+			fmt.Fprintf(stderr, "perfgate: package %s is outside module %s\n", m.Path, module)
+			return 2
+		}
+		funcs, err := collectFuncs(filepath.FromSlash(dir))
+		if err != nil {
+			fmt.Fprintf(stderr, "perfgate: scanning %s: %v\n", m.Path, err)
+			return 2
+		}
+		out, err := buildWithDiagnostics(m.Path)
+		if err != nil {
+			fmt.Fprintf(stderr, "perfgate: building %s: %v\n%s", m.Path, err, out)
+			return 2
+		}
+		d := parseDiagnostics(out)
+		if describeMode {
+			fmt.Fprint(stdout, describe(m, funcs, d))
+			continue
+		}
+		problems = append(problems, check(m, funcs, d)...)
+	}
+	if describeMode {
+		return 0
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(stderr, "perfgate: %d violated pin(s):\n", len(problems))
+		for _, p := range problems {
+			fmt.Fprintf(stderr, "  %s\n", p)
+		}
+		fmt.Fprintf(stderr, "perfgate: if the change is intentional, update perf-manifest.txt (see `perfgate -describe`) and docs/PERFORMANCE.md\n")
+		return 1
+	}
+	fmt.Fprintf(stdout, "perfgate: %d package(s) hold their pinned compiler diagnostics\n", len(pkgs))
+	return 0
+}
+
+// buildWithDiagnostics compiles one package with escape-analysis and
+// bounds-check debugging enabled, scoped by pattern so dependency
+// diagnostics stay out of the output.
+func buildWithDiagnostics(pkgPath string) (string, error) {
+	cmd := exec.Command("go", "build",
+		"-gcflags="+pkgPath+"=-m=2 -d=ssa/check_bce/debug=1", pkgPath)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+// modulePath reads the module line of go.mod; perfgate always runs
+// from the repository root (the Makefile owns that).
+func modulePath() (string, error) {
+	src, err := os.ReadFile("go.mod")
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(src), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("go.mod has no module line")
+}

@@ -1,0 +1,6 @@
+// Package badexempt exists to prove a reasonless //perf:exempt is an
+// error, mirroring //lint:ignore's mandatory-reason rule.
+package badexempt
+
+//perf:exempt
+func reasonless() int { return 0 }

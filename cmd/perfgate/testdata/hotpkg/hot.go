@@ -1,0 +1,43 @@
+// Package hotpkg is the synthetic hot package for perfgate's
+// golden-fixture tests. The diags_*.txt fixtures reference these
+// declarations by file base name and line, so edits here must keep
+// the line numbers in sync (regenerate with the real compiler:
+// go build -gcflags='-m=2 -d=ssa/check_bce/debug=1' ./testdata/hotpkg).
+package hotpkg
+
+type table struct {
+	rows []uint64
+}
+
+// fastPath is the pinned-clean shape: inlinable, nothing escapes, and
+// the prologue clamp plus masked index keep the loop itself free of
+// bounds checks (the clamp's own check sits outside the loop).
+func fastPath(a []uint64, n int) uint64 {
+	b := a[:8:8]
+	var s uint64
+	for i := 0; i < n; i++ {
+		s += b[i&7]
+	}
+	return s
+}
+
+// slowPath keeps one bounds check in its loop (the compiler cannot
+// relate len(t.rows) to len(q)) — pinned as bce<=1, not as clean.
+func (t *table) slowPath(q []uint64) int {
+	hits := 0
+	for i := range q {
+		if q[i] == t.rows[i] {
+			hits++
+		}
+	}
+	return hits
+}
+
+//perf:exempt cold path: runs once at startup, never on the join path
+func exempted(a []uint64) []uint64 {
+	out := make([]uint64, 0, len(a))
+	for _, v := range a {
+		out = append(out, v*2)
+	}
+	return out
+}

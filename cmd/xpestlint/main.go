@@ -1,10 +1,11 @@
 // Command xpestlint is the project's static analysis gate. It bundles
 // the repo-specific analyzers — the policy suite (panicpolicy,
 // errtaxonomy, ctxpropagate, allocbudget), the CFG-based concurrency
-// suite (atomicfield, cowpublish, guardedby, goroutinescope), and the
+// suite (atomicfield, cowpublish, guardedby, goroutinescope), the
 // interprocedural determinism/purity suite (maporder, floatdet,
-// purity, errhttpmap) — with the standard vet suite, and runs in two
-// modes:
+// purity, errhttpmap), and the columnar-layout protocol suite
+// (arenaalias, epochorder) — with the standard vet suite, and runs in
+// two modes:
 //
 //	xpestlint ./...                     # standalone: re-execs go vet -vettool=itself
 //	go vet -vettool=$(pwd)/xpestlint    # driver mode: unitchecker protocol
@@ -48,9 +49,11 @@ import (
 	"golang.org/x/tools/go/analysis/passes/unusedresult"
 
 	"xpathest/internal/analysis/allocbudget"
+	"xpathest/internal/analysis/arenaalias"
 	"xpathest/internal/analysis/atomicfield"
 	"xpathest/internal/analysis/cowpublish"
 	"xpathest/internal/analysis/ctxpropagate"
+	"xpathest/internal/analysis/epochorder"
 	"xpathest/internal/analysis/errhttpmap"
 	"xpathest/internal/analysis/errtaxonomy"
 	"xpathest/internal/analysis/floatdet"
@@ -96,6 +99,11 @@ var defaultScopes = map[*analysis.Analyzer]string{
 	cowpublish.Analyzer:     "",
 	guardedby.Analyzer:      "",
 	goroutinescope.Analyzer: "",
+	// The columnar-layout protocols bind everywhere too: arenaalias is
+	// the slab-contents half of cowpublish's publication freeze, and
+	// epochorder follows EstimateCache wherever it is fed from.
+	arenaalias.Analyzer: "",
+	epochorder.Analyzer: "",
 	// Map-iteration order feeding float accumulation or serialized
 	// output breaks the bit-for-bit estimate invariant anywhere — the
 	// server's JSON responses as much as the kernel.
@@ -136,6 +144,8 @@ func suite() []*analysis.Analyzer {
 		allocbudget.Analyzer,
 		atomicfield.Analyzer,
 		cowpublish.Analyzer,
+		arenaalias.Analyzer,
+		epochorder.Analyzer,
 		guardedby.Analyzer,
 		goroutinescope.Analyzer,
 		maporder.Analyzer,

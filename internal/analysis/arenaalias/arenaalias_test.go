@@ -1,0 +1,20 @@
+package arenaalias_test
+
+import (
+	"testing"
+
+	"xpathest/internal/analysis/analysistest"
+	"xpathest/internal/analysis/arenaalias"
+)
+
+func TestArenaAlias(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), arenaalias.Analyzer, "a")
+}
+
+func TestScope(t *testing.T) {
+	if err := arenaalias.Analyzer.Flags.Set("scope", "some/other/pkg"); err != nil {
+		t.Fatal(err)
+	}
+	defer arenaalias.Analyzer.Flags.Set("scope", "")
+	analysistest.RunExpectClean(t, analysistest.TestData(), arenaalias.Analyzer, "a")
+}

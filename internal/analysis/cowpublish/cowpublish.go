@@ -85,7 +85,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 // closures are separate functions with their own CFGs) and scans the
 // CFG region after it for writes to the published value.
 func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, g *cfg.CFG) {
-	var pubs []publication
+	var pubs []lintutil.Publication
 	ast.Inspect(body, func(n ast.Node) bool {
 		if _, ok := n.(*ast.FuncLit); ok && n.Pos() != body.Pos() {
 			return false
@@ -94,7 +94,7 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, g *cfg.CFG) {
 		if !ok {
 			return true
 		}
-		if p, ok := publishedValue(pass.TypesInfo, call); ok {
+		if p, ok := lintutil.PublishedValue(pass.TypesInfo, call); ok {
 			pubs = append(pubs, p)
 		}
 		return true
@@ -103,11 +103,11 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, g *cfg.CFG) {
 		return
 	}
 
-	aliases := collectAliases(pass.TypesInfo, body)
+	aliases := lintutil.AliasEdges(pass.TypesInfo, body)
 	reported := make(map[token.Pos]bool)
 	for _, pub := range pubs {
-		group := aliasGroup(aliases, pub.value)
-		containing, after := lintutil.ReachableAfter(g, pub.call.Pos())
+		group := lintutil.AliasGroup(aliases, pub.Value)
+		containing, after := lintutil.ReachableAfter(g, pub.Call.Pos())
 		if containing == nil {
 			continue
 		}
@@ -117,118 +117,14 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, g *cfg.CFG) {
 					return
 				}
 				reported[at] = true
-				pass.Reportf(at, "%s of %s after it was published via atomic %s: readers hold the old snapshot lock-free — clone before publishing (copy-on-write)", what, pub.value.Name(), pub.how)
+				pass.Reportf(at, "%s of %s after it was published via atomic %s: readers hold the old snapshot lock-free — clone before publishing (copy-on-write)", what, pub.Value.Name(), pub.How)
 			})
 		}
-		scan(containing, pub.call.End())
+		scan(containing, pub.Call.End())
 		for _, n := range after {
 			scan(n, token.NoPos)
 		}
 	}
-}
-
-// publication is one atomic publish site: the call, the local
-// variable holding the published value, and the method used.
-type publication struct {
-	call  *ast.CallExpr
-	value *types.Var
-	how   string
-}
-
-// publishedValue recognizes Store/Swap/CompareAndSwap on
-// atomic.Pointer[T] and Store/Swap on atomic.Value, and resolves the
-// published argument — through one level of & — to a local variable.
-func publishedValue(info *types.Info, call *ast.CallExpr) (publication, bool) {
-	recv, method, ok := lintutil.MethodOnTypeIn(info, call, "sync/atomic")
-	if !ok || (recv != "Pointer" && recv != "Value") {
-		return publication{}, false
-	}
-	argIdx := 0
-	switch method {
-	case "Store", "Swap":
-	case "CompareAndSwap":
-		argIdx = 1
-	default:
-		return publication{}, false
-	}
-	if len(call.Args) <= argIdx {
-		return publication{}, false
-	}
-	arg := ast.Unparen(call.Args[argIdx])
-	if addr, ok := arg.(*ast.UnaryExpr); ok && addr.Op == token.AND {
-		arg = ast.Unparen(addr.X)
-	}
-	id, ok := arg.(*ast.Ident)
-	if !ok {
-		return publication{}, false
-	}
-	v, ok := info.ObjectOf(id).(*types.Var)
-	if !ok || v.IsField() {
-		return publication{}, false
-	}
-	return publication{call: call, value: v, how: recv + "." + method}, true
-}
-
-// collectAliases records the simple local aliasing edges of one body:
-// `y := x`, `y = x`, `p := &x`, `q := *p`. Flow-insensitive and
-// bidirectional — an over-approximation that errs toward reporting.
-func collectAliases(info *types.Info, body *ast.BlockStmt) map[*types.Var][]*types.Var {
-	edges := make(map[*types.Var][]*types.Var)
-	add := func(a, b *types.Var) {
-		edges[a] = append(edges[a], b)
-		edges[b] = append(edges[b], a)
-	}
-	ast.Inspect(body, func(n ast.Node) bool {
-		assign, ok := n.(*ast.AssignStmt)
-		if !ok || len(assign.Lhs) != len(assign.Rhs) {
-			return true
-		}
-		for i, lhs := range assign.Lhs {
-			lid, ok := ast.Unparen(lhs).(*ast.Ident)
-			if !ok {
-				continue
-			}
-			lv, ok := info.ObjectOf(lid).(*types.Var)
-			if !ok {
-				continue
-			}
-			rhs := ast.Unparen(assign.Rhs[i])
-			switch r := rhs.(type) {
-			case *ast.UnaryExpr:
-				if r.Op == token.AND {
-					rhs = ast.Unparen(r.X)
-				}
-			case *ast.StarExpr:
-				rhs = ast.Unparen(r.X)
-			}
-			rid, ok := rhs.(*ast.Ident)
-			if !ok {
-				continue
-			}
-			if rv, ok := info.ObjectOf(rid).(*types.Var); ok && !rv.IsField() {
-				add(lv, rv)
-			}
-		}
-		return true
-	})
-	return edges
-}
-
-// aliasGroup is the transitive closure of aliasing edges from seed.
-func aliasGroup(edges map[*types.Var][]*types.Var, seed *types.Var) map[*types.Var]bool {
-	group := map[*types.Var]bool{seed: true}
-	work := []*types.Var{seed}
-	for len(work) > 0 {
-		v := work[len(work)-1]
-		work = work[:len(work)-1]
-		for _, next := range edges[v] {
-			if !group[next] {
-				group[next] = true
-				work = append(work, next)
-			}
-		}
-	}
-	return group
 }
 
 // findWrites reports each mutation of a variable in group inside node

@@ -1,0 +1,20 @@
+package epochorder_test
+
+import (
+	"testing"
+
+	"xpathest/internal/analysis/analysistest"
+	"xpathest/internal/analysis/epochorder"
+)
+
+func TestEpochOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), epochorder.Analyzer, "a")
+}
+
+func TestScope(t *testing.T) {
+	if err := epochorder.Analyzer.Flags.Set("scope", "some/other/pkg"); err != nil {
+		t.Fatal(err)
+	}
+	defer epochorder.Analyzer.Flags.Set("scope", "")
+	analysistest.RunExpectClean(t, analysistest.TestData(), epochorder.Analyzer, "a")
+}

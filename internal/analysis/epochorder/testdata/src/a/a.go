@@ -1,0 +1,167 @@
+// Seeded violations for the epochorder analyzer: the epoch-keyed
+// result-cache protocol shapes, good and bad.
+package a
+
+type Query struct{ Text string }
+
+type EstimateCache struct{ hits int }
+
+func (c *EstimateCache) Get(epoch uint64, scope string, q *Query) (float64, bool) { return 0, false }
+func (c *EstimateCache) Put(epoch uint64, scope string, q *Query, v float64)     {}
+
+type entry struct{ rows float64 }
+
+type registry struct{ ep uint64 }
+
+func (r *registry) epoch() uint64          { return r.ep }
+func (r *registry) get(name string) *entry { return &entry{} }
+
+type server struct {
+	reg     registry
+	results *EstimateCache
+}
+
+func compute(e *entry, q *Query) float64 { return e.rows }
+
+// canonical is the sanctioned shape: epoch first, fetch second, both
+// cache operations keyed by the one loaded epoch and the fetch's name.
+func (s *server) canonical(name string, q *Query) float64 {
+	epoch := s.reg.epoch()
+	e := s.reg.get(name)
+	if v, ok := s.results.Get(epoch, name, q); ok {
+		return v
+	}
+	v := compute(e, q)
+	s.results.Put(epoch, name, q, v)
+	return v
+}
+
+// fetchBeforeEpoch violates rule 1: a registry swap between the fetch
+// and the load leaves the old summary keyed under the new epoch.
+func (s *server) fetchBeforeEpoch(name string, q *Query) float64 {
+	e := s.reg.get(name) // want `registry fetch s\.reg\.get may run before the epoch load on some path`
+	epoch := s.reg.epoch()
+	if v, ok := s.results.Get(epoch, name, q); ok {
+		return v
+	}
+	return compute(e, q)
+}
+
+// branchSkipsEpoch violates rule 1 on one path only: the else branch
+// reaches the fetch without loading the epoch.
+func (s *server) branchSkipsEpoch(warm bool, name string, q *Query) float64 {
+	var epoch uint64
+	if warm {
+		epoch = s.reg.epoch()
+	}
+	e := s.reg.get(name) // want `registry fetch s\.reg\.get may run before the epoch load on some path`
+	v := compute(e, q)
+	s.results.Put(epoch, name, q, v)
+	return v
+}
+
+// inlineReload violates rule 2: the epoch is re-read at the call site,
+// so it can disagree with the epoch current when the summary was
+// fetched.
+func (s *server) inlineReload(name string, q *Query) float64 {
+	epoch := s.reg.epoch()
+	e := s.reg.get(name)
+	v := compute(e, q)
+	s.results.Put(s.reg.epoch(), name, q, v) // want `epoch input to the cache key must be a local or parameter loaded once`
+	_ = epoch
+	return v
+}
+
+// epochDisagree violates rule 2: Get and Put are keyed by two
+// different epoch loads, so a swap between them caches the old answer
+// under the new epoch.
+func (s *server) epochDisagree(name string, q *Query) float64 {
+	e1 := s.reg.epoch()
+	e := s.reg.get(name)
+	if v, ok := s.results.Get(e1, name, q); ok {
+		return v
+	}
+	v := compute(e, q)
+	e2 := s.reg.epoch()
+	s.results.Put(e2, name, q, v) // want `cache operations in this function disagree on the epoch input`
+	return v
+}
+
+// keyDropsName violates rule 3: the fetch selects a summary by name
+// but the cache key uses a constant scope, so one summary's estimate
+// answers every other's queries.
+func (s *server) keyDropsName(name string, q *Query) float64 {
+	epoch := s.reg.epoch()
+	e := s.reg.get(name)
+	v := compute(e, q)
+	s.results.Put(epoch, "global", q, v) // want `the input that selected the summary does not reach the cache key`
+	return v
+}
+
+// shared is a forwarder: it passes its epoch and scope parameters into
+// direct cache calls. Clean in itself — its callers carry the
+// protocol.
+func (s *server) shared(epoch uint64, name string, q *Query, e *entry) float64 {
+	if v, ok := s.results.Get(epoch, name, q); ok {
+		return v
+	}
+	v := compute(e, q)
+	s.results.Put(epoch, name, q, v)
+	return v
+}
+
+// forwarderCaller violates rule 1 through the forwarder hop: it never
+// calls the cache directly, but shared does, so the fetch here is
+// still protocol-bound.
+func (s *server) forwarderCaller(name string, q *Query) float64 {
+	e := s.reg.get(name) // want `registry fetch s\.reg\.get may run before the epoch load on some path`
+	epoch := s.reg.epoch()
+	return s.shared(epoch, name, q, e)
+}
+
+// forwarderCallerClean is the same call shape with the right order.
+func (s *server) forwarderCallerClean(name string, q *Query) float64 {
+	epoch := s.reg.epoch()
+	e := s.reg.get(name)
+	return s.shared(epoch, name, q, e)
+}
+
+// loadForm covers the r.ep.Load() spelling of the epoch read.
+type atomicU struct{}
+
+func (atomicU) Load() uint64 { return 0 }
+
+type registry2 struct{ ep atomicU }
+
+func (r *registry2) get(name string) *entry { return &entry{} }
+
+type server2 struct {
+	reg     registry2
+	results *EstimateCache
+}
+
+func (s *server2) loadForm(name string, q *Query) float64 {
+	e := s.reg.get(name) // want `registry fetch s\.reg\.get may run before the epoch load on some path`
+	epoch := s.reg.ep.Load()
+	v := compute(e, q)
+	s.results.Put(epoch, name, q, v)
+	return v
+}
+
+// noCacheNoCheck fetches before loading the epoch but never feeds the
+// cache: no protocol, no report.
+func (s *server) noCacheNoCheck(name string, q *Query) float64 {
+	e := s.reg.get(name)
+	_ = s.reg.epoch()
+	return compute(e, q)
+}
+
+// justified carries a suppression with a reason.
+func (s *server) justified(name string, q *Query) float64 {
+	//lint:ignore epochorder warm-up path: the registry is frozen during boot, no swap can interleave
+	e := s.reg.get(name)
+	epoch := s.reg.epoch()
+	v := compute(e, q)
+	s.results.Put(epoch, name, q, v)
+	return v
+}

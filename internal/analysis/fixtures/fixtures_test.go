@@ -16,9 +16,11 @@ import (
 
 	"xpathest/internal/analysis/allocbudget"
 	"xpathest/internal/analysis/analysistest"
+	"xpathest/internal/analysis/arenaalias"
 	"xpathest/internal/analysis/atomicfield"
 	"xpathest/internal/analysis/cowpublish"
 	"xpathest/internal/analysis/ctxpropagate"
+	"xpathest/internal/analysis/epochorder"
 	"xpathest/internal/analysis/errhttpmap"
 	"xpathest/internal/analysis/errtaxonomy"
 	"xpathest/internal/analysis/floatdet"
@@ -53,6 +55,10 @@ var fixtureFloors = []struct {
 	{floatdet.Analyzer, 4},
 	{purity.Analyzer, 4},
 	{errhttpmap.Analyzer, 2},
+	// The columnar-layout suite's floors pin the carve-from-shared-
+	// chunk write/retention shapes and the three epoch-protocol rules.
+	{arenaalias.Analyzer, 3},
+	{epochorder.Analyzer, 3},
 }
 
 func TestSeededViolationsStillReported(t *testing.T) {

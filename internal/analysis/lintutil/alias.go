@@ -1,0 +1,70 @@
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AliasEdges records the simple local aliasing edges of one body:
+// `y := x`, `y = x`, `p := &x`, `q := *p`. Flow-insensitive and
+// bidirectional — an over-approximation that errs toward reporting.
+// Shared by the publication analyzers (cowpublish, arenaalias).
+func AliasEdges(info *types.Info, body *ast.BlockStmt) map[*types.Var][]*types.Var {
+	edges := make(map[*types.Var][]*types.Var)
+	add := func(a, b *types.Var) {
+		edges[a] = append(edges[a], b)
+		edges[b] = append(edges[b], a)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			lid, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			lv, ok := info.ObjectOf(lid).(*types.Var)
+			if !ok {
+				continue
+			}
+			rhs := ast.Unparen(assign.Rhs[i])
+			switch r := rhs.(type) {
+			case *ast.UnaryExpr:
+				if r.Op == token.AND {
+					rhs = ast.Unparen(r.X)
+				}
+			case *ast.StarExpr:
+				rhs = ast.Unparen(r.X)
+			}
+			rid, ok := rhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if rv, ok := info.ObjectOf(rid).(*types.Var); ok && !rv.IsField() {
+				add(lv, rv)
+			}
+		}
+		return true
+	})
+	return edges
+}
+
+// AliasGroup is the transitive closure of aliasing edges from seed.
+func AliasGroup(edges map[*types.Var][]*types.Var, seed *types.Var) map[*types.Var]bool {
+	group := map[*types.Var]bool{seed: true}
+	work := []*types.Var{seed}
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, next := range edges[v] {
+			if !group[next] {
+				group[next] = true
+				work = append(work, next)
+			}
+		}
+	}
+	return group
+}

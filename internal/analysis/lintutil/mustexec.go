@@ -1,0 +1,143 @@
+// Forward must-execute dataflow over go/cfg control-flow graphs.
+//
+// The epochorder analyzer needs "has this call definitely executed by
+// the time control reaches that other call, on *every* path?" — the
+// same shape as guardedby's lock sets, but for a single program point
+// instead of a mutable set. Like the rest of the dataflow layer it
+// runs directly over the ctrlflow CFGs, because the vendored x/tools
+// ships no go/ssa.
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+
+	"golang.org/x/tools/go/cfg"
+)
+
+// MustPrecede reports whether the program point src has executed on
+// every execution path reaching the program point dst, both given as
+// positions inside top-level nodes of g. It is false when either
+// position cannot be located in the CFG (unreachable code, positions
+// inside closures — which have their own CFGs), and false when src
+// and dst share a node but src does not come first: the conservative
+// answers for a happens-before check.
+func MustPrecede(g *cfg.CFG, src, dst token.Pos) bool {
+	type loc struct {
+		block *cfg.Block
+		node  int
+	}
+	find := func(pos token.Pos) (loc, bool) {
+		for _, b := range g.Blocks {
+			if !b.Live {
+				continue
+			}
+			for i, n := range b.Nodes {
+				if n.Pos() <= pos && pos <= n.End() {
+					if insideFuncLit(n, pos) {
+						// The position is in a closure body that merely
+						// *lexically* sits in this node; the closure runs
+						// on its own schedule, so the point is invisible
+						// to this CFG's ordering.
+						return loc{}, false
+					}
+					return loc{block: b, node: i}, true
+				}
+			}
+		}
+		return loc{}, false
+	}
+	s, okS := find(src)
+	d, okD := find(dst)
+	if !okS || !okD {
+		return false
+	}
+	if s.block == d.block {
+		if s.node != d.node {
+			return s.node < d.node
+		}
+		// Same CFG node: fall back to source order within it.
+		return src < dst
+	}
+
+	// Forward must-analysis with a two-point lattice: done[b] is true
+	// when src has executed on every path reaching the *entry* of b.
+	// Meet is conjunction over predecessors, so non-entry blocks start
+	// at ⊤ (true) and the fixpoint descends — values only move
+	// true→false, giving termination in at most |blocks| sweeps.
+	n := len(g.Blocks)
+	done := make([]bool, n)
+	preds := make([][]*cfg.Block, n)
+	for _, b := range g.Blocks {
+		if !b.Live {
+			continue
+		}
+		for _, succ := range b.Succs {
+			preds[succ.Index] = append(preds[succ.Index], b)
+		}
+	}
+	for _, b := range g.Blocks {
+		if b.Live && b.Index != 0 {
+			done[b.Index] = true
+		}
+	}
+	// out(b): src has executed on every path at the *exit* of b —
+	// either it already had at entry, or b itself contains src.
+	out := func(b *cfg.Block) bool { return done[b.Index] || b == s.block }
+
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range g.Blocks {
+			if !b.Live || b.Index == 0 {
+				continue
+			}
+			in := len(preds[b.Index]) > 0
+			for _, p := range preds[b.Index] {
+				if !out(p) {
+					in = false
+					break
+				}
+			}
+			if done[b.Index] != in {
+				done[b.Index] = in
+				changed = true
+			}
+		}
+	}
+	return done[d.block.Index]
+}
+
+// insideFuncLit reports whether pos falls within a function literal
+// nested inside n.
+func insideFuncLit(n ast.Node, pos token.Pos) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		if lit, ok := c.(*ast.FuncLit); ok && lit.Pos() <= pos && pos <= lit.End() {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// NodeContaining returns the top-level CFG node of g containing pos,
+// or nil. Callers use it to check a position is visible to g's
+// dataflow before asking ordering questions about it.
+func NodeContaining(g *cfg.CFG, pos token.Pos) ast.Node {
+	for _, b := range g.Blocks {
+		if !b.Live {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if n.Pos() <= pos && pos <= n.End() {
+				return n
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"testing"
+
+	"golang.org/x/tools/go/cfg"
+)
+
+const mustexecSrc = `package p
+
+func src() int  { return 0 }
+func dst(x int) {}
+
+func straight() {
+	src() // MARK:s1
+	dst(0) // MARK:d1
+}
+
+func reversed() {
+	dst(0) // MARK:d2
+	src() // MARK:s2
+}
+
+func oneBranch(cond bool) {
+	if cond {
+		src() // MARK:s3
+	}
+	dst(0) // MARK:d3
+}
+
+func dominated(cond bool) {
+	src() // MARK:s4
+	if cond {
+		dst(0) // MARK:d4
+	}
+}
+
+func loopBody() {
+	for i := 0; i < 3; i++ {
+		src() // MARK:s5
+	}
+	dst(0) // MARK:d5
+}
+
+func beforeLoop() {
+	src() // MARK:s6
+	for i := 0; i < 3; i++ {
+		dst(0) // MARK:d6
+	}
+}
+
+func sameNode() {
+	dst(src()) // MARK:both
+}
+
+func inClosure() {
+	f := func() {
+		src() // MARK:s7
+	}
+	f()
+	dst(0) // MARK:d7
+}
+`
+
+func TestMustPrecede(t *testing.T) {
+	cfgs, _, fset, f := buildFuncs(t, mustexecSrc)
+
+	cases := []struct {
+		fn, src, dst string
+		want         bool
+	}{
+		{"straight", "s1", "d1", true},
+		{"reversed", "s2", "d2", false}, // src runs after dst
+		{"oneBranch", "s3", "d3", false},
+		{"dominated", "s4", "d4", true},
+		{"loopBody", "s5", "d5", false}, // loop may run zero times
+		{"beforeLoop", "s6", "d6", true},
+		{"inClosure", "s7", "d7", false}, // src is in another CFG
+	}
+	for _, c := range cases {
+		g := cfgs[c.fn]
+		src := markPos(t, fset, f, c.src)
+		dst := markPos(t, fset, f, c.dst)
+		// MARK comments trail the statements; step back to the
+		// statement positions on the same lines via the CFG nodes.
+		dstPos := nodePosOnLine(t, fset, g, dst)
+		// The closure body is not in g; its raw comment position
+		// exercises the not-found path.
+		srcPos := src
+		if c.fn != "inClosure" {
+			srcPos = nodePosOnLine(t, fset, g, src)
+		}
+		if got := MustPrecede(g, srcPos, dstPos); got != c.want {
+			t.Errorf("%s: MustPrecede(%s, %s) = %v, want %v", c.fn, c.src, c.dst, got, c.want)
+		}
+	}
+}
+
+// TestMustPrecedeSameNode pins intra-node ordering: both calls live in
+// one statement, so the answer falls back to source positions.
+func TestMustPrecedeSameNode(t *testing.T) {
+	cfgs, _, fset, f := buildFuncs(t, mustexecSrc)
+	g := cfgs["sameNode"]
+	line := fset.Position(markPos(t, fset, f, "both")).Line
+	var srcCall, dstCall token.Pos
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || fset.Position(call.Pos()).Line != line {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			switch id.Name {
+			case "src":
+				srcCall = call.Pos()
+			case "dst":
+				dstCall = call.Pos()
+			}
+		}
+		return true
+	})
+	if !srcCall.IsValid() || !dstCall.IsValid() {
+		t.Fatal("calls not found on MARK:both line")
+	}
+	// dst(src()): the src() argument evaluates first but sits at a
+	// later source position; MustPrecede documents source order as the
+	// intra-node tiebreak, so dst's position "precedes" src's here.
+	if MustPrecede(g, srcCall, dstCall) {
+		t.Error("MustPrecede(src, dst) within one node: src is at the later position, want false")
+	}
+	if got := MustPrecede(g, dstCall, srcCall); !got {
+		t.Error("MustPrecede(dst, src) within one node = false, want true (earlier source position)")
+	}
+}
+
+func TestNodeContaining(t *testing.T) {
+	cfgs, _, fset, f := buildFuncs(t, mustexecSrc)
+	g := cfgs["straight"]
+	pos := nodePosOnLine(t, fset, g, markPos(t, fset, f, "s1"))
+	if n := NodeContaining(g, pos); n == nil {
+		t.Error("NodeContaining(straight, s1) = nil, want the src() node")
+	}
+	if n := NodeContaining(g, f.End()); n != nil {
+		t.Errorf("NodeContaining(straight, file end) = %v, want nil", n)
+	}
+}
+
+// nodePosOnLine finds the position of the top-level CFG node starting
+// on the same line as pos — MARK comments trail their statements, so
+// the comment position itself lies outside every node range.
+func nodePosOnLine(t *testing.T, fset *token.FileSet, g *cfg.CFG, pos token.Pos) token.Pos {
+	t.Helper()
+	line := fset.Position(pos).Line
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if fset.Position(n.Pos()).Line == line {
+				return n.Pos()
+			}
+		}
+	}
+	t.Fatalf("no CFG node on line %d", line)
+	return token.NoPos
+}

@@ -1,0 +1,56 @@
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Publication is one atomic publish site: a Store / Swap /
+// CompareAndSwap on sync/atomic.Pointer[T] (or Store/Swap on
+// atomic.Value), the local variable holding the published value, and
+// the method used. It is the shared currency of the publication
+// analyzers: cowpublish freezes the published value itself, and
+// arenaalias freezes the slab aliases stored inside it.
+type Publication struct {
+	Call  *ast.CallExpr
+	Value *types.Var
+	How   string
+}
+
+// PublishedValue recognizes Store/Swap/CompareAndSwap on
+// atomic.Pointer[T] and Store/Swap on atomic.Value, and resolves the
+// published argument — through one level of & — to a local variable.
+// Publications of expressions the analyzers cannot name (a field, a
+// call result) report ok=false; keeping publications as
+// `local := ...; ptr.Store(&local)` keeps them visible.
+func PublishedValue(info *types.Info, call *ast.CallExpr) (Publication, bool) {
+	recv, method, ok := MethodOnTypeIn(info, call, "sync/atomic")
+	if !ok || (recv != "Pointer" && recv != "Value") {
+		return Publication{}, false
+	}
+	argIdx := 0
+	switch method {
+	case "Store", "Swap":
+	case "CompareAndSwap":
+		argIdx = 1
+	default:
+		return Publication{}, false
+	}
+	if len(call.Args) <= argIdx {
+		return Publication{}, false
+	}
+	arg := ast.Unparen(call.Args[argIdx])
+	if addr, ok := arg.(*ast.UnaryExpr); ok && addr.Op == token.AND {
+		arg = ast.Unparen(addr.X)
+	}
+	id, ok := arg.(*ast.Ident)
+	if !ok {
+		return Publication{}, false
+	}
+	v, ok := info.ObjectOf(id).(*types.Var)
+	if !ok || v.IsField() {
+		return Publication{}, false
+	}
+	return Publication{Call: call, Value: v, How: recv + "." + method}, true
+}

@@ -423,3 +423,57 @@ func BenchmarkContainsOrEqual(b *testing.B) {
 		}
 	}
 }
+
+// benchArena builds a word arena of n rows at the given stride, with
+// row 0 set to all-ones so containment sweeps cannot short-circuit on
+// the first candidate.
+func benchArena(rng *rand.Rand, n, stride int) ([]uint64, []int32) {
+	arena := make([]uint64, n*stride)
+	for i := range arena {
+		arena[i] = rng.Uint64()
+	}
+	for i := 0; i < stride; i++ {
+		arena[i] = ^uint64(0)
+	}
+	idxs := make([]int32, n)
+	for i := range idxs {
+		idxs[i] = int32(i)
+	}
+	return arena, idxs
+}
+
+// BenchmarkContainsWords is the ns/op face of perfgate's flagship pin
+// (inline noescape bce<=0 in perf-manifest.txt): the word loop the
+// whole containment family inlines.
+func BenchmarkContainsWords(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const stride = 6 // XMark-sized pid: 344 bits
+	arena, _ := benchArena(rng, 64, stride)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !ContainsWords(arena, 0, (i%63+1)*stride, stride) {
+			b.Fatal("all-ones row lost containment")
+		}
+	}
+}
+
+// BenchmarkContainsAnyWords drives the ancestor-side pruning sweep the
+// join kernel spends its time in; its bce<=5 manifest ceiling counts
+// ContainsWords' prologue checks attributed to the in-loop call site.
+func BenchmarkContainsAnyWords(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const stride = 6
+	arena, idxs := benchArena(rng, 64, stride)
+	// Drop the all-ones row from the candidates: the sweep then scans
+	// every candidate before failing, the worst case.
+	miss := idxs[1:]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !ContainsAnyWords(arena, 0, stride, idxs) {
+			b.Fatal("all-ones candidate not found")
+		}
+		if ContainsAnyWords(arena, stride, stride, miss) && i < 0 {
+			b.Fatal("unreachable: keeps the miss sweep live")
+		}
+	}
+}
