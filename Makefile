@@ -10,7 +10,7 @@ GOVULNCHECK_VERSION = v1.1.4
 
 XPESTLINT = bin/xpestlint
 
-.PHONY: all build test vet lint lint-budget lint-fixtures lint-audit lint-audit-check perfgate vuln race race-hot cover bench bench-json bench-check fuzz fuzz-smoke difftest-smoke difftest-nightly chaos chaos-smoke ci experiments examples clean
+.PHONY: all build test vet lint lint-budget lint-fixtures lint-audit lint-audit-check perfgate vuln race race-hot cover bench bench-json bench-check fuzz fuzz-smoke difftest-smoke difftest-edits difftest-nightly difftest-nightly-edits chaos chaos-smoke ci experiments examples clean
 
 all: build vet lint test
 
@@ -19,7 +19,7 @@ all: build vet lint test
 # `vet` step would be redundant: xpestlint bundles the standard vet
 # suite, so the lint steps already run it (make vet stays for local
 # use).
-ci: build lint-budget lint-fixtures lint-audit-check perfgate race-hot race fuzz-smoke difftest-smoke chaos-smoke cover
+ci: build lint-budget lint-fixtures lint-audit-check perfgate race-hot race fuzz-smoke difftest-smoke difftest-edits chaos-smoke cover
 
 build:
 	$(GO) build ./...
@@ -149,9 +149,20 @@ cover:
 difftest-smoke:
 	$(GO) run ./cmd/xpestdiff -seeds 0:500 -q
 
+# Edit-script oracle smoke (docs/TESTING.md, "Edit-script oracle"):
+# generated subtree insert/delete scripts, each op checked for
+# bit-identity between the incrementally maintained summary and a
+# from-scratch rebuild, plus the inverse metamorphic test.
+difftest-edits:
+	$(GO) run ./cmd/xpestdiff -seeds 0:120 -edits 6 -q
+
 DIFFTEST_NIGHTLY_SEEDS ?= 0:20000
 difftest-nightly:
 	$(GO) run ./cmd/xpestdiff -seeds $(DIFFTEST_NIGHTLY_SEEDS)
+
+DIFFTEST_NIGHTLY_EDIT_SEEDS ?= 0:3000
+difftest-nightly-edits:
+	$(GO) run ./cmd/xpestdiff -seeds $(DIFFTEST_NIGHTLY_EDIT_SEEDS) -edits 8
 
 # Fault-injection chaos gate (docs/OPERATIONS.md, "Resilience"): a
 # real server over a faultinject-wrapped store, hammered by concurrent

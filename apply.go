@@ -1,0 +1,209 @@
+package xpathest
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"xpathest/internal/core"
+	"xpathest/internal/delta"
+	"xpathest/internal/eval"
+	"xpathest/internal/guard"
+	"xpathest/internal/pidtree"
+	"xpathest/internal/xmltree"
+)
+
+// EditOp is one public edit operation: a subtree insertion or removal
+// against the current document tree. Nodes are addressed by child-index
+// paths from the root (Loc), resolved when the op applies — later ops
+// in a script see the effects of earlier ones.
+type EditOp struct {
+	// Insert distinguishes the two kinds: true splices XML in, false
+	// removes the subtree at Loc.
+	Insert bool `json:"insert"`
+
+	// Loc addresses the insertion parent (Insert) or the subtree root
+	// to remove. Empty means the document root.
+	Loc []int `json:"loc"`
+
+	// Index is the insertion position among the parent's children,
+	// 0 ≤ Index ≤ len(children). Insert only.
+	Index int `json:"index,omitempty"`
+
+	// XML is the inserted subtree, serialized. Insert only.
+	XML string `json:"xml,omitempty"`
+}
+
+// EditScript is an ordered list of edit ops applied as one unit by
+// Summary.Apply.
+type EditScript struct {
+	Ops []EditOp `json:"ops"`
+}
+
+// toDelta converts the public script to the internal representation,
+// parsing each insert's XML payload.
+func (s EditScript) toDelta() (delta.Script, error) {
+	var out delta.Script
+	for i, op := range s.Ops {
+		if op.Insert {
+			sub, err := xmltree.ParseString(op.XML)
+			if err != nil {
+				return delta.Script{}, fmt.Errorf("xpathest: edit op %d: parsing insert payload: %w", i, err)
+			}
+			out.Ops = append(out.Ops, delta.Op{Kind: delta.Insert, Loc: op.Loc, Index: op.Index, Subtree: sub.Root})
+		} else {
+			out.Ops = append(out.Ops, delta.Op{Kind: delta.Delete, Loc: op.Loc})
+		}
+	}
+	return out, nil
+}
+
+// editScriptFromDelta is the inverse conversion, serializing insert
+// subtrees back to XML.
+func editScriptFromDelta(ds delta.Script) (EditScript, error) {
+	var out EditScript
+	for i, op := range ds.Ops {
+		pub := EditOp{Insert: op.Kind == delta.Insert, Loc: op.Loc, Index: op.Index}
+		if op.Kind == delta.Insert {
+			var buf bytes.Buffer
+			if err := (&xmltree.Document{Root: op.Subtree}).WriteXML(&buf, false); err != nil {
+				return EditScript{}, fmt.Errorf("xpathest: edit op %d: serializing insert payload: %w", i, err)
+			}
+			pub.XML = buf.String()
+		}
+		out.Ops = append(out.Ops, pub)
+	}
+	return out, nil
+}
+
+// Encode writes the script as the versioned, checksummed binary stream
+// DecodeEditScript reads — the wire format of the server's delta
+// endpoint.
+func (s EditScript) Encode(w io.Writer) error {
+	ds, err := s.toDelta()
+	if err != nil {
+		return err
+	}
+	return delta.Encode(w, ds)
+}
+
+// DecodeEditScript reads a stream written by Encode under a total byte
+// budget (0 = unlimited). The decoder validates every declared count
+// before allocating and verifies the trailing checksum.
+func DecodeEditScript(r io.Reader, maxBytes int64) (EditScript, error) {
+	ds, err := delta.DecodeLimited(r, maxBytes)
+	if err != nil {
+		return EditScript{}, err
+	}
+	return editScriptFromDelta(ds)
+}
+
+// ApplyResult reports one Summary.Apply call.
+type ApplyResult struct {
+	// Summary estimates the edited document; it supersedes the summary
+	// Apply was called on.
+	Summary *Summary
+
+	// Inverse undoes the script: applying it to the new summary
+	// restores the original document and, bit-for-bit, its summary.
+	Inverse EditScript
+
+	// FastOps counts ops maintained incrementally; RebuildOps ops that
+	// changed the document's path structure and forced a rebuild of the
+	// derived tables.
+	FastOps, RebuildOps int
+}
+
+// Apply edits the summary's document in place and incrementally
+// maintains the summary structures: the PathId-Frequency table, the
+// Path-Order tables and only the touched histogram regions are updated
+// — untouched regions keep their instances and serialize byte-identical
+// to before. The result is indistinguishable from rebuilding: the new
+// summary's Save bytes and every estimate match a from-scratch
+// BuildSummary on the edited document exactly (the edit-script oracle
+// in internal/difftest enforces this bit-for-bit).
+//
+// The receiver is not changed; it keeps describing the pre-edit state
+// but must no longer be used once Apply returns (its document moved
+// on; for Exact summaries, even its backing tables did). Summaries
+// without a document — ReadSummary, SummarizeStream — cannot Apply.
+// Each document serializes its Apply calls, and each successful call
+// advances the epoch (Summary.Epoch), which retires EstimateCache
+// entries of the superseded state. If a mid-script op fails, the
+// document keeps the applied prefix, the epoch still advances, and no
+// new summary is returned.
+func (s *Summary) Apply(sc EditScript) (*ApplyResult, error) {
+	d := s.src
+	if d == nil {
+		return nil, fmt.Errorf("xpathest: summary carries no document (loaded or streamed summaries cannot apply edits): %w", guard.ErrInvalidArgument)
+	}
+	ds, err := sc.toDelta()
+	if err != nil {
+		return nil, err
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+
+	d.editMu.Lock()
+	defer d.editMu.Unlock()
+	if s.epoch != d.editEpoch {
+		return nil, fmt.Errorf("xpathest: summary is stale: built at epoch %d, document at %d — apply to the latest summary: %w", s.epoch, d.editEpoch, guard.ErrInvalidArgument)
+	}
+
+	pv, ov := s.opts.PVariance, s.opts.OVariance
+	if s.opts.Exact {
+		pv, ov = 0, 0
+	}
+	st := &delta.State{Doc: d.doc, Lab: d.lab, Tables: d.tables, PS: s.ps, OS: s.os}
+	res, applyErr := delta.Apply(st, ds, delta.Options{PVariance: pv, OVariance: ov})
+	if applyErr != nil && res.Applied == 0 {
+		// Nothing was mutated; the document state stands.
+		return nil, applyErr
+	}
+
+	// The tree changed (fully or as an applied prefix): resynchronize
+	// every derived structure and advance the epoch.
+	d.lab = st.Lab
+	d.tables = st.Tables
+	d.ev = eval.New(d.doc)
+	d.execMu.Lock()
+	d.exec = nil
+	d.execMu.Unlock()
+	d.editEpoch++
+	tree, err := pidtree.Build(d.lab.Distinct())
+	if err != nil {
+		// The distinct-pid list came from our own maintenance: a list
+		// the tree rejects is a maintenance bug, not bad input.
+		return nil, fmt.Errorf("xpathest: rebuilding pid index after edit: %v: %w", err, guard.ErrInternal)
+	}
+	d.tree = tree
+	if applyErr != nil {
+		return nil, applyErr
+	}
+
+	ns := &Summary{
+		opts:  s.opts,
+		lab:   st.Lab,
+		tree:  tree,
+		ps:    st.PS,
+		os:    st.OS,
+		src:   d,
+		epoch: d.editEpoch,
+	}
+	n := st.Lab.NumDistinct()
+	if s.opts.Exact {
+		ns.est = core.New(st.Lab, core.TableSource{Tables: st.Tables})
+		ns.pBytes = st.Tables.Freq.SizeBytes(pidRefBytes(n))
+		ns.oBytes = st.Tables.Order.SizeBytes(pidRefBytes(n))
+	} else {
+		ns.est = core.New(st.Lab, core.HistogramSource{P: st.PS, O: st.OS})
+		ns.pBytes = st.PS.SizeBytes()
+		ns.oBytes = st.OS.SizeBytes()
+	}
+	inv, err := editScriptFromDelta(res.Inverse)
+	if err != nil {
+		return nil, err
+	}
+	return &ApplyResult{Summary: ns, Inverse: inv, FastOps: res.FastOps, RebuildOps: res.RebuildOps}, nil
+}

@@ -1,0 +1,217 @@
+package xpathest
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+const applyTestDoc = `<r><a><c/><d/></a><a><c/></a><a><c/></a><b><c/></b></r>`
+
+func saveBytes(t *testing.T, s *Summary) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// rebuiltSummary round-trips the edited document through XML and
+// builds a summary from scratch — the oracle side of Apply's contract.
+func rebuiltSummary(t *testing.T, d *Document, opts SummaryOptions) (*Document, *Summary) {
+	t.Helper()
+	var xml bytes.Buffer
+	if err := d.WriteXML(&xml, false); err != nil {
+		t.Fatalf("write xml: %v", err)
+	}
+	fresh, err := ParseDocumentString(xml.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	return fresh, fresh.BuildSummary(opts)
+}
+
+func TestApplyMatchesRebuildBitForBit(t *testing.T) {
+	for _, opts := range []SummaryOptions{{}, {PVariance: 1, OVariance: 2}, {Exact: true}} {
+		doc, err := ParseDocumentString(applyTestDoc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := doc.BuildSummary(opts)
+		res, err := sum.Apply(EditScript{Ops: []EditOp{
+			{Insert: true, Loc: []int{1}, Index: 1, XML: "<d></d>"},
+			{Loc: []int{3}},
+			{Insert: true, Loc: []int{}, Index: 0, XML: "<b><c></c></b>"},
+		}})
+		if err != nil {
+			t.Fatalf("opts %+v: apply: %v", opts, err)
+		}
+		_, want := rebuiltSummary(t, doc, opts)
+		if got, wantB := saveBytes(t, res.Summary), saveBytes(t, want); !bytes.Equal(got, wantB) {
+			t.Fatalf("opts %+v: applied summary bytes differ from rebuild", opts)
+		}
+		// Estimates must agree to the last bit, not approximately.
+		for _, q := range []string{"//c", "/r/a/c", "//a[/c]", "/r/a/c[folls::d]", "/r/a[foll::b]"} {
+			g, err1 := res.Summary.Estimate(q)
+			w, err2 := want.Estimate(q)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("estimate %s: %v / %v", q, err1, err2)
+			}
+			if math.Float64bits(g) != math.Float64bits(w) {
+				t.Fatalf("opts %+v: estimate %s: apply %v, rebuild %v", opts, q, g, w)
+			}
+		}
+	}
+}
+
+func TestApplyInverseRoundTrip(t *testing.T) {
+	doc, err := ParseDocumentString(applyTestDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := doc.BuildSummary(SummaryOptions{})
+	before := saveBytes(t, sum)
+	sc := EditScript{Ops: []EditOp{
+		{Insert: true, Loc: []int{1}, Index: 1, XML: "<d></d>"},
+		{Loc: []int{2}},
+	}}
+	res, err := sum.Apply(sc)
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if bytes.Equal(before, saveBytes(t, res.Summary)) {
+		t.Fatal("edit had no effect")
+	}
+	back, err := res.Summary.Apply(res.Inverse)
+	if err != nil {
+		t.Fatalf("apply inverse: %v", err)
+	}
+	if !bytes.Equal(before, saveBytes(t, back.Summary)) {
+		t.Fatal("inverse did not restore the original summary bytes")
+	}
+}
+
+func TestApplyAdvancesEpochAndRejectsStale(t *testing.T) {
+	doc, err := ParseDocumentString(applyTestDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := doc.BuildSummary(SummaryOptions{})
+	if doc.Epoch() != 0 || sum.Epoch() != 0 {
+		t.Fatalf("fresh epochs = %d/%d, want 0/0", doc.Epoch(), sum.Epoch())
+	}
+	res, err := sum.Apply(EditScript{Ops: []EditOp{{Loc: []int{2}}}})
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if doc.Epoch() != 1 || res.Summary.Epoch() != 1 {
+		t.Fatalf("post-apply epochs = %d/%d, want 1/1", doc.Epoch(), res.Summary.Epoch())
+	}
+	// The superseded summary must refuse further edits.
+	if _, err := sum.Apply(EditScript{Ops: []EditOp{{Loc: []int{1}}}}); !errors.Is(err, ErrInvalidArgument) {
+		t.Fatalf("stale apply: want ErrInvalidArgument, got %v", err)
+	}
+	// The current one keeps working.
+	if _, err := res.Summary.Apply(EditScript{Ops: []EditOp{{Loc: []int{1}}}}); err != nil {
+		t.Fatalf("current apply: %v", err)
+	}
+	if doc.Epoch() != 2 {
+		t.Fatalf("epoch = %d, want 2", doc.Epoch())
+	}
+}
+
+func TestApplyDocumentQueriesAfterEdit(t *testing.T) {
+	doc, err := ParseDocumentString(applyTestDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := doc.BuildSummary(SummaryOptions{})
+	// Force the lazy executor into existence so Apply must invalidate it.
+	if _, err := doc.IndexedCount("//c"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err = sum.Apply(EditScript{Ops: []EditOp{
+		{Insert: true, Loc: []int{0}, Index: 2, XML: "<c></c>"},
+	}}); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	exact, err := doc.ExactCount("//c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed, err := doc.IndexedCount("//c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact != 5 || indexed != 5 {
+		t.Fatalf("post-edit //c: exact %d indexed %d, want 5/5", exact, indexed)
+	}
+}
+
+func TestApplyRejectsDocumentlessSummary(t *testing.T) {
+	doc, err := ParseDocumentString(applyTestDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := doc.BuildSummary(SummaryOptions{}).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadSummary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loaded.Apply(EditScript{Ops: []EditOp{{Loc: []int{0}}}}); !errors.Is(err, ErrInvalidArgument) {
+		t.Fatalf("want ErrInvalidArgument, got %v", err)
+	}
+}
+
+func TestApplyBadScript(t *testing.T) {
+	doc, err := ParseDocumentString(applyTestDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := doc.BuildSummary(SummaryOptions{})
+	cases := []EditScript{
+		{Ops: []EditOp{{Insert: true, Loc: []int{0}, XML: "<not-xml"}}},
+		{Ops: []EditOp{{Loc: []int{}}}},                // delete root
+		{Ops: []EditOp{{Loc: []int{17}}}},              // bad loc
+		{Ops: []EditOp{{Insert: true, Loc: []int{0}}}}, // empty payload
+	}
+	for i, sc := range cases {
+		if _, err := sum.Apply(sc); err == nil {
+			t.Fatalf("case %d: bad script applied cleanly", i)
+		}
+	}
+	// Failed applies must not have advanced the epoch (nothing mutated).
+	if doc.Epoch() != 0 {
+		t.Fatalf("epoch = %d after rejected scripts, want 0", doc.Epoch())
+	}
+}
+
+func TestEditScriptCodecRoundTrip(t *testing.T) {
+	sc := EditScript{Ops: []EditOp{
+		{Insert: true, Loc: []int{0, 1}, Index: 2, XML: "<a><b>hi</b><c></c></a>"},
+		{Loc: []int{3}},
+	}}
+	var buf bytes.Buffer
+	if err := sc.Encode(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	dec, err := DecodeEditScript(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(dec.Ops) != 2 || !dec.Ops[0].Insert || dec.Ops[1].Insert {
+		t.Fatalf("decoded %+v", dec)
+	}
+	if !strings.Contains(dec.Ops[0].XML, "<b>hi</b>") {
+		t.Fatalf("insert payload lost: %q", dec.Ops[0].XML)
+	}
+	if _, err := DecodeEditScript(bytes.NewReader(buf.Bytes()[:buf.Len()-2]), 0); err == nil {
+		t.Fatal("truncated script decoded cleanly")
+	}
+}

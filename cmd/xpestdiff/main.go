@@ -8,13 +8,20 @@
 //	xpestdiff -seeds 0:500
 //	    sweep a seed range; exit non-zero on any invariant violation
 //
+//	xpestdiff -seeds 0:500 -edits 5
+//	    edit-script mode: per seed, apply a random 5-op edit script to
+//	    the random document and check after every op that incremental
+//	    summary maintenance is bit-identical to a from-scratch rebuild
+//	    (plus the inverse metamorphic test)
+//
 //	xpestdiff -seeds 0:40 -inject overcount-desc
-//	    self-test: inject an artificial estimator bug and watch the
-//	    harness catch and shrink it
+//	xpestdiff -seeds 0:40 -edits 5 -inject skip-rebucket
+//	    self-test: inject an artificial bug and watch the harness catch
+//	    and shrink it
 //
 //	xpestdiff -seeds 0:500 -corpus internal/difftest/corpus
 //	    additionally emit each shrunk repro as a ready-to-commit
-//	    .corpus regression case
+//	    .corpus (or, with -edits, .editcorpus) regression case
 //
 // Every failure report carries the seed that reproduces it; see
 // docs/TESTING.md for the workflow.
@@ -27,6 +34,7 @@ import (
 	"strconv"
 	"strings"
 
+	"xpathest/internal/delta"
 	"xpathest/internal/difftest"
 )
 
@@ -51,9 +59,10 @@ func run(args []string, out *os.File) error {
 	queries := fs.Int("queries", 12, "random-query generation attempts per document")
 	relBudget := fs.Float64("rel-budget", 0, "soft mean-relative-error budget (0 = default)")
 	maxViol := fs.Int("max-violations", 10, "stop after this many violations")
-	inject := fs.String("inject", "", "inject an artificial bug: overcount-desc | skew-warm")
+	inject := fs.String("inject", "", "inject an artificial bug: overcount-desc | skew-warm (query mode); skip-rebucket | stale-order-cell (edit mode)")
 	noShrink := fs.Bool("no-shrink", false, "skip shrinking failing pairs")
-	corpusDir := fs.String("corpus", "", "write each shrunk repro as a .corpus case into this directory")
+	corpusDir := fs.String("corpus", "", "write each shrunk repro as a regression case into this directory")
+	edits := fs.Int("edits", 0, "edit-script mode: ops per script (0 = query mode)")
 	quiet := fs.Bool("q", false, "suppress per-violation progress, print only the summary")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,6 +73,13 @@ func run(args []string, out *os.File) error {
 	start, end, err := parseSeeds(*seeds)
 	if err != nil {
 		return err
+	}
+
+	if *edits > 0 {
+		return runEdits(out, start, end, *edits, *inject, *maxViol, !*noShrink, *corpusDir, *quiet)
+	}
+	if *inject == difftest.InjectSkipRebucket || *inject == difftest.InjectStaleOrderCell {
+		return fmt.Errorf("-inject %s is an edit-mode bug; add -edits N", *inject)
 	}
 
 	opts := difftest.Options{
@@ -102,6 +118,59 @@ func run(args []string, out *os.File) error {
 	}
 	if rep.Failed() {
 		return errViolations{n: len(rep.Result.Violations)}
+	}
+	return nil
+}
+
+// runEdits drives the edit-script oracle sweep.
+func runEdits(out *os.File, start, end int64, edits int, inject string, maxViol int, shrink bool, corpusDir string, quiet bool) error {
+	var inj delta.Inject
+	switch inject {
+	case "":
+		inj = delta.InjectNone
+	case difftest.InjectSkipRebucket:
+		inj = delta.InjectSkipRebucket
+	case difftest.InjectStaleOrderCell:
+		inj = delta.InjectStaleOrderCell
+	default:
+		return fmt.Errorf("-inject %s is not an edit-mode bug (want %s | %s)",
+			inject, difftest.InjectSkipRebucket, difftest.InjectStaleOrderCell)
+	}
+	opts := difftest.EditOptions{
+		SeedStart:      start,
+		SeedEnd:        end,
+		EditsPerScript: edits,
+		MaxViolations:  maxViol,
+		Shrink:         shrink,
+		Inject:         inj,
+	}
+	if !quiet {
+		opts.Log = out
+	}
+	rep, err := difftest.RunEditSeeds(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, rep.Summary())
+
+	if corpusDir != "" {
+		for i, v := range rep.Shrunk {
+			c := difftest.EditCase{
+				Name:      fmt.Sprintf("seed%d-%s-%d", v.Seed, v.Invariant, i),
+				Comment:   fmt.Sprintf("Pins: %s. Emitted by xpestdiff -edits from seed %d, config [%s], step %d.\n%s", v.Invariant, v.Seed, v.Config, v.Step, v.Detail),
+				Invariant: v.Invariant,
+				DocXML:    v.DocXML,
+				Ops:       v.Ops,
+			}
+			path, err := difftest.WriteEditCase(corpusDir, c)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", path)
+		}
+	}
+	if rep.Failed() {
+		return errViolations{n: len(rep.Violations)}
 	}
 	return nil
 }

@@ -40,12 +40,52 @@ func TestRunClean(t *testing.T) {
 	}
 }
 
+func TestRunCleanEdits(t *testing.T) {
+	if err := run([]string{"-seeds", "0:5", "-edits", "5", "-q"}, devNull(t)); err != nil {
+		t.Fatalf("clean edit-mode run failed: %v", err)
+	}
+}
+
 func TestRunFlagErrors(t *testing.T) {
 	if err := run([]string{"-seeds", "banana"}, devNull(t)); err == nil {
 		t.Error("want error for bad seed range")
 	}
 	if err := run([]string{"positional"}, devNull(t)); err == nil {
 		t.Error("want error for positional arguments")
+	}
+	if err := run([]string{"-seeds", "0:5", "-inject", "skip-rebucket"}, devNull(t)); err == nil {
+		t.Error("want error for an edit-mode bug without -edits")
+	}
+	if err := run([]string{"-seeds", "0:5", "-edits", "3", "-inject", "overcount-desc"}, devNull(t)); err == nil {
+		t.Error("want error for a query-mode bug with -edits")
+	}
+}
+
+// TestRunInjectedEditCorpus drives the edit-mode failure path: an
+// injected maintenance bug, non-zero result, and a shrunk .editcorpus
+// repro emitted.
+func TestRunInjectedEditCorpus(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-seeds", "0:40", "-edits", "5", "-inject", "stale-order-cell",
+		"-max-violations", "1", "-corpus", dir, "-q",
+	}, devNull(t))
+	if err == nil {
+		t.Fatal("injected edit run must fail")
+	}
+	if !strings.Contains(err.Error(), "violation") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	matches, globErr := filepath.Glob(filepath.Join(dir, "*.editcorpus"))
+	if globErr != nil || len(matches) == 0 {
+		t.Fatalf("no editcorpus case emitted (%v)", globErr)
+	}
+	data, readErr := os.ReadFile(matches[0])
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if !strings.Contains(string(data), "invariant:") || !strings.Contains(string(data), "op:") {
+		t.Errorf("emitted editcorpus case malformed:\n%s", data)
 	}
 }
 

@@ -89,7 +89,7 @@ func (d *Document) BuildSummaryContext(ctx context.Context, opts SummaryOptions)
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	s := &Summary{opts: opts, lab: d.lab, tree: d.tree}
+	s := &Summary{opts: opts, lab: d.lab, tree: d.tree, src: d, epoch: d.Epoch()}
 	n := d.lab.NumDistinct()
 	pv, ov := opts.PVariance, opts.OVariance
 	if opts.Exact {

@@ -1,0 +1,294 @@
+package delta
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"xpathest/internal/guard"
+	"xpathest/internal/histogram"
+	"xpathest/internal/pathenc"
+	"xpathest/internal/stats"
+	"xpathest/internal/summaryio"
+	"xpathest/internal/xmltree"
+)
+
+const (
+	testPV = 0.5
+	testOV = 0.5
+)
+
+// buildState assembles a State the way the root package does: parse,
+// label, collect, bucket.
+func buildState(t *testing.T, xml string) *State {
+	t.Helper()
+	doc, err := xmltree.ParseString(xml)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	lab, err := pathenc.Build(doc)
+	if err != nil {
+		t.Fatalf("label: %v", err)
+	}
+	tables := stats.Collect(doc, lab)
+	n := lab.NumDistinct()
+	ps := histogram.BuildPSet(tables.Freq, n, testPV)
+	os := histogram.BuildOSet(tables.Order, ps, n, testOV)
+	return &State{Doc: doc, Lab: lab, Tables: tables, PS: ps, OS: os}
+}
+
+// stateBytes serializes the maintained summary structures.
+func stateBytes(t *testing.T, st *State) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := summaryio.Encode(&buf, st.Lab.Table, st.Lab.Distinct(), st.PS, st.OS); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// rebuildBytes serializes a from-scratch build over a fresh parse of
+// the edited document — the oracle side of the bit-identity contract.
+func rebuildBytes(t *testing.T, st *State) []byte {
+	t.Helper()
+	var xml bytes.Buffer
+	if err := st.Doc.WriteXML(&xml, false); err != nil {
+		t.Fatalf("write xml: %v", err)
+	}
+	fresh := buildState(t, xml.String())
+	return stateBytes(t, fresh)
+}
+
+func mustApply(t *testing.T, st *State, sc Script) Result {
+	t.Helper()
+	res, err := Apply(st, sc, Options{PVariance: testPV, OVariance: testOV})
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	return res
+}
+
+func subtree(t *testing.T, xml string) *xmltree.Node {
+	t.Helper()
+	doc, err := xmltree.ParseString(xml)
+	if err != nil {
+		t.Fatalf("parse subtree: %v", err)
+	}
+	return xmltree.CloneSubtree(doc.Root)
+}
+
+func checkAgainstRebuild(t *testing.T, st *State) {
+	t.Helper()
+	got := stateBytes(t, st)
+	want := rebuildBytes(t, st)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("apply diverged from rebuild: apply %d bytes, rebuild %d bytes", len(got), len(want))
+	}
+}
+
+const dupDoc = `<r><x><l/></x><x><l/></x><y><l/></y></r>`
+
+func TestApplyInsertDuplicateSiblingFastRoute(t *testing.T) {
+	st := buildState(t, dupDoc)
+	res := mustApply(t, st, Script{Ops: []Op{
+		{Kind: Insert, Loc: []int{}, Index: 2, Subtree: subtree(t, `<x><l/></x>`)},
+	}})
+	if res.FastOps != 1 || res.RebuildOps != 0 {
+		t.Fatalf("expected fast route, got fast=%d rebuild=%d", res.FastOps, res.RebuildOps)
+	}
+	checkAgainstRebuild(t, st)
+}
+
+func TestApplyDeleteDuplicateSiblingFastRoute(t *testing.T) {
+	st := buildState(t, dupDoc)
+	res := mustApply(t, st, Script{Ops: []Op{{Kind: Delete, Loc: []int{1}}}})
+	if res.FastOps != 1 || res.RebuildOps != 0 {
+		t.Fatalf("expected fast route, got fast=%d rebuild=%d", res.FastOps, res.RebuildOps)
+	}
+	checkAgainstRebuild(t, st)
+}
+
+func TestApplyNewPathFallsBackToRebuild(t *testing.T) {
+	st := buildState(t, dupDoc)
+	res := mustApply(t, st, Script{Ops: []Op{
+		{Kind: Insert, Loc: []int{0}, Index: 0, Subtree: subtree(t, `<novel/>`)},
+	}})
+	if res.RebuildOps != 1 {
+		t.Fatalf("expected rebuild route, got fast=%d rebuild=%d", res.FastOps, res.RebuildOps)
+	}
+	checkAgainstRebuild(t, st)
+}
+
+func TestApplyVanishedPathFallsBackToRebuild(t *testing.T) {
+	// Deleting the only <y> removes path r/y/l from the document; the
+	// kept encoding table no longer matches a rebuild's, which the
+	// alignment guard must catch.
+	st := buildState(t, dupDoc)
+	res := mustApply(t, st, Script{Ops: []Op{{Kind: Delete, Loc: []int{2}}}})
+	if res.RebuildOps != 1 {
+		t.Fatalf("expected rebuild route, got fast=%d rebuild=%d", res.FastOps, res.RebuildOps)
+	}
+	checkAgainstRebuild(t, st)
+}
+
+func TestApplyAncestorPidChangeFastRoute(t *testing.T) {
+	// Inserting <d/> under the second <a> moves its pid onto the first
+	// <a>'s — every structure survives incrementally, including the
+	// order-table cells of the relabeled ancestor.
+	st := buildState(t, `<r><a><c/><d/></a><a><c/></a><a><c/></a><b/></r>`)
+	res := mustApply(t, st, Script{Ops: []Op{
+		{Kind: Insert, Loc: []int{1}, Index: 1, Subtree: subtree(t, `<d/>`)},
+	}})
+	if res.FastOps != 1 {
+		t.Fatalf("expected fast route, got fast=%d rebuild=%d", res.FastOps, res.RebuildOps)
+	}
+	checkAgainstRebuild(t, st)
+}
+
+func TestApplyMultiOpScript(t *testing.T) {
+	st := buildState(t, `<r><a><c/><d/></a><a><c/></a><a><c/></a><b/></r>`)
+	res := mustApply(t, st, Script{Ops: []Op{
+		{Kind: Insert, Loc: []int{}, Index: 3, Subtree: subtree(t, `<a><c/></a>`)},
+		{Kind: Insert, Loc: []int{1}, Index: 1, Subtree: subtree(t, `<d/>`)},
+		{Kind: Delete, Loc: []int{0, 0}},
+		{Kind: Insert, Loc: []int{}, Index: 0, Subtree: subtree(t, `<fresh><leaf/></fresh>`)},
+		{Kind: Delete, Loc: []int{1}},
+	}})
+	if res.Applied != 5 {
+		t.Fatalf("applied %d of 5", res.Applied)
+	}
+	checkAgainstRebuild(t, st)
+}
+
+func TestApplyInverseRestoresBytes(t *testing.T) {
+	st := buildState(t, `<r><a><c/><d/></a><a><c/></a><a><c/></a><b/></r>`)
+	before := stateBytes(t, st)
+	sc := Script{Ops: []Op{
+		{Kind: Insert, Loc: []int{1}, Index: 1, Subtree: subtree(t, `<d/>`)},
+		{Kind: Delete, Loc: []int{2}},
+	}}
+	res := mustApply(t, st, sc)
+	after := stateBytes(t, st)
+	if bytes.Equal(before, after) {
+		t.Fatal("edit had no effect on the summary")
+	}
+	mustApply(t, st, res.Inverse)
+	restored := stateBytes(t, st)
+	if !bytes.Equal(before, restored) {
+		t.Fatal("inverse did not restore the original summary bytes")
+	}
+	checkAgainstRebuild(t, st)
+}
+
+func TestApplyReusesCleanHistogramInstances(t *testing.T) {
+	// A fast-route edit inside the first <x> (a second <l/> leaf, same
+	// path, same parent pid) must not touch tag y's histograms — nor
+	// x's p-histogram: the post-edit sets hold the same instances,
+	// which is what makes the untouched serialized regions
+	// byte-identical by construction.
+	st := buildState(t, dupDoc)
+	yP, yO := st.PS.Histogram("y"), st.OS.Histogram("y")
+	xP := st.PS.Histogram("x")
+	if yP == nil || xP == nil {
+		t.Fatal("missing pre-edit histograms")
+	}
+	res := mustApply(t, st, Script{Ops: []Op{
+		{Kind: Insert, Loc: []int{0}, Index: 1, Subtree: subtree(t, `<l/>`)},
+	}})
+	if res.FastOps != 1 {
+		t.Fatalf("expected fast route, got fast=%d rebuild=%d", res.FastOps, res.RebuildOps)
+	}
+	if st.PS.Histogram("y") != yP {
+		t.Error("clean tag's p-histogram instance was replaced")
+	}
+	if st.OS.Histogram("y") != yO {
+		t.Error("clean tag's o-histogram instance was replaced")
+	}
+	if st.PS.Histogram("x") != xP {
+		t.Error("x's pid and frequency are untouched; its p-histogram instance was replaced")
+	}
+	if st.PS.Histogram("l") == nil {
+		t.Fatal("dirty tag lost its p-histogram")
+	}
+	checkAgainstRebuild(t, st)
+}
+
+func TestApplyErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		sc   Script
+	}{
+		{"bad loc", Script{Ops: []Op{{Kind: Delete, Loc: []int{9}}}}},
+		{"delete root", Script{Ops: []Op{{Kind: Delete, Loc: nil}}}},
+		{"insert index out of range", Script{Ops: []Op{{Kind: Insert, Loc: []int{}, Index: 99, Subtree: &xmltree.Node{Tag: "x"}}}}},
+		{"insert without subtree", Script{Ops: []Op{{Kind: Insert, Loc: []int{}}}}},
+		{"unknown kind", Script{Ops: []Op{{Kind: Kind(7)}}}},
+		{"negative loc", Script{Ops: []Op{{Kind: Delete, Loc: []int{-1}}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st := buildState(t, dupDoc)
+			_, err := Apply(st, tc.sc, Options{PVariance: testPV, OVariance: testOV})
+			if !errors.Is(err, guard.ErrInvalidArgument) {
+				t.Fatalf("want ErrInvalidArgument, got %v", err)
+			}
+		})
+	}
+}
+
+func TestApplyMidScriptErrorReportsPrefix(t *testing.T) {
+	st := buildState(t, dupDoc)
+	res, err := Apply(st, Script{Ops: []Op{
+		{Kind: Delete, Loc: []int{1}},
+		{Kind: Delete, Loc: []int{42}},
+	}}, Options{PVariance: testPV, OVariance: testOV})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if res.Applied != 1 {
+		t.Fatalf("applied = %d, want 1", res.Applied)
+	}
+	if len(res.Inverse.Ops) != 1 {
+		t.Fatalf("inverse has %d ops, want the applied prefix's 1", len(res.Inverse.Ops))
+	}
+	if !strings.Contains(err.Error(), "op 1") {
+		t.Fatalf("error does not name the failing op: %v", err)
+	}
+}
+
+// The two injected maintenance bugs must actually corrupt the summary
+// on edits that exercise them — the edit-script oracle's self-tests
+// rely on that.
+
+func TestInjectSkipRebucketDiverges(t *testing.T) {
+	st := buildState(t, dupDoc)
+	res, err := Apply(st, Script{Ops: []Op{
+		{Kind: Insert, Loc: []int{}, Index: 2, Subtree: subtree(t, `<x><l/></x>`)},
+	}}, Options{PVariance: testPV, OVariance: testOV, Inject: InjectSkipRebucket})
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if res.FastOps != 1 {
+		t.Fatalf("injection needs the fast route, got fast=%d rebuild=%d", res.FastOps, res.RebuildOps)
+	}
+	if bytes.Equal(stateBytes(t, st), rebuildBytes(t, st)) {
+		t.Fatal("InjectSkipRebucket produced a correct summary; the self-test bug is inert")
+	}
+}
+
+func TestInjectStaleOrderCellDiverges(t *testing.T) {
+	st := buildState(t, `<r><a><c/><d/></a><a><c/></a><a><c/></a><b/></r>`)
+	res, err := Apply(st, Script{Ops: []Op{
+		{Kind: Insert, Loc: []int{1}, Index: 1, Subtree: subtree(t, `<d/>`)},
+	}}, Options{PVariance: testPV, OVariance: testOV, Inject: InjectStaleOrderCell})
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if res.FastOps != 1 {
+		t.Fatalf("injection needs the fast route, got fast=%d rebuild=%d", res.FastOps, res.RebuildOps)
+	}
+	if bytes.Equal(stateBytes(t, st), rebuildBytes(t, st)) {
+		t.Fatal("InjectStaleOrderCell produced a correct summary; the self-test bug is inert")
+	}
+}

@@ -1,0 +1,371 @@
+package delta
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+
+	"xpathest/internal/guard"
+	"xpathest/internal/xmltree"
+)
+
+// Edit scripts travel between processes (the server's delta endpoint,
+// replicated update logs), so they get the same treatment as summary
+// streams in summaryio: a versioned, checksummed binary layout whose
+// decoder validates every declared count against a hard cap — and
+// against what has already been decoded — before allocating, plus a
+// total byte budget in DecodeLimited.
+//
+// Layout (all integers little-endian):
+//
+//	magic "XPDLT" | u16 version
+//	u32 #ops     | per op:
+//	  u8 kind
+//	  u32 loc-len | u32 each
+//	  Insert only: u32 index, u32 #nodes,
+//	    per node (preorder): u16 tag-len + bytes,
+//	                         u16 text-len + bytes, u32 #children
+//	u32 crc32(IEEE) of everything above
+//
+// Decode failures wrap guard.ErrInvalidArgument (the script is the
+// caller's input, not a stored artifact); budget overruns wrap
+// guard.ErrLimitExceeded.
+
+const (
+	codecMagic   = "XPDLT"
+	codecVersion = 1
+
+	// limits guard decoding of corrupt or hostile streams.
+	maxOps          = 1 << 16
+	maxLocDepth     = 1 << 12
+	maxSubtreeNodes = 1 << 20
+	maxTextLen      = 1 << 16
+)
+
+// Encode writes the script as a checksummed binary stream.
+func Encode(w io.Writer, s Script) error {
+	if len(s.Ops) > maxOps {
+		return fmt.Errorf("delta: encode: %w", guard.Exceeded("edit ops", maxOps, int64(len(s.Ops))))
+	}
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(w, crc))
+	e := &encoder{w: bw}
+	e.bytes([]byte(codecMagic))
+	e.u16(codecVersion)
+	e.u32(uint32(len(s.Ops)))
+	for i, op := range s.Ops {
+		e.u8(uint8(op.Kind))
+		if len(op.Loc) > maxLocDepth {
+			return fmt.Errorf("delta: encode: op %d: %w", i, guard.Exceeded("loc depth", maxLocDepth, int64(len(op.Loc))))
+		}
+		e.u32(uint32(len(op.Loc)))
+		for _, l := range op.Loc {
+			e.u32(uint32(l))
+		}
+		if op.Kind == Insert {
+			e.u32(uint32(op.Index))
+			n := xmltree.SubtreeSize(op.Subtree)
+			if n > maxSubtreeNodes {
+				return fmt.Errorf("delta: encode: op %d: %w", i, guard.Exceeded("subtree nodes", maxSubtreeNodes, int64(n)))
+			}
+			e.u32(uint32(n))
+			e.subtree(op.Subtree)
+		}
+	}
+	if e.err != nil {
+		return fmt.Errorf("delta: encode: %w", e.err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("delta: encode: %w", err)
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err := w.Write(sum[:]); err != nil {
+		return fmt.Errorf("delta: encode: %w", err)
+	}
+	return nil
+}
+
+// EncodeBytes is Encode into a fresh byte slice.
+func EncodeBytes(s Script) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, s); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+type encoder struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (e *encoder) bytes(b []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(b)
+}
+
+func (e *encoder) u8(v uint8) { e.bytes([]byte{v}) }
+
+func (e *encoder) u16(v uint16) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	e.bytes(b[:])
+}
+
+func (e *encoder) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	e.bytes(b[:])
+}
+
+func (e *encoder) str(s string) {
+	if len(s) > maxTextLen {
+		if e.err == nil {
+			e.err = guard.Exceeded("string bytes", maxTextLen, int64(len(s)))
+		}
+		return
+	}
+	e.u16(uint16(len(s)))
+	e.bytes([]byte(s))
+}
+
+// subtree writes n's subtree in preorder with per-node child counts —
+// enough to rebuild the exact tree shape. Depth is bounded by the
+// caller's tree (parse limits or the decoder's own depth cap).
+func (e *encoder) subtree(n *xmltree.Node) {
+	if n == nil {
+		return
+	}
+	e.str(n.Tag)
+	e.str(n.Text)
+	e.u32(uint32(len(n.Children)))
+	for _, c := range n.Children {
+		e.subtree(c)
+	}
+}
+
+// Decode reads a script stream with no total-size budget (for trusted
+// in-process callers).
+func Decode(r io.Reader) (Script, error) {
+	return DecodeLimited(r, 0)
+}
+
+// DecodeLimited is Decode under a total byte budget (0 = unlimited):
+// the budget is charged before each read, so a crafted header cannot
+// force an allocation past it.
+func DecodeLimited(r io.Reader, maxBytes int64) (Script, error) {
+	crc := crc32.NewIEEE()
+	d := &decoder{r: bufio.NewReader(r), crc: crc, budget: maxBytes}
+	s, err := decodeScript(d, crc)
+	if err != nil {
+		return Script{}, err
+	}
+	return s, nil
+}
+
+// DecodeBytes decodes an in-memory stream and rejects trailing bytes
+// after the checksum as corruption. The decoder's own consumed count
+// is the authority (the buffered reader reads ahead of it).
+func DecodeBytes(data []byte, maxBytes int64) (Script, error) {
+	crc := crc32.NewIEEE()
+	d := &decoder{r: bufio.NewReader(bytes.NewReader(data)), crc: crc, budget: maxBytes}
+	s, err := decodeScript(d, crc)
+	if err != nil {
+		return Script{}, err
+	}
+	if rest := int64(len(data)) - d.consumed; rest > 0 {
+		return Script{}, fmt.Errorf("delta: %d trailing bytes after the edit script: %w", rest, guard.ErrInvalidArgument)
+	}
+	return s, nil
+}
+
+func decodeScript(d *decoder, crc hash.Hash32) (Script, error) {
+	var s Script
+	head := d.read(len(codecMagic))
+	if d.err == nil && string(head) != codecMagic {
+		d.err = fmt.Errorf("delta: bad magic: %w", guard.ErrInvalidArgument)
+	}
+	if v := d.u16(); d.err == nil && v != codecVersion {
+		d.err = fmt.Errorf("delta: unsupported version %d: %w", v, guard.ErrInvalidArgument)
+	}
+	nOps := int(d.u32())
+	if d.err == nil && nOps > maxOps {
+		d.err = fmt.Errorf("delta: %w", guard.Exceeded("edit ops", maxOps, int64(nOps)))
+	}
+	for i := 0; i < nOps && d.err == nil; i++ {
+		var op Op
+		op.Kind = Kind(d.u8())
+		if d.err == nil && op.Kind != Insert && op.Kind != Delete {
+			d.err = fmt.Errorf("delta: op %d: unknown kind %d: %w", i, op.Kind, guard.ErrInvalidArgument)
+			break
+		}
+		nLoc := int(d.u32())
+		if d.err == nil && nLoc > maxLocDepth {
+			d.err = fmt.Errorf("delta: op %d: %w", i, guard.Exceeded("loc depth", maxLocDepth, int64(nLoc)))
+			break
+		}
+		for j := 0; j < nLoc && d.err == nil; j++ {
+			op.Loc = append(op.Loc, int(d.u32()))
+		}
+		if op.Kind == Insert {
+			op.Index = int(d.u32())
+			op.Subtree = d.decodeSubtree(i)
+		}
+		if d.err == nil {
+			s.Ops = append(s.Ops, op)
+		}
+	}
+	if d.err != nil {
+		return Script{}, d.err
+	}
+	// The trailing checksum is read outside the hashed region.
+	d.crc = nil
+	want := crc.Sum32()
+	got := d.u32()
+	if d.err != nil {
+		return Script{}, d.err
+	}
+	if got != want {
+		return Script{}, fmt.Errorf("delta: checksum mismatch: %w", guard.ErrInvalidArgument)
+	}
+	return s, nil
+}
+
+// decodeSubtree rebuilds one op's inserted subtree iteratively (an
+// explicit stack, so hostile nesting cannot overflow the call stack),
+// validating the declared node count and a depth cap as it goes.
+func (d *decoder) decodeSubtree(opIdx int) *xmltree.Node {
+	n := int(d.u32())
+	if d.err != nil {
+		return nil
+	}
+	if n < 1 || n > maxSubtreeNodes {
+		d.err = fmt.Errorf("delta: op %d: %w", opIdx, guard.Exceeded("subtree nodes", maxSubtreeNodes, int64(n)))
+		return nil
+	}
+	type frame struct {
+		node      *xmltree.Node
+		remaining int
+	}
+	var (
+		root  *xmltree.Node
+		stack []frame
+		seen  int
+	)
+	for {
+		if seen == n {
+			if len(stack) != 0 {
+				d.err = fmt.Errorf("delta: op %d: subtree shape inconsistent with node count %d: %w", opIdx, n, guard.ErrInvalidArgument)
+				return nil
+			}
+			return root
+		}
+		tag := d.str()
+		text := d.str()
+		kids := int(d.u32())
+		if d.err != nil {
+			return nil
+		}
+		if tag == "" {
+			d.err = fmt.Errorf("delta: op %d: empty tag: %w", opIdx, guard.ErrInvalidArgument)
+			return nil
+		}
+		seen++
+		if kids < 0 || kids > n-seen {
+			d.err = fmt.Errorf("delta: op %d: child count %d exceeds remaining nodes: %w", opIdx, kids, guard.ErrInvalidArgument)
+			return nil
+		}
+		node := &xmltree.Node{Tag: tag, Text: text}
+		if root == nil {
+			root = node
+		} else {
+			if len(stack) == 0 {
+				d.err = fmt.Errorf("delta: op %d: subtree shape inconsistent with node count %d: %w", opIdx, n, guard.ErrInvalidArgument)
+				return nil
+			}
+			p := stack[len(stack)-1].node
+			node.Parent = p
+			p.Children = append(p.Children, node)
+			stack[len(stack)-1].remaining--
+		}
+		if kids > 0 {
+			if len(stack) >= maxLocDepth {
+				d.err = fmt.Errorf("delta: op %d: %w", opIdx, guard.Exceeded("subtree depth", maxLocDepth, int64(len(stack)+1)))
+				return nil
+			}
+			stack = append(stack, frame{node: node, remaining: kids})
+		}
+		for len(stack) > 0 && stack[len(stack)-1].remaining == 0 {
+			stack = stack[:len(stack)-1]
+		}
+	}
+}
+
+type decoder struct {
+	r        *bufio.Reader
+	crc      hash.Hash32 // hashes exactly the consumed payload bytes
+	budget   int64       // max total bytes to read; 0 = unlimited
+	consumed int64
+	err      error
+}
+
+func (d *decoder) read(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	// The budget is charged before the buffer exists, so a declared
+	// length can never cause an allocation past the budget.
+	d.consumed += int64(n)
+	if d.budget > 0 && d.consumed > d.budget {
+		d.err = fmt.Errorf("delta: %w", guard.Exceeded("edit-script bytes", d.budget, d.consumed))
+		return nil
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		d.err = fmt.Errorf("delta: truncated stream: %w", guard.ErrInvalidArgument)
+		return nil
+	}
+	if d.crc != nil {
+		d.crc.Write(b)
+	}
+	return b
+}
+
+func (d *decoder) u8() uint8 {
+	b := d.read(1)
+	if d.err != nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u16() uint16 {
+	b := d.read(2)
+	if d.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.read(4)
+	if d.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) str() string {
+	n := int(d.u16())
+	if d.err != nil {
+		return ""
+	}
+	return string(d.read(n))
+}

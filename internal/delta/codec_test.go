@@ -1,0 +1,262 @@
+package delta
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"xpathest/internal/guard"
+	"xpathest/internal/xmltree"
+)
+
+// genScript builds a seeded random script: random kinds, locs,
+// indexes, and random small subtrees for inserts. It need not be
+// applicable to any document — the codec round-trips structure, not
+// semantics.
+func genScript(rng *rand.Rand) Script {
+	tags := []string{"a", "b", "node", "item", "αβ"}
+	var genTree func(depth int) *xmltree.Node
+	genTree = func(depth int) *xmltree.Node {
+		n := &xmltree.Node{Tag: tags[rng.Intn(len(tags))]}
+		if rng.Intn(3) == 0 {
+			n.Text = "text-" + tags[rng.Intn(len(tags))]
+		}
+		if depth < 3 {
+			for i := 0; i < rng.Intn(3); i++ {
+				c := genTree(depth + 1)
+				c.Parent = n
+				n.Children = append(n.Children, c)
+			}
+		}
+		return n
+	}
+	var s Script
+	for i, n := 0, rng.Intn(8); i < n; i++ {
+		var loc []int
+		for j := 0; j < rng.Intn(4); j++ {
+			loc = append(loc, rng.Intn(10))
+		}
+		if rng.Intn(2) == 0 {
+			s.Ops = append(s.Ops, Op{Kind: Insert, Loc: loc, Index: rng.Intn(5), Subtree: genTree(0)})
+		} else {
+			if len(loc) == 0 {
+				loc = []int{rng.Intn(10)}
+			}
+			s.Ops = append(s.Ops, Op{Kind: Delete, Loc: loc})
+		}
+	}
+	return s
+}
+
+// scriptsEqual compares via canonical re-encoding: two scripts are
+// equal iff their streams are.
+func scriptsEqual(t *testing.T, a, b Script) bool {
+	t.Helper()
+	ab, err := EncodeBytes(a)
+	if err != nil {
+		t.Fatalf("encode a: %v", err)
+	}
+	bb, err := EncodeBytes(b)
+	if err != nil {
+		t.Fatalf("encode b: %v", err)
+	}
+	return bytes.Equal(ab, bb)
+}
+
+func TestCodecRoundTripSeeded(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := genScript(rng)
+		enc, err := EncodeBytes(s)
+		if err != nil {
+			t.Fatalf("seed %d: encode: %v", seed, err)
+		}
+		dec, err := DecodeBytes(enc, 0)
+		if err != nil {
+			t.Fatalf("seed %d: decode: %v", seed, err)
+		}
+		if len(dec.Ops) != len(s.Ops) {
+			t.Fatalf("seed %d: %d ops decoded, want %d", seed, len(dec.Ops), len(s.Ops))
+		}
+		if !scriptsEqual(t, s, dec) {
+			t.Fatalf("seed %d: round trip changed the script", seed)
+		}
+	}
+}
+
+func TestCodecEmptyScript(t *testing.T) {
+	enc, err := EncodeBytes(Script{})
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	dec, err := DecodeBytes(enc, 0)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(dec.Ops) != 0 {
+		t.Fatalf("decoded %d ops from an empty script", len(dec.Ops))
+	}
+}
+
+func validStream(t testing.TB) []byte {
+	t.Helper()
+	sub := &xmltree.Node{Tag: "a"}
+	sub.Children = []*xmltree.Node{{Tag: "b", Parent: sub, Text: "hi"}, {Tag: "c", Parent: sub}}
+	enc, err := EncodeBytes(Script{Ops: []Op{
+		{Kind: Insert, Loc: []int{0, 1}, Index: 2, Subtree: sub},
+		{Kind: Delete, Loc: []int{3}},
+	}})
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return enc
+}
+
+func TestCodecTruncationsFail(t *testing.T) {
+	enc := validStream(t)
+	for k := 0; k < len(enc); k++ {
+		if _, err := DecodeBytes(enc[:k], 0); !errors.Is(err, guard.ErrInvalidArgument) {
+			t.Fatalf("truncation at %d/%d: want ErrInvalidArgument, got %v", k, len(enc), err)
+		}
+	}
+}
+
+func TestCodecBitFlipsFail(t *testing.T) {
+	// The checksum makes every single-bit corruption detectable — any
+	// flip must surface an error, never a silently different script.
+	enc := validStream(t)
+	for i := range enc {
+		mut := append([]byte(nil), enc...)
+		mut[i] ^= 0x01
+		if _, err := DecodeBytes(mut, 0); err == nil {
+			t.Fatalf("bit flip at byte %d decoded cleanly", i)
+		}
+	}
+}
+
+func TestCodecTrailingBytesRejected(t *testing.T) {
+	enc := append(validStream(t), 0x00)
+	if _, err := DecodeBytes(enc, 0); !errors.Is(err, guard.ErrInvalidArgument) {
+		t.Fatalf("want ErrInvalidArgument for trailing bytes, got %v", err)
+	}
+}
+
+func TestCodecBudget(t *testing.T) {
+	enc := validStream(t)
+	if _, err := DecodeBytes(enc, int64(len(enc))); err != nil {
+		t.Fatalf("exact budget rejected: %v", err)
+	}
+	if _, err := DecodeBytes(enc, int64(len(enc))-1); !errors.Is(err, guard.ErrLimitExceeded) {
+		t.Fatal("one-byte-short budget not enforced")
+	}
+	if _, err := DecodeBytes(enc, 4); !errors.Is(err, guard.ErrLimitExceeded) {
+		t.Fatal("tiny budget not enforced")
+	}
+}
+
+// corrupt builds a syntactically targeted bad stream by patching a
+// freshly encoded one at a known offset, without fixing the checksum —
+// the structural error must win before the checksum is even reached.
+func TestCodecCorruptStreams(t *testing.T) {
+	// Offsets into validStream: magic ends at 5, version at 7, op
+	// count at 11, eleventh byte starts op 0.
+	cases := []struct {
+		name  string
+		mut   func(b []byte) []byte
+		check func(error) bool
+	}{
+		{"bad magic", func(b []byte) []byte { b[0] = 'Y'; return b }, isInvalid},
+		{"bad version", func(b []byte) []byte { b[5] = 99; return b }, isInvalid},
+		{"huge op count", func(b []byte) []byte { b[10] = 0xFF; return b }, isLimit},
+		{"unknown kind", func(b []byte) []byte { b[11] = 9; return b }, isInvalid},
+		{"loc depth over cap", func(b []byte) []byte { b[14] = 0xFF; return b }, isLimit},
+		{"empty stream", func(b []byte) []byte { return nil }, isInvalid},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.mut(validStream(t))
+			_, err := DecodeBytes(b, 0)
+			if err == nil {
+				t.Fatal("corrupt stream decoded cleanly")
+			}
+			if !tc.check(err) {
+				t.Fatalf("wrong error class: %v", err)
+			}
+		})
+	}
+}
+
+func isInvalid(err error) bool { return errors.Is(err, guard.ErrInvalidArgument) }
+func isLimit(err error) bool   { return errors.Is(err, guard.ErrLimitExceeded) }
+
+func TestCodecSubtreeShapeValidation(t *testing.T) {
+	// Hand-build a stream whose op declares 2 nodes but whose root
+	// claims 5 children: the child count must be rejected against the
+	// remaining node budget.
+	var buf bytes.Buffer
+	w := func(b ...byte) { buf.Write(b) }
+	w([]byte(codecMagic)...)
+	w(1, 0)       // version
+	w(1, 0, 0, 0) // 1 op
+	w(byte(Insert))
+	w(0, 0, 0, 0) // loc len 0
+	w(0, 0, 0, 0) // index 0
+	w(2, 0, 0, 0) // 2 nodes
+	w(1, 0, 'a')  // tag "a"
+	w(0, 0)       // no text
+	w(5, 0, 0, 0) // 5 children — impossible
+	if _, err := DecodeBytes(buf.Bytes(), 0); !errors.Is(err, guard.ErrInvalidArgument) {
+		t.Fatalf("want ErrInvalidArgument for impossible child count, got %v", err)
+	}
+}
+
+func TestCodecEmptyTagRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w := func(b ...byte) { buf.Write(b) }
+	w([]byte(codecMagic)...)
+	w(1, 0)
+	w(1, 0, 0, 0)
+	w(byte(Insert))
+	w(0, 0, 0, 0)
+	w(0, 0, 0, 0)
+	w(1, 0, 0, 0) // 1 node
+	w(0, 0)       // empty tag
+	w(0, 0)
+	w(0, 0, 0, 0)
+	if _, err := DecodeBytes(buf.Bytes(), 0); !errors.Is(err, guard.ErrInvalidArgument) {
+		t.Fatalf("want ErrInvalidArgument for empty tag, got %v", err)
+	}
+}
+
+func FuzzDecode(f *testing.F) {
+	f.Add(validStream(f))
+	empty, _ := EncodeBytes(Script{})
+	f.Add(empty)
+	f.Add([]byte(codecMagic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic and never exceed the byte budget, whatever
+		// the input claims about its own counts.
+		s, err := DecodeBytes(data, 1<<16)
+		if err != nil {
+			return
+		}
+		// Whatever decoded must re-encode and decode to itself.
+		enc, err := EncodeBytes(s)
+		if err != nil {
+			t.Fatalf("decoded script does not re-encode: %v", err)
+		}
+		s2, err := DecodeBytes(enc, 0)
+		if err != nil {
+			t.Fatalf("re-encoded script does not decode: %v", err)
+		}
+		enc2, err := EncodeBytes(s2)
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatal("canonical encoding is not a fixed point")
+		}
+	})
+}

@@ -1,0 +1,128 @@
+// Package delta implements incremental summary maintenance: subtree
+// insert/delete edit scripts applied against a loaded document, with
+// the PathId-Frequency table, the Path-Order tables and only the
+// touched p-/o-histogram regions updated in place instead of
+// rebuilding the summary from the document.
+//
+// Every op runs one of two routes:
+//
+//   - The fast route keeps the encoding table fixed: the spliced
+//     subtree is labeled bottom-up from the table, the ancestor chain
+//     is re-or'd with an early stop, frequency deltas and order-table
+//     cell moves patch the statistics, and only the dirty tags are
+//     re-bucketed (clean tags keep their histogram instances). It is
+//     guarded by an O(n) alignment walk — if the edited document's
+//     first-occurrence orders (leaf paths, distinct pids, per-tag
+//     frequency entries) no longer match the maintained structures,
+//     the op falls back.
+//   - The rebuild route re-derives labeling, statistics and histograms
+//     from the edited tree, which is bit-identical to a fresh build by
+//     construction. Structural edits (a new root-to-leaf path, a
+//     vanished path, an order perturbation) land here.
+//
+// Either way the contract is the same and is enforced by the
+// edit-script oracle in internal/difftest: after Apply, serializing
+// the summary yields bytes identical to building it from scratch on
+// the edited document, and every estimate matches to the last bit.
+//
+// Mutability: Apply mutates the document tree and the statistics
+// tables in place and swaps the State's labeling for an edited clone.
+// Summaries built before the call keep their own labeling and
+// histogram instances and stay internally consistent, but no longer
+// describe the document; exact-table summaries additionally share the
+// mutated tables and must not be used concurrently with Apply.
+package delta
+
+import (
+	"fmt"
+
+	"xpathest/internal/guard"
+	"xpathest/internal/xmltree"
+)
+
+// Kind is the edit-op discriminator.
+type Kind uint8
+
+const (
+	// Insert splices a subtree into the document.
+	Insert Kind = 1
+	// Delete removes a subtree from the document.
+	Delete Kind = 2
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Insert:
+		return "insert"
+	case Delete:
+		return "delete"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Op is one edit operation. Nodes are addressed by child-index paths
+// from the root (xmltree.NodeAt), resolved against the tree as it
+// stands when the op applies — later ops in a script see the effects
+// of earlier ones.
+type Op struct {
+	Kind Kind
+
+	// Loc addresses the insertion parent (Insert) or the node to
+	// remove (Delete). Empty means the root.
+	Loc []int
+
+	// Index is the insertion position among the parent's children,
+	// 0 ≤ Index ≤ len(children). Insert only.
+	Index int
+
+	// Subtree is the inserted tree, detached. Apply clones it before
+	// splicing, so an op stays reusable. Insert only.
+	Subtree *xmltree.Node
+}
+
+// Script is an ordered list of edit ops applied as one unit.
+type Script struct {
+	Ops []Op
+}
+
+// Validate checks the script's op-level preconditions that do not
+// depend on the document: known kinds, non-negative locs and indexes,
+// and an insert payload on every Insert. Loc resolution is necessarily
+// deferred to Apply.
+func (s Script) Validate() error {
+	for i, op := range s.Ops {
+		switch op.Kind {
+		case Insert:
+			if op.Subtree == nil {
+				return fmt.Errorf("delta: op %d: insert without subtree: %w", i, guard.ErrInvalidArgument)
+			}
+			if op.Index < 0 {
+				return fmt.Errorf("delta: op %d: negative insert index %d: %w", i, op.Index, guard.ErrInvalidArgument)
+			}
+		case Delete:
+			if len(op.Loc) == 0 {
+				return fmt.Errorf("delta: op %d: cannot delete the root: %w", i, guard.ErrInvalidArgument)
+			}
+		default:
+			return fmt.Errorf("delta: op %d: unknown kind %d: %w", i, op.Kind, guard.ErrInvalidArgument)
+		}
+		for _, l := range op.Loc {
+			if l < 0 {
+				return fmt.Errorf("delta: op %d: negative loc entry %d: %w", i, l, guard.ErrInvalidArgument)
+			}
+		}
+	}
+	return nil
+}
+
+// Inverse reverses a script: the per-op inverses Apply captured, in
+// reverse order, so applying a script and then its inverse restores
+// the original document and (bit-for-bit) its summary.
+func (s Script) Inverse(inverses []Op) Script {
+	out := Script{Ops: make([]Op, 0, len(inverses))}
+	for i := len(inverses) - 1; i >= 0; i-- {
+		out.Ops = append(out.Ops, inverses[i])
+	}
+	return out
+}

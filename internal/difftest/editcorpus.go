@@ -1,0 +1,202 @@
+package difftest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"xpathest"
+)
+
+// EditCase is one regression entry of the edit corpus: a document and
+// an edit script that once violated an edit-oracle invariant. The
+// corpus test replays every case under the full configuration sweep,
+// so a fixed maintenance bug stays fixed.
+type EditCase struct {
+	// Name is the file stem (without the .editcorpus extension).
+	Name string
+
+	// Comment is the free-text header: which invariant the case pins,
+	// the originating seed, and what was wrong.
+	Comment string
+
+	// Invariant is the invariant the case originally violated.
+	Invariant Invariant
+
+	// DocXML and Ops are the minimized failing pair.
+	DocXML string
+	Ops    []xpathest.EditOp
+}
+
+// FormatEditOp renders one op in the corpus line format:
+//
+//	insert <loc> <index> <xml>
+//	delete <loc>
+//
+// where <loc> is the dot-joined child-index path ("." for the root).
+func FormatEditOp(op xpathest.EditOp) string {
+	if op.Insert {
+		return fmt.Sprintf("insert %s %d %s", formatLoc(op.Loc), op.Index, op.XML)
+	}
+	return "delete " + formatLoc(op.Loc)
+}
+
+// ParseEditOp parses the FormatEditOp line format.
+func ParseEditOp(s string) (xpathest.EditOp, error) {
+	fields := strings.SplitN(strings.TrimSpace(s), " ", 4)
+	switch fields[0] {
+	case "insert":
+		if len(fields) != 4 {
+			return xpathest.EditOp{}, fmt.Errorf("difftest: insert op needs loc, index and xml: %q", s)
+		}
+		loc, err := parseLoc(fields[1])
+		if err != nil {
+			return xpathest.EditOp{}, err
+		}
+		idx, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return xpathest.EditOp{}, fmt.Errorf("difftest: insert index %q: %v", fields[2], err)
+		}
+		return xpathest.EditOp{Insert: true, Loc: loc, Index: idx, XML: fields[3]}, nil
+	case "delete":
+		if len(fields) != 2 {
+			return xpathest.EditOp{}, fmt.Errorf("difftest: delete op needs exactly a loc: %q", s)
+		}
+		loc, err := parseLoc(fields[1])
+		if err != nil {
+			return xpathest.EditOp{}, err
+		}
+		return xpathest.EditOp{Loc: loc}, nil
+	default:
+		return xpathest.EditOp{}, fmt.Errorf("difftest: unknown edit op kind %q", fields[0])
+	}
+}
+
+func formatLoc(loc []int) string {
+	if len(loc) == 0 {
+		return "."
+	}
+	parts := make([]string, len(loc))
+	for i, v := range loc {
+		parts[i] = strconv.Itoa(v)
+	}
+	return strings.Join(parts, ".")
+}
+
+func parseLoc(s string) ([]int, error) {
+	if s == "." {
+		return nil, nil
+	}
+	parts := strings.Split(s, ".")
+	loc := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("difftest: loc component %q: %v", p, err)
+		}
+		loc[i] = v
+	}
+	return loc, nil
+}
+
+// FormatEditCase renders a case in the corpus file format: '#' comment
+// lines followed by 'invariant:', 'doc:' and one 'op:' line per op.
+func FormatEditCase(c EditCase) []byte {
+	var b strings.Builder
+	for _, line := range strings.Split(strings.TrimRight(c.Comment, "\n"), "\n") {
+		b.WriteString("# ")
+		b.WriteString(line)
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "invariant: %s\n", c.Invariant)
+	fmt.Fprintf(&b, "doc: %s\n", c.DocXML)
+	for _, op := range c.Ops {
+		fmt.Fprintf(&b, "op: %s\n", FormatEditOp(op))
+	}
+	return []byte(b.String())
+}
+
+// ParseEditCase parses the corpus file format.
+func ParseEditCase(name string, data []byte) (EditCase, error) {
+	c := EditCase{Name: name}
+	var comment []string
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "#"):
+			comment = append(comment, strings.TrimSpace(strings.TrimPrefix(line, "#")))
+		case strings.HasPrefix(line, "invariant:"):
+			c.Invariant = Invariant(strings.TrimSpace(strings.TrimPrefix(line, "invariant:")))
+		case strings.HasPrefix(line, "doc:"):
+			c.DocXML = strings.TrimSpace(strings.TrimPrefix(line, "doc:"))
+		case strings.HasPrefix(line, "op:"):
+			op, err := ParseEditOp(strings.TrimPrefix(line, "op:"))
+			if err != nil {
+				return c, fmt.Errorf("difftest: %s line %d: %v", name, ln+1, err)
+			}
+			c.Ops = append(c.Ops, op)
+		default:
+			return c, fmt.Errorf("difftest: %s line %d: unrecognized corpus line %q", name, ln+1, line)
+		}
+	}
+	c.Comment = strings.Join(comment, "\n")
+	if c.DocXML == "" || len(c.Ops) == 0 {
+		return c, fmt.Errorf("difftest: %s: edit corpus case missing doc or ops", name)
+	}
+	return c, nil
+}
+
+// LoadEditCorpus reads every *.editcorpus file of a directory, sorted
+// by name.
+func LoadEditCorpus(dir string) ([]EditCase, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var cases []EditCase
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".editcorpus") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		c, err := ParseEditCase(strings.TrimSuffix(e.Name(), ".editcorpus"), data)
+		if err != nil {
+			return nil, err
+		}
+		cases = append(cases, c)
+	}
+	sort.Slice(cases, func(i, j int) bool { return cases[i].Name < cases[j].Name })
+	return cases, nil
+}
+
+// WriteEditCase saves a case as <dir>/<name>.editcorpus (xpestdiff
+// emits shrunk edit violations this way, ready to commit) and returns
+// the path.
+func WriteEditCase(dir string, c EditCase) (string, error) {
+	if c.Name == "" {
+		return "", fmt.Errorf("difftest: edit corpus case needs a name")
+	}
+	path := filepath.Join(dir, c.Name+".editcorpus")
+	if err := os.WriteFile(path, FormatEditCase(c), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// CheckEditCase replays the full edit-oracle sweep on one corpus case
+// and returns the surviving violations (empty means the regression
+// stays fixed).
+func CheckEditCase(c EditCase) ([]EditViolation, error) {
+	res, err := NewEditChecker().CheckScript(c.DocXML, c.Ops, 0)
+	if err != nil {
+		return nil, fmt.Errorf("difftest: edit corpus %s: %v", c.Name, err)
+	}
+	return res.Violations, nil
+}

@@ -1,0 +1,99 @@
+package difftest
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"xpathest"
+)
+
+// TestEditCorpusRegressions replays every checked-in edit-script
+// repro under the full configuration sweep. Each file pins one class
+// of maintenance bug; the sweep must be clean, so a fixed bug stays
+// fixed.
+func TestEditCorpusRegressions(t *testing.T) {
+	cases, err := LoadEditCorpus("corpus")
+	if err != nil {
+		t.Fatalf("LoadEditCorpus: %v", err)
+	}
+	if len(cases) < 3 {
+		t.Fatalf("edit corpus unexpectedly small: %d cases", len(cases))
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			if c.Comment == "" || !strings.Contains(c.Comment, string(c.Invariant)) {
+				t.Errorf("corpus comment must name the pinned invariant %q", c.Invariant)
+			}
+			viols, err := CheckEditCase(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range viols {
+				t.Errorf("regressed: %v", v)
+			}
+		})
+	}
+}
+
+// TestEditCorpusRoundtrip pins the .editcorpus file format.
+func TestEditCorpusRoundtrip(t *testing.T) {
+	in := EditCase{
+		Name:      "demo",
+		Comment:   "pins edit-apply-rebuild\nsecond line",
+		Invariant: InvEditApplyRebuild,
+		DocXML:    "<a><b></b></a>",
+		Ops: []xpathest.EditOp{
+			{Insert: true, Loc: []int{0, 1}, Index: 2, XML: "<c><d>t</d></c>"},
+			{Insert: true, Loc: nil, Index: 0, XML: "<e></e>"}, // root loc
+			{Loc: []int{3}},
+		},
+	}
+	out, err := ParseEditCase("demo", FormatEditCase(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, in) {
+		t.Fatalf("roundtrip mismatch:\n got %+v\nwant %+v", out, in)
+	}
+	for _, bad := range []string{
+		"nonsense line\n",
+		"# only a comment\n",
+		"doc: <a></a>\n", // no ops
+		"doc: <a></a>\nop: insert x 0 <b></b>\n",
+		"doc: <a></a>\nop: teleport 0\n",
+		"doc: <a></a>\nop: insert 0 0\n", // missing xml
+		"doc: <a></a>\nop: delete\n",
+	} {
+		if _, err := ParseEditCase("bad", []byte(bad)); err == nil {
+			t.Errorf("malformed corpus data parsed cleanly: %q", bad)
+		}
+	}
+}
+
+// TestEditCorpusWrite exercises WriteEditCase into a temp dir and
+// LoadEditCorpus back out.
+func TestEditCorpusWrite(t *testing.T) {
+	dir := t.TempDir()
+	c := EditCase{
+		Name:      "w",
+		Comment:   "pins edit-inverse",
+		Invariant: InvEditInverse,
+		DocXML:    "<a><b></b></a>",
+		Ops:       []xpathest.EditOp{{Loc: []int{0}}},
+	}
+	if _, err := WriteEditCase(dir, c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteEditCase(dir, EditCase{}); err == nil {
+		t.Fatal("want error for unnamed case")
+	}
+	got, err := LoadEditCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !reflect.DeepEqual(got[0], c) {
+		t.Fatalf("got %+v, want [%+v]", got, c)
+	}
+}

@@ -1,0 +1,191 @@
+package difftest
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"xpathest"
+	"xpathest/internal/xmltree"
+)
+
+// maxEditNodes caps document growth while a script is generated, so a
+// run of inserts cannot balloon a 200-node document into something the
+// per-step rebuild makes slow.
+const maxEditNodes = 400
+
+// GenEditScript derives a random edit script for the document: n
+// subtree insert/delete ops whose locations are valid when the script
+// is applied in order. The generator maintains a scratch copy of the
+// tree and applies each op to it as it goes, so later ops address the
+// edited document exactly like delta.Apply will.
+//
+// The moves are chosen to exercise both maintenance routes:
+//
+//   - duplicate-sibling (common): clone a subtree in as its own next
+//     sibling — no new root-to-leaf path, the incremental fast route;
+//   - delete (common): remove a random subtree — fast when its paths
+//     survive elsewhere, rebuild when one vanishes;
+//   - cross-graft: clone a subtree under a different parent of the
+//     same tag — keeps paths but can relabel the ancestor chain,
+//     moving order-table cells;
+//   - fresh subtree (rare): insert never-seen tags — a guaranteed
+//     rebuild op.
+func GenEditScript(seed int64, tree *xmltree.Document, n int) []xpathest.EditOp {
+	rng := rand.New(rand.NewSource(seed))
+	scratch := &xmltree.Document{Root: xmltree.CloneSubtree(tree.Root)}
+
+	var ops []xpathest.EditOp
+	for len(ops) < n {
+		nodes := preorder(scratch.Root)
+		size := len(nodes)
+		var op xpathest.EditOp
+		var ok bool
+		move := rng.Intn(8)
+		switch {
+		case size >= maxEditNodes || (move < 2 && size > 2):
+			op, ok = genDelete(rng, scratch, nodes)
+		case move < 5:
+			op, ok = genDupSibling(rng, scratch, nodes)
+		case move < 7:
+			op, ok = genCrossGraft(rng, scratch, nodes)
+		default:
+			op, ok = genFresh(rng, scratch, nodes, len(ops))
+		}
+		if !ok {
+			continue
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// preorder lists the tree's nodes root-first (deterministic order for
+// the seeded picks).
+func preorder(root *xmltree.Node) []*xmltree.Node {
+	var out []*xmltree.Node
+	var rec func(n *xmltree.Node)
+	rec = func(n *xmltree.Node) {
+		out = append(out, n)
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	rec(root)
+	return out
+}
+
+func subtreeXML(n *xmltree.Node) (string, bool) {
+	var buf bytes.Buffer
+	if err := (&xmltree.Document{Root: xmltree.CloneSubtree(n)}).WriteXML(&buf, false); err != nil {
+		return "", false
+	}
+	return buf.String(), true
+}
+
+func childIndex(n *xmltree.Node) int {
+	for i, c := range n.Parent.Children {
+		if c == n {
+			return i
+		}
+	}
+	return -1
+}
+
+// genDupSibling clones a random non-root subtree in right next to
+// itself.
+func genDupSibling(rng *rand.Rand, scratch *xmltree.Document, nodes []*xmltree.Node) (xpathest.EditOp, bool) {
+	v := nodes[rng.Intn(len(nodes))]
+	if v.Parent == nil {
+		return xpathest.EditOp{}, false
+	}
+	xml, ok := subtreeXML(v)
+	if !ok {
+		return xpathest.EditOp{}, false
+	}
+	idx := childIndex(v) + 1
+	op := xpathest.EditOp{Insert: true, Loc: xmltree.LocOf(v.Parent), Index: idx, XML: xml}
+	if scratch.Attach(v.Parent, idx, xmltree.CloneSubtree(v)) != nil {
+		return xpathest.EditOp{}, false
+	}
+	return op, true
+}
+
+// genDelete removes a random non-root subtree (but never empties the
+// document below two nodes).
+func genDelete(rng *rand.Rand, scratch *xmltree.Document, nodes []*xmltree.Node) (xpathest.EditOp, bool) {
+	if len(nodes) <= 2 {
+		return xpathest.EditOp{}, false
+	}
+	v := nodes[1+rng.Intn(len(nodes)-1)]
+	if v.Parent == nil || len(nodes)-xmltree.SubtreeSize(v) < 2 {
+		return xpathest.EditOp{}, false
+	}
+	op := xpathest.EditOp{Loc: xmltree.LocOf(v)}
+	if scratch.Detach(v) != nil {
+		return xpathest.EditOp{}, false
+	}
+	return op, true
+}
+
+// genCrossGraft clones a random subtree under a different parent with
+// the same tag as its own parent, so every inserted root-to-leaf path
+// already exists — but the receiving ancestor chain may relabel.
+func genCrossGraft(rng *rand.Rand, scratch *xmltree.Document, nodes []*xmltree.Node) (xpathest.EditOp, bool) {
+	v := nodes[rng.Intn(len(nodes))]
+	if v.Parent == nil {
+		return xpathest.EditOp{}, false
+	}
+	var hosts []*xmltree.Node
+	for _, q := range nodes {
+		if q != v.Parent && q.Tag == v.Parent.Tag && !isDescendant(q, v) {
+			hosts = append(hosts, q)
+		}
+	}
+	if len(hosts) == 0 {
+		return xpathest.EditOp{}, false
+	}
+	host := hosts[rng.Intn(len(hosts))]
+	xml, ok := subtreeXML(v)
+	if !ok {
+		return xpathest.EditOp{}, false
+	}
+	idx := rng.Intn(len(host.Children) + 1)
+	op := xpathest.EditOp{Insert: true, Loc: xmltree.LocOf(host), Index: idx, XML: xml}
+	if scratch.Attach(host, idx, xmltree.CloneSubtree(v)) != nil {
+		return xpathest.EditOp{}, false
+	}
+	return op, true
+}
+
+// isDescendant reports whether q lies inside v's subtree (grafting a
+// subtree into itself would recurse forever on the scratch walk).
+func isDescendant(q, v *xmltree.Node) bool {
+	for ; q != nil; q = q.Parent {
+		if q == v {
+			return true
+		}
+	}
+	return false
+}
+
+// genFresh inserts a small subtree of never-before-seen tags — a new
+// root-to-leaf path, forcing the rebuild route.
+func genFresh(rng *rand.Rand, scratch *xmltree.Document, nodes []*xmltree.Node, opIdx int) (xpathest.EditOp, bool) {
+	parent := nodes[rng.Intn(len(nodes))]
+	tag := fmt.Sprintf("zz%d", opIdx)
+	xml := "<" + tag + "></" + tag + ">"
+	if rng.Intn(2) == 0 {
+		xml = "<" + tag + "><" + tag + "l></" + tag + "l></" + tag + ">"
+	}
+	sub, err := xmltree.ParseString(xml)
+	if err != nil {
+		return xpathest.EditOp{}, false
+	}
+	idx := rng.Intn(len(parent.Children) + 1)
+	op := xpathest.EditOp{Insert: true, Loc: xmltree.LocOf(parent), Index: idx, XML: xml}
+	if scratch.Attach(parent, idx, sub.Root) != nil {
+		return xpathest.EditOp{}, false
+	}
+	return op, true
+}

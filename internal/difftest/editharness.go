@@ -1,0 +1,146 @@
+package difftest
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"xpathest"
+	"xpathest/internal/delta"
+)
+
+// editScriptSeedMix decorrelates the edit-script stream from the
+// document stream of the same seed.
+const editScriptSeedMix = 0x51ed5eed
+
+// EditOptions configures an edit-oracle sweep.
+type EditOptions struct {
+	// SeedStart and SeedEnd bound the half-open seed range
+	// [SeedStart, SeedEnd): one random document and one edit script per
+	// seed.
+	SeedStart, SeedEnd int64
+
+	// EditsPerScript is the script length (default 6).
+	EditsPerScript int
+
+	// QueriesPerStep sizes the per-op estimate comparison batch
+	// (default 6).
+	QueriesPerStep int
+
+	// Configs is the synopsis sweep (default DefaultConfigs).
+	Configs []SummaryConfig
+
+	// MaxViolations stops the run early once reached (default 10).
+	MaxViolations int
+
+	// Shrink minimizes each failing script before reporting.
+	Shrink bool
+
+	// Inject enables a deliberately broken maintenance variant for
+	// self-tests (see delta.Inject).
+	Inject delta.Inject
+
+	// Log receives progress and failure reports; nil discards them.
+	Log io.Writer
+}
+
+func (o EditOptions) withDefaults() EditOptions {
+	if o.EditsPerScript == 0 {
+		o.EditsPerScript = 6
+	}
+	if o.QueriesPerStep == 0 {
+		o.QueriesPerStep = 6
+	}
+	if o.Configs == nil {
+		o.Configs = DefaultConfigs()
+	}
+	if o.MaxViolations == 0 {
+		o.MaxViolations = 10
+	}
+	return o
+}
+
+// EditReport is the outcome of an edit-oracle sweep.
+type EditReport struct {
+	Seeds        int64
+	Scripts      int
+	StepsChecked int
+	FastOps      int
+	RebuildOps   int
+	Violations   []EditViolation
+	Shrunk       []EditViolation // minimized counterparts (when EditOptions.Shrink)
+}
+
+// Failed reports whether any script violated an invariant.
+func (r *EditReport) Failed() bool { return len(r.Violations) > 0 }
+
+// Summary renders a one-screen run summary.
+func (r *EditReport) Summary() string {
+	return fmt.Sprintf("difftest: %d seeds, %d edit scripts, %d (op,config) steps (%d fast, %d rebuild), %d violations\n",
+		r.Seeds, r.Scripts, r.StepsChecked, r.FastOps, r.RebuildOps, len(r.Violations))
+}
+
+// RunEditSeeds sweeps the seed range: per seed it generates one random
+// document and one edit script, applies the script op by op under
+// every synopsis config, and checks each op against a from-scratch
+// rebuild plus the inverse metamorphic test. On failure the script is
+// shrunk to a minimal repro. The error is non-nil only for
+// harness-level problems, never for invariant violations.
+func RunEditSeeds(opts EditOptions) (*EditReport, error) {
+	opts = opts.withDefaults()
+	chk := &EditChecker{Configs: opts.Configs, Inject: opts.Inject, QueriesPerStep: opts.QueriesPerStep}
+	rep := &EditReport{Seeds: opts.SeedEnd - opts.SeedStart}
+
+	for seed := opts.SeedStart; seed < opts.SeedEnd; seed++ {
+		docXML, ops, err := GenEditCase(seed, opts.EditsPerScript)
+		if err != nil {
+			return rep, fmt.Errorf("difftest: edit seed %d: %v", seed, err)
+		}
+		rep.Scripts++
+		res, err := chk.CheckScript(docXML, ops, seed)
+		rep.StepsChecked += res.StepsChecked
+		rep.FastOps += res.FastOps
+		rep.RebuildOps += res.RebuildOps
+		if err != nil {
+			return rep, fmt.Errorf("difftest: edit seed %d: %v", seed, err)
+		}
+		rep.Violations = append(rep.Violations, res.Violations...)
+
+		if len(res.Violations) > 0 && opts.Log != nil {
+			for _, v := range res.Violations {
+				fmt.Fprintf(opts.Log, "difftest: edit seed %d: VIOLATION %v\n", seed, v)
+			}
+		}
+		if len(res.Violations) > 0 && opts.Shrink {
+			for _, v := range res.Violations {
+				sv := ShrinkEditViolation(chk, v)
+				rep.Shrunk = append(rep.Shrunk, sv)
+				if opts.Log != nil {
+					fmt.Fprintf(opts.Log, "difftest: edit seed %d: shrunk to %d nodes, %d ops\n%s\n%v\n",
+						seed, countNodes(sv.DocXML), len(sv.Ops), sv.DocXML, sv.Ops)
+				}
+			}
+		}
+		if len(rep.Violations) >= opts.MaxViolations {
+			break
+		}
+	}
+	return rep, nil
+}
+
+// GenEditCase generates the document and edit script of one seed.
+func GenEditCase(seed int64, edits int) (string, []xpathest.EditOp, error) {
+	tree := GenDoc(seed)
+	var buf bytes.Buffer
+	if err := tree.WriteXML(&buf, false); err != nil {
+		return "", nil, err
+	}
+	// Re-parse so the generator's scratch tree starts from the exact
+	// serialized form the checker will parse.
+	parsed, err := parseTree(buf.String())
+	if err != nil {
+		return "", nil, err
+	}
+	ops := GenEditScript(seed^editScriptSeedMix, parsed, edits)
+	return buf.String(), ops, nil
+}

@@ -1,0 +1,182 @@
+package difftest
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"xpathest"
+	"xpathest/internal/delta"
+)
+
+// TestEditOracleSweep is the tier-1 slice of the edit-script oracle:
+// a seed sweep in which every op of every script, under every synopsis
+// config, maintains a summary bit-identical to a from-scratch rebuild.
+// Both maintenance routes must be exercised — a sweep that never hit
+// the fast route would prove nothing about incremental maintenance.
+func TestEditOracleSweep(t *testing.T) {
+	seeds := int64(60)
+	if testing.Short() {
+		seeds = 15
+	}
+	rep, err := RunEditSeeds(EditOptions{SeedStart: 0, SeedEnd: seeds, EditsPerScript: 6})
+	if err != nil {
+		t.Fatalf("harness: %v", err)
+	}
+	t.Logf("%s", rep.Summary())
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %v\ndoc: %s\nops: %v", v, v.DocXML, v.Ops)
+	}
+	if rep.FastOps == 0 || rep.RebuildOps == 0 {
+		t.Errorf("route coverage: fast %d rebuild %d — both routes must be hit", rep.FastOps, rep.RebuildOps)
+	}
+	if rep.StepsChecked == 0 {
+		t.Error("no steps checked")
+	}
+}
+
+// TestEditOracleCatchesSkipRebucket is the first self-test the issue
+// demands: with the "missed histogram re-bucket" bug injected, the
+// oracle must detect the divergence and the shrinker must reduce the
+// failing script to a minimal repro that still fails.
+func TestEditOracleCatchesSkipRebucket(t *testing.T) {
+	rep, err := RunEditSeeds(EditOptions{
+		SeedStart: 0, SeedEnd: 60, EditsPerScript: 6,
+		Inject: delta.InjectSkipRebucket, MaxViolations: 1, Shrink: true,
+	})
+	if err != nil {
+		t.Fatalf("harness: %v", err)
+	}
+	if !rep.Failed() {
+		t.Fatal("injected skip-rebucket bug was not caught")
+	}
+	if len(rep.Shrunk) == 0 {
+		t.Fatal("no shrunk repro produced")
+	}
+	chk := &EditChecker{Configs: DefaultConfigs(), Inject: delta.InjectSkipRebucket}
+	for _, sv := range rep.Shrunk {
+		if sv.Invariant != InvEditApplyRebuild {
+			t.Errorf("shrunk invariant %s, want %s", sv.Invariant, InvEditApplyRebuild)
+		}
+		if len(sv.Ops) > 2 {
+			t.Errorf("shrunk script still has %d ops: %v", len(sv.Ops), sv.Ops)
+		}
+		if !editStillFails(chk, sv.Invariant, sv.Config, sv.DocXML, sv.Ops, sv.Seed) {
+			t.Errorf("shrunk repro no longer fails: doc=%q ops=%v", sv.DocXML, sv.Ops)
+		}
+	}
+}
+
+// staleOrderDoc is crafted so inserting a second <d> under the first
+// <a> changes that <a>'s pid (its leaf set grows) while sibling <a>s
+// keep theirs — exactly the ancestor relabeling whose order-table cell
+// move InjectStaleOrderCell suppresses.
+const staleOrderDoc = `<r><a><c></c><d></d></a><a><c></c></a><a><c></c></a><b></b></r>`
+
+var staleOrderOps = []xpathest.EditOp{{Insert: true, Loc: []int{1}, Index: 1, XML: "<d></d>"}}
+
+// TestEditOracleCatchesStaleOrderCell is the second self-test: the
+// "stale order-table cell" bug on a fast-route ancestor-pid-change
+// edit. The same script must pass clean without the injection.
+func TestEditOracleCatchesStaleOrderCell(t *testing.T) {
+	clean, err := NewEditChecker().CheckScript(staleOrderDoc, staleOrderOps, 0)
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	if len(clean.Violations) > 0 {
+		t.Fatalf("clean run violated: %v", clean.Violations)
+	}
+	if clean.FastOps == 0 {
+		t.Fatalf("edit was not fast-routed (fast %d rebuild %d); the injection targets the fast route", clean.FastOps, clean.RebuildOps)
+	}
+
+	chk := NewEditChecker()
+	chk.Inject = delta.InjectStaleOrderCell
+	res, err := chk.CheckScript(staleOrderDoc, staleOrderOps, 0)
+	if err != nil {
+		t.Fatalf("injected run: %v", err)
+	}
+	if len(res.Violations) == 0 {
+		t.Fatal("injected stale-order-cell bug was not caught")
+	}
+	for _, v := range res.Violations {
+		if v.Invariant != InvEditApplyRebuild {
+			t.Errorf("violation invariant %s, want %s", v.Invariant, InvEditApplyRebuild)
+		}
+	}
+}
+
+// TestEditInverseMetamorphicPublicAPI is the metamorphic satellite at
+// the public-API level: for every single generator op, applying it and
+// then its reported inverse restores the summary's Save bytes exactly.
+func TestEditInverseMetamorphicPublicAPI(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		docXML, ops, err := GenEditCase(seed, 4)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i, op := range ops {
+			// Each op is tested in isolation against a fresh document, so
+			// a failure names the exact op kind that broke.
+			doc, err := xpathest.ParseDocumentString(docXML)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			sum := doc.BuildSummary(xpathest.SummaryOptions{})
+			var before bytes.Buffer
+			if err := sum.Save(&before); err != nil {
+				t.Fatal(err)
+			}
+			res, err := sum.Apply(xpathest.EditScript{Ops: []xpathest.EditOp{op}})
+			if err != nil {
+				// Later ops address the script-edited tree; standalone they
+				// may miss. Only ops valid on the fresh tree are in scope.
+				continue
+			}
+			back, err := res.Summary.Apply(res.Inverse)
+			if err != nil {
+				t.Fatalf("seed %d op %d (%v): inverse apply: %v", seed, i, op, err)
+			}
+			var after bytes.Buffer
+			if err := back.Summary.Save(&after); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(before.Bytes(), after.Bytes()) {
+				t.Errorf("seed %d op %d (%v): inverse did not restore the summary bytes", seed, i, op)
+			}
+		}
+	}
+}
+
+// TestGenEditScriptDeterministic pins the generator: one seed, one
+// script.
+func TestGenEditScriptDeterministic(t *testing.T) {
+	tree := GenDoc(7)
+	a := GenEditScript(7, tree, 8)
+	b := GenEditScript(7, tree, 8)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different scripts:\n%v\n%v", a, b)
+	}
+	if len(a) != 8 {
+		t.Fatalf("script length %d, want 8", len(a))
+	}
+	c := GenEditScript(8, tree, 8)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced the same script")
+	}
+}
+
+// TestShrinkEditViolationNotReproducible: a violation the checker
+// cannot reproduce comes back unchanged.
+func TestShrinkEditViolationNotReproducible(t *testing.T) {
+	v := EditViolation{
+		Invariant: InvEditApplyRebuild,
+		Config:    SummaryConfig{},
+		DocXML:    "<a><b></b></a>",
+		Ops:       []xpathest.EditOp{{Loc: []int{0}}},
+	}
+	sv := ShrinkEditViolation(NewEditChecker(), v)
+	if sv.DocXML != v.DocXML || !reflect.DeepEqual(sv.Ops, v.Ops) {
+		t.Fatalf("non-reproducible violation was altered: %+v", sv)
+	}
+}

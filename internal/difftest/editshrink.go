@@ -1,0 +1,132 @@
+package difftest
+
+import (
+	"xpathest"
+	"xpathest/internal/xmltree"
+)
+
+// ShrinkEditViolation minimizes the (document, script) pair of an
+// edit-oracle violation while the same invariant keeps failing, and
+// returns the violation rewritten to the minimal pair. The candidate
+// order is fixed, so shrinking is deterministic. A candidate the
+// checker rejects outright (op locations invalidated by a reduction)
+// counts as not-failing.
+func ShrinkEditViolation(chk *EditChecker, v EditViolation) EditViolation {
+	fails := func(docXML string, ops []xpathest.EditOp) bool {
+		return editStillFails(chk, v.Invariant, v.Config, docXML, ops, v.Seed)
+	}
+	if !fails(v.DocXML, v.Ops) {
+		return v // not reproducible; return unchanged
+	}
+	// Ops past the failing step never executed; drop them first.
+	if v.Step+1 < len(v.Ops) {
+		if tr := v.Ops[:v.Step+1]; fails(v.DocXML, tr) {
+			v.Ops = tr
+		}
+	}
+	for rounds := 0; rounds < 200; rounds++ {
+		if ops, ok := shrinkOpsOnce(v.DocXML, v.Ops, fails); ok {
+			v.Ops = ops
+			continue
+		}
+		if next, ok := shrinkTreeOnce(v.DocXML, func(x string) bool { return fails(x, v.Ops) }); ok {
+			v.DocXML = next
+			continue
+		}
+		break
+	}
+	return refreshEditDetail(chk, v)
+}
+
+// refreshEditDetail re-runs the oracle on the shrunk pair so the
+// report carries the minimal pair's own step and numbers.
+func refreshEditDetail(chk *EditChecker, v EditViolation) EditViolation {
+	c2 := &EditChecker{Configs: []SummaryConfig{v.Config}, Inject: chk.Inject, QueriesPerStep: chk.QueriesPerStep}
+	res, err := c2.CheckScript(v.DocXML, v.Ops, v.Seed)
+	if err != nil {
+		return v
+	}
+	for _, nv := range res.Violations {
+		if nv.Invariant == v.Invariant {
+			v.Step, v.Detail = nv.Step, nv.Detail
+			return v
+		}
+	}
+	return v
+}
+
+// editStillFails re-runs the oracle on a candidate pair and reports
+// whether the given invariant still fires for it.
+func editStillFails(chk *EditChecker, inv Invariant, cfg SummaryConfig, docXML string, ops []xpathest.EditOp, seed int64) bool {
+	if len(ops) == 0 {
+		return false
+	}
+	c2 := &EditChecker{Configs: []SummaryConfig{cfg}, Inject: chk.Inject, QueriesPerStep: chk.QueriesPerStep}
+	res, err := c2.CheckScript(docXML, ops, seed)
+	if err != nil {
+		return false
+	}
+	for _, v := range res.Violations {
+		if v.Invariant == inv {
+			return true
+		}
+	}
+	return false
+}
+
+// shrinkOpsOnce tries single-reduction script candidates in a fixed
+// order: drop one op, then reduce one insert payload by a single-node
+// subtree removal or hoist.
+func shrinkOpsOnce(docXML string, ops []xpathest.EditOp, fails func(string, []xpathest.EditOp) bool) ([]xpathest.EditOp, bool) {
+	for i := range ops {
+		cand := append(append([]xpathest.EditOp(nil), ops[:i]...), ops[i+1:]...)
+		if fails(docXML, cand) {
+			return cand, true
+		}
+	}
+	for i, op := range ops {
+		if !op.Insert {
+			continue
+		}
+		for _, nx := range payloadCandidates(op.XML) {
+			cand := append([]xpathest.EditOp(nil), ops...)
+			cand[i].XML = nx
+			if fails(docXML, cand) {
+				return cand, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// payloadCandidates enumerates the single-node reductions of one
+// insert payload (every subtree removal, then every hoist), in a
+// deterministic order.
+func payloadCandidates(xmlStr string) []string {
+	tree, err := parseTree(xmlStr)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	var all []*xmltree.Node
+	tree.Walk(func(n *xmltree.Node) bool {
+		if n != tree.Root {
+			all = append(all, n)
+		}
+		return true
+	})
+	for _, n := range all {
+		if next, ok := rebuildWithout(tree, n, false); ok {
+			out = append(out, next)
+		}
+	}
+	for _, n := range all {
+		if len(n.Children) == 0 {
+			continue
+		}
+		if next, ok := rebuildWithout(tree, n, true); ok {
+			out = append(out, next)
+		}
+	}
+	return out
+}

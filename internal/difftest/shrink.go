@@ -87,6 +87,13 @@ func Shrink(xmlStr, query string, fails func(xmlStr, query string) bool) (string
 // and additionally dropping all text. Returns the first successful
 // candidate.
 func shrinkDocOnce(xmlStr, query string, fails func(string, string) bool) (string, bool) {
+	return shrinkTreeOnce(xmlStr, func(x string) bool { return fails(x, query) })
+}
+
+// shrinkTreeOnce is the document-reduction kernel shared by the query
+// and edit-script shrinkers: one successful single-node reduction under
+// the predicate, or false.
+func shrinkTreeOnce(xmlStr string, fails func(string) bool) (string, bool) {
 	tree, err := parseTree(xmlStr)
 	if err != nil {
 		return "", false
@@ -118,7 +125,7 @@ func shrinkDocOnce(xmlStr, query string, fails func(string, string) bool) (strin
 	sort.SliceStable(cands, func(i, j int) bool { return cands[i].size > cands[j].size })
 
 	for _, c := range cands {
-		if next, ok := rebuildWithout(tree, c.node, false); ok && fails(next, query) {
+		if next, ok := rebuildWithout(tree, c.node, false); ok && fails(next) {
 			return next, true
 		}
 	}
@@ -126,11 +133,11 @@ func shrinkDocOnce(xmlStr, query string, fails func(string, string) bool) (strin
 		if len(c.node.Children) == 0 {
 			continue
 		}
-		if next, ok := rebuildWithout(tree, c.node, true); ok && fails(next, query) {
+		if next, ok := rebuildWithout(tree, c.node, true); ok && fails(next) {
 			return next, true
 		}
 	}
-	if next, ok := rebuildNoText(tree); ok && next != xmlStr && fails(next, query) {
+	if next, ok := rebuildNoText(tree); ok && next != xmlStr && fails(next) {
 		return next, true
 	}
 	return "", false

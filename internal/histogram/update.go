@@ -1,0 +1,54 @@
+package histogram
+
+// Copy-on-write set assembly for the incremental maintenance path
+// (package delta): after an edit, only the tags whose statistics
+// actually changed get their histogram re-run through Algorithm 1/2;
+// every untouched tag keeps its existing histogram *instance*, so its
+// serialized bytes — and every estimate drawn from it — are identical
+// to the pre-edit summary's by construction, not by re-derivation.
+
+// WithUpdates returns a new PSet that keeps every per-tag histogram of
+// s except those named in rebuilt: a non-nil replacement histogram
+// substitutes the tag's, a nil one drops the tag (it no longer occurs
+// in the document). numDistinctPids is the edited document's
+// distinct-pid count (it sets pid-reference width in the cost model).
+func (s *PSet) WithUpdates(numDistinctPids int, rebuilt map[string]*PHistogram) *PSet {
+	out := &PSet{
+		Threshold:       s.Threshold,
+		byTag:           make(map[string]*PHistogram, len(s.byTag)+len(rebuilt)),
+		numDistinctPids: numDistinctPids,
+	}
+	for tag, h := range s.byTag {
+		if _, dirty := rebuilt[tag]; !dirty {
+			out.byTag[tag] = h
+		}
+	}
+	for tag, h := range rebuilt {
+		if h != nil {
+			out.byTag[tag] = h
+		}
+	}
+	return out
+}
+
+// WithUpdates is the OSet counterpart of (*PSet).WithUpdates: reuse
+// every clean per-tag o-histogram instance, substitute the rebuilt
+// ones, drop the tags mapped to nil.
+func (s *OSet) WithUpdates(numDistinctPids int, rebuilt map[string]*OHistogram) *OSet {
+	out := &OSet{
+		Threshold:       s.Threshold,
+		byTag:           make(map[string]*OHistogram, len(s.byTag)+len(rebuilt)),
+		numDistinctPids: numDistinctPids,
+	}
+	for tag, h := range s.byTag {
+		if _, dirty := rebuilt[tag]; !dirty {
+			out.byTag[tag] = h
+		}
+	}
+	for tag, h := range rebuilt {
+		if h != nil {
+			out.byTag[tag] = h
+		}
+	}
+	return out
+}

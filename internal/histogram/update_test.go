@@ -1,0 +1,79 @@
+package histogram
+
+import (
+	"testing"
+
+	"xpathest/internal/pathenc"
+	"xpathest/internal/stats"
+	"xpathest/internal/xmltree"
+)
+
+func buildSets(t *testing.T, s string) (*stats.Tables, int, *PSet, *OSet) {
+	t.Helper()
+	doc, err := xmltree.ParseString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, err := pathenc.Build(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := stats.Collect(doc, lab)
+	n := lab.NumDistinct()
+	ps := BuildPSet(tb.Freq, n, 0.5)
+	return tb, n, ps, BuildOSet(tb.Order, ps, n, 0.5)
+}
+
+// TestWithUpdates pins the copy-on-write contract of the incremental
+// maintenance path: clean tags keep their histogram *instance*, dirty
+// tags are substituted, nil-mapped tags disappear.
+func TestWithUpdates(t *testing.T) {
+	tb, n, ps, os := buildSets(t, `<r><a></a><b></b><a></a><c></c></r>`)
+
+	// No rebuilt tags: every instance carries over.
+	same := ps.WithUpdates(n, nil)
+	for _, tag := range ps.Tags() {
+		if same.Histogram(tag) != ps.Histogram(tag) {
+			t.Errorf("clean tag %s got a new p-histogram instance", tag)
+		}
+	}
+
+	// Substitute a's p-histogram, drop c entirely.
+	rebuilt := BuildPSet(tb.Freq, n, 0.5).Histogram("a")
+	ps2 := ps.WithUpdates(n, map[string]*PHistogram{"a": rebuilt, "c": nil})
+	if ps2.Histogram("a") != rebuilt {
+		t.Error("dirty tag a kept its old p-histogram")
+	}
+	if ps2.Histogram("c") != nil {
+		t.Error("nil-mapped tag c survived")
+	}
+	if ps2.Histogram("b") != ps.Histogram("b") {
+		t.Error("clean tag b got a new p-histogram instance")
+	}
+	if got, want := len(ps2.Tags()), len(ps.Tags())-1; got != want {
+		t.Errorf("%d tags after update, want %d", got, want)
+	}
+
+	// The OSet counterpart.
+	os2 := os.WithUpdates(n, map[string]*OHistogram{"a": nil})
+	if os2.Histogram("a") != nil {
+		t.Error("nil-mapped tag a survived in the o-set")
+	}
+	for _, tag := range os2.Tags() {
+		if os2.Histogram(tag) != os.Histogram(tag) {
+			t.Errorf("clean tag %s got a new o-histogram instance", tag)
+		}
+	}
+	fresh := BuildOSet(tb.Order, ps, n, 0.5)
+	var anyTag string
+	for _, tag := range os.Tags() {
+		anyTag = tag
+		break
+	}
+	if anyTag != "" {
+		os3 := os.WithUpdates(n, map[string]*OHistogram{anyTag: fresh.Histogram(anyTag)})
+		if os3.Histogram(anyTag) != fresh.Histogram(anyTag) {
+			t.Errorf("dirty tag %s kept its old o-histogram", anyTag)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package poshist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Fingerprint renders the histogram's full content — grid size,
+// interval extent, root label, and every non-empty cell of every tag
+// in sorted order — as one deterministic string. Two histograms with
+// equal fingerprints estimate identically.
+//
+// The edit-script oracle (internal/difftest) uses it as the
+// position-histogram leg of its apply-vs-rebuild comparison: a
+// position histogram built over an incrementally edited document must
+// fingerprint identically to one built over a fresh parse of the same
+// serialized document, which pins the edited tree's recomputed
+// document order and interval labels.
+func (h *Histogram) Fingerprint() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "g=%d maxPos=%d root=%d-%d\n", h.g, h.maxPos, h.root.Start, h.root.End)
+	tags := make([]string, 0, len(h.byTag))
+	for tag := range h.byTag {
+		tags = append(tags, tag)
+	}
+	sort.Strings(tags)
+	for _, tag := range tags {
+		grid := h.byTag[tag]
+		keys := make([]int, 0, len(grid.cells))
+		for k := range grid.cells {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		fmt.Fprintf(&sb, "%s:", tag)
+		for _, k := range keys {
+			c := grid.cells[k]
+			fmt.Fprintf(&sb, " %d=%g[%g,%g,%g,%g]", k, c.count, c.minS, c.maxS, c.minE, c.maxE)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

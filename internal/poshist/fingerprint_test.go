@@ -1,0 +1,59 @@
+package poshist
+
+import (
+	"strings"
+	"testing"
+
+	"xpathest/internal/interval"
+	"xpathest/internal/paperfig"
+	"xpathest/internal/xmltree"
+)
+
+// TestFingerprintDeterministic pins the oracle contract: two
+// histograms over the same document (even via a serialize/re-parse
+// round trip) fingerprint identically, and the fingerprint names every
+// tag.
+func TestFingerprintDeterministic(t *testing.T) {
+	doc := paperfig.Doc()
+	fp := Build(doc, interval.Build(doc), 8).Fingerprint()
+	if fp != Build(doc, interval.Build(doc), 8).Fingerprint() {
+		t.Fatal("rebuilding over the same document changed the fingerprint")
+	}
+	if !strings.HasPrefix(fp, "g=8 ") {
+		t.Fatalf("fingerprint header wrong: %q", strings.SplitN(fp, "\n", 2)[0])
+	}
+	for tag := range doc.Tags() {
+		if !strings.Contains(fp, "\n"+tag+":") && !strings.Contains(fp, tag+":") {
+			t.Errorf("fingerprint missing tag %s", tag)
+		}
+	}
+
+	var buf strings.Builder
+	if err := doc.WriteXML(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := xmltree.ParseString(buf.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Build(doc2, interval.Build(doc2), 8).Fingerprint(); got != fp {
+		t.Fatalf("re-parsed document fingerprints differently:\n%s\nvs\n%s", got, fp)
+	}
+}
+
+// TestFingerprintDiscriminates: different documents and different
+// grids must not collide.
+func TestFingerprintDiscriminates(t *testing.T) {
+	doc := paperfig.Doc()
+	small, err := xmltree.ParseString(`<Root><A></A></Root>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := Build(doc, interval.Build(doc), 8).Fingerprint()
+	if Build(small, interval.Build(small), 8).Fingerprint() == fp {
+		t.Error("different documents share a fingerprint")
+	}
+	if Build(doc, interval.Build(doc), 4).Fingerprint() == fp {
+		t.Error("different grids share a fingerprint")
+	}
+}

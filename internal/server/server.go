@@ -159,6 +159,11 @@ type entry struct {
 	loadErr error
 	loaded  time.Time
 	stale   bool
+
+	// doc is the live document behind a /summarize-built summary; only
+	// such entries accept POST /delta edits. Uploaded or store-loaded
+	// summaries have no document and leave it nil.
+	doc *xpathest.Document
 }
 
 // registry is the atomically-swappable name→summary map. Readers grab
@@ -233,6 +238,9 @@ type Server struct {
 
 	store    *summarystore.Store // nil when no store is configured
 	breakers *breakerSet
+	// deltaMu serializes /delta edits so each applies to the latest
+	// summary of its name; registry swaps stay atomic for readers.
+	deltaMu sync.Mutex
 	// reloadMu serializes load-state-machine passes; registry swaps
 	// stay atomic for readers.
 	reloadMu    sync.Mutex
@@ -336,6 +344,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("PUT /summaries/{name}", s.handleUpload)
 	s.mux.HandleFunc("POST /summaries/{name}", s.handleUpload)
 	s.mux.HandleFunc("POST /summarize", s.handleSummarize)
+	s.mux.HandleFunc("POST /delta/{name}", s.handleDelta)
 	s.mux.HandleFunc("POST /reload", s.handleReload)
 	if s.cfg.EnablePanicRoute {
 		s.mux.HandleFunc("POST /debug/panic", func(http.ResponseWriter, *http.Request) {
@@ -691,7 +700,7 @@ func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.reg.set(name, &entry{sum: sum, loaded: time.Now()})
+	s.reg.set(name, &entry{sum: sum, doc: doc, loaded: time.Now()})
 	writeJSON(w, http.StatusOK, map[string]any{
 		"summary": name, "status": "loaded",
 		"elements": doc.NumElements(),

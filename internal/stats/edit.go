@@ -1,0 +1,135 @@
+package stats
+
+import "xpathest/internal/bitset"
+
+// This file holds the in-place mutators the incremental maintenance
+// path (package delta) applies after a subtree edit: occurrence deltas
+// on the PathId-Frequency table and cell-level adjustments on the
+// Path-Order tables. All counts are whole numbers stored as float64,
+// so ±1 adjustments reproduce a from-scratch collection bit for bit;
+// structures are deleted the moment they empty, keeping the mutated
+// tables indistinguishable from freshly collected ones. Every pid
+// handed to these mutators must be its canonical interned instance —
+// the same assumption CollectFreq/CollectOrder already make.
+
+// NumTags returns the number of tags with at least one entry.
+func (t *FreqTable) NumTags() int { return len(t.byTag) }
+
+// AddFreq adjusts the (tag, pid) entry by d occurrences. An absent
+// entry is appended at the end of the tag's list (matching the
+// first-occurrence append order of CollectFreq when the new occurrence
+// is the document's last of its tag); an entry whose count reaches
+// zero is removed, and a tag with no entries left disappears.
+func (t *FreqTable) AddFreq(tag string, pid *bitset.Bitset, d float64) {
+	entries := t.byTag[tag]
+	for i := range entries {
+		if entries[i].Pid == pid || entries[i].Pid.Equal(pid) {
+			entries[i].Freq += d
+			if entries[i].Freq == 0 {
+				entries = append(entries[:i], entries[i+1:]...)
+				if len(entries) == 0 {
+					delete(t.byTag, tag)
+				} else {
+					t.byTag[tag] = entries
+				}
+			}
+			return
+		}
+	}
+	if d > 0 {
+		t.byTag[tag] = append(entries, PidFreq{Pid: pid, Freq: d})
+	}
+}
+
+// AddOrder adjusts g(pid, sibTag) of tag's path-order table by d,
+// creating the table and cell structures on first use and deleting
+// them as counts vanish, so an incrementally maintained table set is
+// structurally identical to a re-collected one.
+func (ts *OrderTables) AddOrder(tag string, region Region, pid *bitset.Bitset, sibTag string, d float64) {
+	if d == 0 {
+		return
+	}
+	tbl := ts.byTag[tag]
+	if tbl == nil {
+		tbl = newOrderTable(tag)
+		ts.byTag[tag] = tbl
+	}
+	key := pid.Key()
+	m := tbl.cells[region][key]
+	if m == nil {
+		m = make(map[string]float64)
+		tbl.cells[region][key] = m
+		tbl.cellsByPid[region][pid] = m
+		tbl.pids[key] = pid
+	}
+	m[sibTag] += d
+	if m[sibTag] != 0 {
+		return
+	}
+	delete(m, sibTag)
+	if len(m) > 0 {
+		return
+	}
+	delete(tbl.cells[region], key)
+	delete(tbl.cellsByPid[region], tbl.pids[key])
+	if tbl.cells[Before][key] == nil && tbl.cells[After][key] == nil {
+		delete(tbl.pids, key)
+	}
+	if tbl.NumCells() == 0 {
+		delete(ts.byTag, tag)
+	}
+}
+
+// GroupMember is one child of a sibling group as the order sweep sees
+// it: its tag and its (post-edit) path id.
+type GroupMember struct {
+	Tag string
+	Pid *bitset.Bitset
+}
+
+// ApplyGroup adds sign times the Path-Order contributions of one
+// sibling group, running exactly the left-to-right sweep CollectOrder
+// runs per group: each member lands in the Before region for every tag
+// still to come and in the After region for every tag already seen.
+// With sign -1 it retracts a group's contributions. Groups of fewer
+// than two members contribute nothing, mirroring the collector.
+func (ts *OrderTables) ApplyGroup(members []GroupMember, sign float64) {
+	if len(members) < 2 {
+		return
+	}
+	remaining := map[string]int{}
+	for _, m := range members {
+		remaining[m.Tag]++
+	}
+	seen := map[string]int{}
+	for _, m := range members {
+		remaining[m.Tag]--
+		for tag, cnt := range remaining {
+			if cnt > 0 {
+				ts.AddOrder(m.Tag, Before, m.Pid, tag, sign)
+			}
+		}
+		for tag, cnt := range seen {
+			if cnt > 0 {
+				ts.AddOrder(m.Tag, After, m.Pid, tag, sign)
+			}
+		}
+		seen[m.Tag]++
+	}
+}
+
+// MoveCells rewrites every cell of tag's table from oldPid to newPid
+// for one element whose pid changed without its sibling surroundings
+// changing: beforeTags are the distinct tags of its following
+// siblings, afterTags those of its preceding siblings (the tag sets
+// the sweep would charge it for).
+func (ts *OrderTables) MoveCells(tag string, oldPid, newPid *bitset.Bitset, beforeTags, afterTags []string) {
+	for _, t := range beforeTags {
+		ts.AddOrder(tag, Before, oldPid, t, -1)
+		ts.AddOrder(tag, Before, newPid, t, 1)
+	}
+	for _, t := range afterTags {
+		ts.AddOrder(tag, After, oldPid, t, -1)
+		ts.AddOrder(tag, After, newPid, t, 1)
+	}
+}

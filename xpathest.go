@@ -43,8 +43,12 @@ import (
 )
 
 // Document is a parsed and labeled XML document, ready for summary
-// construction and exact evaluation. It is immutable and safe for
-// concurrent use.
+// construction and exact evaluation. All read methods are safe for
+// concurrent use. The only mutation route is Summary.Apply, which
+// edits the tree and its derived structures under the document's edit
+// lock and advances the edit epoch; reads concurrent with an Apply see
+// either the old or the new state of each structure, so callers that
+// edit should serialize edits against reads they need to be coherent.
 type Document struct {
 	doc    *xmltree.Document
 	lab    *pathenc.Labeling
@@ -52,8 +56,24 @@ type Document struct {
 	tree   *pidtree.Tree
 	ev     *eval.Evaluator
 
-	execOnce sync.Once
-	exec     *exec.Executor
+	execMu sync.Mutex
+	exec   *exec.Executor
+
+	// editMu serializes Summary.Apply calls; editEpoch counts them.
+	// A Summary remembers the epoch it was built at and refuses to
+	// Apply once the document has moved on.
+	editMu    sync.Mutex
+	editEpoch uint64
+}
+
+// Epoch returns the document's edit epoch: 0 when loaded, advanced by
+// every Summary.Apply. Callers keying caches on a document (such as
+// EstimateCache) include it so entries from superseded states become
+// unreachable.
+func (d *Document) Epoch() uint64 {
+	d.editMu.Lock()
+	defer d.editMu.Unlock()
+	return d.editEpoch
 }
 
 // ParseDocument reads an XML document and prepares it: builds the path
@@ -177,10 +197,13 @@ func (d *Document) IndexedCount(query string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	d.execOnce.Do(func() {
+	d.execMu.Lock()
+	if d.exec == nil {
 		d.exec = exec.New(d.doc, d.lab, d.tables)
-	})
-	return d.exec.Count(p)
+	}
+	ex := d.exec
+	d.execMu.Unlock()
+	return ex.Count(p)
 }
 
 // Match is one concrete query answer.
@@ -255,8 +278,10 @@ func (o SummaryOptions) Validate() error {
 }
 
 // Summary is a built synopsis plus its estimator. It is immutable and
-// safe for concurrent use. A Summary can be serialized with Save and
-// loaded back — without the document — via ReadSummary.
+// safe for concurrent use: Apply does not change the summary, it
+// returns a new one for the edited document. A Summary can be
+// serialized with Save and loaded back — without the document — via
+// ReadSummary.
 type Summary struct {
 	opts SummaryOptions
 	est  *core.Estimator
@@ -267,12 +292,23 @@ type Summary struct {
 	os   *histogram.OSet
 
 	pBytes, oBytes int
+
+	// src is the document the summary was built over (nil when loaded
+	// with ReadSummary or built by SummarizeStream) and epoch the
+	// document's edit epoch at build time; Apply needs both.
+	src   *Document
+	epoch uint64
 }
+
+// Epoch returns the document edit epoch the summary was built at. A
+// summary estimates the document state of exactly that epoch; cache
+// keys derived from a summary should include it.
+func (s *Summary) Epoch() uint64 { return s.epoch }
 
 // BuildSummary constructs the p- and o-histograms at the requested
 // variance thresholds and returns the estimator over them.
 func (d *Document) BuildSummary(opts SummaryOptions) *Summary {
-	s := &Summary{opts: opts, lab: d.lab, tree: d.tree}
+	s := &Summary{opts: opts, lab: d.lab, tree: d.tree, src: d, epoch: d.Epoch()}
 	if opts.Exact {
 		s.est = core.New(d.lab, core.TableSource{Tables: d.tables})
 		s.pBytes = d.tables.Freq.SizeBytes(pidRefBytes(d.lab.NumDistinct()))
